@@ -1,0 +1,105 @@
+// Command brokerd runs an InfoSleuth broker agent over TCP.
+//
+// Usage:
+//
+//	brokerd -name Broker1 -listen tcp://0.0.0.0:4356
+//	brokerd -name Broker2 -listen tcp://0.0.0.0:4357 -peers tcp://host1:4356
+//
+// Peers are joined into a consortium at startup (Section 4.1 of the
+// paper); the broker pings its advertised agents periodically and drops
+// the ones that have died (Section 2.2).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"infosleuth/internal/broker"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/transport"
+)
+
+func main() {
+	var (
+		name        = flag.String("name", "Broker1", "broker agent name")
+		listen      = flag.String("listen", "tcp://127.0.0.1:4356", "listen address (tcp://host:port)")
+		peers       = flag.String("peers", "", "comma-separated peer broker addresses to join")
+		specialize  = flag.String("specialize", "", "comma-separated ontology names this broker specializes in")
+		community   = flag.String("community", "default", "community name")
+		consortium  = flag.String("consortium", "consortium-1", "consortium name")
+		pingEvery   = flag.Duration("ping-interval", 60*time.Second, "agent liveness ping interval (0 disables)")
+		maxHops     = flag.Int("max-hops", 4, "maximum inter-broker hop count")
+		peerPruning = flag.Bool("peer-pruning", false, "prune peers by advertised specialization")
+		useDatalog  = flag.Bool("datalog", false, "use the LDL-style Datalog matcher instead of the compiled one")
+	)
+	flag.Parse()
+
+	world := ontology.NewWorld(ontology.Generic(), ontology.Healthcare())
+	cfg := broker.Config{
+		Name:        *name,
+		Address:     *listen,
+		Transport:   &transport.TCP{},
+		World:       world,
+		MaxHopCount: *maxHops,
+		Community:   *community,
+		Consortia:   []string{*consortium},
+		PeerPruning: *peerPruning,
+	}
+	if *specialize != "" {
+		cfg.Specializations = strings.Split(*specialize, ",")
+	}
+	if *useDatalog {
+		cfg.Matcher = &broker.DatalogMatcher{World: world}
+	}
+	b, err := broker.New(cfg)
+	if err != nil {
+		log.Fatalf("brokerd: %v", err)
+	}
+	if err := b.Start(); err != nil {
+		log.Fatalf("brokerd: %v", err)
+	}
+	defer b.Stop()
+	log.Printf("broker %s listening at %s", b.Name(), b.Addr())
+
+	if *peers != "" {
+		addrs := strings.Split(*peers, ",")
+		if err := b.JoinConsortium(context.Background(), addrs...); err != nil {
+			log.Printf("brokerd: joining consortium: %v", err)
+		} else {
+			log.Printf("joined consortium with peers %v", b.Peers())
+		}
+	}
+
+	stopPing := make(chan struct{})
+	if *pingEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*pingEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopPing:
+					return
+				case <-ticker.C:
+					if dropped := b.PingAgents(context.Background()); dropped > 0 {
+						log.Printf("dropped %d dead agents", dropped)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	close(stopPing)
+	fmt.Println()
+	log.Printf("broker %s shutting down: %d queries served, %d ads accepted",
+		b.Name(), b.Stats.QueriesServed.Load(), b.Stats.AdsAccepted.Load())
+}

@@ -1,0 +1,111 @@
+// Command experiments regenerates the tables and figures of the paper's
+// Section 5 evaluation.
+//
+//	experiments -run all          # everything (several minutes)
+//	experiments -run table3       # one artifact
+//	experiments -run fig14 -quick # reduced runs/durations for a fast look
+//
+// Artifacts: table1 table2 table3 table4 fig14 fig15 fig16 fig17 table5
+// table6. EXPERIMENTS.md records the reference output and compares it with
+// the paper's reported results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"infosleuth/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated artifacts to regenerate (all, table1..table6, fig14..fig17, ext-knowledge)")
+		quick  = flag.Bool("quick", false, "reduced rounds/durations for a fast pass")
+		format = flag.String("format", "text", "output format: text or csv")
+		seed   = flag.Int64("seed", 1999, "base random seed")
+	)
+	flag.Parse()
+
+	liveOpts := experiments.LiveOptions{}
+	simOpts := experiments.SimOptions{Seed: *seed}
+	if *quick {
+		liveOpts.Rounds = 1
+		liveOpts.QueriesPerStream = 3
+		simOpts.Runs = 2
+		simOpts.DurationSec = 3600
+	}
+
+	want := make(map[string]bool)
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	printTable := func(t *experiments.Table) {
+		if *format == "csv" {
+			fmt.Print(t.CSV())
+			fmt.Println()
+			return
+		}
+		fmt.Println(t)
+	}
+	printFigure := func(f *experiments.Figure) {
+		if *format == "csv" {
+			fmt.Print(f.CSV())
+			fmt.Println()
+			return
+		}
+		fmt.Println(f)
+	}
+
+	start := time.Now()
+	if sel("table1") {
+		printTable(experiments.Table1())
+	}
+	if sel("table2") {
+		printTable(experiments.Table2())
+	}
+	if sel("table3") {
+		_, tbl, err := experiments.Table3(liveOpts)
+		if err != nil {
+			log.Fatalf("table3: %v", err)
+		}
+		printTable(tbl)
+	}
+	if sel("table4") {
+		_, tbl, err := experiments.Table4(liveOpts)
+		if err != nil {
+			log.Fatalf("table4: %v", err)
+		}
+		printTable(tbl)
+	}
+	if sel("fig14") {
+		printFigure(experiments.Fig14(simOpts))
+	}
+	if sel("fig15") {
+		printFigure(experiments.Fig15(simOpts))
+	}
+	if sel("fig16") {
+		printFigure(experiments.Fig16(simOpts))
+	}
+	if sel("fig17") {
+		printFigure(experiments.Fig17(simOpts))
+	}
+	if sel("ext-knowledge") {
+		printFigure(experiments.ExtBrokerKnowledge(simOpts))
+	}
+	if sel("table5") || sel("table6") || all {
+		cells := experiments.RobustnessGrid(simOpts)
+		if sel("table5") {
+			printTable(experiments.Table5(cells))
+		}
+		if sel("table6") {
+			printTable(experiments.Table6(cells))
+		}
+	}
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,129 @@
+// Command isquery queries a running InfoSleuth community over TCP.
+//
+// Locate agents through a broker (the service-ontology query of
+// Section 2.4):
+//
+//	isquery -broker tcp://127.0.0.1:4356 -type resource -ontology healthcare \
+//	    -constraints "(patient.patient_age between 25 and 65) AND (patient.diagnosis_code = '40W')"
+//
+// Run a data query across all matching resources (a transient
+// multiresource query agent assembles the fragments):
+//
+//	isquery -broker tcp://127.0.0.1:4356 -ontology healthcare \
+//	    -sql "SELECT patient_id, patient_age FROM patient WHERE patient_age BETWEEN 50 AND 60"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"infosleuth/internal/constraint"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/mrq"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/transport"
+)
+
+func main() {
+	var (
+		brokerAddr  = flag.String("broker", "tcp://127.0.0.1:4356", "broker address")
+		agentType   = flag.String("type", "", "required agent type (resource, query, user, broker)")
+		language    = flag.String("language", "", "required content language (e.g. \"SQL 2.0\")")
+		ontoName    = flag.String("ontology", "", "required ontology (e.g. healthcare)")
+		classes     = flag.String("classes", "", "comma-separated required classes")
+		caps        = flag.String("capabilities", "", "comma-separated required capabilities")
+		constraints = flag.String("constraints", "", "data constraints")
+		limit       = flag.Int("limit", 0, "max recommendations (0 = all)")
+		hops        = flag.Int("hops", 1, "inter-broker hop count")
+		sql         = flag.String("sql", "", "run this SQL query across matching resources instead of listing agents")
+		timeout     = flag.Duration("timeout", 30*time.Second, "overall timeout")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if *sql != "" {
+		runSQL(ctx, *brokerAddr, *ontoName, *sql)
+		return
+	}
+
+	q := &ontology.Query{
+		Type:            ontology.AgentType(*agentType),
+		ContentLanguage: *language,
+		Ontology:        *ontoName,
+		Limit:           *limit,
+		Policy:          ontology.SearchPolicy{HopCount: *hops, Follow: ontology.FollowAll},
+	}
+	if *classes != "" {
+		q.Classes = strings.Split(*classes, ",")
+	}
+	if *caps != "" {
+		q.Capabilities = strings.Split(*caps, ",")
+	}
+	if *constraints != "" {
+		cs, err := constraint.Parse(*constraints)
+		if err != nil {
+			log.Fatalf("isquery: %v", err)
+		}
+		q.Constraints = cs
+	}
+
+	tr := &transport.TCP{}
+	msg := kqml.New(kqml.AskAll, "isquery", &kqml.BrokerQuery{Query: q})
+	msg.Ontology = kqml.ServiceOntology
+	reply, err := tr.Call(ctx, *brokerAddr, msg)
+	if err != nil {
+		log.Fatalf("isquery: %v", err)
+	}
+	if reply.Performative != kqml.Tell {
+		log.Fatalf("isquery: broker: %s", kqml.ReasonOf(reply))
+	}
+	var br kqml.BrokerReply
+	if err := reply.DecodeContent(&br); err != nil {
+		log.Fatalf("isquery: %v", err)
+	}
+	if len(br.Matches) == 0 {
+		fmt.Println("no matching agents")
+		return
+	}
+	fmt.Printf("%d matching agent(s) (brokers consulted: %s):\n", len(br.Matches), strings.Join(br.Brokers, ", "))
+	for _, ad := range br.Matches {
+		fmt.Printf("  %-28s %-9s %s\n", ad.Name, ad.Type, ad.Address)
+		for _, f := range ad.Content {
+			fmt.Printf("    serves %s\n", f.String())
+		}
+	}
+}
+
+func runSQL(ctx context.Context, brokerAddr, ontoName, sql string) {
+	if ontoName == "" {
+		ontoName = "healthcare"
+	}
+	a, err := mrq.New(mrq.Config{
+		Name:            "isquery-mrq",
+		Address:         "tcp://127.0.0.1:0",
+		Transport:       &transport.TCP{},
+		KnownBrokers:    []string{brokerAddr},
+		World:           ontology.NewWorld(ontology.Generic(), ontology.Healthcare()),
+		Ontology:        ontoName,
+		PushConstraints: true,
+	})
+	if err != nil {
+		log.Fatalf("isquery: %v", err)
+	}
+	if err := a.Start(); err != nil {
+		log.Fatalf("isquery: %v", err)
+	}
+	defer a.Stop()
+	res, err := a.Run(ctx, sql)
+	if err != nil {
+		log.Fatalf("isquery: %v", err)
+	}
+	fmt.Print(res.String())
+	fmt.Printf("(%d rows)\n", res.Len())
+}

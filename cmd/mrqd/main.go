@@ -1,0 +1,79 @@
+// Command mrqd runs a multiresource query agent over TCP: it advertises
+// multiresource query processing to the brokers, accepts SQL queries,
+// locates the resource agents for each referenced class through the
+// brokers, and assembles the fragments into one answer.
+//
+//	mrqd -name "MRQ agent" -listen tcp://127.0.0.1:4500 \
+//	    -brokers tcp://127.0.0.1:4356 -ontology healthcare
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"infosleuth/internal/mrq"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/transport"
+)
+
+func main() {
+	var (
+		name      = flag.String("name", "MRQ agent", "agent name")
+		listen    = flag.String("listen", "tcp://127.0.0.1:4500", "listen address")
+		brokers   = flag.String("brokers", "tcp://127.0.0.1:4356", "comma-separated broker addresses")
+		ontoName  = flag.String("ontology", "healthcare", "domain ontology served")
+		specialty = flag.String("specialty", "", "comma-separated classes this MRQ specializes in (the paper's MRQ2)")
+		heartbeat = flag.Duration("heartbeat", 60*time.Second, "broker ping interval (0 disables)")
+	)
+	flag.Parse()
+
+	cfg := mrq.Config{
+		Name:            *name,
+		Address:         *listen,
+		Transport:       &transport.TCP{},
+		KnownBrokers:    strings.Split(*brokers, ","),
+		World:           ontology.NewWorld(ontology.Generic(), ontology.Healthcare()),
+		Ontology:        *ontoName,
+		PushConstraints: true,
+	}
+	if *specialty != "" {
+		cfg.Specialty = strings.Split(*specialty, ",")
+	}
+	a, err := mrq.New(cfg)
+	if err != nil {
+		log.Fatalf("mrqd: %v", err)
+	}
+	if err := a.Start(); err != nil {
+		log.Fatalf("mrqd: %v", err)
+	}
+	defer a.Stop()
+	log.Printf("MRQ agent %s listening at %s (ontology %s)", a.Name(), a.Addr(), *ontoName)
+
+	n, err := a.Advertise(context.Background())
+	if err != nil {
+		log.Printf("mrqd: advertising: %v", err)
+	}
+	log.Printf("advertised to %d broker(s)", n)
+
+	var stop func()
+	if *heartbeat > 0 {
+		stop = a.StartHeartbeat(*heartbeat)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println()
+	if stop != nil {
+		stop()
+	}
+	a.Unadvertise(context.Background())
+	log.Printf("MRQ agent %s unregistered and shut down", a.Name())
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+
+	"infosleuth/internal/relational"
+)
+
+func TestBuildDataHealthcare(t *testing.T) {
+	db, frag, err := buildData("healthcare:50", 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.Ontology != "healthcare" || len(frag.Classes) != 3 {
+		t.Errorf("fragment = %+v", frag)
+	}
+	p, ok := db.Table("patient")
+	if !ok || p.Len() != 50 {
+		t.Errorf("patients = %v", p)
+	}
+}
+
+func TestBuildDataGeneric(t *testing.T) {
+	db, frag, err := buildData("generic:C2:30", 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.Ontology != "generic" || frag.Classes[0] != "C2" {
+		t.Errorf("fragment = %+v", frag)
+	}
+	tbl, _ := db.Table("C2")
+	if tbl.Len() != 30 {
+		t.Errorf("rows = %d", tbl.Len())
+	}
+}
+
+func TestBuildDataConstraintsFilterRows(t *testing.T) {
+	db, frag, err := buildData("healthcare:100", 2, "patient.patient_age between 43 and 75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.Constraints.Len() != 1 {
+		t.Errorf("constraints = %v", frag.Constraints)
+	}
+	// Every stored patient satisfies the advertised constraint; other
+	// tables (no patient_age column) survive unfiltered.
+	p, _ := db.Table("patient")
+	if p.Len() == 0 {
+		t.Fatal("all patients filtered away")
+	}
+	p.Scan(func(r relational.Row) bool {
+		if age := r[1].Number(); age < 43 || age > 75 {
+			t.Errorf("stored patient age %v outside advertised range", age)
+		}
+		return true
+	})
+	d, _ := db.Table("diagnosis")
+	if d.Len() != 100 {
+		t.Errorf("diagnosis rows = %d, want all 100 (constraint targets patient only)", d.Len())
+	}
+}
+
+func TestBuildDataErrors(t *testing.T) {
+	cases := []struct {
+		spec       string
+		constraint string
+	}{
+		{"unknown:10", ""},
+		{"healthcare:notanumber", ""},
+		{"generic", ""},
+		{"generic:C2:notanumber", ""},
+		{"healthcare:10", "x !! 3"},
+	}
+	for _, c := range cases {
+		if _, _, err := buildData(c.spec, 1, c.constraint); err == nil {
+			t.Errorf("buildData(%q, %q) should fail", c.spec, c.constraint)
+		}
+	}
+}

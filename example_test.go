@@ -1,0 +1,136 @@
+package infosleuth_test
+
+import (
+	"context"
+	"fmt"
+
+	"infosleuth"
+)
+
+// ExampleParseConstraint shows the paper's Section 2.4 constraint overlap:
+// an advertisement for patients aged 43-75 matches a request for patients
+// aged 25-65 with diagnosis code 40W.
+func ExampleParseConstraint() {
+	ad := infosleuth.MustParseConstraint("patient.patient_age between 43 and 75")
+	query := infosleuth.MustParseConstraint(
+		"(patient.patient_age between 25 and 65) AND (patient.diagnosis_code = '40W')")
+	fmt.Println("overlaps:", ad.Overlaps(query))
+
+	tooOld := infosleuth.MustParseConstraint("patient.patient_age >= 80")
+	fmt.Println("overlaps:", tooOld.Overlaps(query))
+	// Output:
+	// overlaps: true
+	// overlaps: false
+}
+
+// ExampleMatch runs the broker's matchmaking relation directly over the
+// paper's ResourceAgent5 advertisement.
+func ExampleMatch() {
+	world := infosleuth.NewWorld(infosleuth.HealthcareOntology())
+	ad := &infosleuth.Advertisement{
+		Name:             "ResourceAgent5",
+		Address:          "tcp://b1.mcc.com:4356",
+		Type:             infosleuth.TypeResource,
+		CommLanguages:    []string{"KQML"},
+		ContentLanguages: []string{"SQL 2.0"},
+		Conversations:    []string{"subscribe", "update", "ask-all"},
+		Capabilities:     []string{"relational query processing", "subscription"},
+		Content: []infosleuth.Fragment{{
+			Ontology:    "healthcare",
+			Classes:     []string{"diagnosis", "patient"},
+			Constraints: infosleuth.MustParseConstraint("patient.patient_age between 43 and 75"),
+		}},
+		Properties: infosleuth.Properties{EstimatedResponseSec: 5},
+	}
+	q := &infosleuth.Query{
+		Type:            infosleuth.TypeResource,
+		ContentLanguage: "SQL 2.0",
+		Ontology:        "healthcare",
+		Constraints: infosleuth.MustParseConstraint(
+			"(patient.patient_age between 25 and 65) AND (patient.diagnosis_code = '40W')"),
+	}
+	fmt.Println("match:", infosleuth.Match(world, ad, q) == "")
+
+	// An agent advertising only "select" cannot satisfy a request for
+	// full relational query processing (the Figure 2 hierarchy).
+	q2 := &infosleuth.Query{Capabilities: []string{"query processing"}}
+	fmt.Println("generalist request vs specialist ad:", infosleuth.Match(world, ad, q2) == "")
+	// Output:
+	// match: true
+	// generalist request vs specialist ad: false
+}
+
+// ExampleCommunity wires the smallest useful community: one broker, one
+// resource, one MRQ agent, one user — the Figures 5-7 pipeline.
+func ExampleCommunity() {
+	ctx := context.Background()
+	c, err := infosleuth.NewCommunity(infosleuth.CommunityConfig{Brokers: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer c.Close()
+
+	db := infosleuth.NewDatabase()
+	tbl, _ := db.Create(infosleuth.Schema{
+		Name: "C2",
+		Columns: []infosleuth.Column{
+			{Name: "id", Type: infosleuth.TypeString},
+			{Name: "a", Type: infosleuth.TypeNumber},
+		},
+		Key: "id",
+	})
+	for i := 0; i < 3; i++ {
+		tbl.Insert(infosleuth.Row{
+			infosleuth.Str(fmt.Sprintf("k%d", i)), infosleuth.Num(float64(i * 10)),
+		})
+	}
+	c.AddResource(ctx, infosleuth.ResourceSpec{
+		Name: "DB1 resource agent", DB: db,
+		Fragment: infosleuth.Fragment{Ontology: "generic", Classes: []string{"C2"}},
+	})
+	c.AddMRQ(ctx, "MRQ agent", "generic")
+	user, _ := c.AddUser(ctx, "mhn's user agent", "generic")
+
+	res, err := user.Submit(ctx, "SELECT id, a FROM C2 WHERE a >= 10 ORDER BY id")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row[0].Text(), row[1].Number())
+	}
+	// Output:
+	// k1 10
+	// k2 20
+}
+
+// ExampleRunSimulation runs one deterministic pass of the Section 5.2
+// simulator.
+func ExampleRunSimulation() {
+	m := infosleuth.RunSimulation(infosleuth.SimConfig{
+		Seed:                 42,
+		Brokers:              4,
+		Resources:            16,
+		Strategy:             infosleuth.SimSpecialized,
+		MeanQueryIntervalSec: 120,
+		DurationSec:          3600,
+		UniqueDomains:        true,
+	})
+	fmt.Println("all queries answered:", m.ReplyRate() > 0.9)
+	fmt.Println("every answer complete:", m.SuccessRate() == 1.0)
+	// Output:
+	// all queries answered: true
+	// every answer complete: true
+}
+
+// ExampleParseSQL shows the SQL-subset capability analysis used for
+// capability-restricted agents.
+func ExampleParseSQL() {
+	stmt, _ := infosleuth.ParseSQL("SELECT region, COUNT(*) FROM patient WHERE patient_age > 40 GROUP BY region")
+	fmt.Println(stmt.Capabilities())
+	fmt.Println(stmt.Tables())
+	// Output:
+	// [select project statistical aggregation]
+	// [patient]
+}

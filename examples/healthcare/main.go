@@ -1,0 +1,156 @@
+// Healthcare: the paper's Section 2.4 scenario, with the broker's
+// semantic matchmaking made visible.
+//
+// ResourceAgent5 advertises the healthcare ontology restricted to patients
+// aged 43-75; a second agent holds patients up to 42. QueryAgent2 asks the
+// broker for resources with patients aged 25-65 and diagnosis code 40W —
+// the broker recommends both (each age range overlaps 25-65), and the data
+// query then returns only in-range rows from the matching fragments. A
+// third request for patients over 80 matches neither.
+//
+//	go run ./examples/healthcare
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"infosleuth"
+)
+
+func main() {
+	ctx := context.Background()
+	c, err := infosleuth.NewCommunity(infosleuth.CommunityConfig{Brokers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// One synthetic healthcare population, split by age into two
+	// horizontal fragments served by two resource agents.
+	full := infosleuth.NewDatabase()
+	if err := infosleuth.GenerateHealthcare(full, 300, 42); err != nil {
+		log.Fatal(err)
+	}
+	addFragment(ctx, c, full, "CommunityClinic", "patient.patient_age <= 42")
+	addFragment(ctx, c, full, "ResourceAgent5", "patient.patient_age between 43 and 75")
+
+	if _, err := c.AddMRQ(ctx, "MRQ agent", "healthcare"); err != nil {
+		log.Fatal(err)
+	}
+	user, err := c.AddUser(ctx, "QueryAgent2", "healthcare")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Section 2.4 broker query, verbatim: resource agents speaking
+	// SQL 2.0 over healthcare, patients 25-65 with diagnosis code 40W.
+	query := &infosleuth.Query{
+		Type:            infosleuth.TypeResource,
+		ContentLanguage: "SQL 2.0",
+		Ontology:        "healthcare",
+		Constraints: infosleuth.MustParseConstraint(
+			"(patient.patient_age between 25 and 65) AND (patient.diagnosis_code = '40W')"),
+	}
+	br, err := user.QueryBrokers(ctx, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("broker query: resources for patients 25-65 with diagnosis 40W")
+	for _, ad := range br.Matches {
+		fmt.Printf("  recommended: %-16s %s\n", ad.Name, ad.Content[0].String())
+	}
+
+	// Patients over 80 overlap neither advertised range.
+	old := query.Clone()
+	old.Constraints = infosleuth.MustParseConstraint("patient.patient_age >= 80")
+	br, err = user.QueryBrokers(ctx, old)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("broker query: resources for patients over 80 -> %d recommendations\n\n", len(br.Matches))
+
+	// The data query flows through the MRQ agent to the overlapping
+	// resources; constraint pushdown keeps irrelevant fragments out.
+	sql := "SELECT patient_id, patient_age, region FROM patient WHERE patient_age BETWEEN 50 AND 60 ORDER BY patient_id"
+	fmt.Println("data query:", sql)
+	res, err := user.Submit(ctx, sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d patients aged 50-60 (served by ResourceAgent5 alone):\n", res.Len())
+	for i, row := range res.Rows {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", res.Len()-5)
+			break
+		}
+		fmt.Printf("  %v age=%v region=%v\n", row[0], row[1], row[2])
+	}
+
+	// A cross-class join: diagnosis costs for middle-aged patients.
+	sql = "SELECT p.patient_id, d.diagnosis_code, d.cost FROM patient p, diagnosis d " +
+		"WHERE p.patient_id = d.patient_id AND p.patient_age BETWEEN 43 AND 75 AND d.cost > 8000 ORDER BY cost DESC"
+	fmt.Println("\njoin query:", sql)
+	res, err = user.Submit(ctx, sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d expensive diagnoses for patients 43-75; top rows:\n", res.Len())
+	for i, row := range res.Rows {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %v %v cost=%v\n", row[0], row[1], row[2])
+	}
+}
+
+// addFragment carves the age-restricted fragment out of the full data and
+// starts a resource agent advertising exactly that restriction.
+func addFragment(ctx context.Context, c *infosleuth.Community, full *infosleuth.Database, name, ageConstraint string) {
+	cs := infosleuth.MustParseConstraint(ageConstraint)
+	db := infosleuth.NewDatabase()
+	patients, _ := full.Table("patient")
+	kept := make(map[string]bool)
+	sub, err := db.Create(patients.Schema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	patients.Scan(func(r infosleuth.Row) bool {
+		if cs.Matches(patients.Record(r)) {
+			if err := sub.Insert(r); err != nil {
+				log.Fatal(err)
+			}
+			kept[r[0].String()] = true
+		}
+		return true
+	})
+	// Diagnoses follow their patients.
+	diags, _ := full.Table("diagnosis")
+	dsub, err := db.Create(diags.Schema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	diags.Scan(func(r infosleuth.Row) bool {
+		if kept[r[1].String()] {
+			if err := dsub.Insert(r); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return true
+	})
+	_, err = c.AddResource(ctx, infosleuth.ResourceSpec{
+		Name: name,
+		DB:   db,
+		Fragment: infosleuth.Fragment{
+			Ontology:    "healthcare",
+			Classes:     []string{"patient", "diagnosis"},
+			Constraints: cs,
+		},
+		EstimatedResponseSec: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advertised %s: %d patients, constraint %s\n", name, sub.Len(), cs)
+}

@@ -1,0 +1,112 @@
+// Monitoring: the paper's motivating query — "Notify me when the cost of
+// hospital stays for a Caesarian delivery significantly deviates from the
+// expected cost."
+//
+// A monitor agent locates the hospital resource agents through the broker,
+// registers a standing query over caesarian stays with each (the subscribe
+// conversation), and receives update notifications as new stays are
+// recorded. The client compares each notified average against the baseline
+// and raises an alert when it deviates by more than 25%.
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	"infosleuth"
+)
+
+func main() {
+	ctx := context.Background()
+	c, err := infosleuth.NewCommunity(infosleuth.CommunityConfig{Brokers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// A hospital resource agent holding hospital stays; it advertises
+	// full query processing so standing aggregate queries are in its
+	// capability lattice.
+	db := infosleuth.NewDatabase()
+	if err := infosleuth.GenerateHealthcare(db, 240, 11); err != nil {
+		log.Fatal(err)
+	}
+	ra, err := infosleuth.NewResourceAgent(infosleuth.ResourceConfig{
+		Name:         "Hospital resource agent",
+		Transport:    c.Transport,
+		KnownBrokers: c.BrokerAddrs(),
+		DB:           db,
+		Fragment: infosleuth.Fragment{
+			Ontology: "healthcare",
+			Classes:  []string{"hospital_stay", "patient"},
+		},
+		Capabilities: []string{"query processing"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ra.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer ra.Stop()
+	if _, err := ra.Advertise(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	mon, err := c.AddMonitor(ctx, "Cost monitor", "healthcare")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The standing query: average cost of caesarian stays.
+	standing := "SELECT AVG(cost), COUNT(*) FROM hospital_stay WHERE procedure = 'caesarian'"
+	n, err := mon.Watch(ctx, &infosleuth.Query{
+		Type:     infosleuth.TypeResource,
+		Ontology: "healthcare",
+		Classes:  []string{"hospital_stay"},
+	}, standing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monitoring %d resource(s): %s\n", n, standing)
+
+	// Baseline from the resource directly.
+	base, err := ra.Run(standing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := base.Rows[0][0].Number()
+	fmt.Printf("baseline average caesarian stay cost: $%.0f over %v stays\n\n",
+		baseline, base.Rows[0][1])
+
+	// New stays arrive: first a normal one, then a run of outliers.
+	addStay := func(id string, cost float64) {
+		err := ra.InsertRow(ctx, "hospital_stay", infosleuth.Row{
+			infosleuth.Str(id), infosleuth.Str("P00001"),
+			infosleuth.Str("caesarian"), infosleuth.Num(cost), infosleuth.Num(3),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	addStay("S90001", baseline) // at the expected cost
+	for i := 0; i < 6; i++ {
+		addStay(fmt.Sprintf("S9001%d", i), baseline*4) // grossly expensive
+	}
+
+	// Each data change produced one notification; check for deviation.
+	for i, ev := range mon.Events() {
+		avg := ev.Result.Rows[0][0].Number()
+		dev := math.Abs(avg-baseline) / baseline
+		status := "within expected range"
+		if dev > 0.25 {
+			status = fmt.Sprintf("ALERT: deviates %.0f%% from expected", dev*100)
+		}
+		fmt.Printf("notification %d from %s: avg caesarian cost $%.0f — %s\n",
+			i+1, ev.Resource, avg, status)
+	}
+}

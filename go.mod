@@ -1,0 +1,3 @@
+module infosleuth
+
+go 1.22

@@ -1,0 +1,423 @@
+// Package agent provides the base runtime shared by all non-broker
+// InfoSleuth agents: transport binding, the redundant-advertising state
+// machine of Section 4.2.1 (known-broker-list / connected-broker-list), the
+// periodic broker ping of Section 4.2.2, dormancy when no broker is
+// reachable, and broker querying.
+package agent
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/stats"
+	"infosleuth/internal/transport"
+)
+
+// Config configures a base agent.
+type Config struct {
+	// Name is the agent's name (e.g. "DB1 resource agent").
+	Name string
+	// Address is the transport address to listen on; empty picks an
+	// automatic in-process address.
+	Address string
+	// Transport carries messages; required.
+	Transport transport.Transport
+	// KnownBrokers seeds the known-broker-list with broker addresses
+	// ("each non-broker agent is configured with one or more preferred
+	// brokers to connect to on startup").
+	KnownBrokers []string
+	// Redundancy is how many brokers the agent advertises to
+	// (Section 4.2.1's configured number of redundant advertisements).
+	// Zero means 1.
+	Redundancy int
+	// CallTimeout bounds each outgoing call; zero means 10 s.
+	CallTimeout time.Duration
+	// RandomizeBrokerChoice makes QueryBrokers pick a uniformly random
+	// connected broker first instead of the first in list order — the
+	// paper's query agent "uniformly randomly chooses a broker on each
+	// query issued", which spreads load in multibroker communities.
+	RandomizeBrokerChoice bool
+	// RandomSeed seeds the broker choice; 0 derives a seed from the
+	// agent name.
+	RandomSeed int64
+}
+
+// Base is the embeddable agent runtime. Owners set Handler (and usually
+// AdBuilder) before Start.
+type Base struct {
+	cfg Config
+
+	// lmu guards listener: Start/Stop run on the owner's goroutine while
+	// the heartbeat and handlers read the bound address concurrently.
+	lmu      sync.Mutex
+	listener transport.Listener
+
+	// Handler processes application messages (everything but ping,
+	// which Base answers itself). Nil handlers make the agent reply
+	// sorry.
+	Handler transport.Handler
+	// AdBuilder produces the agent's advertisement; it is called after
+	// the listener is bound so the advertised address is real.
+	AdBuilder func(addr string) *ontology.Advertisement
+
+	mu        sync.Mutex
+	known     []string        // known-broker-list (addresses, in order)
+	connected map[string]bool // connected-broker-list
+	dormant   bool
+	rng       *stats.Source
+}
+
+// New creates a base agent; call Start to serve, then Advertise.
+func New(cfg Config) (*Base, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("agent: config missing Name")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("agent: config missing Transport")
+	}
+	if cfg.Redundancy <= 0 {
+		cfg.Redundancy = 1
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	b := &Base{
+		cfg:       cfg,
+		known:     append([]string(nil), cfg.KnownBrokers...),
+		connected: make(map[string]bool),
+	}
+	if cfg.RandomizeBrokerChoice {
+		seed := cfg.RandomSeed
+		if seed == 0 {
+			for _, r := range cfg.Name {
+				seed = seed*131 + int64(r)
+			}
+		}
+		b.rng = stats.NewSource(seed)
+	}
+	return b, nil
+}
+
+// Start binds the agent to its transport address.
+func (a *Base) Start() error {
+	a.lmu.Lock()
+	defer a.lmu.Unlock()
+	if a.listener != nil {
+		return fmt.Errorf("agent %s: already started", a.cfg.Name)
+	}
+	l, err := a.cfg.Transport.Listen(a.cfg.Address, a.dispatch)
+	if err != nil {
+		return fmt.Errorf("agent %s: %w", a.cfg.Name, err)
+	}
+	a.listener = l
+	return nil
+}
+
+// Stop unbinds the agent without unregistering from brokers (a crash, from
+// the brokers' perspective); see Unadvertise for the graceful path.
+func (a *Base) Stop() error {
+	a.lmu.Lock()
+	l := a.listener
+	a.listener = nil
+	a.lmu.Unlock()
+	if l == nil {
+		return nil
+	}
+	return l.Close()
+}
+
+// Name returns the agent's name.
+func (a *Base) Name() string { return a.cfg.Name }
+
+// Addr returns the bound transport address ("" before Start).
+func (a *Base) Addr() string {
+	a.lmu.Lock()
+	defer a.lmu.Unlock()
+	if a.listener == nil {
+		return ""
+	}
+	return a.listener.Addr()
+}
+
+// Dormant reports whether the agent gave up on all brokers and is waiting
+// for the next polling interval (Section 4.2.2).
+func (a *Base) Dormant() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dormant
+}
+
+// dispatch answers pings itself and forwards everything else to Handler.
+func (a *Base) dispatch(msg *kqml.Message) *kqml.Message {
+	if msg.Performative == kqml.Ping {
+		reply := kqml.New(kqml.Tell, a.cfg.Name, &kqml.PingReply{Known: true})
+		reply.Receiver = msg.Sender
+		reply.InReplyTo = msg.ReplyWith
+		return reply
+	}
+	if a.Handler != nil {
+		return a.Handler(msg)
+	}
+	reply := kqml.New(kqml.Sorry, a.cfg.Name, &kqml.SorryContent{
+		Reason: fmt.Sprintf("agent %s does not handle %s", a.cfg.Name, msg.Performative),
+	})
+	reply.Receiver = msg.Sender
+	return reply
+}
+
+func (a *Base) call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
+	cctx, cancel := context.WithTimeout(ctx, a.cfg.CallTimeout)
+	defer cancel()
+	return a.cfg.Transport.Call(cctx, addr, msg)
+}
+
+// advertisement builds the agent's current advertisement.
+func (a *Base) advertisement() *ontology.Advertisement {
+	if a.AdBuilder != nil {
+		return a.AdBuilder(a.Addr())
+	}
+	return &ontology.Advertisement{
+		Name:          a.cfg.Name,
+		Address:       a.Addr(),
+		Type:          ontology.TypeUser,
+		CommLanguages: []string{ontology.LangKQML},
+	}
+}
+
+// AddKnownBroker appends a broker address to the known-broker-list ("during
+// operation, an agent may also discover more brokers that it deems
+// appropriate to advertise to").
+func (a *Base) AddKnownBroker(addr string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, k := range a.known {
+		if k == addr {
+			return
+		}
+	}
+	a.known = append(a.known, addr)
+}
+
+// KnownBrokers returns the known-broker-list.
+func (a *Base) KnownBrokers() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.known...)
+}
+
+// ConnectedBrokers returns the connected-broker-list in known-list order.
+func (a *Base) ConnectedBrokers() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for _, k := range a.known {
+		if a.connected[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Advertise walks the known-broker-list, advertising to brokers not yet on
+// the connected-broker-list, until the configured redundancy is reached
+// (Section 4.2.1). It returns the number of connected brokers; zero puts
+// the agent in the dormant state.
+func (a *Base) Advertise(ctx context.Context) (int, error) {
+	ad := a.advertisement()
+	a.mu.Lock()
+	known := append([]string(nil), a.known...)
+	a.mu.Unlock()
+
+	var lastErr error
+	for _, addr := range known {
+		if a.connectedCount() >= a.cfg.Redundancy {
+			break
+		}
+		a.mu.Lock()
+		already := a.connected[addr]
+		a.mu.Unlock()
+		if already {
+			continue
+		}
+		msg := kqml.New(kqml.Advertise, a.cfg.Name, &kqml.AdvertiseContent{Ad: ad})
+		msg.Ontology = kqml.ServiceOntology
+		reply, err := a.call(ctx, addr, msg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if reply.Performative != kqml.Tell {
+			lastErr = fmt.Errorf("agent %s: broker at %s: %s", a.cfg.Name, addr, kqml.ReasonOf(reply))
+			continue
+		}
+		a.mu.Lock()
+		a.connected[addr] = true
+		a.mu.Unlock()
+	}
+	n := a.connectedCount()
+	a.mu.Lock()
+	a.dormant = n == 0
+	a.mu.Unlock()
+	if n == 0 && lastErr != nil {
+		return 0, lastErr
+	}
+	return n, nil
+}
+
+func (a *Base) connectedCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, ok := range a.connected {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Unadvertise removes the agent's registration from every connected broker
+// ("when an agent goes offline, it first unregisters itself from the
+// broker").
+func (a *Base) Unadvertise(ctx context.Context) {
+	for _, addr := range a.ConnectedBrokers() {
+		msg := kqml.New(kqml.Unadvertise, a.cfg.Name, &kqml.AdvertiseContent{Ad: a.advertisement()})
+		_, _ = a.call(ctx, addr, msg)
+		a.mu.Lock()
+		delete(a.connected, addr)
+		a.mu.Unlock()
+	}
+}
+
+// CheckBrokers is one cycle of the Section 4.2.2 "broker ping": each
+// connected broker is asked whether it still knows about this agent;
+// brokers that are dead or have forgotten the agent leave the
+// connected-broker-list, and the agent re-advertises if it has fallen below
+// its redundancy target. It returns the connected count after the cycle.
+func (a *Base) CheckBrokers(ctx context.Context) int {
+	for _, addr := range a.ConnectedBrokers() {
+		msg := kqml.New(kqml.Ping, a.cfg.Name, &kqml.PingContent{AgentName: a.cfg.Name})
+		reply, err := a.call(ctx, addr, msg)
+		drop := false
+		if err != nil {
+			// Transport failure: the broker has died.
+			drop = true
+		} else {
+			var pr kqml.PingReply
+			if derr := reply.DecodeContent(&pr); derr != nil || !pr.Known {
+				// The broker is alive but no longer has our
+				// advertisement.
+				drop = true
+			}
+		}
+		if drop {
+			a.mu.Lock()
+			delete(a.connected, addr)
+			a.mu.Unlock()
+		}
+	}
+	if a.connectedCount() < a.cfg.Redundancy {
+		n, _ := a.Advertise(ctx)
+		return n
+	}
+	n := a.connectedCount()
+	a.mu.Lock()
+	a.dormant = n == 0
+	a.mu.Unlock()
+	return n
+}
+
+// StartHeartbeat runs CheckBrokers on the given interval until the returned
+// stop function is called.
+func (a *Base) StartHeartbeat(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				a.CheckBrokers(context.Background())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// QueryBrokers sends a service query to the agent's brokers, returning the
+// first successful reply. It tries connected brokers in order, then any
+// remaining known brokers.
+func (a *Base) QueryBrokers(ctx context.Context, q *ontology.Query) (*kqml.BrokerReply, error) {
+	tried := make(map[string]bool)
+	var lastErr error
+	attempt := func(addr string) (*kqml.BrokerReply, error) {
+		tried[addr] = true
+		msg := kqml.New(kqml.AskAll, a.cfg.Name, &kqml.BrokerQuery{Query: q})
+		msg.Ontology = kqml.ServiceOntology
+		reply, err := a.call(ctx, addr, msg)
+		if err != nil {
+			return nil, err
+		}
+		if reply.Performative != kqml.Tell {
+			return nil, fmt.Errorf("agent %s: broker at %s: %s", a.cfg.Name, addr, kqml.ReasonOf(reply))
+		}
+		var br kqml.BrokerReply
+		if err := reply.DecodeContent(&br); err != nil {
+			return nil, err
+		}
+		return &br, nil
+	}
+	connected := a.ConnectedBrokers()
+	if a.rng != nil && len(connected) > 1 {
+		a.mu.Lock()
+		perm := a.rng.Perm(len(connected))
+		a.mu.Unlock()
+		shuffled := make([]string, len(connected))
+		for i, p := range perm {
+			shuffled[i] = connected[p]
+		}
+		connected = shuffled
+	}
+	for _, addr := range connected {
+		br, err := attempt(addr)
+		if err == nil {
+			return br, nil
+		}
+		lastErr = err
+	}
+	for _, addr := range a.KnownBrokers() {
+		if tried[addr] {
+			continue
+		}
+		br, err := attempt(addr)
+		if err == nil {
+			return br, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("agent %s: no brokers to query", a.cfg.Name)
+	}
+	return nil, lastErr
+}
+
+// Call sends a message to an arbitrary agent address and returns the reply;
+// convenience for derived agents.
+func (a *Base) Call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
+	return a.call(ctx, addr, msg)
+}
+
+// Reply builds a response to msg from this agent.
+func (a *Base) Reply(msg *kqml.Message, p kqml.Performative, content any) *kqml.Message {
+	out := kqml.New(p, a.cfg.Name, content)
+	out.Receiver = msg.Sender
+	out.InReplyTo = msg.ReplyWith
+	return out
+}

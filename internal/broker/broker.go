@@ -1,0 +1,745 @@
+package broker
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/transport"
+)
+
+// PropagationMode selects how a broker propagates inter-broker searches.
+type PropagationMode int
+
+// Propagation modes.
+const (
+	// Flood forwards a search to every known, unvisited peer, at every
+	// hop — the paper's implemented behavior.
+	Flood PropagationMode = iota
+	// OriginOnly forwards only from the broker that first received the
+	// query (an approximation of the paper's proposed spanning-tree
+	// propagation for fully connected consortia); forwarded copies are
+	// answered locally and not propagated further.
+	OriginOnly
+)
+
+// Config configures a Broker.
+type Config struct {
+	// Name is the broker's agent name (e.g. "Broker1").
+	Name string
+	// Address is the transport address to listen on; empty picks an
+	// automatic in-process address.
+	Address string
+	// Transport carries messages; required.
+	Transport transport.Transport
+	// World supplies the capability hierarchy and domain ontologies.
+	World *ontology.World
+	// Matcher overrides the matchmaking engine; nil uses DirectMatcher.
+	Matcher Matcher
+	// DefaultPolicy applies when a requesting agent specifies none.
+	// A zero value means ontology.DefaultPolicy.
+	DefaultPolicy ontology.SearchPolicy
+	// MaxHopCount caps the hop count a requester may ask for
+	// (Section 4.3: "it can be overridden by the broker's max hop
+	// count"). Zero means 4.
+	MaxHopCount int
+	// Specializations, when non-empty, lists the ontologies this broker
+	// accepts advertisements for; others are forwarded to an interested
+	// peer or rejected (Section 3.2, "Brokers may specialize").
+	Specializations []string
+	// SpecializationClasses, when non-empty, narrows the specialization
+	// to specific classes of those ontologies (the Experiment 6 layout:
+	// all the resources associated with a given query stream kept at a
+	// single broker).
+	SpecializationClasses []string
+	// Community names the agent community for the Figure 13 extensions.
+	Community string
+	// Consortia lists consortium names for the Figure 13 extensions.
+	Consortia []string
+	// Propagation selects the inter-broker propagation mode.
+	Propagation PropagationMode
+	// PeerPruning uses peers' advertised specializations to skip peers
+	// that cannot hold matching agents (Section 4.1: a broker "can
+	// reason over the other brokers' capabilities and eliminate brokers
+	// that definitely should not be contacted").
+	PeerPruning bool
+	// SyntheticCostPerAd adds an artificial reasoning delay per stored
+	// advertisement on every match, reproducing the paper's
+	// reasoning-time model (1 s per MB of advertisements) at laptop
+	// scale for the live experiments.
+	SyntheticCostPerAd time.Duration
+	// CallTimeout bounds each outgoing call; zero means 10 s.
+	CallTimeout time.Duration
+}
+
+// Stats counts broker activity; all fields are updated atomically.
+type Stats struct {
+	QueriesServed   atomic.Int64
+	LocalMatches    atomic.Int64
+	InterBrokerSent atomic.Int64
+	AdsAccepted     atomic.Int64
+	AdsRejected     atomic.Int64
+	AdsForwarded    atomic.Int64
+	PingsHandled    atomic.Int64
+	AgentsDropped   atomic.Int64
+}
+
+// peer is another broker this broker knows about.
+type peer struct {
+	name string
+	addr string
+	ad   *ontology.Advertisement
+}
+
+// Broker is an InfoSleuth broker agent.
+type Broker struct {
+	cfg     Config
+	repo    *Repository
+	matcher Matcher
+
+	// lmu guards listener: Start/Stop run on the owner's goroutine while
+	// handlers read the bound address concurrently.
+	lmu      sync.Mutex
+	listener transport.Listener
+
+	mu    sync.RWMutex
+	peers map[string]peer // by lower-cased name
+
+	// costMu serializes the synthetic reasoning delay (one query at a
+	// time, like the original LDL engine).
+	costMu sync.Mutex
+
+	// Stats is the broker's activity counters.
+	Stats Stats
+}
+
+// New creates a broker; call Start to serve.
+func New(cfg Config) (*Broker, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("broker: config missing Name")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("broker: config missing Transport")
+	}
+	if cfg.World == nil {
+		cfg.World = ontology.NewWorld()
+	}
+	if cfg.MaxHopCount == 0 {
+		cfg.MaxHopCount = 4
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	if (cfg.DefaultPolicy == ontology.SearchPolicy{}) {
+		cfg.DefaultPolicy = ontology.DefaultPolicy
+	}
+	b := &Broker{
+		cfg:   cfg,
+		repo:  NewRepository(),
+		peers: make(map[string]peer),
+	}
+	b.matcher = cfg.Matcher
+	if b.matcher == nil {
+		b.matcher = &DirectMatcher{World: cfg.World}
+	}
+	return b, nil
+}
+
+// Start binds the broker to its transport address.
+func (b *Broker) Start() error {
+	b.lmu.Lock()
+	defer b.lmu.Unlock()
+	if b.listener != nil {
+		return fmt.Errorf("broker %s: already started", b.cfg.Name)
+	}
+	l, err := b.cfg.Transport.Listen(b.cfg.Address, b.Handle)
+	if err != nil {
+		return fmt.Errorf("broker %s: %w", b.cfg.Name, err)
+	}
+	b.listener = l
+	return nil
+}
+
+// Stop unbinds the broker. Its state (repository, peers) is retained so a
+// restarted broker still knows its agents — matching the simulator's
+// repair model.
+func (b *Broker) Stop() error {
+	b.lmu.Lock()
+	l := b.listener
+	b.listener = nil
+	b.lmu.Unlock()
+	if l == nil {
+		return nil
+	}
+	return l.Close()
+}
+
+// Name returns the broker's agent name.
+func (b *Broker) Name() string { return b.cfg.Name }
+
+// Addr returns the bound transport address ("" before Start).
+func (b *Broker) Addr() string {
+	b.lmu.Lock()
+	defer b.lmu.Unlock()
+	if b.listener == nil {
+		return ""
+	}
+	return b.listener.Addr()
+}
+
+// Repository exposes the broker's advertisement repository.
+func (b *Broker) Repository() *Repository { return b.repo }
+
+// Advertisement returns the broker's self-description with the Figure 13
+// multibroker extensions.
+func (b *Broker) Advertisement() *ontology.Advertisement {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	types := make(map[ontology.AgentType]bool)
+	for _, ad := range b.repo.All() {
+		types[ad.Type] = true
+	}
+	var typeList []ontology.AgentType
+	for t := range types {
+		typeList = append(typeList, t)
+	}
+	sort.Slice(typeList, func(i, j int) bool { return typeList[i] < typeList[j] })
+	return &ontology.Advertisement{
+		Name:             b.cfg.Name,
+		Address:          b.Addr(),
+		Type:             ontology.TypeBroker,
+		CommLanguages:    []string{ontology.LangKQML},
+		ContentLanguages: []string{ontology.LangLDL},
+		Conversations:    []string{ontology.ConvAskAll, ontology.ConvAdvertise},
+		Capabilities:     []string{ontology.CapBrokering},
+		Broker: &ontology.BrokerInfo{
+			Community:             b.cfg.Community,
+			Consortia:             append([]string(nil), b.cfg.Consortia...),
+			AgentTypes:            typeList,
+			Specializations:       append([]string(nil), b.cfg.Specializations...),
+			SpecializationClasses: append([]string(nil), b.cfg.SpecializationClasses...),
+			ConversationTypes:     []string{"delegation", "forwarding"},
+		},
+	}
+}
+
+// Peers returns the names of known peer brokers, sorted.
+func (b *Broker) Peers() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.peers))
+	for _, p := range b.peers {
+		out = append(out, p.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JoinConsortium advertises this broker to the brokers at the given
+// addresses and records them as peers; each accepting broker replies with
+// its own advertisement, creating the bidirectional link of Figure 11.
+func (b *Broker) JoinConsortium(ctx context.Context, addrs ...string) error {
+	self := b.Advertisement()
+	for _, addr := range addrs {
+		if addr == b.Addr() {
+			continue
+		}
+		msg := kqml.New(kqml.Advertise, b.cfg.Name, &kqml.AdvertiseContent{Ad: self})
+		msg.Ontology = kqml.ServiceOntology
+		reply, err := b.call(ctx, addr, msg)
+		if err != nil {
+			return fmt.Errorf("broker %s: advertising to %s: %w", b.cfg.Name, addr, err)
+		}
+		if reply.Performative != kqml.Tell {
+			return fmt.Errorf("broker %s: peer at %s rejected advertisement: %s", b.cfg.Name, addr, kqml.ReasonOf(reply))
+		}
+		var ac kqml.AdvertiseContent
+		if err := reply.DecodeContent(&ac); err == nil && ac.Ad != nil && ac.Ad.Type == ontology.TypeBroker {
+			b.addPeer(ac.Ad)
+		}
+	}
+	return nil
+}
+
+func (b *Broker) addPeer(ad *ontology.Advertisement) {
+	if adKey(ad.Name) == adKey(b.cfg.Name) {
+		return
+	}
+	b.mu.Lock()
+	b.peers[adKey(ad.Name)] = peer{name: ad.Name, addr: ad.Address, ad: ad.Clone()}
+	b.mu.Unlock()
+	// Peer brokers also live in the repository so that queries for
+	// brokers are answerable.
+	_ = b.repo.Put(ad)
+}
+
+func (b *Broker) removePeer(name string) {
+	b.mu.Lock()
+	delete(b.peers, adKey(name))
+	b.mu.Unlock()
+	b.repo.Remove(name)
+}
+
+func (b *Broker) call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
+	cctx, cancel := context.WithTimeout(ctx, b.cfg.CallTimeout)
+	defer cancel()
+	return b.cfg.Transport.Call(cctx, addr, msg)
+}
+
+// Handle processes one incoming message; it is the broker's transport
+// handler and is exported for in-process wiring and tests.
+func (b *Broker) Handle(msg *kqml.Message) *kqml.Message {
+	switch msg.Performative {
+	case kqml.Advertise:
+		return b.handleAdvertise(msg)
+	case kqml.Unadvertise:
+		return b.handleUnadvertise(msg)
+	case kqml.AskAll, kqml.AskOne:
+		return b.handleQuery(msg)
+	case kqml.Recruit:
+		return b.handleRecruit(msg)
+	case kqml.Ping:
+		return b.handlePing(msg)
+	default:
+		return b.sorry(msg, fmt.Sprintf("unsupported performative %q", msg.Performative))
+	}
+}
+
+// handleRecruit implements KQML's recruit: find the best provider for the
+// query, deliver the embedded message to it, and relay its reply — the
+// requester never learns the provider list, only the answer.
+func (b *Broker) handleRecruit(msg *kqml.Message) *kqml.Message {
+	var rc kqml.RecruitContent
+	if err := msg.DecodeContent(&rc); err != nil || rc.Query == nil || rc.Embedded == nil {
+		return b.sorry(msg, "malformed recruit")
+	}
+	q := rc.Query.Clone()
+	q.Limit = 1
+	reply, err := b.Search(context.Background(), &kqml.BrokerQuery{Query: q})
+	if err != nil {
+		return b.sorry(msg, err.Error())
+	}
+	if len(reply.Matches) == 0 {
+		return b.sorry(msg, "no agent provides the requested service")
+	}
+	target := reply.Matches[0]
+	fwd := *rc.Embedded
+	fwd.Receiver = target.Name
+	agentReply, err := b.call(context.Background(), target.Address, &fwd)
+	if err != nil {
+		return b.sorry(msg, fmt.Sprintf("recruited %s but delivery failed: %v", target.Name, err))
+	}
+	return b.reply(msg, kqml.Tell, &kqml.RecruitReply{Agent: target.Name, Reply: agentReply})
+}
+
+func (b *Broker) reply(msg *kqml.Message, p kqml.Performative, content any) *kqml.Message {
+	out := kqml.New(p, b.cfg.Name, content)
+	out.Receiver = msg.Sender
+	out.InReplyTo = msg.ReplyWith
+	return out
+}
+
+func (b *Broker) sorry(msg *kqml.Message, reason string) *kqml.Message {
+	return b.reply(msg, kqml.Sorry, &kqml.SorryContent{Reason: reason})
+}
+
+func (b *Broker) handleAdvertise(msg *kqml.Message) *kqml.Message {
+	var ac kqml.AdvertiseContent
+	if err := msg.DecodeContent(&ac); err != nil || ac.Ad == nil {
+		b.Stats.AdsRejected.Add(1)
+		return b.sorry(msg, "malformed advertisement")
+	}
+	ad := ac.Ad
+	if err := ad.Validate(); err != nil {
+		b.Stats.AdsRejected.Add(1)
+		return b.sorry(msg, err.Error())
+	}
+	if ad.Type == ontology.TypeBroker {
+		b.addPeer(ad)
+		b.Stats.AdsAccepted.Add(1)
+		return b.reply(msg, kqml.Tell, &kqml.AdvertiseContent{Ad: b.Advertisement()})
+	}
+	if !b.accepts(ad) {
+		// A specialized broker forwards an out-of-scope advertisement
+		// to an interested peer before rejecting it (Section 4.1).
+		if accepted := b.forwardAdvertisement(ad); accepted != "" {
+			b.Stats.AdsForwarded.Add(1)
+			return b.sorry(msg, fmt.Sprintf("outside specialization; accepted by %s", accepted))
+		}
+		b.Stats.AdsRejected.Add(1)
+		return b.sorry(msg, "advertisement outside this broker's specialization")
+	}
+	if err := b.repo.Put(ad); err != nil {
+		b.Stats.AdsRejected.Add(1)
+		return b.sorry(msg, err.Error())
+	}
+	b.Stats.AdsAccepted.Add(1)
+	return b.reply(msg, kqml.Tell, &kqml.AdvertiseContent{Ad: b.Advertisement()})
+}
+
+// accepts implements the broker's objective: a general-purpose broker
+// accepts everything; a specialized one accepts only agents whose content
+// overlaps its chosen ontologies — and, when the specialization is
+// class-narrowed, its chosen classes (agents with no content, such as
+// query agents, are always accepted — someone must broker them).
+func (b *Broker) accepts(ad *ontology.Advertisement) bool {
+	if (len(b.cfg.Specializations) == 0 && len(b.cfg.SpecializationClasses) == 0) || len(ad.Content) == 0 {
+		return true
+	}
+	for _, f := range ad.Content {
+		ontOK := len(b.cfg.Specializations) == 0
+		for _, s := range b.cfg.Specializations {
+			if strings.EqualFold(f.Ontology, s) {
+				ontOK = true
+				break
+			}
+		}
+		if !ontOK {
+			continue
+		}
+		if len(b.cfg.SpecializationClasses) == 0 {
+			return true
+		}
+		for _, c := range f.Classes {
+			for _, sc := range b.cfg.SpecializationClasses {
+				if strings.EqualFold(c, sc) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// forwardAdvertisement offers an out-of-scope advertisement to peers whose
+// advertised specializations cover it; it returns the accepting broker's
+// name, or "".
+func (b *Broker) forwardAdvertisement(ad *ontology.Advertisement) string {
+	b.mu.RLock()
+	peers := make([]peer, 0, len(b.peers))
+	for _, p := range b.peers {
+		peers = append(peers, p)
+	}
+	b.mu.RUnlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].name < peers[j].name })
+	for _, p := range peers {
+		if p.ad == nil || p.ad.Broker == nil {
+			continue
+		}
+		if !brokerCovers(p.ad.Broker, ad) {
+			continue
+		}
+		msg := kqml.New(kqml.Advertise, b.cfg.Name, &kqml.AdvertiseContent{Ad: ad})
+		msg.Ontology = kqml.ServiceOntology
+		reply, err := b.call(context.Background(), p.addr, msg)
+		if err == nil && reply.Performative == kqml.Tell {
+			return p.name
+		}
+	}
+	return ""
+}
+
+// brokerCovers reports whether a peer broker's advertised specializations
+// admit the advertisement.
+func brokerCovers(info *ontology.BrokerInfo, ad *ontology.Advertisement) bool {
+	if len(info.Specializations) == 0 && len(info.SpecializationClasses) == 0 {
+		return true // general-purpose
+	}
+	for _, f := range ad.Content {
+		ontOK := len(info.Specializations) == 0
+		for _, s := range info.Specializations {
+			if strings.EqualFold(f.Ontology, s) {
+				ontOK = true
+				break
+			}
+		}
+		if !ontOK {
+			continue
+		}
+		if len(info.SpecializationClasses) == 0 {
+			return true
+		}
+		for _, c := range f.Classes {
+			for _, sc := range info.SpecializationClasses {
+				if strings.EqualFold(c, sc) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (b *Broker) handleUnadvertise(msg *kqml.Message) *kqml.Message {
+	var ac kqml.AdvertiseContent
+	name := msg.Sender
+	if err := msg.DecodeContent(&ac); err == nil && ac.Ad != nil {
+		name = ac.Ad.Name
+	}
+	b.mu.RLock()
+	_, isPeer := b.peers[adKey(name)]
+	b.mu.RUnlock()
+	if isPeer {
+		b.removePeer(name)
+		return b.reply(msg, kqml.Tell, &kqml.SorryContent{Reason: "unadvertised"})
+	}
+	if !b.repo.Remove(name) {
+		return b.sorry(msg, "not advertised")
+	}
+	return b.reply(msg, kqml.Tell, &kqml.SorryContent{Reason: "unadvertised"})
+}
+
+func (b *Broker) handlePing(msg *kqml.Message) *kqml.Message {
+	b.Stats.PingsHandled.Add(1)
+	var pc kqml.PingContent
+	if err := msg.DecodeContent(&pc); err != nil {
+		return b.sorry(msg, "malformed ping")
+	}
+	return b.reply(msg, kqml.Tell, &kqml.PingReply{Known: b.repo.Contains(pc.AgentName)})
+}
+
+func (b *Broker) handleQuery(msg *kqml.Message) *kqml.Message {
+	var bq kqml.BrokerQuery
+	if err := msg.DecodeContent(&bq); err != nil || bq.Query == nil {
+		return b.sorry(msg, "malformed broker query")
+	}
+	b.Stats.QueriesServed.Add(1)
+	reply, err := b.Search(context.Background(), &bq)
+	if err != nil {
+		return b.sorry(msg, err.Error())
+	}
+	if len(reply.Matches) == 0 {
+		// An empty result is still a successful reply; sorry is
+		// reserved for processing failures. The paper's broker replies
+		// with "no matches", which agents use in broker pings.
+		return b.reply(msg, kqml.Tell, reply)
+	}
+	return b.reply(msg, kqml.Tell, reply)
+}
+
+// Search performs matchmaking for a broker query: the local repository
+// first, then — policy permitting — the inter-broker search of Section 4.3.
+func (b *Broker) Search(ctx context.Context, bq *kqml.BrokerQuery) (*kqml.BrokerReply, error) {
+	q := bq.Query
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+
+	hops := bq.HopsLeft
+	follow := q.Policy.Follow
+	if !bq.Forwarded {
+		policy := q.Policy
+		if (policy == ontology.SearchPolicy{}) {
+			policy = b.cfg.DefaultPolicy
+			// The paper's defaults: a request for a single agent
+			// follows "until you find a single match"; otherwise all
+			// repositories.
+			if q.Limit == 1 {
+				policy.Follow = ontology.FollowUntilMatch
+			}
+		}
+		if policy.HopCount == 0 {
+			policy.HopCount = b.cfg.DefaultPolicy.HopCount
+		}
+		hops = policy.HopCount
+		if hops > b.cfg.MaxHopCount {
+			hops = b.cfg.MaxHopCount
+		}
+		follow = policy.Follow
+	}
+
+	local, err := b.matchLocal(q)
+	if err != nil {
+		return nil, err
+	}
+	b.Stats.LocalMatches.Add(int64(len(local)))
+
+	reply := &kqml.BrokerReply{Matches: local, Brokers: []string{b.cfg.Name}}
+	done := func() *kqml.BrokerReply {
+		reply.Matches = mergeMatches(b.cfg.World, q, reply.Matches)
+		if q.Limit > 0 && len(reply.Matches) > q.Limit {
+			reply.Matches = reply.Matches[:q.Limit]
+		}
+		return reply
+	}
+
+	if follow == ontology.FollowLocal || hops <= 0 {
+		return done(), nil
+	}
+	target := q.Limit
+	if follow == ontology.FollowUntilMatch {
+		if target == 0 {
+			target = 1
+		}
+		if len(reply.Matches) >= target {
+			return done(), nil
+		}
+	}
+	if b.cfg.Propagation == OriginOnly && bq.Forwarded {
+		return done(), nil
+	}
+
+	// Select unvisited (and unpruned) peers.
+	visited := make(map[string]bool, len(bq.Visited)+1)
+	for _, v := range bq.Visited {
+		visited[adKey(v)] = true
+	}
+	visited[adKey(b.cfg.Name)] = true
+	b.mu.RLock()
+	var targets []peer
+	for _, p := range b.peers {
+		if visited[adKey(p.name)] {
+			continue
+		}
+		if b.cfg.PeerPruning && p.ad != nil && p.ad.Broker != nil && prunedPeer(p.ad.Broker, q) {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	b.mu.RUnlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
+
+	// The forwarded visited list covers every broker contacted in this
+	// round, preventing re-forwarding loops (Section 4.3).
+	fwdVisited := append([]string(nil), bq.Visited...)
+	fwdVisited = append(fwdVisited, b.cfg.Name)
+	for _, p := range targets {
+		fwdVisited = append(fwdVisited, p.name)
+	}
+
+	if follow == ontology.FollowUntilMatch {
+		// Sequential: stop as soon as the target is met.
+		for _, p := range targets {
+			matches, brokers, err := b.forwardQuery(ctx, p, q, hops-1, fwdVisited)
+			if err != nil {
+				continue
+			}
+			reply.Matches = mergeMatches(b.cfg.World, q, reply.Matches, matches)
+			reply.Brokers = append(reply.Brokers, brokers...)
+			if len(reply.Matches) >= target {
+				break
+			}
+		}
+		return done(), nil
+	}
+
+	// FollowAll: fan out concurrently (the paper: "forward the request
+	// simultaneously to all the other brokers that it knows about").
+	type result struct {
+		matches []*ontology.Advertisement
+		brokers []string
+	}
+	results := make(chan result, len(targets))
+	var wg sync.WaitGroup
+	for _, p := range targets {
+		wg.Add(1)
+		go func(p peer) {
+			defer wg.Done()
+			matches, brokers, err := b.forwardQuery(ctx, p, q, hops-1, fwdVisited)
+			if err != nil {
+				return
+			}
+			results <- result{matches: matches, brokers: brokers}
+		}(p)
+	}
+	wg.Wait()
+	close(results)
+	for r := range results {
+		reply.Matches = mergeMatches(b.cfg.World, q, reply.Matches, r.matches)
+		reply.Brokers = append(reply.Brokers, r.brokers...)
+	}
+	return done(), nil
+}
+
+func specializesIn(info *ontology.BrokerInfo, ont string) bool {
+	for _, s := range info.Specializations {
+		if strings.EqualFold(s, ont) {
+			return true
+		}
+	}
+	return false
+}
+
+// prunedPeer decides whether the peer's advertised specializations rule it
+// out for this query — the Section 4.1 optimization of "eliminating
+// brokers that definitely should not be contacted".
+func prunedPeer(info *ontology.BrokerInfo, q *ontology.Query) bool {
+	if q.Ontology != "" && len(info.Specializations) > 0 && !specializesIn(info, q.Ontology) {
+		return true
+	}
+	if len(q.Classes) > 0 && len(info.SpecializationClasses) > 0 {
+		for _, c := range q.Classes {
+			for _, sc := range info.SpecializationClasses {
+				if strings.EqualFold(c, sc) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (b *Broker) forwardQuery(ctx context.Context, p peer, q *ontology.Query, hopsLeft int, visited []string) ([]*ontology.Advertisement, []string, error) {
+	b.Stats.InterBrokerSent.Add(1)
+	msg := kqml.New(kqml.AskAll, b.cfg.Name, &kqml.BrokerQuery{
+		Query:     q,
+		HopsLeft:  hopsLeft,
+		Visited:   visited,
+		Forwarded: true,
+	})
+	msg.Ontology = kqml.ServiceOntology
+	reply, err := b.call(ctx, p.addr, msg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if reply.Performative != kqml.Tell {
+		return nil, nil, fmt.Errorf("broker %s: peer %s: %s", b.cfg.Name, p.name, kqml.ReasonOf(reply))
+	}
+	var br kqml.BrokerReply
+	if err := reply.DecodeContent(&br); err != nil {
+		return nil, nil, err
+	}
+	return br.Matches, br.Brokers, nil
+}
+
+// matchLocal runs the matcher over the local repository, charging the
+// synthetic per-advertisement reasoning cost first. The cost is serialized
+// through a mutex: the original broker's LDL engine processed one query at
+// a time, which is what makes a loaded single broker queue up (the
+// Experiment 4-5 regime of Table 3).
+func (b *Broker) matchLocal(q *ontology.Query) ([]*ontology.Advertisement, error) {
+	if c := b.cfg.SyntheticCostPerAd; c > 0 {
+		b.costMu.Lock()
+		time.Sleep(time.Duration(b.repo.LenNonBroker()) * c)
+		b.costMu.Unlock()
+	}
+	return b.matcher.Match(b.repo, q)
+}
+
+// PingAgents checks the liveness of every advertised non-broker agent and
+// removes those that fail to respond (Section 2.2: "the broker
+// periodically pings each of the agents that have advertised to it, to
+// discover any agents that have failed"). It returns the number removed.
+func (b *Broker) PingAgents(ctx context.Context) int {
+	dropped := 0
+	for _, ad := range b.repo.All() {
+		if ad.Type == ontology.TypeBroker {
+			continue
+		}
+		msg := kqml.New(kqml.Ping, b.cfg.Name, &kqml.PingContent{AgentName: ad.Name})
+		msg.Receiver = ad.Name
+		if _, err := b.call(ctx, ad.Address, msg); err != nil {
+			b.repo.Remove(ad.Name)
+			b.Stats.AgentsDropped.Add(1)
+			dropped++
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,95 @@
+package broker
+
+import (
+	"context"
+	"testing"
+
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/transport"
+)
+
+// TestInterconnectedConsortia reproduces the paper's Figure 12: several
+// broker consortia joined through shared bridge brokers. Two fully
+// connected consortia {A1, A2, Bridge} and {Bridge, B1, B2}; a query
+// entering consortium A reaches resources advertised in consortium B
+// through the bridge, given enough hops.
+func TestInterconnectedConsortia(t *testing.T) {
+	tr := transport.NewInProc()
+	mk := func(name string) *Broker { return newTestBroker(t, tr, name) }
+	a1, a2 := mk("A1"), mk("A2")
+	bridge := mk("Bridge")
+	b1, b2 := mk("B1"), mk("B2")
+
+	ctx := context.Background()
+	join := func(members ...*Broker) {
+		for i, m := range members {
+			var addrs []string
+			for j, other := range members {
+				if i != j {
+					addrs = append(addrs, other.Addr())
+				}
+			}
+			if err := m.JoinConsortium(ctx, addrs...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	join(a1, a2, bridge)
+	join(bridge, b1, b2)
+
+	// A resource advertised only in consortium B's far corner.
+	advertiseTo(t, tr, b2.Addr(), resourceAd("FarRA", "C2"))
+
+	q := &ontology.Query{
+		Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C2"},
+		Policy: ontology.SearchPolicy{HopCount: 1, Follow: ontology.FollowAll},
+	}
+	// One hop from A1 reaches A2 and the bridge, but not B2.
+	br := askBroker(t, tr, a1.Addr(), q)
+	if len(br.Matches) != 0 {
+		t.Errorf("hop 1 from A1 should not cross the bridge, got %v", matchNames(br))
+	}
+	// Two hops cross into consortium B.
+	q.Policy.HopCount = 2
+	br = askBroker(t, tr, a1.Addr(), q)
+	if len(br.Matches) != 1 || br.Matches[0].Name != "FarRA" {
+		t.Errorf("hop 2 from A1 should reach FarRA via the bridge, got %v", matchNames(br))
+	}
+	// The bridge belongs to both consortia: one hop from it suffices.
+	q.Policy.HopCount = 1
+	br = askBroker(t, tr, bridge.Addr(), q)
+	if len(br.Matches) != 1 {
+		t.Errorf("hop 1 from the bridge should reach FarRA, got %v", matchNames(br))
+	}
+	// No disconnected sub-network: every broker can reach the resource
+	// with enough hops (the Section 3.3 connectivity requirement).
+	q.Policy.HopCount = 3
+	for _, b := range []*Broker{a1, a2, bridge, b1, b2} {
+		br := askBroker(t, tr, b.Addr(), q)
+		if len(br.Matches) != 1 {
+			t.Errorf("from %s with hop 3: %v", b.Name(), matchNames(br))
+		}
+	}
+}
+
+// TestBridgePeerLists checks the bridge broker knows both consortia while
+// edge brokers know only their own.
+func TestBridgePeerLists(t *testing.T) {
+	tr := transport.NewInProc()
+	a1 := newTestBroker(t, tr, "A1")
+	bridge := newTestBroker(t, tr, "Bridge")
+	b1 := newTestBroker(t, tr, "B1")
+	ctx := context.Background()
+	if err := a1.JoinConsortium(ctx, bridge.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bridge.JoinConsortium(ctx, b1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(bridge.Peers()); got != 2 {
+		t.Errorf("bridge peers = %v", bridge.Peers())
+	}
+	if got := len(a1.Peers()); got != 1 {
+		t.Errorf("A1 peers = %v", a1.Peers())
+	}
+}

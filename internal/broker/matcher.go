@@ -1,0 +1,83 @@
+package broker
+
+import (
+	"sort"
+
+	"infosleuth/internal/ontology"
+)
+
+// Matcher decides which advertisements in a repository satisfy a query.
+// Two implementations exist: the direct (compiled) matcher, and the
+// LDL-style Datalog matcher mirroring the original broker's rule-based
+// reasoning engine. They implement the same relation and are cross-checked
+// in tests.
+type Matcher interface {
+	// Match returns the matching advertisements, best semantic match
+	// first (ties broken by name for determinism). The returned ads are
+	// copies.
+	Match(repo *Repository, q *ontology.Query) ([]*ontology.Advertisement, error)
+}
+
+// DirectMatcher evaluates ontology.Match over the repository's index-
+// narrowed candidates.
+type DirectMatcher struct {
+	World *ontology.World
+}
+
+// Match implements Matcher.
+func (m *DirectMatcher) Match(repo *Repository, q *ontology.Query) ([]*ontology.Advertisement, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var out []*ontology.Advertisement
+	for _, ad := range repo.candidates(q) {
+		if ontology.Match(m.World, ad, q) == ontology.Matched {
+			out = append(out, ad.Clone())
+		}
+	}
+	rankMatches(m.World, out, q)
+	return out, nil
+}
+
+// rankMatches sorts best-semantic-match first (the paper's MRQ2 example:
+// the specialist is recommended over the generalist), with name as the
+// deterministic tiebreak.
+func rankMatches(w *ontology.World, ads []*ontology.Advertisement, q *ontology.Query) {
+	type scored struct {
+		ad    *ontology.Advertisement
+		score int
+	}
+	ss := make([]scored, len(ads))
+	for i, ad := range ads {
+		ss[i] = scored{ad: ad, score: ontology.Specificity(w, ad, q)}
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].ad.Name < ss[j].ad.Name
+	})
+	for i := range ss {
+		ads[i] = ss[i].ad
+	}
+}
+
+// mergeMatches unions match lists from several brokers, eliminating
+// duplicate agents by name (the paper: the initiating broker "combines
+// them with its own list of providing agents, eliminating duplicated
+// entries") and re-ranking the union.
+func mergeMatches(w *ontology.World, q *ontology.Query, lists ...[]*ontology.Advertisement) []*ontology.Advertisement {
+	seen := make(map[string]bool)
+	var out []*ontology.Advertisement
+	for _, list := range lists {
+		for _, ad := range list {
+			key := adKey(ad.Name)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, ad)
+			}
+		}
+	}
+	rankMatches(w, out, q)
+	return out
+}

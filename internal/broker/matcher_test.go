@@ -1,0 +1,333 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+
+	"infosleuth/internal/constraint"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/stats"
+)
+
+// matcherWorld is shared by the matcher equivalence tests.
+func matcherWorld() *ontology.World {
+	return ontology.NewWorld(ontology.Generic(), ontology.Healthcare())
+}
+
+// matcherFixture builds a repository with a diverse advertisement mix
+// exercising every matching dimension.
+func matcherFixture(t *testing.T) *Repository {
+	t.Helper()
+	r := NewRepository()
+	ads := []*ontology.Advertisement{
+		// Full relational resource over C1, C2 with an age-like range.
+		func() *ontology.Advertisement {
+			ad := resourceAd("ra-range", "C1")
+			ad.Content[0].Classes = []string{"C1", "C2"}
+			ad.Content[0].Constraints = constraint.MustParse("C2.a between 100 and 500")
+			return ad
+		}(),
+		// Resource over a C2 subclass (tests subclass reasoning).
+		resourceAd("ra-subclass", "C2a"),
+		// Resource with discrete constraint values.
+		func() *ontology.Advertisement {
+			ad := resourceAd("ra-discrete", "C3")
+			ad.Content[0].Constraints = constraint.NewSet(constraint.Atom{
+				Field:   "c3.region",
+				Allowed: []constraint.Value{constraint.Str("Dallas"), constraint.Str("Houston")},
+			})
+			return ad
+		}(),
+		// Resource with an open lower bound.
+		func() *ontology.Advertisement {
+			ad := resourceAd("ra-open", "C2")
+			ad.Content[0].Constraints = constraint.MustParse("C2.a > 500")
+			return ad
+		}(),
+		// Healthcare resource, the paper's Section 2.4 agent.
+		{
+			Name: "ResourceAgent5", Address: "inproc://ra5", Type: ontology.TypeResource,
+			CommLanguages:    []string{ontology.LangKQML},
+			ContentLanguages: []string{ontology.LangSQL2},
+			Conversations:    []string{ontology.ConvSubscribe, ontology.ConvUpdate, ontology.ConvAskAll},
+			Capabilities:     []string{ontology.CapRelationalQueryProcessing, ontology.CapSubscription},
+			Content: []ontology.Fragment{{
+				Ontology:    "healthcare",
+				Classes:     []string{"diagnosis", "patient"},
+				Constraints: constraint.MustParse("patient.patient_age between 43 and 75"),
+			}},
+			Properties: ontology.Properties{EstimatedResponseSec: 5},
+		},
+		// Select-only agent (capability hierarchy edge).
+		func() *ontology.Advertisement {
+			ad := resourceAd("ra-select-only", "C2")
+			ad.Capabilities = []string{ontology.CapSelect}
+			return ad
+		}(),
+		// Generalist query-processing agent.
+		{
+			Name: "qp-general", Address: "inproc://qp", Type: ontology.TypeQuery,
+			ContentLanguages: []string{ontology.LangSQL2, ontology.LangOQL},
+			Capabilities:     []string{ontology.CapQueryProcessing},
+			Properties:       ontology.Properties{Mobile: true, EstimatedResponseSec: 30},
+		},
+		// Vertical-fragment agent exposing a slot subset.
+		func() *ontology.Advertisement {
+			ad := resourceAd("ra-vfrag", "C2")
+			ad.Content[0].Slots = map[string][]string{"C2": {"id", "a"}}
+			return ad
+		}(),
+		// Two fragments with different constraints on one agent.
+		func() *ontology.Advertisement {
+			ad := resourceAd("ra-twofrag", "C2")
+			ad.Content[0].Constraints = constraint.MustParse("C2.a between 0 and 10")
+			ad.Content = append(ad.Content, ontology.Fragment{
+				Ontology:    "generic",
+				Classes:     []string{"C2"},
+				Constraints: constraint.MustParse("C2.a between 900 and 999"),
+			})
+			return ad
+		}(),
+	}
+	for _, ad := range ads {
+		if err := r.Put(ad); err != nil {
+			t.Fatalf("putting %s: %v", ad.Name, err)
+		}
+	}
+	return r
+}
+
+// matcherQueries is the query battery both matchers must agree on.
+func matcherQueries() []*ontology.Query {
+	mobile := true
+	notMobile := false
+	return []*ontology.Query{
+		{},
+		{Type: ontology.TypeResource},
+		{Type: ontology.TypeQuery},
+		{ContentLanguage: ontology.LangSQL2},
+		{ContentLanguage: ontology.LangOQL},
+		{CommLanguage: ontology.LangKQML},
+		{Conversations: []string{ontology.ConvSubscribe}},
+		{Capabilities: []string{ontology.CapSelect}},
+		{Capabilities: []string{ontology.CapRelationalQueryProcessing}},
+		{Capabilities: []string{ontology.CapQueryProcessing}},
+		{Capabilities: []string{ontology.CapSubscription, ontology.CapJoin}},
+		{Ontology: "generic"},
+		{Ontology: "healthcare"},
+		{Ontology: "aerospace"},
+		{Ontology: "generic", Classes: []string{"C2"}},
+		{Ontology: "generic", Classes: []string{"C2a"}},
+		{Ontology: "generic", Classes: []string{"C2", "C3"}},
+		{Ontology: "generic", Slots: []string{"a"}},
+		{Ontology: "generic", Slots: []string{"d"}},
+		{Ontology: "generic", Classes: []string{"C2"}, Constraints: constraint.MustParse("C2.a between 200 and 300")},
+		{Ontology: "generic", Classes: []string{"C2"}, Constraints: constraint.MustParse("C2.a between 501 and 600")},
+		{Ontology: "generic", Classes: []string{"C2"}, Constraints: constraint.MustParse("C2.a = 500")},
+		{Ontology: "generic", Classes: []string{"C2"}, Constraints: constraint.MustParse("C2.a > 999")},
+		{Ontology: "generic", Classes: []string{"C2"}, Constraints: constraint.MustParse("C2.a between 905 and 910")},
+		{Ontology: "generic", Classes: []string{"C3"}, Constraints: constraint.NewSet(constraint.Atom{
+			Field: "c3.region", Allowed: []constraint.Value{constraint.Str("Dallas")}})},
+		{Ontology: "generic", Classes: []string{"C3"}, Constraints: constraint.NewSet(constraint.Atom{
+			Field: "c3.region", Allowed: []constraint.Value{constraint.Str("Austin")}})},
+		{Ontology: "healthcare", Constraints: constraint.MustParse(
+			"(patient.patient_age between 25 and 65) AND (patient.diagnosis_code = '40W')")},
+		{Ontology: "healthcare", Constraints: constraint.MustParse("patient.patient_age between 0 and 20")},
+		{MaxResponseSec: 5},
+		{MaxResponseSec: 4},
+		{RequireMobile: &mobile},
+		{RequireMobile: &notMobile},
+		{Type: ontology.TypeResource, ContentLanguage: ontology.LangSQL2, Ontology: "generic",
+			Classes: []string{"C2"}, Capabilities: []string{ontology.CapSelect},
+			Constraints: constraint.MustParse("C2.a between 400 and 600")},
+	}
+}
+
+func namesOf(ads []*ontology.Advertisement) []string {
+	out := make([]string, len(ads))
+	for i, ad := range ads {
+		out[i] = ad.Name
+	}
+	return out
+}
+
+// TestDirectAndDatalogMatchersAgree is the core cross-check: the compiled
+// matcher and the LDL-style rule engine implement the same brokering
+// relation.
+func TestDirectAndDatalogMatchersAgree(t *testing.T) {
+	repo := matcherFixture(t)
+	w := matcherWorld()
+	direct := &DirectMatcher{World: w}
+	dl := &DatalogMatcher{World: w}
+	for i, q := range matcherQueries() {
+		q := q
+		t.Run(fmt.Sprintf("query-%02d-%s", i, q), func(t *testing.T) {
+			m1, err := direct.Match(repo, q)
+			if err != nil {
+				t.Fatalf("direct: %v", err)
+			}
+			m2, err := dl.Match(repo, q)
+			if err != nil {
+				t.Fatalf("datalog: %v", err)
+			}
+			n1, n2 := namesOf(m1), namesOf(m2)
+			if len(n1) != len(n2) {
+				t.Fatalf("direct %v vs datalog %v", n1, n2)
+			}
+			for j := range n1 {
+				if n1[j] != n2[j] {
+					t.Fatalf("direct %v vs datalog %v", n1, n2)
+				}
+			}
+		})
+	}
+}
+
+// TestMatchersAgreeOnRandomRanges fuzzes range constraints: for random ad
+// and query intervals the two matchers must agree.
+func TestMatchersAgreeOnRandomRanges(t *testing.T) {
+	w := matcherWorld()
+	direct := &DirectMatcher{World: w}
+	dl := &DatalogMatcher{World: w}
+	src := stats.NewSource(42)
+	for i := 0; i < 60; i++ {
+		repo := NewRepository()
+		adLo := float64(src.Intn(100))
+		adHi := adLo + float64(src.Intn(100))
+		ad := resourceAd("ra", "C2")
+		iv := constraint.NewRange(adLo, adHi)
+		iv.LoOpen = src.Intn(2) == 0
+		iv.HiOpen = src.Intn(2) == 0
+		if iv.Empty() {
+			continue
+		}
+		ad.Content[0].Constraints = constraint.NewSet(constraint.Atom{Field: "c2.a", Interval: iv})
+		if err := repo.Put(ad); err != nil {
+			continue
+		}
+		qLo := float64(src.Intn(150))
+		qHi := qLo + float64(src.Intn(100))
+		qiv := constraint.NewRange(qLo, qHi)
+		qiv.LoOpen = src.Intn(2) == 0
+		qiv.HiOpen = src.Intn(2) == 0
+		if qiv.Empty() {
+			continue
+		}
+		q := &ontology.Query{
+			Ontology:    "generic",
+			Constraints: constraint.NewSet(constraint.Atom{Field: "c2.a", Interval: qiv}),
+		}
+		m1, err := direct.Match(repo, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := dl.Match(repo, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m1) != len(m2) {
+			t.Errorf("case %d: ad %v vs query %v: direct=%d datalog=%d",
+				i, iv, qiv, len(m1), len(m2))
+		}
+	}
+}
+
+func TestMergeMatchesDeduplicates(t *testing.T) {
+	w := matcherWorld()
+	a := resourceAd("A", "C2")
+	b := resourceAd("B", "C2")
+	q := &ontology.Query{Ontology: "generic"}
+	merged := mergeMatches(w, q,
+		[]*ontology.Advertisement{a, b},
+		[]*ontology.Advertisement{b.Clone(), a.Clone()},
+	)
+	if len(merged) != 2 {
+		t.Errorf("merged = %v, want 2 distinct", namesOf(merged))
+	}
+}
+
+func BenchmarkMatcherDirectVsDatalog(b *testing.B) {
+	repo := NewRepository()
+	w := matcherWorld()
+	for i := 0; i < 50; i++ {
+		ad := &ontology.Advertisement{
+			Name: fmt.Sprintf("RA%02d", i), Address: "inproc://x", Type: ontology.TypeResource,
+			ContentLanguages: []string{ontology.LangSQL2},
+			Capabilities:     []string{ontology.CapRelationalQueryProcessing},
+			Content: []ontology.Fragment{{
+				Ontology:    "generic",
+				Classes:     []string{fmt.Sprintf("C%d", i%6+1)},
+				Constraints: constraint.MustParse(fmt.Sprintf("a between %d and %d", i*10, i*10+100)),
+			}},
+		}
+		if err := repo.Put(ad); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := &ontology.Query{
+		Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C2"},
+		Constraints: constraint.MustParse("a between 100 and 200"),
+	}
+	b.Run("direct", func(b *testing.B) {
+		m := &DirectMatcher{World: w}
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Match(repo, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("datalog", func(b *testing.B) {
+		m := &DatalogMatcher{World: w}
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Match(repo, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkRepositoryIndexes(b *testing.B) {
+	w := matcherWorld()
+	build := func(r *Repository) {
+		for i := 0; i < 400; i++ {
+			ont := "generic"
+			if i%2 == 0 {
+				ont = "healthcare"
+			}
+			class := "C2"
+			if ont == "healthcare" {
+				class = "patient"
+			}
+			ad := &ontology.Advertisement{
+				Name: fmt.Sprintf("RA%03d", i), Address: "inproc://x", Type: ontology.TypeResource,
+				ContentLanguages: []string{ontology.LangSQL2},
+				Content:          []ontology.Fragment{{Ontology: ont, Classes: []string{class}}},
+			}
+			if err := r.Put(ad); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	q := &ontology.Query{Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C2"}}
+	m := &DirectMatcher{World: w}
+	b.Run("indexed", func(b *testing.B) {
+		r := NewRepository()
+		build(r)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Match(r, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unindexed", func(b *testing.B) {
+		r := NewUnindexedRepository()
+		build(r)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Match(r, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

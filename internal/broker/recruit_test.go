@@ -1,0 +1,115 @@
+package broker
+
+import (
+	"context"
+	"testing"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/resource"
+	"infosleuth/internal/transport"
+)
+
+func TestRecruitDeliversToBestProvider(t *testing.T) {
+	tr := transport.NewInProc()
+	b := newTestBroker(t, tr, "Broker1")
+
+	db := relational.NewDatabase()
+	if _, err := relational.GenerateGeneric(db, "C2", 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := resource.New(resource.Config{
+		Name: "RA", Transport: tr, KnownBrokers: []string{b.Addr()},
+		DB:       db,
+		Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Stop()
+	if _, err := ra.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	embedded := kqml.New(kqml.AskAll, "asker", &kqml.SQLQuery{SQL: "SELECT * FROM C2"})
+	embedded.Language = ontology.LangSQL2
+	msg := kqml.New(kqml.Recruit, "asker", &kqml.RecruitContent{
+		Query: &ontology.Query{
+			Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C2"},
+		},
+		Embedded: embedded,
+	})
+	reply, err := tr.Call(context.Background(), b.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Tell {
+		t.Fatalf("recruit reply = %s: %s", reply.Performative, kqml.ReasonOf(reply))
+	}
+	var rr kqml.RecruitReply
+	if err := reply.DecodeContent(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Agent != "RA" {
+		t.Errorf("recruited agent = %q", rr.Agent)
+	}
+	var sr kqml.SQLResult
+	if err := rr.Reply.DecodeContent(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Rows) != 7 {
+		t.Errorf("relayed rows = %d, want 7", len(sr.Rows))
+	}
+}
+
+func TestRecruitNoProvider(t *testing.T) {
+	tr := transport.NewInProc()
+	b := newTestBroker(t, tr, "Broker1")
+	msg := kqml.New(kqml.Recruit, "asker", &kqml.RecruitContent{
+		Query:    &ontology.Query{Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C9"}},
+		Embedded: kqml.New(kqml.AskAll, "asker", &kqml.SQLQuery{SQL: "SELECT * FROM C9"}),
+	})
+	reply, err := tr.Call(context.Background(), b.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Sorry {
+		t.Errorf("recruit with no provider = %s", reply.Performative)
+	}
+}
+
+func TestRecruitDeadProvider(t *testing.T) {
+	tr := transport.NewInProc()
+	b := newTestBroker(t, tr, "Broker1")
+	// Advertise an agent that never listens.
+	ghost := resourceAd("Ghost", "C2")
+	ghost.Address = "inproc://nowhere"
+	advertiseTo(t, tr, b.Addr(), ghost)
+	msg := kqml.New(kqml.Recruit, "asker", &kqml.RecruitContent{
+		Query:    &ontology.Query{Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C2"}},
+		Embedded: kqml.New(kqml.AskAll, "asker", &kqml.SQLQuery{SQL: "SELECT * FROM C2"}),
+	})
+	reply, err := tr.Call(context.Background(), b.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Sorry {
+		t.Errorf("recruit to dead provider = %s", reply.Performative)
+	}
+}
+
+func TestRecruitMalformed(t *testing.T) {
+	tr := transport.NewInProc()
+	b := newTestBroker(t, tr, "Broker1")
+	reply, err := tr.Call(context.Background(), b.Addr(), kqml.New(kqml.Recruit, "asker", &kqml.RecruitContent{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Sorry {
+		t.Errorf("malformed recruit = %s", reply.Performative)
+	}
+}

@@ -1,0 +1,239 @@
+// Package broker implements the InfoSleuth broker agent: a repository of
+// agent advertisements, a matchmaker combining syntactic and semantic
+// reasoning (Section 2), and the peer-to-peer multibroker protocol of
+// Sections 3-4 — redundant advertising, agent liveness pings, and
+// inter-broker search with hop counts, follow options and visited lists.
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"infosleuth/internal/ontology"
+)
+
+// Repository stores advertisements with secondary indexes on agent type,
+// supported ontology and content language, so matchmaking intersects index
+// hits before running the full semantic match. It is safe for concurrent
+// use.
+type Repository struct {
+	mu  sync.RWMutex
+	ads map[string]*ontology.Advertisement // by lower-cased agent name
+
+	// Secondary indexes: value → set of agent keys.
+	byType     map[ontology.AgentType]map[string]bool
+	byOntology map[string]map[string]bool
+	byLanguage map[string]map[string]bool
+
+	// indexed can be disabled to measure the index benefit
+	// (BenchmarkRepositoryIndexes).
+	indexed bool
+}
+
+// NewRepository returns an empty, indexed repository.
+func NewRepository() *Repository {
+	r := &Repository{indexed: true}
+	r.reset()
+	return r
+}
+
+// NewUnindexedRepository returns a repository that always scans all
+// advertisements; only the index-ablation benchmark should want one.
+func NewUnindexedRepository() *Repository {
+	r := NewRepository()
+	r.indexed = false
+	return r
+}
+
+func (r *Repository) reset() {
+	r.ads = make(map[string]*ontology.Advertisement)
+	r.byType = make(map[ontology.AgentType]map[string]bool)
+	r.byOntology = make(map[string]map[string]bool)
+	r.byLanguage = make(map[string]map[string]bool)
+}
+
+func adKey(name string) string { return strings.ToLower(name) }
+
+// Put validates and stores an advertisement, replacing any previous one for
+// the same agent (the paper: "when an agent's set of available services
+// changes, the agent may update its advertisement").
+func (r *Repository) Put(ad *ontology.Advertisement) error {
+	if err := ad.Validate(); err != nil {
+		return err
+	}
+	for _, f := range ad.Content {
+		if f.Constraints.Unsatisfiable() {
+			return fmt.Errorf("broker: advertisement for %q carries unsatisfiable constraints: %s", ad.Name, f.Constraints)
+		}
+	}
+	cp := ad.Clone()
+	key := adKey(cp.Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.ads[key]; ok {
+		r.unindexLocked(key)
+	}
+	r.ads[key] = cp
+	r.indexLocked(key, cp)
+	return nil
+}
+
+// Remove deletes an agent's advertisement; it reports whether one existed.
+func (r *Repository) Remove(name string) bool {
+	key := adKey(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.ads[key]; !ok {
+		return false
+	}
+	r.unindexLocked(key)
+	delete(r.ads, key)
+	return true
+}
+
+// Get returns a copy of an agent's advertisement.
+func (r *Repository) Get(name string) (*ontology.Advertisement, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ad, ok := r.ads[adKey(name)]
+	if !ok {
+		return nil, false
+	}
+	return ad.Clone(), true
+}
+
+// Contains reports whether the agent is advertised.
+func (r *Repository) Contains(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.ads[adKey(name)]
+	return ok
+}
+
+// Len returns the number of stored advertisements.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.ads)
+}
+
+// LenNonBroker returns the number of stored non-broker advertisements —
+// the size of the space the matchmaker reasons over for service queries
+// (peer-broker entries are routing state, not candidates).
+func (r *Repository) LenNonBroker() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.ads) - len(r.byType[ontology.TypeBroker])
+}
+
+// Names returns the advertised agent names, sorted.
+func (r *Repository) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.ads))
+	for _, ad := range r.ads {
+		out = append(out, ad.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns copies of every advertisement, sorted by name.
+func (r *Repository) All() []*ontology.Advertisement {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*ontology.Advertisement, 0, len(r.ads))
+	for _, ad := range r.ads {
+		out = append(out, ad.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (r *Repository) indexLocked(key string, ad *ontology.Advertisement) {
+	addTo := func(m map[string]map[string]bool, val string) {
+		val = strings.ToLower(val)
+		set, ok := m[val]
+		if !ok {
+			set = make(map[string]bool)
+			m[val] = set
+		}
+		set[key] = true
+	}
+	set, ok := r.byType[ad.Type]
+	if !ok {
+		set = make(map[string]bool)
+		r.byType[ad.Type] = set
+	}
+	set[key] = true
+	for _, f := range ad.Content {
+		addTo(r.byOntology, f.Ontology)
+	}
+	for _, l := range ad.ContentLanguages {
+		addTo(r.byLanguage, l)
+	}
+}
+
+func (r *Repository) unindexLocked(key string) {
+	ad := r.ads[key]
+	if ad == nil {
+		return
+	}
+	delete(r.byType[ad.Type], key)
+	for _, f := range ad.Content {
+		delete(r.byOntology[strings.ToLower(f.Ontology)], key)
+	}
+	for _, l := range ad.ContentLanguages {
+		delete(r.byLanguage[strings.ToLower(l)], key)
+	}
+}
+
+// candidates returns the advertisement pointers a query could match,
+// narrowed by the secondary indexes when possible. Callers must not mutate
+// the returned ads.
+func (r *Repository) candidates(q *ontology.Query) []*ontology.Advertisement {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.indexed {
+		return r.allLocked()
+	}
+	var sets []map[string]bool
+	if q.Type != ontology.TypeAny {
+		sets = append(sets, r.byType[q.Type])
+	}
+	if q.Ontology != "" {
+		sets = append(sets, r.byOntology[strings.ToLower(q.Ontology)])
+	}
+	if q.ContentLanguage != "" {
+		sets = append(sets, r.byLanguage[strings.ToLower(q.ContentLanguage)])
+	}
+	if len(sets) == 0 {
+		return r.allLocked()
+	}
+	// Intersect starting from the smallest set.
+	sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+	smallest := sets[0]
+	var out []*ontology.Advertisement
+outer:
+	for key := range smallest {
+		for _, s := range sets[1:] {
+			if !s[key] {
+				continue outer
+			}
+		}
+		out = append(out, r.ads[key])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (r *Repository) allLocked() []*ontology.Advertisement {
+	out := make([]*ontology.Advertisement, 0, len(r.ads))
+	for _, ad := range r.ads {
+		out = append(out, ad)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,556 @@
+package community
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"infosleuth/internal/constraint"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/stats"
+)
+
+// buildGenericResource makes a database with one toy class table.
+func buildGenericResource(t *testing.T, class string, n int, seed int64) *relational.Database {
+	t.Helper()
+	db := relational.NewDatabase()
+	if _, err := relational.GenerateGeneric(db, class, n, seed); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestEndToEndPaperWalkthrough runs the full Figures 5-7 pipeline: user
+// agent → broker → MRQ agent → broker → resource agents → assembled result.
+func TestEndToEndPaperWalkthrough(t *testing.T) {
+	ctx := context.Background()
+	c, err := New(Config{Brokers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// DB1 holds C1 and C2; DB2 holds C2 and C3 (disjoint row sets).
+	db1 := relational.NewDatabase()
+	if _, err := relational.GenerateGeneric(db1, "C1", 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := generateGenericWithPrefix(db1, "C2", 10, "dbone"); err != nil {
+		t.Fatal(err)
+	}
+	db2 := relational.NewDatabase()
+	if _, err := generateGenericWithPrefix(db2, "C2", 15, "dbtwo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := relational.GenerateGeneric(db2, "C3", 5, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.AddResource(ctx, ResourceSpec{
+		Name: "DB1 resource agent", DB: db1,
+		Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C1", "C2"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddResource(ctx, ResourceSpec{
+		Name: "DB2 resource agent", DB: db2,
+		Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C2", "C3"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddMRQ(ctx, "MRQ agent", "generic"); err != nil {
+		t.Fatal(err)
+	}
+	user, err := c.AddUser(ctx, "mhn's user agent", "generic")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "select * from C2" must union both resources' rows.
+	res, err := user.Submit(ctx, "select * from C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 25 {
+		t.Errorf("C2 rows = %d, want 10+15", res.Len())
+	}
+
+	// A C3 query only touches DB2.
+	res, err = user.Submit(ctx, "select * from C3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 {
+		t.Errorf("C3 rows = %d, want 5", res.Len())
+	}
+
+	// A filtered projection exercises select+project through the
+	// pipeline.
+	res, err = user.Submit(ctx, "SELECT id, a FROM C2 WHERE a >= 500 ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row[1].Number() < 500 {
+			t.Errorf("row %v violates WHERE a >= 500", row)
+		}
+	}
+}
+
+// generateGenericWithPrefix is like relational.GenerateGeneric but with
+// distinct key prefixes so two resources hold disjoint C2 rows.
+func generateGenericWithPrefix(db *relational.Database, class string, n int, prefix string) (*relational.Table, error) {
+	tbl, err := db.Create(relational.GenericSchema(class))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := tbl.Insert(relational.Row{
+			relational.Str(fmt.Sprintf("%s-%s-%04d", prefix, class, i)),
+			relational.Num(float64((i * 37) % 1000)),
+			relational.Num(float64((i * 11) % 1000)),
+			relational.Num(float64((i * 7) % 1000)),
+			relational.Num(float64((i * 3) % 1000)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// TestEndToEndVerticalFragmentation reproduces the VF layout: the C2 class
+// is split column-wise across two resources; the MRQ must reassemble full
+// tuples by joining on the key.
+func TestEndToEndVerticalFragmentation(t *testing.T) {
+	ctx := context.Background()
+	c, err := New(Config{Brokers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	full := relational.NewDatabase()
+	base, err := relational.GenerateGeneric(full, "C2", 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fragA, err := relational.VerticalFragment(base, "C2", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fragB, err := relational.VerticalFragment(base, "C2", []string{"c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbA := relational.NewDatabase()
+	if err := dbA.Attach(fragA); err != nil {
+		t.Fatal(err)
+	}
+	dbB := relational.NewDatabase()
+	if err := dbB.Attach(fragB); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.AddResource(ctx, ResourceSpec{
+		Name: "VF-A", DB: dbA,
+		Fragment: ontology.Fragment{
+			Ontology: "generic", Classes: []string{"C2"},
+			Slots: map[string][]string{"C2": {"id", "a", "b"}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddResource(ctx, ResourceSpec{
+		Name: "VF-B", DB: dbB,
+		Fragment: ontology.Fragment{
+			Ontology: "generic", Classes: []string{"C2"},
+			Slots: map[string][]string{"C2": {"id", "c", "d"}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddMRQ(ctx, "MRQ agent", "generic"); err != nil {
+		t.Fatal(err)
+	}
+	user, err := c.AddUser(ctx, "user", "generic")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := user.Submit(ctx, "SELECT id, a, d FROM C2 ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 20 {
+		t.Fatalf("reassembled rows = %d, want 20", res.Len())
+	}
+	// Verify a reassembled tuple matches the original base table.
+	orig, ok := base.Lookup(res.Rows[0][0])
+	if !ok {
+		t.Fatalf("key %v not in base table", res.Rows[0][0])
+	}
+	if !res.Rows[0][1].Equal(orig[1]) { // a
+		t.Errorf("column a mismatch: %v vs %v", res.Rows[0][1], orig[1])
+	}
+	if !res.Rows[0][2].Equal(orig[4]) { // d
+		t.Errorf("column d mismatch: %v vs %v", res.Rows[0][2], orig[4])
+	}
+}
+
+// TestEndToEndHorizontalConstraints reproduces the Section 2.4 scenario:
+// two healthcare resources with different age ranges; constraint pushdown
+// routes the query to the overlapping resource only.
+func TestEndToEndHorizontalConstraints(t *testing.T) {
+	ctx := context.Background()
+	c, err := New(Config{Brokers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	full := relational.NewDatabase()
+	if err := relational.GenerateHealthcare(full, 100, 5); err != nil {
+		t.Fatal(err)
+	}
+	patients, _ := full.Table("patient")
+	young, err := relational.HorizontalFragment(patients, "patient", constraint.MustParse("patient.patient_age <= 42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := relational.HorizontalFragment(patients, "patient", constraint.MustParse("patient.patient_age >= 43"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbYoung := relational.NewDatabase()
+	dbYoung.Attach(young)
+	dbOld := relational.NewDatabase()
+	dbOld.Attach(old)
+
+	if _, err := c.AddResource(ctx, ResourceSpec{
+		Name: "YoungRA", DB: dbYoung,
+		Fragment: ontology.Fragment{
+			Ontology: "healthcare", Classes: []string{"patient"},
+			Constraints: constraint.MustParse("patient.patient_age <= 42"),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddResource(ctx, ResourceSpec{
+		Name: "ResourceAgent5", DB: dbOld,
+		Fragment: ontology.Fragment{
+			Ontology: "healthcare", Classes: []string{"patient"},
+			Constraints: constraint.MustParse("patient.patient_age >= 43"),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddMRQ(ctx, "MRQ agent", "healthcare"); err != nil {
+		t.Fatal(err)
+	}
+	user, err := c.AddUser(ctx, "QueryAgent2", "healthcare")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Query for patients 50-60: only ResourceAgent5 overlaps, and all
+	// result rows must be in range.
+	res, err := user.Submit(ctx, "SELECT patient_id, patient_age FROM patient WHERE patient_age BETWEEN 50 AND 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ages := res.ColIndex("patient_age")
+	for _, row := range res.Rows {
+		if a := row[ages].Number(); a < 50 || a > 60 {
+			t.Errorf("row age %v outside 50-60", a)
+		}
+	}
+	if res.Len() == 0 {
+		t.Error("expected some patients between 50 and 60")
+	}
+	// Cross-check against the unfragmented table.
+	want := 0
+	patients.Scan(func(r relational.Row) bool {
+		if a := r[1].Number(); a >= 50 && a <= 60 {
+			want++
+		}
+		return true
+	})
+	if res.Len() != want {
+		t.Errorf("rows = %d, want %d (ground truth)", res.Len(), want)
+	}
+}
+
+// TestUserPrefersSpecialistMRQ reproduces the MRQ2 example end to end.
+func TestUserPrefersSpecialistMRQ(t *testing.T) {
+	ctx := context.Background()
+	c, err := New(Config{Brokers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	db := buildGenericResource(t, "C2", 5, 2)
+	if _, err := c.AddResource(ctx, ResourceSpec{
+		Name: "RA", DB: db,
+		Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C2"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddMRQ(ctx, "MRQ agent", "generic"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddMRQ(ctx, "MRQ2 agent", "generic", "C2"); err != nil {
+		t.Fatal(err)
+	}
+	user, err := c.AddUser(ctx, "mhn's user agent", "generic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The C2 query must go to the specialist; we can't observe routing
+	// directly, but the result must still be correct...
+	res, err := user.Submit(ctx, "select * from C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 {
+		t.Errorf("rows = %d", res.Len())
+	}
+	// ...and the broker must rank MRQ2 first for a C2-specific lookup.
+	br, err := user.QueryBrokers(ctx, &ontology.Query{
+		Type:            ontology.TypeQuery,
+		ContentLanguage: ontology.LangSQL2,
+		Capabilities:    []string{ontology.CapMultiresourceQuery},
+		Ontology:        "generic",
+		Classes:         []string{"C2"},
+		Limit:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Matches) != 1 || br.Matches[0].Name != "MRQ2 agent" {
+		t.Errorf("broker recommends %v, want the MRQ2 specialist", br.Matches)
+	}
+}
+
+// TestMultibrokerCommunityFailover kills a broker and verifies redundant
+// advertising keeps the community operational (Section 4.2).
+func TestMultibrokerCommunityFailover(t *testing.T) {
+	ctx := context.Background()
+	c, err := New(Config{Brokers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	db := buildGenericResource(t, "C2", 8, 4)
+	ra, err := c.AddResource(ctx, ResourceSpec{
+		Name: "RA", DB: db,
+		Fragment:   ontology.Fragment{Ontology: "generic", Classes: []string{"C2"}},
+		Redundancy: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ra.ConnectedBrokers()); got != 2 {
+		t.Fatalf("redundancy: connected to %d brokers, want 2", got)
+	}
+	mrqAgent, err := c.AddMRQ(ctx, "MRQ agent", "generic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := c.AddUser(ctx, "user", "generic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the first broker (which holds RA's first advertisement and
+	// the MRQ's only advertisement).
+	c.Brokers[0].Stop()
+	// The MRQ agent's periodic broker ping (Section 4.2.2) detects the
+	// dead broker; the remaining live brokers keep it connected.
+	if n := mrqAgent.CheckBrokers(ctx); n != 2 {
+		t.Fatalf("MRQ failover: connected = %d, want the 2 live brokers", n)
+	}
+	// The user agent fails over to another broker; the remaining
+	// brokers still know the resource via redundant advertising.
+	res, err := user.Submit(ctx, "select * from C2")
+	if err != nil {
+		t.Fatalf("query after broker failure: %v", err)
+	}
+	if res.Len() != 8 {
+		t.Errorf("rows = %d, want 8", res.Len())
+	}
+}
+
+func TestCommunityClassHierarchyQuery(t *testing.T) {
+	// CH stream shape: resources hold C2a/C2b subclasses; a C2a query
+	// routes to the right subclass resource.
+	ctx := context.Background()
+	c, err := New(Config{Brokers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dbA := relational.NewDatabase()
+	tA, err := dbA.Create(relational.Schema{
+		Name: "C2a",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.TypeString},
+			{Name: "a", Type: relational.TypeNumber},
+			{Name: "e", Type: relational.TypeNumber},
+		},
+		Key: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		tA.MustInsert(relational.Row{
+			relational.Str(fmt.Sprintf("a%d", i)), relational.Num(float64(i)), relational.Num(float64(i * 2)),
+		})
+	}
+	if _, err := c.AddResource(ctx, ResourceSpec{
+		Name: "SubclassRA", DB: dbA,
+		Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C2a"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddMRQ(ctx, "MRQ agent", "generic"); err != nil {
+		t.Fatal(err)
+	}
+	user, err := c.AddUser(ctx, "user", "generic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := user.Submit(ctx, "select * from C2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 6 {
+		t.Errorf("rows = %d, want 6", res.Len())
+	}
+}
+
+// TestCommunityMonitorAndOntologyAgents exercises the Figure 1 core agents
+// through the community builder.
+func TestCommunityMonitorAndOntologyAgents(t *testing.T) {
+	ctx := context.Background()
+	c, err := New(Config{Brokers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	db := buildGenericResource(t, "C2", 5, 8)
+	ra, err := c.AddResource(ctx, ResourceSpec{
+		Name: "RA", DB: db,
+		Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := c.AddMonitor(ctx, "Monitor", "generic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddOntologyAgent(ctx, "Ontology Agent"); err != nil {
+		t.Fatal(err)
+	}
+	// The monitor finds the resource through the brokers and receives
+	// notifications.
+	n, err := mon.Watch(ctx, &ontology.Query{
+		Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C2"},
+	}, "SELECT * FROM C2")
+	if err != nil || n != 1 {
+		t.Fatalf("Watch = %d, %v", n, err)
+	}
+	err = ra.InsertRow(ctx, "C2", relational.Row{
+		relational.Str("C2-zz"), relational.Num(1), relational.Num(2), relational.Num(3), relational.Num(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mon.Events()) != 1 {
+		t.Errorf("monitor events = %d", len(mon.Events()))
+	}
+	// The ontology agent is findable through the broker by type.
+	u, err := c.AddUser(ctx, "user", "generic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := u.QueryBrokers(ctx, &ontology.Query{Type: ontology.TypeOntology})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Matches) != 1 || br.Matches[0].Name != "Ontology Agent" {
+		t.Errorf("ontology agent lookup = %v", br.Matches)
+	}
+}
+
+// TestLiveTopologyMatchesSimulatedPlacement is the DESIGN.md
+// cross-validation: the live brokers and the simulator share the same
+// placement semantics — with resources assigned to brokers by the same
+// seeded permutation, a live hop-1 search from any broker returns exactly
+// the resources of the queried domain, which is the simulator's
+// domainCovered ground truth.
+func TestLiveTopologyMatchesSimulatedPlacement(t *testing.T) {
+	ctx := context.Background()
+	const brokers, resources = 3, 12
+	domains := resources / 4
+
+	c, err := New(Config{Brokers: brokers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Identical placement to sim.Run: resource i has domain i%domains and
+	// advertises to a seeded-random broker.
+	src := stats.NewSource(31)
+	expected := make(map[int][]string) // domain -> resource names
+	for i := 0; i < resources; i++ {
+		domain := i % domains
+		class := fmt.Sprintf("C%d", domain+1)
+		name := fmt.Sprintf("RA%02d", i)
+		db := relational.NewDatabase()
+		if _, err := relational.GenerateGeneric(db, class, 2, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		target := c.Brokers[src.Perm(brokers)[0]].Addr()
+		if _, err := c.AddResource(ctx, ResourceSpec{
+			Name: name, DB: db,
+			Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{class}},
+			Brokers:  []string{target},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		expected[domain] = append(expected[domain], name)
+	}
+
+	// From every broker, a hop-1 all-repositories search for each domain
+	// must return exactly that domain's resources — the simulator's
+	// success criterion.
+	for bi, b := range c.Brokers {
+		for domain := 0; domain < domains; domain++ {
+			reply, err := b.Search(ctx, &kqml.BrokerQuery{Query: &ontology.Query{
+				Type:     ontology.TypeResource,
+				Ontology: "generic",
+				Classes:  []string{fmt.Sprintf("C%d", domain+1)},
+				Policy:   ontology.SearchPolicy{HopCount: 1, Follow: ontology.FollowAll},
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[string]bool)
+			for _, ad := range reply.Matches {
+				got[ad.Name] = true
+			}
+			if len(got) != len(expected[domain]) {
+				t.Fatalf("broker %d domain %d: got %v, want %v", bi, domain, got, expected[domain])
+			}
+			for _, name := range expected[domain] {
+				if !got[name] {
+					t.Fatalf("broker %d domain %d missing %s", bi, domain, name)
+				}
+			}
+		}
+	}
+}

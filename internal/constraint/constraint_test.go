@@ -1,0 +1,466 @@
+package constraint
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalContains(t *testing.T) {
+	tests := []struct {
+		name string
+		iv   Interval
+		x    float64
+		want bool
+	}{
+		{"closed inside", NewRange(43, 75), 50, true},
+		{"closed at lo", NewRange(43, 75), 43, true},
+		{"closed at hi", NewRange(43, 75), 75, true},
+		{"closed below", NewRange(43, 75), 42.999, false},
+		{"closed above", NewRange(43, 75), 75.001, false},
+		{"at least", AtLeast(10), 10, true},
+		{"at least below", AtLeast(10), 9, false},
+		{"at most", AtMost(10), 10, true},
+		{"at most above", AtMost(10), 11, false},
+		{"greater than boundary", GreaterThan(10), 10, false},
+		{"greater than inside", GreaterThan(10), 10.1, true},
+		{"less than boundary", LessThan(10), 10, false},
+		{"unbounded", Unbounded, -1e18, true},
+		{"exactly hit", Exactly(5), 5, true},
+		{"exactly miss", Exactly(5), 5.0001, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.iv.Contains(tt.x); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Interval
+		want bool
+	}{
+		{"paper example: ad 43-75 vs query 25-65", NewRange(43, 75), NewRange(25, 65), true},
+		{"disjoint", NewRange(0, 10), NewRange(11, 20), false},
+		{"touching closed", NewRange(0, 10), NewRange(10, 20), true},
+		{"touching open", LessThan(10), AtLeast(10), false},
+		{"touching open/open", LessThan(10), GreaterThan(10), false},
+		{"nested", NewRange(0, 100), NewRange(40, 60), true},
+		{"unbounded vs anything", Unbounded, NewRange(-5, -1), true},
+		{"half lines meeting", AtLeast(0), AtMost(0), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Overlaps(tt.b); got != tt.want {
+				t.Errorf("Overlaps = %v, want %v", got, tt.want)
+			}
+			if got := tt.b.Overlaps(tt.a); got != tt.want {
+				t.Errorf("Overlaps (reversed) = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntervalCovers(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Interval
+		want bool
+	}{
+		{"superset", NewRange(0, 100), NewRange(40, 60), true},
+		{"equal", NewRange(0, 100), NewRange(0, 100), true},
+		{"proper subset does not cover", NewRange(40, 60), NewRange(0, 100), false},
+		{"open lo cannot cover closed lo at same point", GreaterThan(0), AtLeast(0), false},
+		{"closed covers open at same point", AtLeast(0), GreaterThan(0), true},
+		{"unbounded covers all", Unbounded, NewRange(-1e9, 1e9), true},
+		{"bounded cannot cover unbounded", NewRange(-1e9, 1e9), Unbounded, false},
+		{"anything covers empty", Exactly(1), Interval{HasLo: true, Lo: 2, HasHi: true, Hi: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Covers(tt.b); got != tt.want {
+				t.Errorf("Covers = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntervalIntersectEmptiness(t *testing.T) {
+	a := NewRange(0, 10)
+	b := NewRange(20, 30)
+	if got := a.Intersect(b); !got.Empty() {
+		t.Errorf("disjoint intersect not empty: %v", got)
+	}
+	c := a.Intersect(NewRange(5, 30))
+	if c.Lo != 5 || c.Hi != 10 {
+		t.Errorf("intersect = %v, want [5,10]", c)
+	}
+}
+
+// Property: Intersect is the greatest lower bound — the intersection is
+// covered by both operands and contains any point both contain.
+func TestIntervalIntersectProperty(t *testing.T) {
+	type ivSpec struct {
+		HasLo, HasHi   bool
+		Lo, Hi         int8
+		LoOpen, HiOpen bool
+	}
+	mk := func(s ivSpec) Interval {
+		return Interval{HasLo: s.HasLo, HasHi: s.HasHi, Lo: float64(s.Lo), Hi: float64(s.Hi), LoOpen: s.LoOpen, HiOpen: s.HiOpen}
+	}
+	f := func(sa, sb ivSpec, probe int8) bool {
+		a, b := mk(sa), mk(sb)
+		inter := a.Intersect(b)
+		if !a.Covers(inter) || !b.Covers(inter) {
+			return false
+		}
+		x := float64(probe)
+		inBoth := a.Contains(x) && b.Contains(x)
+		return inBoth == inter.Contains(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Overlaps is symmetric and consistent with Intersect emptiness.
+func TestIntervalOverlapSymmetry(t *testing.T) {
+	f := func(alo, ahi, blo, bhi int8) bool {
+		a := NewRange(float64(alo), float64(ahi))
+		b := NewRange(float64(blo), float64(bhi))
+		return a.Overlaps(b) == b.Overlaps(a) &&
+			a.Overlaps(b) == !a.Intersect(b).Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomDiscrete(t *testing.T) {
+	a := Atom{Field: "patient.diagnosis_code", Allowed: []Value{Str("40W")}}
+	if !a.Matches(Str("40W")) {
+		t.Error("equality atom should match its value")
+	}
+	if a.Matches(Str("41W")) {
+		t.Error("equality atom should not match other values")
+	}
+	if a.Matches(Num(40)) {
+		t.Error("string atom should not match numbers")
+	}
+	b := Atom{Field: "patient.diagnosis_code", Allowed: []Value{Str("40W"), Str("41W")}}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("overlapping discrete sets should overlap")
+	}
+	if !b.Covers(a) {
+		t.Error("superset should cover subset")
+	}
+	if a.Covers(b) {
+		t.Error("subset should not cover superset")
+	}
+}
+
+func TestAtomMixedDiscreteInterval(t *testing.T) {
+	iv := Atom{Field: "age", Interval: NewRange(0, 100)}
+	in := Atom{Field: "age", Allowed: []Value{Num(30), Num(150)}}
+	if !iv.Overlaps(in) {
+		t.Error("interval should overlap discrete set containing an in-range value")
+	}
+	if iv.Covers(in) {
+		t.Error("interval should not cover set with out-of-range 150")
+	}
+	onlyIn := Atom{Field: "age", Allowed: []Value{Num(30), Num(60)}}
+	if !iv.Covers(onlyIn) {
+		t.Error("interval should cover in-range discrete set")
+	}
+	point := Atom{Field: "age", Interval: Exactly(30)}
+	if !onlyIn.Covers(point) {
+		t.Error("discrete set should cover degenerate interval at member")
+	}
+	if onlyIn.Covers(iv) {
+		t.Error("discrete set cannot cover a non-degenerate interval")
+	}
+}
+
+func TestAtomIntersect(t *testing.T) {
+	a := Atom{Field: "age", Interval: NewRange(25, 65)}
+	b := Atom{Field: "age", Interval: NewRange(43, 75)}
+	c := a.Intersect(b)
+	if c.Interval.Lo != 43 || c.Interval.Hi != 65 {
+		t.Errorf("intersect = %v, want [43,65]", c.Interval)
+	}
+	d1 := Atom{Field: "code", Allowed: []Value{Str("a"), Str("b")}}
+	d2 := Atom{Field: "code", Allowed: []Value{Str("b"), Str("c")}}
+	d := d1.Intersect(d2)
+	if len(d.Allowed) != 1 || !d.Allowed[0].Equal(Str("b")) {
+		t.Errorf("discrete intersect = %v, want [b]", d.Allowed)
+	}
+	dm := d1.Intersect(Atom{Field: "code", Allowed: []Value{Str("z")}})
+	if !dm.Empty() {
+		t.Errorf("empty discrete intersect not empty: %v", dm.Allowed)
+	}
+}
+
+func TestAtomIntersectFieldMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("intersecting atoms on different fields should panic")
+		}
+	}()
+	a := Atom{Field: "x", Interval: Unbounded}
+	b := Atom{Field: "y", Interval: Unbounded}
+	a.Intersect(b)
+}
+
+func TestSetOverlapsPaperExample(t *testing.T) {
+	// Section 2.4: ResourceAgent5 advertises patients between 43 and 75;
+	// QueryAgent2 asks for patients 25-65 with diagnosis code 40W.
+	ad := MustParse("patient.age between 43 and 75")
+	query := MustParse("(patient.age between 25 and 65) AND (patient.diagnosis_code = '40W')")
+	if !ad.Overlaps(query) {
+		t.Error("paper's example must match: ad [43,75] overlaps query [25,65]")
+	}
+	if !query.Overlaps(ad) {
+		t.Error("overlap must be symmetric")
+	}
+	// A resource restricted to patients over 80 should not match.
+	old := MustParse("patient.age >= 80")
+	if old.Overlaps(query) {
+		t.Error("ad for patients over 80 must not overlap query for 25-65")
+	}
+}
+
+func TestSetAddIntersects(t *testing.T) {
+	s := NewSet()
+	s.Add(Atom{Field: "age", Interval: NewRange(0, 50)})
+	s.Add(Atom{Field: "age", Interval: NewRange(40, 100)})
+	a, ok := s.Atom("age")
+	if !ok {
+		t.Fatal("age atom missing")
+	}
+	if a.Interval.Lo != 40 || a.Interval.Hi != 50 {
+		t.Errorf("conjoined atom = %v, want [40,50]", a.Interval)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestSetUnsatisfiable(t *testing.T) {
+	s := NewSet(
+		Atom{Field: "age", Interval: NewRange(0, 10)},
+		Atom{Field: "age", Interval: NewRange(20, 30)},
+	)
+	if !s.Unsatisfiable() {
+		t.Error("contradictory conjunction should be unsatisfiable")
+	}
+	if s.Overlaps(NewSet()) {
+		t.Error("unsatisfiable set overlaps nothing")
+	}
+	if !NewSet().Covers(s) {
+		t.Error("anything covers an unsatisfiable set")
+	}
+}
+
+func TestSetCovers(t *testing.T) {
+	wide := MustParse("patient.age between 0 and 120")
+	narrow := MustParse("patient.age between 43 and 75 AND patient.diagnosis_code = '40W'")
+	if !wide.Covers(narrow) {
+		t.Error("wide range should cover narrow range with extra constraints")
+	}
+	if narrow.Covers(wide) {
+		t.Error("narrow set should not cover wide")
+	}
+	empty := NewSet()
+	if !empty.Covers(wide) {
+		t.Error("empty conjunction covers everything")
+	}
+	if wide.Covers(empty) {
+		t.Error("constrained set cannot cover unconstrained set")
+	}
+}
+
+func TestSetMatchesRecord(t *testing.T) {
+	q := MustParse("(patient.age between 25 and 65) AND (patient.diagnosis_code = '40W')")
+	hit := map[string]Value{
+		"patient.age":            Num(44),
+		"patient.diagnosis_code": Str("40W"),
+	}
+	miss := map[string]Value{
+		"patient.age":            Num(80),
+		"patient.diagnosis_code": Str("40W"),
+	}
+	if !q.Matches(hit) {
+		t.Error("record inside both constraints should match")
+	}
+	if q.Matches(miss) {
+		t.Error("record outside age range should not match")
+	}
+	if q.Matches(map[string]Value{"patient.age": Num(44)}) {
+		t.Error("record missing a constrained field should not match")
+	}
+}
+
+func TestSetCloneIndependent(t *testing.T) {
+	a := MustParse("x between 0 and 10")
+	b := a.Clone()
+	b.Add(Atom{Field: "y", Interval: Exactly(3)})
+	if a.Len() != 1 {
+		t.Errorf("clone mutation leaked into original: Len = %d", a.Len())
+	}
+	if b.Len() != 2 {
+		t.Errorf("clone Len = %d, want 2", b.Len())
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	tests := []struct {
+		in      string
+		fields  []string
+		wantErr bool
+	}{
+		{"patient.age between 43 and 75", []string{"patient.age"}, false},
+		{"patient age between 43 and 75", []string{"patient.age"}, false},
+		{"(patient.age between 25 and 65) AND (patient.diagnosis_code = '40W')", []string{"patient.age", "patient.diagnosis_code"}, false},
+		{"patient.diagnosis code = '40W'", []string{"patient.diagnosis_code"}, false},
+		{"x >= 5 and x <= 9", []string{"x"}, false},
+		{"region in ('Dallas', 'Houston')", []string{"region"}, false},
+		{"code = 40W", []string{"code"}, false},
+		{"true", nil, false},
+		{"", nil, true},
+		{"x between 1", nil, true},
+		{"x !! 3", nil, true},
+		{"x > 'abc'", nil, true},
+		{"(x = 1", nil, true},
+		{"x = 1 extra", nil, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			s, err := Parse(tt.in)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("Parse(%q) succeeded, want error", tt.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.in, err)
+			}
+			got := s.Fields()
+			if len(got) != len(tt.fields) {
+				t.Fatalf("fields = %v, want %v", got, tt.fields)
+			}
+			for i := range got {
+				if got[i] != tt.fields[i] {
+					t.Errorf("fields = %v, want %v", got, tt.fields)
+				}
+			}
+		})
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	inputs := []string{
+		"patient.age between 43 and 75",
+		"(patient.age between 25 and 65) AND (patient.diagnosis_code = '40W')",
+		"region in ('Dallas', 'Houston')",
+		"x >= 5 AND y < 3.5",
+	}
+	for _, in := range inputs {
+		s1 := MustParse(in)
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q (from %q): %v", s1.String(), in, err)
+		}
+		if s1.String() != s2.String() {
+			t.Errorf("round trip drift: %q -> %q", s1.String(), s2.String())
+		}
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	s := MustParse("x > 5")
+	a, _ := s.Atom("x")
+	if a.Matches(Num(5)) || !a.Matches(Num(5.01)) {
+		t.Error("x > 5 should be an open bound")
+	}
+	s = MustParse("x = 5")
+	a, _ = s.Atom("x")
+	if !a.Matches(Num(5)) || a.Matches(Num(4)) {
+		t.Error("x = 5 should match exactly 5")
+	}
+	s = MustParse("x <= -2.5")
+	a, _ = s.Atom("x")
+	if !a.Matches(Num(-2.5)) || a.Matches(Num(-2.4)) {
+		t.Error("x <= -2.5 boundary wrong")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if Num(1).Compare(Num(2)) != -1 || Num(2).Compare(Num(1)) != 1 || Num(1).Compare(Num(1)) != 0 {
+		t.Error("numeric compare wrong")
+	}
+	if Str("a").Compare(Str("b")) != -1 {
+		t.Error("string compare wrong")
+	}
+	if Num(1).Compare(Str("a")) != -1 || Str("a").Compare(Num(1)) != 1 {
+		t.Error("cross-kind compare should order numbers before strings")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := Num(42).String(); got != "42" {
+		t.Errorf("Num(42) = %q", got)
+	}
+	if got := Num(2.5).String(); got != "2.5" {
+		t.Errorf("Num(2.5) = %q", got)
+	}
+	if got := Str("40W").String(); got != "'40W'" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := Num(math.Inf(1)).String(); !strings.Contains(got, "Inf") && got != "+Inf" {
+		t.Logf("inf renders as %q (informational)", got)
+	}
+}
+
+// Property: Set.Overlaps is symmetric for parsed range constraints.
+func TestSetOverlapSymmetryProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 int8) bool {
+		lo1, hi1 := minmax(float64(a1), float64(a2))
+		lo2, hi2 := minmax(float64(b1), float64(b2))
+		s1 := NewSet(Atom{Field: "x", Interval: NewRange(lo1, hi1)})
+		s2 := NewSet(Atom{Field: "x", Interval: NewRange(lo2, hi2)})
+		return s1.Overlaps(s2) == s2.Overlaps(s1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Covers implies Overlaps for satisfiable sets.
+func TestCoversImpliesOverlapsProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 int8) bool {
+		lo1, hi1 := minmax(float64(a1), float64(a2))
+		lo2, hi2 := minmax(float64(b1), float64(b2))
+		s1 := NewSet(Atom{Field: "x", Interval: NewRange(lo1, hi1)})
+		s2 := NewSet(Atom{Field: "x", Interval: NewRange(lo2, hi2)})
+		if s1.Covers(s2) && !s2.Unsatisfiable() {
+			return s1.Overlaps(s2)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func minmax(a, b float64) (float64, float64) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}

@@ -1,0 +1,67 @@
+package constraint
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Values and Sets travel inside KQML message content, so they marshal to
+// JSON. A Value encodes as {"n": 1.5} or {"s": "40W"}; a Set encodes as its
+// list of atoms.
+
+type valueJSON struct {
+	N *float64 `json:"n,omitempty"`
+	S *string  `json:"s,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	if v.kind == KindNumber {
+		n := v.num
+		return json.Marshal(valueJSON{N: &n})
+	}
+	s := v.str
+	return json.Marshal(valueJSON{S: &s})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var raw valueJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	switch {
+	case raw.N != nil && raw.S != nil:
+		return fmt.Errorf("constraint: value cannot be both number and string")
+	case raw.N != nil:
+		*v = Num(*raw.N)
+	case raw.S != nil:
+		*v = Str(*raw.S)
+	default:
+		// Neither present: the zero string value (e.g. {"s": ""}
+		// compacted by omitempty).
+		*v = Str("")
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler; the set encodes as its atom list.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(s.Atoms())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var atoms []Atom
+	if err := json.Unmarshal(data, &atoms); err != nil {
+		return err
+	}
+	*s = Set{}
+	for _, a := range atoms {
+		s.Add(a)
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseProgram reads a Datalog program in LDL-ish textual syntax:
+//
+//	% comments run to end of line
+//	parent(alice, bob).
+//	ancestor(X, Y) :- parent(X, Y).
+//	ancestor(X, Z) :- ancestor(X, Y), parent(Y, Z).
+//	adult(X) :- person(X, Age), ge(Age, 18).
+//	orphan(X) :- person(X, _A), not parent(_P, X).
+//
+// Terms starting with an upper-case letter or '_' are variables; bare
+// words, numbers and "quoted strings" are constants. Ground bodiless
+// clauses become facts; everything else becomes rules (validated for
+// safety as they are added).
+func ParseProgram(src string) (*Program, error) {
+	p := NewProgram()
+	toks, err := dlLex(src)
+	if err != nil {
+		return nil, err
+	}
+	pr := &dlParser{toks: toks}
+	for !pr.eof() {
+		head, err := pr.atom()
+		if err != nil {
+			return nil, err
+		}
+		if pr.accept(".") {
+			if head.ground() {
+				p.AddFact(factOf(head))
+				continue
+			}
+			if err := p.AddRule(NewRule(head)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !pr.accept(":-") {
+			return nil, fmt.Errorf("datalog: expected '.' or ':-' after %s, got %q", head, pr.peek())
+		}
+		var body []Literal
+		for {
+			neg := pr.acceptWord("not")
+			a, err := pr.atom()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, Literal{Atom: a, Negated: neg})
+			if pr.accept(",") {
+				continue
+			}
+			break
+		}
+		if !pr.accept(".") {
+			return nil, fmt.Errorf("datalog: expected '.' ending rule for %s, got %q", head, pr.peek())
+		}
+		if err := p.AddRule(NewRule(head, body...)); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// MustParseProgram is ParseProgram, panicking on error.
+func MustParseProgram(src string) *Program {
+	p, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func factOf(a Atom) Fact {
+	args := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = t.Name
+	}
+	return Fact{Pred: a.Pred, Args: args}
+}
+
+type dlToken struct {
+	kind string // "ident", "var", "number", "string", "punct"
+	text string
+}
+
+func dlLex(s string) ([]dlToken, error) {
+	var toks []dlToken
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '%':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == ')' || c == ',' || c == '.':
+			toks = append(toks, dlToken{"punct", string(c)})
+			i++
+		case c == ':':
+			if i+1 < len(s) && s[i+1] == '-' {
+				toks = append(toks, dlToken{"punct", ":-"})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("datalog: stray ':' at offset %d", i)
+			}
+		case c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("datalog: unterminated string at offset %d", i)
+			}
+			toks = append(toks, dlToken{"string", s[i+1 : j]})
+			i = j + 1
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < len(s) && unicode.IsDigit(rune(s[i+1]))):
+			j := i + 1
+			for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == '.') {
+				j++
+			}
+			// A trailing '.' is the clause terminator, not a decimal
+			// point, when not followed by a digit.
+			if j > i+1 && s[j-1] == '.' {
+				j--
+			}
+			toks = append(toks, dlToken{"number", s[i:j]})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_' || c == '?':
+			j := i + 1
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			word := s[i:j]
+			kind := "ident"
+			if c == '?' || c == '_' || unicode.IsUpper(rune(c)) {
+				kind = "var"
+				word = strings.TrimPrefix(word, "?")
+			}
+			toks = append(toks, dlToken{kind, word})
+			i = j
+		default:
+			return nil, fmt.Errorf("datalog: unexpected byte %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+type dlParser struct {
+	toks []dlToken
+	pos  int
+}
+
+func (p *dlParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *dlParser) peek() string {
+	if p.eof() {
+		return "<eof>"
+	}
+	return p.toks[p.pos].text
+}
+
+func (p *dlParser) accept(punct string) bool {
+	if !p.eof() && p.toks[p.pos].kind == "punct" && p.toks[p.pos].text == punct {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *dlParser) acceptWord(w string) bool {
+	if !p.eof() && p.toks[p.pos].kind == "ident" && p.toks[p.pos].text == w {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *dlParser) atom() (Atom, error) {
+	if p.eof() || p.toks[p.pos].kind != "ident" {
+		return Atom{}, fmt.Errorf("datalog: expected a predicate name, got %q", p.peek())
+	}
+	pred := p.toks[p.pos].text
+	p.pos++
+	if !p.accept("(") {
+		return Atom{}, fmt.Errorf("datalog: expected '(' after predicate %s", pred)
+	}
+	var args []Term
+	for {
+		if p.eof() {
+			return Atom{}, fmt.Errorf("datalog: unterminated argument list for %s", pred)
+		}
+		t := p.toks[p.pos]
+		switch t.kind {
+		case "var":
+			args = append(args, V(t.text))
+		case "ident", "number", "string":
+			args = append(args, C(t.text))
+		default:
+			return Atom{}, fmt.Errorf("datalog: expected a term in %s, got %q", pred, t.text)
+		}
+		p.pos++
+		if p.accept(",") {
+			continue
+		}
+		if p.accept(")") {
+			return Atom{Pred: pred, Args: args}, nil
+		}
+		return Atom{}, fmt.Errorf("datalog: expected ',' or ')' in %s, got %q", pred, p.peek())
+	}
+}

@@ -1,0 +1,187 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseProgramAncestors(t *testing.T) {
+	p, err := ParseProgram(`
+		% a classic
+		parent(alice, bob).
+		parent(bob, carol).
+		ancestor(X, Y) :- parent(X, Y).
+		ancestor(X, Z) :- ancestor(X, Y), parent(Y, Z).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := p.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Contains(NewFact("ancestor", "alice", "carol")) {
+		t.Error("parsed program missed transitive ancestor")
+	}
+}
+
+func TestParseProgramNegationAndBuiltins(t *testing.T) {
+	p, err := ParseProgram(`
+		person(kid, 9).
+		person(grown, 42).
+		adult(X) :- person(X, Age), ge(Age, 18).
+		minor(X) :- person(X, Age), not adult(X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := p.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Contains(NewFact("adult", "grown")) || db.Contains(NewFact("adult", "kid")) {
+		t.Error("builtin comparison wrong")
+	}
+	if !db.Contains(NewFact("minor", "kid")) || db.Contains(NewFact("minor", "grown")) {
+		t.Error("negation wrong")
+	}
+}
+
+func TestParseProgramQuotedAndNumeric(t *testing.T) {
+	p, err := ParseProgram(`
+		ad("ResourceAgent5", resource).
+		range(ad1, 43, 75).
+		cheap(X) :- range(X, Lo, _Hi), le(Lo, 50).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := p.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Contains(NewFact("ad", "ResourceAgent5", "resource")) {
+		t.Error("quoted constant lost")
+	}
+	if !db.Contains(NewFact("cheap", "ad1")) {
+		t.Error("numeric comparison through parsed program failed")
+	}
+}
+
+func TestParseProgramVariableForms(t *testing.T) {
+	// Upper-case, underscore and ?-prefixed variables all parse.
+	p, err := ParseProgram(`
+		e(a, b).
+		r1(X) :- e(X, _).
+		r2(Y) :- e(?x, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := p.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Contains(NewFact("r1", "a")) || !db.Contains(NewFact("r2", "b")) {
+		t.Errorf("variable forms mishandled: %v %v",
+			db.Facts("r1"), db.Facts("r2"))
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	cases := []string{
+		`p(a)`,              // missing period
+		`p(a) :- q(a)`,      // missing period after rule
+		`p(a) q(b).`,        // missing separator
+		`p(.`,               // bad term
+		`:- q(a).`,          // missing head
+		`p("unterminated).`, // unterminated string
+		`h(X) :- not q(X).`, // unsafe rule
+		`p(X).`,             // non-ground fact
+		`p(a) : q(a).`,      // stray colon
+		`p(a@b).`,           // bad byte
+	}
+	for _, src := range cases {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseProgramNumberBeforePeriod(t *testing.T) {
+	// "range(x, 75)." must not eat the period into the number.
+	p, err := ParseProgram(`range(x, 75).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := p.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Contains(NewFact("range", "x", "75")) {
+		t.Errorf("facts = %v", db.Facts("range"))
+	}
+	// Decimals still work.
+	p2 := MustParseProgram(`v(x, 7.5).`)
+	db2, _ := p2.Eval()
+	if !db2.Contains(NewFact("v", "x", "7.5")) {
+		t.Errorf("decimal fact = %v", db2.Facts("v"))
+	}
+}
+
+func TestParsedMatchesHandBuilt(t *testing.T) {
+	src := `
+		edge(a, b). edge(b, c). edge(c, d).
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- path(X, Y), edge(Y, Z).
+	`
+	parsed := MustParseProgram(src)
+	hand := NewProgram()
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		hand.AddFact(NewFact("edge", e[0], e[1]))
+	}
+	hand.MustAddRule(NewRule(NewAtom("path", V("X"), V("Y")), Pos("edge", V("X"), V("Y"))))
+	hand.MustAddRule(NewRule(NewAtom("path", V("X"), V("Z")),
+		Pos("path", V("X"), V("Y")), Pos("edge", V("Y"), V("Z"))))
+	d1, err := parsed.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := hand.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Size() != d2.Size() {
+		t.Fatalf("sizes differ: %d vs %d", d1.Size(), d2.Size())
+	}
+	for _, f := range d2.Facts("path") {
+		if !d1.Contains(f) {
+			t.Errorf("parsed program missing %s", f)
+		}
+	}
+}
+
+func TestMustParseProgramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseProgram should panic on bad input")
+		}
+	}()
+	MustParseProgram("nope")
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	p := MustParseProgram(`
+		ancestor(X, Z) :- ancestor(X, Y), not blocked(Y), parent(Y, Z).
+		parent(a, b).
+	`)
+	var b strings.Builder
+	for _, r := range p.Rules() {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	// Rule.String uses ?X variables, which the parser accepts back.
+	if _, err := ParseProgram(b.String() + "\nparent(a, b)."); err != nil {
+		t.Fatalf("re-parsing rendered rules: %v\n%s", err, b.String())
+	}
+}

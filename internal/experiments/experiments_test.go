@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastLive keeps the live experiments quick in unit tests.
+func fastLive() LiveOptions {
+	return LiveOptions{
+		Rounds:           1,
+		QueriesPerStream: 2,
+		RowsPerClass:     24,
+		CostPerAd:        200 * time.Microsecond,
+		RowDelay:         50 * time.Microsecond,
+		NetLatency:       500 * time.Microsecond,
+	}
+}
+
+func fastSim() SimOptions {
+	return SimOptions{Seed: 5, Runs: 2, DurationSec: 1800}
+}
+
+func TestStreamsWellFormed(t *testing.T) {
+	streams := Streams()
+	if len(streams) != 6 {
+		t.Fatalf("streams = %d, want 6", len(streams))
+	}
+	names := map[string]bool{}
+	for _, s := range streams {
+		if s.Name == "" || s.Query == "" || s.NumRAs < 1 || s.build == nil {
+			t.Errorf("stream %+v malformed", s.Name)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate stream %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+	for _, want := range []string{"SA", "DA", "4A", "VF", "CH", "FH"} {
+		if !names[want] {
+			t.Errorf("missing stream %s", want)
+		}
+	}
+}
+
+func TestStreamSetCumulative(t *testing.T) {
+	prev := 0
+	for expt := 1; expt <= 5; expt++ {
+		set := StreamSetFor(expt)
+		if len(set) < prev {
+			t.Errorf("expt %d has fewer streams than expt %d", expt, expt-1)
+		}
+		prev = len(set)
+	}
+	if len(StreamSetFor(1)) != 1 || StreamSetFor(1)[0].Name != "4A" {
+		t.Error("experiment 1 should run only the 4A stream")
+	}
+	if len(StreamSetFor(5)) != 6 {
+		t.Error("experiment 5 should run all six streams")
+	}
+	if len(StreamSetFor(99)) != 6 {
+		t.Error("out-of-range experiment should default to the full set")
+	}
+}
+
+func TestTable1And2Render(t *testing.T) {
+	t1 := Table1()
+	if len(t1.Rows) != 6 {
+		t.Errorf("table 1 rows = %d", len(t1.Rows))
+	}
+	if !strings.Contains(t1.String(), "vertical") {
+		t.Error("table 1 should describe vertical fragmentation")
+	}
+	t2 := Table2()
+	if len(t2.Rows) != 5 {
+		t.Errorf("table 2 rows = %d", len(t2.Rows))
+	}
+}
+
+// TestLiveRunAllStreamsAnswer runs every stream through a single-broker
+// community once and checks all six produce answers.
+func TestLiveRunAllStreamsAnswer(t *testing.T) {
+	res, err := liveRun(StreamSetFor(5), 1, false, fastLive().withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("results = %v", res)
+	}
+	for name, mean := range res {
+		if mean <= 0 {
+			t.Errorf("stream %s mean response = %v", name, mean)
+		}
+	}
+}
+
+// TestLiveRunMultibroker runs the full stream set against a 4-broker
+// consortium, both plain and specialized.
+func TestLiveRunMultibroker(t *testing.T) {
+	opts := fastLive().withDefaults()
+	if _, err := liveRun(StreamSetFor(5), 4, false, opts); err != nil {
+		t.Fatalf("unspecialized: %v", err)
+	}
+	if _, err := liveRun(StreamSetFor(5), 4, true, opts); err != nil {
+		t.Fatalf("specialized: %v", err)
+	}
+}
+
+func TestTable3LoadedRegimeFavorsMultibroker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	opts := LiveOptions{Rounds: 1, QueriesPerStream: 3, RowsPerClass: 40}
+	results, tbl, err := Table3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// The paper's headline: once loaded (experiment 5), multibrokering
+	// wins on every stream.
+	for name, ratio := range results[4].Ratios {
+		if ratio >= 1.0 {
+			t.Errorf("expt 5 stream %s ratio = %.2f, want < 1.0", name, ratio)
+		}
+	}
+	if len(tbl.Rows) != 5 {
+		t.Errorf("rendered rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTable4SpecializationHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	opts := LiveOptions{Rounds: 1, QueriesPerStream: 3, RowsPerClass: 40}
+	res, tbl, err := Table4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := 0
+	for _, ratio := range res.Ratios {
+		if ratio < 1.0 {
+			below++
+		}
+	}
+	// Specialization should help on most streams (the paper: all six).
+	if below < 4 {
+		t.Errorf("specialization helped only %d/6 streams: %v", below, res.Ratios)
+	}
+	if tbl == nil || len(tbl.Rows) != 1 {
+		t.Error("table 4 should render one row")
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	f := Fig14(fastSim())
+	if len(f.Series) != 3 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	single, spec := f.Series[0], f.Series[2]
+	if single.Label != "Single" || spec.Label != "Specialized" {
+		t.Fatalf("labels = %v %v", single.Label, spec.Label)
+	}
+	// The single broker must be by far the worst at the lightest load
+	// point of the sweep.
+	last := len(single.Y) - 1
+	if single.Y[last] < 3*spec.Y[last] {
+		t.Errorf("single %.0fs should dwarf specialized %.0fs at QF=30", single.Y[last], spec.Y[last])
+	}
+}
+
+func TestFig17LevelsOff(t *testing.T) {
+	f := Fig17(SimOptions{Seed: 5, Runs: 1, DurationSec: 1800})
+	for _, s := range f.Series {
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		if last > 5*first {
+			t.Errorf("series %s blew up: %.1f -> %.1f", s.Label, first, last)
+		}
+	}
+	if len(f.Series) != 6 {
+		t.Errorf("series = %d, want QF=40..90", len(f.Series))
+	}
+}
+
+func TestRobustnessGridTrends(t *testing.T) {
+	cells := RobustnessGrid(SimOptions{Seed: 5, Runs: 2, DurationSec: 4 * 3600})
+	if len(cells) != 20 {
+		t.Fatalf("cells = %d, want 4x5", len(cells))
+	}
+	get := func(mtbf float64, r int) RobustnessCell {
+		for _, c := range cells {
+			if c.FailureMeanSec == mtbf && c.Redundancy == r {
+				return c
+			}
+		}
+		t.Fatalf("cell %v/%d missing", mtbf, r)
+		return RobustnessCell{}
+	}
+	// Reliable row: everything works.
+	if c := get(1000000, 1); c.ReplyRate < 0.95 || c.SuccessRate < 0.99 {
+		t.Errorf("reliable cell = %+v", c)
+	}
+	// Table 6 trend: more redundancy, higher success under failure.
+	if lo, hi := get(900, 1), get(900, 5); hi.SuccessRate <= lo.SuccessRate {
+		t.Errorf("success rate should grow with redundancy: %.2f -> %.2f",
+			lo.SuccessRate, hi.SuccessRate)
+	}
+	// Table 6 last column: full redundancy always finds the agent.
+	for _, mtbf := range robustnessFailureMeans {
+		if c := get(mtbf, 5); c.SuccessRate < 0.999 {
+			t.Errorf("full redundancy at mtbf %v: success = %.3f", mtbf, c.SuccessRate)
+		}
+	}
+	// Table 5 trend: reply rate falls as failures become frequent.
+	if fast, slow := get(900, 3), get(1000000, 3); fast.ReplyRate >= slow.ReplyRate {
+		t.Errorf("reply rate should fall with failure rate: %.2f vs %.2f",
+			fast.ReplyRate, slow.ReplyRate)
+	}
+	// Rendering.
+	t5, t6 := Table5(cells), Table6(cells)
+	if len(t5.Rows) != 4 || len(t6.Rows) != 4 {
+		t.Error("robustness tables should have 4 rows")
+	}
+	if !strings.Contains(t5.String(), "%") {
+		t.Error("table 5 should render percentages")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := &Figure{
+		Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{30, 40}},
+		},
+	}
+	out := f.String()
+	if !strings.Contains(out, "10.00") || !strings.Contains(out, "40.00") {
+		t.Errorf("figure rendering lost data:\n%s", out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := sortedKeys(map[string]float64{"b": 1, "a": 2})
+	if len(got) != 2 || got[0] != "a" {
+		t.Errorf("sortedKeys = %v", got)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "has,comma"}, {"2", `has "quote"`}},
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"has,comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", csv)
+	}
+	if !strings.Contains(csv, `"has ""quote"""`) {
+		t.Errorf("quote cell not escaped:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "# T\n") {
+		t.Errorf("missing title comment:\n%s", csv)
+	}
+
+	fig := &Figure{
+		Title: "F", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "s1", X: []float64{1, 2}, Y: []float64{0.5, 1.5}},
+			{Label: "s2", X: []float64{2}, Y: []float64{9}},
+		},
+	}
+	fcsv := fig.CSV()
+	if !strings.Contains(fcsv, "x,s1,s2") {
+		t.Errorf("figure header wrong:\n%s", fcsv)
+	}
+	// x=1 has no s2 point: empty trailing cell.
+	if !strings.Contains(fcsv, "1,0.5000,\n") {
+		t.Errorf("sparse series cell wrong:\n%s", fcsv)
+	}
+	if !strings.Contains(fcsv, "2,1.5000,9.0000") {
+		t.Errorf("dense row wrong:\n%s", fcsv)
+	}
+}
+
+func TestExtBrokerKnowledgeOnlyHelps(t *testing.T) {
+	f := ExtBrokerKnowledge(fastSim())
+	if len(f.Series) != 2 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	plain, pruned := f.Series[0], f.Series[1]
+	for i := range plain.Y {
+		if pruned.Y[i] > plain.Y[i]*1.02 {
+			t.Errorf("knowledge hurt at QF=%v: %.2f vs %.2f", plain.X[i], pruned.Y[i], plain.Y[i])
+		}
+	}
+}

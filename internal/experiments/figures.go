@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+
+	"infosleuth/internal/sim"
+)
+
+// SimOptions tune the simulation experiments.
+type SimOptions struct {
+	// Seed is the base random seed. Zero means 1999.
+	Seed int64
+	// Runs is how many runs are averaged per data point. Zero means 5.
+	Runs int
+	// DurationSec overrides the simulated duration per run. Zero keeps
+	// each experiment's default (2 h for the load/scalability figures,
+	// 12 h for the robustness tables).
+	DurationSec float64
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	if o.Seed == 0 {
+		o.Seed = 1999
+	}
+	if o.Runs <= 0 {
+		o.Runs = 5
+	}
+	return o
+}
+
+func (o SimOptions) duration(def float64) float64 {
+	if o.DurationSec > 0 {
+		return o.DurationSec
+	}
+	return def
+}
+
+// figResources/Brokers are the Figure 14-16 community sizes. The paper's
+// exact numbers did not survive digitization; 32 resources with 8 (Figures
+// 14-15) or 4 (Figure 16) brokers puts the 5-30 s query-interval sweep in
+// the paper's operating region — the single broker saturated throughout,
+// the replicated/specialized crossover at high load, and specialization
+// still winning at the higher resource-to-broker ratio (see DESIGN.md).
+const (
+	figResources   = 32
+	figBrokers     = 8
+	fig16Brokers   = 4
+	fig17PerBroker = 25
+)
+
+// Fig14 reproduces Figure 14: single vs replicated vs specialized broker
+// response time across mean query intervals of 5-30 s.
+func Fig14(opts SimOptions) *Figure {
+	opts = opts.withDefaults()
+	f := &Figure{
+		Title:  "Figure 14: single brokering versus multiple brokering",
+		XLabel: "mean time between queries (s)",
+		YLabel: "avg broker response time (s)",
+	}
+	intervals := []float64{5, 10, 15, 20, 25, 30}
+	configs := []struct {
+		label    string
+		strategy sim.Strategy
+		brokers  int
+	}{
+		{"Single", sim.Single, 1},
+		{"Replicated", sim.Replicated, figBrokers},
+		{"Specialized", sim.Specialized, figBrokers},
+	}
+	for _, c := range configs {
+		s := Series{Label: c.label}
+		for _, qf := range intervals {
+			m := sim.RunAveraged(sim.Config{
+				Seed: opts.Seed, Brokers: c.brokers, Resources: figResources,
+				Strategy: c.strategy, MeanQueryIntervalSec: qf,
+				DurationSec: opts.duration(2 * 3600),
+			}, opts.Runs)
+			s.X = append(s.X, qf)
+			s.Y = append(s.Y, m.MeanResponseSec)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// figReplVsSpec runs the replicated-versus-specialized close-up common to
+// Figures 15 and 16.
+func figReplVsSpec(opts SimOptions, brokers int, intervals []float64, title string) *Figure {
+	opts = opts.withDefaults()
+	f := &Figure{
+		Title:  title,
+		XLabel: "mean time between queries (s)",
+		YLabel: "avg broker response time (s)",
+	}
+	for _, c := range []struct {
+		label    string
+		strategy sim.Strategy
+	}{
+		{"Replicated", sim.Replicated},
+		{"Specialized", sim.Specialized},
+	} {
+		s := Series{Label: c.label}
+		for _, qf := range intervals {
+			m := sim.RunAveraged(sim.Config{
+				Seed: opts.Seed, Brokers: brokers, Resources: figResources,
+				Strategy: c.strategy, MeanQueryIntervalSec: qf,
+				DurationSec: opts.duration(2 * 3600),
+			}, opts.Runs)
+			s.X = append(s.X, qf)
+			s.Y = append(s.Y, m.MeanResponseSec)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig15 reproduces Figure 15: the replicated-vs-specialized close-up with
+// 8 brokers.
+func Fig15(opts SimOptions) *Figure {
+	return figReplVsSpec(opts, figBrokers, []float64{10, 15, 20, 25, 30},
+		fmt.Sprintf("Figure 15: replicated versus specialized brokering (%d brokers, %d resources)",
+			figBrokers, figResources))
+}
+
+// Fig16 reproduces Figure 16: the same comparison with only 4 brokers
+// (a higher resource-to-broker ratio).
+func Fig16(opts SimOptions) *Figure {
+	return figReplVsSpec(opts, fig16Brokers, []float64{16, 18, 20, 22, 24, 26, 28, 30},
+		fmt.Sprintf("Figure 16: replicated versus specialized brokering (%d brokers, %d resources)",
+			fig16Brokers, figResources))
+}
+
+// Fig17 reproduces Figure 17: scalability of broker specialization — mean
+// response time across system sizes (25 resources per broker) for query
+// frequencies QF = 40..90 s.
+func Fig17(opts SimOptions) *Figure {
+	opts = opts.withDefaults()
+	f := &Figure{
+		Title:  "Figure 17: scalability of broker specialization (25 resources per broker)",
+		XLabel: "number of resource agents",
+		YLabel: "avg broker response time (s)",
+	}
+	sizes := []int{25, 50, 75, 100, 125, 150, 175, 200, 225}
+	for qf := 40.0; qf <= 90; qf += 10 {
+		s := Series{Label: fmt.Sprintf("QF=%.0f", qf)}
+		for _, n := range sizes {
+			m := sim.RunAveraged(sim.Config{
+				Seed: opts.Seed, Brokers: n / fig17PerBroker, Resources: n,
+				Strategy: sim.Specialized, MeanQueryIntervalSec: qf,
+				DurationSec: opts.duration(2 * 3600),
+			}, opts.Runs)
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, m.MeanResponseSec)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// ExtBrokerKnowledge runs the simulation the paper proposed but did not
+// conduct (Section 5.2.2): specialized brokering with and without brokers
+// advertising their capabilities to each other, so the origin can rule out
+// peers holding nothing relevant. The paper conjectured "this sort of
+// specialization would only help"; the figure verifies the conjecture.
+func ExtBrokerKnowledge(opts SimOptions) *Figure {
+	opts = opts.withDefaults()
+	f := &Figure{
+		Title: "Extension: specialized brokering with and without broker capability advertisements\n" +
+			"(the Section 5.2.2 simulation the paper proposed but did not run)",
+		XLabel: "mean time between queries (s)",
+		YLabel: "avg broker response time (s)",
+	}
+	for _, c := range []struct {
+		label     string
+		knowledge bool
+	}{
+		{"Specialized", false},
+		{"Specialized+knowledge", true},
+	} {
+		s := Series{Label: c.label}
+		for _, qf := range []float64{10, 15, 20, 25, 30} {
+			m := sim.RunAveraged(sim.Config{
+				Seed: opts.Seed, Brokers: figBrokers, Resources: figResources,
+				Strategy: sim.Specialized, BrokerKnowledge: c.knowledge,
+				MeanQueryIntervalSec: qf,
+				DurationSec:          opts.duration(2 * 3600),
+			}, opts.Runs)
+			s.X = append(s.X, qf)
+			s.Y = append(s.Y, m.MeanResponseSec)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// RobustnessCell is one cell of Tables 5 and 6.
+type RobustnessCell struct {
+	FailureMeanSec float64
+	Redundancy     int
+	ReplyRate      float64 // Table 5: fraction of queries brokers replied to
+	SuccessRate    float64 // Table 6: fraction of answered queries that found the matching resource
+}
+
+// robustnessFailureMeans are the Table 5/6 rows.
+var robustnessFailureMeans = []float64{1000000, 3600, 1800, 900}
+
+// RobustnessGrid runs the Table 5/6 robustness experiments: 5 brokers, 20
+// resources with unique data domains, a query every 60 s on average, and
+// broker failure means of {1e6, 3600, 1800, 900} s crossed with
+// advertisement redundancy 1-5.
+func RobustnessGrid(opts SimOptions) []RobustnessCell {
+	opts = opts.withDefaults()
+	var cells []RobustnessCell
+	for _, mtbf := range robustnessFailureMeans {
+		for r := 1; r <= 5; r++ {
+			m := sim.RunAveraged(sim.Config{
+				Seed: opts.Seed, Brokers: 5, Resources: 20,
+				Strategy: sim.Specialized, Redundancy: r, UniqueDomains: true,
+				MeanQueryIntervalSec: 60,
+				DurationSec:          opts.duration(12 * 3600),
+				BrokerMTBFSec:        mtbf, BrokerMTTRSec: 1800,
+			}, opts.Runs)
+			cells = append(cells, RobustnessCell{
+				FailureMeanSec: mtbf,
+				Redundancy:     r,
+				ReplyRate:      m.ReplyRate(),
+				SuccessRate:    m.SuccessRate(),
+			})
+		}
+	}
+	return cells
+}
+
+// Table5 renders the reply-rate half of the robustness grid.
+func Table5(cells []RobustnessCell) *Table {
+	return robustnessTable("Table 5: percentage of queries that brokers reply to", cells,
+		func(c RobustnessCell) float64 { return c.ReplyRate })
+}
+
+// Table6 renders the success-rate half of the robustness grid.
+func Table6(cells []RobustnessCell) *Table {
+	return robustnessTable("Table 6: percentage of answered queries that located the matching resource", cells,
+		func(c RobustnessCell) float64 { return c.SuccessRate })
+}
+
+func robustnessTable(title string, cells []RobustnessCell, pick func(RobustnessCell) float64) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"failure mean (s)", "r=1", "r=2", "r=3", "r=4", "r=5"},
+	}
+	for _, mtbf := range robustnessFailureMeans {
+		row := []string{fmt.Sprintf("%.0f", mtbf)}
+		for r := 1; r <= 5; r++ {
+			for _, c := range cells {
+				if c.FailureMeanSec == mtbf && c.Redundancy == r {
+					row = append(row, fmt.Sprintf("%.2f%%", pick(c)*100))
+					break
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

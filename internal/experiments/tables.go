@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// streamOrder is the paper's Table 3 column order.
+var streamOrder = []string{"4A", "DA", "SA", "VF", "FH", "CH"}
+
+// Table1 reproduces Table 1: the query-stream taxonomy.
+func Table1() *Table {
+	t := &Table{
+		Title:  "Table 1: Experimental Query Streams",
+		Header: []string{"name", "#RAs", "classes", "query", "description"},
+	}
+	for _, s := range Streams() {
+		t.Rows = append(t.Rows, []string{
+			s.Name, fmt.Sprintf("%d", s.NumRAs), joinClasses(s), s.Query, s.Description,
+		})
+	}
+	return t
+}
+
+// Table2 reproduces Table 2: which streams (and how many resource agents)
+// each experiment runs. The paper's exact per-experiment RA counts were
+// partially lost in digitization; this reproduction preserves the
+// cumulative-stream structure visible in Table 3's filled cells.
+func Table2() *Table {
+	t := &Table{
+		Title:  "Table 2: Experimental configurations",
+		Header: []string{"Expt", "streams", "#RAs"},
+	}
+	for expt := 1; expt <= 5; expt++ {
+		streams := StreamSetFor(expt)
+		names := ""
+		ras := 0
+		for i, s := range streams {
+			if i > 0 {
+				names += " "
+			}
+			names += s.Name
+			ras += s.NumRAs
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", expt), names, fmt.Sprintf("%d", ras)})
+	}
+	return t
+}
+
+// Table3Result carries one experiment row: the per-stream ratio of
+// multibroker to single-broker mean response time.
+type Table3Result struct {
+	Expt   int
+	Ratios map[string]float64
+}
+
+// Table3 reproduces Table 3: for each experiment configuration, the
+// average query response time under a 4-broker consortium divided by the
+// single-broker time. Ratios below 1.0 mean multibrokering won — which
+// the paper (and this reproduction) observes once the system is loaded
+// (experiments 4-5).
+func Table3(opts LiveOptions) ([]Table3Result, *Table, error) {
+	opts = opts.withDefaults()
+	var results []Table3Result
+	for expt := 1; expt <= 5; expt++ {
+		streams := StreamSetFor(expt)
+		single, err := liveRun(streams, 1, false, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("table3 expt %d single: %w", expt, err)
+		}
+		multi, err := liveRun(streams, opts.MultiBrokers, false, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("table3 expt %d multi: %w", expt, err)
+		}
+		ratios := make(map[string]float64, len(streams))
+		for _, s := range streams {
+			if single[s.Name] > 0 {
+				ratios[s.Name] = multi[s.Name] / single[s.Name]
+			}
+		}
+		results = append(results, Table3Result{Expt: expt, Ratios: ratios})
+	}
+	return results, table3Render("Table 3: multibroker / single-broker response-time ratio", results), nil
+}
+
+func table3Render(title string, results []Table3Result) *Table {
+	t := &Table{Title: title, Header: append([]string{"Expt"}, streamOrder...)}
+	for _, r := range results {
+		row := []string{fmt.Sprintf("%d", r.Expt)}
+		for _, name := range streamOrder {
+			if v, ok := r.Ratios[name]; ok {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table4 reproduces Table 4 (Experiment 6): the same agents and streams as
+// Experiment 5, but with all of a stream's resources kept at a single
+// specialized broker (brokers advertise their class specializations and
+// prune peers). The row is the ratio of specialized to unspecialized
+// multibrokering response time; below 1.0 means specialization helped.
+func Table4(opts LiveOptions) (Table3Result, *Table, error) {
+	opts = opts.withDefaults()
+	streams := StreamSetFor(5)
+	plain, err := liveRun(streams, opts.MultiBrokers, false, opts)
+	if err != nil {
+		return Table3Result{}, nil, fmt.Errorf("table4 unspecialized: %w", err)
+	}
+	spec, err := liveRun(streams, opts.MultiBrokers, true, opts)
+	if err != nil {
+		return Table3Result{}, nil, fmt.Errorf("table4 specialized: %w", err)
+	}
+	ratios := make(map[string]float64, len(streams))
+	for _, s := range streams {
+		if plain[s.Name] > 0 {
+			ratios[s.Name] = spec[s.Name] / plain[s.Name]
+		}
+	}
+	res := Table3Result{Expt: 6, Ratios: ratios}
+	return res, table3Render("Table 4: specialized / unspecialized multibrokering response-time ratio",
+		[]Table3Result{res}), nil
+}
+
+// LiveStreamsOnce runs all six Table 1 query streams once through a
+// single-broker community and returns the per-stream mean response times —
+// the workload-generator benchmark behind BenchmarkTable1QueryStreams.
+func LiveStreamsOnce(opts LiveOptions) (map[string]float64, error) {
+	return liveRun(StreamSetFor(5), 1, false, opts.withDefaults())
+}
+
+// sortedKeys is a test helper-ish utility for deterministic iteration.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

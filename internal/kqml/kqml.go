@@ -1,0 +1,205 @@
+// Package kqml implements the KQML-style agent communication language that
+// InfoSleuth agents exchange (the paper's messages are "SQL statements
+// encapsulated in KQML messages"). A Message is a performative plus
+// addressing, conversation bookkeeping, and typed content.
+//
+// The performative set covers what the paper's agents use — advertise /
+// unadvertise toward brokers, ask-all for queries, tell / sorry / error for
+// replies, subscribe / update for monitoring, and the broker-ping extension
+// of Section 4.2.2 — and content payloads are typed Go structs carried as
+// JSON, with helpers that keep encoding errors at the call site.
+package kqml
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"infosleuth/internal/constraint"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+)
+
+// Performative is a KQML message type.
+type Performative string
+
+// The performatives used by InfoSleuth agents.
+const (
+	// Advertise registers the sender's capabilities with a broker.
+	Advertise Performative = "advertise"
+	// Unadvertise removes the sender's registration.
+	Unadvertise Performative = "unadvertise"
+	// AskAll requests all answers to the embedded query.
+	AskAll Performative = "ask-all"
+	// AskOne requests a single answer.
+	AskOne Performative = "ask-one"
+	// Tell carries a (partial) answer or acknowledgment.
+	Tell Performative = "tell"
+	// Sorry reports that the receiver has no answer.
+	Sorry Performative = "sorry"
+	// Error reports a processing failure.
+	Error Performative = "error"
+	// Subscribe asks for notifications about matching changes.
+	Subscribe Performative = "subscribe"
+	// Update carries changed data to a subscriber.
+	Update Performative = "update"
+	// Recruit asks a broker to deliver the embedded request to the best
+	// provider and relay the answer.
+	Recruit Performative = "recruit"
+	// Ping asks whether the receiver is alive and, to a broker, whether
+	// it still holds the sender's advertisement (Section 4.2.2).
+	Ping Performative = "ping"
+)
+
+// Standard values for the Message.Ontology field.
+const (
+	// ServiceOntology marks content expressed in the InfoSleuth service
+	// ontology (advertisements, broker queries).
+	ServiceOntology = "infosleuth-service-ontology"
+)
+
+// Message is one KQML message.
+type Message struct {
+	Performative Performative `json:"performative"`
+	// Sender and Receiver are agent names; ReplyTo carries the sender's
+	// transport address so the receiver can respond or call back.
+	Sender   string `json:"sender"`
+	Receiver string `json:"receiver,omitempty"`
+	ReplyTo  string `json:"reply-to,omitempty"`
+	// Language names the content language ("SQL 2.0", "KQML", ...).
+	Language string `json:"language,omitempty"`
+	// Ontology names the vocabulary the content is expressed in.
+	Ontology string `json:"ontology,omitempty"`
+	// ReplyWith / InReplyTo link requests to replies.
+	ReplyWith string `json:"reply-with,omitempty"`
+	InReplyTo string `json:"in-reply-to,omitempty"`
+	// Content is the typed payload, JSON-encoded.
+	Content json.RawMessage `json:"content,omitempty"`
+}
+
+// String renders a compact summary for logs.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s %s->%s (%d bytes)", m.Performative, m.Sender, m.Receiver, len(m.Content))
+}
+
+// SetContent encodes a payload into the message.
+func (m *Message) SetContent(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("kqml: encoding %T content: %w", v, err)
+	}
+	m.Content = data
+	return nil
+}
+
+// DecodeContent decodes the message payload into v.
+func (m *Message) DecodeContent(v any) error {
+	if len(m.Content) == 0 {
+		return fmt.Errorf("kqml: %s message from %s has no content", m.Performative, m.Sender)
+	}
+	if err := json.Unmarshal(m.Content, v); err != nil {
+		return fmt.Errorf("kqml: decoding %s content into %T: %w", m.Performative, v, err)
+	}
+	return nil
+}
+
+// New builds a message with content, panicking only on marshaling bugs
+// (payload types here are all JSON-safe).
+func New(p Performative, sender string, content any) *Message {
+	m := &Message{Performative: p, Sender: sender}
+	if content != nil {
+		if err := m.SetContent(content); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+// AdvertiseContent is the payload of an advertise/unadvertise message.
+type AdvertiseContent struct {
+	Ad *ontology.Advertisement `json:"ad"`
+}
+
+// BrokerQuery is the payload of an ask-all sent to a broker: the service
+// query plus the inter-broker bookkeeping of Section 4.3 — the remaining
+// hop budget and the list of brokers already visited (loop prevention).
+type BrokerQuery struct {
+	Query *ontology.Query `json:"query"`
+	// HopsLeft is the remaining inter-broker hop budget; it is
+	// initialized from the query's policy by the first broker.
+	HopsLeft int `json:"hops_left"`
+	// Visited lists broker names the query has already reached.
+	Visited []string `json:"visited,omitempty"`
+	// Forwarded marks a broker-to-broker forward (so the receiving
+	// broker applies the carried policy rather than re-initializing it).
+	Forwarded bool `json:"forwarded,omitempty"`
+}
+
+// BrokerReply is a broker's answer: the matching advertisements, best
+// matches first.
+type BrokerReply struct {
+	Matches []*ontology.Advertisement `json:"matches"`
+	// Brokers lists the brokers whose repositories contributed
+	// (diagnostics and the Table 5/6 robustness accounting).
+	Brokers []string `json:"brokers,omitempty"`
+}
+
+// SQLQuery is the payload of an ask-all carrying a data query.
+type SQLQuery struct {
+	SQL string `json:"sql"`
+}
+
+// SQLResult is the payload of a tell answering a data query.
+type SQLResult struct {
+	Columns []string         `json:"columns"`
+	Rows    []relational.Row `json:"rows"`
+}
+
+// PingContent asks a broker whether it still holds the named agent's
+// advertisement.
+type PingContent struct {
+	AgentName string `json:"agent_name"`
+}
+
+// PingReply answers a ping.
+type PingReply struct {
+	Known bool `json:"known"`
+}
+
+// SorryContent explains a sorry/error reply.
+type SorryContent struct {
+	Reason string `json:"reason"`
+}
+
+// ReasonOf extracts the reason from a sorry/error message, or a generic
+// fallback.
+func ReasonOf(m *Message) string {
+	var sc SorryContent
+	if err := m.DecodeContent(&sc); err == nil && sc.Reason != "" {
+		return sc.Reason
+	}
+	return string(m.Performative) + " from " + m.Sender
+}
+
+// Marshal frames a message for the wire.
+func Marshal(m *Message) ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// Unmarshal parses a wire frame.
+func Unmarshal(data []byte) (*Message, error) {
+	var m Message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("kqml: bad message frame: %w", err)
+	}
+	if m.Performative == "" {
+		return nil, fmt.Errorf("kqml: message missing performative")
+	}
+	return &m, nil
+}
+
+// Ensure constraint values round-trip in message payloads (compile-time
+// interface checks).
+var (
+	_ json.Marshaler   = constraint.Value{}
+	_ json.Unmarshaler = (*constraint.Value)(nil)
+)

@@ -1,0 +1,313 @@
+package kqml
+
+import (
+	"strings"
+	"testing"
+
+	"infosleuth/internal/constraint"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := New(AskAll, "mhn's user agent", &SQLQuery{SQL: "select * from C2"})
+	m.Receiver = "MRQ agent"
+	m.Language = ontology.LangSQL2
+	m.ReplyWith = "q1"
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Performative != AskAll || m2.Sender != "mhn's user agent" || m2.ReplyWith != "q1" {
+		t.Errorf("round trip lost fields: %+v", m2)
+	}
+	var q SQLQuery
+	if err := m2.DecodeContent(&q); err != nil {
+		t.Fatal(err)
+	}
+	if q.SQL != "select * from C2" {
+		t.Errorf("content = %q", q.SQL)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte("{nope")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	if _, err := Unmarshal([]byte("{}")); err == nil {
+		t.Error("missing performative should fail")
+	}
+}
+
+func TestDecodeContentErrors(t *testing.T) {
+	m := &Message{Performative: Tell, Sender: "x"}
+	var v SQLQuery
+	if err := m.DecodeContent(&v); err == nil {
+		t.Error("empty content should fail to decode")
+	}
+	m.Content = []byte(`"a string"`)
+	if err := m.DecodeContent(&v); err == nil {
+		t.Error("mismatched content should fail to decode")
+	}
+}
+
+func TestAdvertiseContentRoundTrip(t *testing.T) {
+	ad := &ontology.Advertisement{
+		Name:             "ResourceAgent5",
+		Address:          "tcp://b1.mcc.com:4356",
+		Type:             ontology.TypeResource,
+		CommLanguages:    []string{ontology.LangKQML},
+		ContentLanguages: []string{ontology.LangSQL2},
+		Conversations:    []string{ontology.ConvSubscribe, ontology.ConvUpdate, ontology.ConvAskAll},
+		Capabilities:     []string{ontology.CapRelationalQueryProcessing, ontology.CapSubscription},
+		Content: []ontology.Fragment{{
+			Ontology:    "healthcare",
+			Classes:     []string{"diagnosis", "patient"},
+			Constraints: constraint.MustParse("patient.patient_age between 43 and 75"),
+		}},
+		Properties: ontology.Properties{EstimatedResponseSec: 5},
+	}
+	m := New(Advertise, ad.Name, &AdvertiseContent{Ad: ad})
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ac AdvertiseContent
+	if err := m2.DecodeContent(&ac); err != nil {
+		t.Fatal(err)
+	}
+	got := ac.Ad
+	if got.Name != ad.Name || got.Type != ad.Type || got.Address != ad.Address {
+		t.Errorf("identity fields lost: %+v", got)
+	}
+	if len(got.Content) != 1 {
+		t.Fatalf("fragments = %d", len(got.Content))
+	}
+	cs := got.Content[0].Constraints
+	if cs.Len() != 1 {
+		t.Fatalf("constraints lost: %v", cs)
+	}
+	a, ok := cs.Atom("patient.patient_age")
+	if !ok || !a.Matches(constraint.Num(50)) || a.Matches(constraint.Num(80)) {
+		t.Errorf("constraint semantics lost: %v", a)
+	}
+}
+
+func TestBrokerQueryRoundTrip(t *testing.T) {
+	q := &ontology.Query{
+		Type:            ontology.TypeResource,
+		ContentLanguage: ontology.LangSQL2,
+		Ontology:        "healthcare",
+		Constraints:     constraint.MustParse("patient.patient_age between 25 and 65"),
+		Policy:          ontology.SearchPolicy{HopCount: 2, Follow: ontology.FollowAll},
+	}
+	m := New(AskAll, "QueryAgent2", &BrokerQuery{Query: q, HopsLeft: 2, Visited: []string{"Broker1"}})
+	m.Ontology = ServiceOntology
+	data, _ := Marshal(m)
+	m2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bq BrokerQuery
+	if err := m2.DecodeContent(&bq); err != nil {
+		t.Fatal(err)
+	}
+	if bq.HopsLeft != 2 || len(bq.Visited) != 1 || bq.Visited[0] != "Broker1" {
+		t.Errorf("bookkeeping lost: %+v", bq)
+	}
+	if bq.Query.Type != ontology.TypeResource || bq.Query.Policy.HopCount != 2 {
+		t.Errorf("query lost: %+v", bq.Query)
+	}
+	if !bq.Query.Constraints.Overlaps(constraint.MustParse("patient.patient_age = 30")) {
+		t.Error("query constraints lost semantics")
+	}
+}
+
+func TestSQLResultRoundTrip(t *testing.T) {
+	res := &SQLResult{
+		Columns: []string{"patient_id", "patient_age"},
+		Rows: []relational.Row{
+			{constraint.Str("P1"), constraint.Num(44)},
+			{constraint.Str("P2"), constraint.Num(60.5)},
+		},
+	}
+	m := New(Tell, "DB1 resource agent", res)
+	data, _ := Marshal(m)
+	m2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SQLResult
+	if err := m2.DecodeContent(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows = %d", len(out.Rows))
+	}
+	if out.Rows[0][0].Kind() != constraint.KindString || out.Rows[0][0].Text() != "P1" {
+		t.Errorf("string value lost: %v", out.Rows[0][0])
+	}
+	if out.Rows[1][1].Kind() != constraint.KindNumber || out.Rows[1][1].Number() != 60.5 {
+		t.Errorf("number value lost: %v", out.Rows[1][1])
+	}
+}
+
+func TestValueJSONZeroValues(t *testing.T) {
+	// A zero number and an empty string must survive the omitempty
+	// encoding.
+	for _, v := range []constraint.Value{constraint.Num(0), constraint.Str("")} {
+		res := &SQLResult{Columns: []string{"c"}, Rows: []relational.Row{{v}}}
+		m := New(Tell, "t", res)
+		m2, err := Unmarshal(mustMarshal(t, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out SQLResult
+		if err := m2.DecodeContent(&out); err != nil {
+			t.Fatal(err)
+		}
+		got := out.Rows[0][0]
+		if v.Kind() == constraint.KindNumber {
+			// {"n":0} is dropped by omitempty... it must still decode
+			// as *some* zero value; numbers decode as Num(0) or Str("").
+			if got.Kind() == constraint.KindNumber && got.Number() != 0 {
+				t.Errorf("zero number decoded as %v", got)
+			}
+			if got.Kind() == constraint.KindString && got.Text() != "" {
+				t.Errorf("zero number decoded as %v", got)
+			}
+		} else if got.Kind() != constraint.KindString || got.Text() != "" {
+			t.Errorf("empty string decoded as %v", got)
+		}
+	}
+}
+
+func TestReasonOf(t *testing.T) {
+	m := New(Sorry, "Broker1", &SorryContent{Reason: "no matching agents"})
+	if got := ReasonOf(m); got != "no matching agents" {
+		t.Errorf("ReasonOf = %q", got)
+	}
+	m2 := &Message{Performative: Sorry, Sender: "Broker1"}
+	if got := ReasonOf(m2); !strings.Contains(got, "sorry") {
+		t.Errorf("fallback reason = %q", got)
+	}
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	m := New(Ping, "DB1 resource agent", &PingContent{AgentName: "DB1 resource agent"})
+	m2, err := Unmarshal(mustMarshal(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pc PingContent
+	if err := m2.DecodeContent(&pc); err != nil {
+		t.Fatal(err)
+	}
+	if pc.AgentName != "DB1 resource agent" {
+		t.Errorf("ping content = %+v", pc)
+	}
+}
+
+func mustMarshal(t *testing.T, m *Message) []byte {
+	t.Helper()
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestSubscribeContentRoundTrip(t *testing.T) {
+	m := New(Subscribe, "monitor", &SubscribeContent{
+		SQL:               "SELECT * FROM C2",
+		SubscriberName:    "monitor",
+		SubscriberAddress: "inproc://monitor",
+	})
+	m2, err := Unmarshal(mustMarshal(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc SubscribeContent
+	if err := m2.DecodeContent(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.SQL != "SELECT * FROM C2" || sc.SubscriberAddress != "inproc://monitor" {
+		t.Errorf("subscribe content = %+v", sc)
+	}
+}
+
+func TestUpdateContentRoundTrip(t *testing.T) {
+	m := New(Update, "RA", &UpdateContent{
+		SubscriptionID: "RA-sub-1",
+		SQL:            "SELECT * FROM C2",
+		Result: SQLResult{
+			Columns: []string{"id"},
+			Rows:    []relational.Row{{constraint.Str("k1")}},
+		},
+	})
+	m2, err := Unmarshal(mustMarshal(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uc UpdateContent
+	if err := m2.DecodeContent(&uc); err != nil {
+		t.Fatal(err)
+	}
+	if uc.SubscriptionID != "RA-sub-1" || len(uc.Result.Rows) != 1 {
+		t.Errorf("update content = %+v", uc)
+	}
+}
+
+func TestRecruitContentRoundTrip(t *testing.T) {
+	embedded := New(AskAll, "asker", &SQLQuery{SQL: "SELECT * FROM C2"})
+	m := New(Recruit, "asker", &RecruitContent{
+		Query:    &ontology.Query{Type: ontology.TypeResource},
+		Embedded: embedded,
+	})
+	m2, err := Unmarshal(mustMarshal(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rc RecruitContent
+	if err := m2.DecodeContent(&rc); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Query.Type != ontology.TypeResource || rc.Embedded == nil {
+		t.Fatalf("recruit content = %+v", rc)
+	}
+	var q SQLQuery
+	if err := rc.Embedded.DecodeContent(&q); err != nil {
+		t.Fatal(err)
+	}
+	if q.SQL != "SELECT * FROM C2" {
+		t.Errorf("embedded = %q", q.SQL)
+	}
+}
+
+func TestOntologyReplyRoundTrip(t *testing.T) {
+	o := ontology.Healthcare()
+	m := New(Tell, "Ontology Agent", &OntologyReply{Name: o.Name, Classes: o.ClassDefs()})
+	m2, err := Unmarshal(mustMarshal(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var or OntologyReply
+	if err := m2.DecodeContent(&or); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := ontology.FromClasses(or.Name, or.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt.IsSubclassOf("podiatrist", "physician") {
+		t.Error("ontology lost structure over the wire")
+	}
+}

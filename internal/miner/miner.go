@@ -1,0 +1,329 @@
+// Package miner implements the data mining agent of the paper's Figure 1:
+// the core agent that analyzes gathered information "using statistical
+// data mining techniques and/or logical inferencing". It gathers data
+// through the community's multiresource query agents (located via the
+// broker, like everything else) and runs one of three analyses:
+//
+//   - deviation: flag rows whose value deviates from the mean by more than
+//     a z-score threshold — the machinery behind the paper's "notify me
+//     when the cost ... significantly deviates from the expected cost".
+//   - trend: least-squares slope of a value over row order — "noticing
+//     patterns in how information is changing that may indicate new
+//     trends".
+//   - datalog: logical inferencing — gathered rows become facts, a
+//     caller-supplied LDL-style rule program derives conclusions.
+package miner
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"infosleuth/internal/agent"
+	"infosleuth/internal/constraint"
+	"infosleuth/internal/datalog"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/stats"
+	"infosleuth/internal/transport"
+)
+
+// Kind selects the analysis.
+type Kind string
+
+// Analysis kinds.
+const (
+	KindDeviation Kind = "deviation"
+	KindTrend     Kind = "trend"
+	KindDatalog   Kind = "datalog"
+)
+
+// Request is a mining task: a data-gathering SQL query plus the analysis
+// to run over its result.
+type Request struct {
+	Kind Kind `json:"kind"`
+	// SQL gathers the data (routed through an MRQ agent).
+	SQL string `json:"sql"`
+	// Column names the numeric column analyzed (deviation and trend).
+	Column string `json:"column,omitempty"`
+	// Threshold is the z-score cutoff for deviation; 0 means 3.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Program is the LDL-style rule program for datalog analysis.
+	// Gathered rows are asserted as facts row(v1, v2, ...) in result
+	// column order before evaluation.
+	Program string `json:"program,omitempty"`
+	// Goal names the predicate whose derived facts are reported.
+	Goal string `json:"goal,omitempty"`
+}
+
+// Outlier is one flagged row of a deviation analysis.
+type Outlier struct {
+	Row    []string `json:"row"`
+	Value  float64  `json:"value"`
+	ZScore float64  `json:"z_score"`
+}
+
+// Report is the analysis result.
+type Report struct {
+	Kind   Kind   `json:"kind"`
+	Column string `json:"column,omitempty"`
+	// N is the number of gathered rows.
+	N int `json:"n"`
+	// Mean and StdDev summarize the analyzed column (deviation, trend).
+	Mean   float64 `json:"mean,omitempty"`
+	StdDev float64 `json:"std_dev,omitempty"`
+	// Outliers are the flagged rows (deviation).
+	Outliers []Outlier `json:"outliers,omitempty"`
+	// Slope is the least-squares slope per row (trend), and Direction a
+	// human-readable reading of it.
+	Slope     float64 `json:"slope,omitempty"`
+	Direction string  `json:"direction,omitempty"`
+	// Derived holds the goal predicate's facts (datalog), one row of
+	// arguments per fact.
+	Derived [][]string `json:"derived,omitempty"`
+}
+
+// Config configures a mining agent.
+type Config struct {
+	Name         string
+	Address      string
+	Transport    transport.Transport
+	KnownBrokers []string
+	Redundancy   int
+	CallTimeout  time.Duration
+
+	// Ontology names the domain mined.
+	Ontology string
+}
+
+// Agent is a data mining agent.
+type Agent struct {
+	*agent.Base
+	cfg Config
+}
+
+// New creates a mining agent; call Start, then Advertise.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Ontology == "" {
+		return nil, fmt.Errorf("miner: config missing Ontology")
+	}
+	base, err := agent.New(agent.Config{
+		Name:         cfg.Name,
+		Address:      cfg.Address,
+		Transport:    cfg.Transport,
+		KnownBrokers: cfg.KnownBrokers,
+		Redundancy:   cfg.Redundancy,
+		CallTimeout:  cfg.CallTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{Base: base, cfg: cfg}
+	base.Handler = a.handle
+	base.AdBuilder = a.buildAd
+	return a, nil
+}
+
+func (a *Agent) buildAd(addr string) *ontology.Advertisement {
+	return &ontology.Advertisement{
+		Name:             a.cfg.Name,
+		Address:          addr,
+		Type:             ontology.TypeQuery,
+		CommLanguages:    []string{ontology.LangKQML},
+		ContentLanguages: []string{ontology.LangSQL2},
+		Conversations:    []string{ontology.ConvAskAll},
+		Capabilities:     []string{ontology.CapDataMining},
+	}
+}
+
+func (a *Agent) handle(msg *kqml.Message) *kqml.Message {
+	switch msg.Performative {
+	case kqml.AskAll, kqml.AskOne:
+		var req Request
+		if err := msg.DecodeContent(&req); err != nil {
+			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: "malformed mining request"})
+		}
+		rep, err := a.Mine(context.Background(), &req)
+		if err != nil {
+			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: err.Error()})
+		}
+		return a.Reply(msg, kqml.Tell, rep)
+	default:
+		return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{
+			Reason: fmt.Sprintf("mining agent does not handle %s", msg.Performative),
+		})
+	}
+}
+
+// Mine gathers the request's data through an MRQ agent and runs the
+// analysis.
+func (a *Agent) Mine(ctx context.Context, req *Request) (*Report, error) {
+	res, err := a.gather(ctx, req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	switch req.Kind {
+	case KindDeviation:
+		return deviation(res, req.Column, req.Threshold)
+	case KindTrend:
+		return trend(res, req.Column)
+	case KindDatalog:
+		return infer(res, req.Program, req.Goal)
+	default:
+		return nil, fmt.Errorf("miner: unknown analysis kind %q", req.Kind)
+	}
+}
+
+// gather locates an MRQ agent via the brokers (the Figure 6 lookup) and
+// submits the data query.
+func (a *Agent) gather(ctx context.Context, sql string) (*sqlparse.Result, error) {
+	br, err := a.QueryBrokers(ctx, &ontology.Query{
+		Type:            ontology.TypeQuery,
+		ContentLanguage: ontology.LangSQL2,
+		Capabilities:    []string{ontology.CapMultiresourceQuery},
+		Limit:           1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("miner %s: locating an MRQ agent: %w", a.Name(), err)
+	}
+	if len(br.Matches) == 0 {
+		return nil, fmt.Errorf("miner %s: no multiresource query agent available", a.Name())
+	}
+	target := br.Matches[0]
+	msg := kqml.New(kqml.AskAll, a.Name(), &kqml.SQLQuery{SQL: sql})
+	msg.Language = ontology.LangSQL2
+	msg.Receiver = target.Name
+	reply, err := a.Call(ctx, target.Address, msg)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Performative != kqml.Tell {
+		return nil, fmt.Errorf("miner %s: %s: %s", a.Name(), target.Name, kqml.ReasonOf(reply))
+	}
+	var sr kqml.SQLResult
+	if err := reply.DecodeContent(&sr); err != nil {
+		return nil, err
+	}
+	return &sqlparse.Result{Columns: sr.Columns, Rows: sr.Rows}, nil
+}
+
+// deviation flags rows whose column value sits more than threshold
+// standard deviations from the mean.
+func deviation(res *sqlparse.Result, column string, threshold float64) (*Report, error) {
+	ci, err := numericColumn(res, column)
+	if err != nil {
+		return nil, err
+	}
+	if threshold <= 0 {
+		threshold = 3
+	}
+	var m stats.Mean
+	for _, row := range res.Rows {
+		m.Add(row[ci].Number())
+	}
+	rep := &Report{Kind: KindDeviation, Column: column, N: res.Len(), Mean: m.Mean(), StdDev: m.StdDev()}
+	if rep.StdDev == 0 {
+		return rep, nil
+	}
+	for _, row := range res.Rows {
+		v := row[ci].Number()
+		z := (v - rep.Mean) / rep.StdDev
+		if math.Abs(z) > threshold {
+			rep.Outliers = append(rep.Outliers, Outlier{Row: rowStrings(row), Value: v, ZScore: z})
+		}
+	}
+	return rep, nil
+}
+
+// trend fits value = a + slope*index by least squares over row order.
+func trend(res *sqlparse.Result, column string) (*Report, error) {
+	ci, err := numericColumn(res, column)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(res.Len())
+	rep := &Report{Kind: KindTrend, Column: column, N: res.Len()}
+	if res.Len() < 2 {
+		rep.Direction = "insufficient data"
+		return rep, nil
+	}
+	var sumX, sumY, sumXY, sumXX float64
+	var m stats.Mean
+	for i, row := range res.Rows {
+		x, y := float64(i), row[ci].Number()
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+		m.Add(y)
+	}
+	rep.Mean, rep.StdDev = m.Mean(), m.StdDev()
+	denom := n*sumXX - sumX*sumX
+	if denom != 0 {
+		rep.Slope = (n*sumXY - sumX*sumY) / denom
+	}
+	// A trend is "significant" relative to the data's own scale.
+	scale := rep.StdDev
+	if scale == 0 {
+		scale = 1
+	}
+	switch {
+	case rep.Slope > 0.05*scale:
+		rep.Direction = "rising"
+	case rep.Slope < -0.05*scale:
+		rep.Direction = "falling"
+	default:
+		rep.Direction = "stable"
+	}
+	return rep, nil
+}
+
+// infer asserts each gathered row as a fact row(v1, ..., vn), evaluates the
+// caller's rule program over them, and reports the goal predicate's facts.
+func infer(res *sqlparse.Result, program, goal string) (*Report, error) {
+	if program == "" || goal == "" {
+		return nil, fmt.Errorf("miner: datalog analysis needs a program and a goal predicate")
+	}
+	p, err := datalog.ParseProgram(program)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range res.Rows {
+		p.AddFact(datalog.NewFact("row", rowStrings(row)...))
+	}
+	db, err := p.Eval()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Kind: KindDatalog, N: res.Len()}
+	for _, f := range db.Facts(goal) {
+		rep.Derived = append(rep.Derived, append([]string(nil), f.Args...))
+	}
+	return rep, nil
+}
+
+func numericColumn(res *sqlparse.Result, column string) (int, error) {
+	if column == "" {
+		return 0, fmt.Errorf("miner: analysis needs a column")
+	}
+	ci := res.ColIndex(column)
+	if ci < 0 {
+		return 0, fmt.Errorf("miner: column %q not in result %v", column, res.Columns)
+	}
+	return ci, nil
+}
+
+func rowStrings(row relational.Row) []string {
+	out := make([]string, len(row))
+	for i, v := range row {
+		if v.Kind() == constraint.KindNumber {
+			out[i] = datalog.CNum(v.Number()).Name
+		} else {
+			out[i] = v.Text()
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package miner
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"infosleuth/internal/broker"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/mrq"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/resource"
+	"infosleuth/internal/transport"
+)
+
+// rig builds broker + resource (hospital stays with one wild outlier) +
+// MRQ + miner.
+func rig(t *testing.T) *Agent {
+	t.Helper()
+	tr := transport.NewInProc()
+	world := ontology.NewWorld(ontology.Healthcare())
+	b, err := broker.New(broker.Config{Name: "Broker1", Transport: tr, World: world})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Stop() })
+
+	db := relational.NewDatabase()
+	stays, err := db.Create(relational.Schema{
+		Name: "hospital_stay",
+		Columns: []relational.Column{
+			{Name: "stay_id", Type: relational.TypeString},
+			{Name: "procedure", Type: relational.TypeString},
+			{Name: "cost", Type: relational.TypeNumber},
+		},
+		Key: "stay_id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Costs rise linearly 1000..1190 (a clear trend) with one wild
+	// outlier at the end.
+	for i := 0; i < 20; i++ {
+		stays.MustInsert(relational.Row{
+			relational.Str(fmt.Sprintf("S%02d", i)),
+			relational.Str("caesarian"),
+			relational.Num(1000 + float64(i)*10),
+		})
+	}
+	stays.MustInsert(relational.Row{
+		relational.Str("S99"), relational.Str("caesarian"), relational.Num(9000),
+	})
+
+	ra, err := resource.New(resource.Config{
+		Name: "Hospital", Transport: tr, KnownBrokers: []string{b.Addr()},
+		DB:       db,
+		Fragment: ontology.Fragment{Ontology: "healthcare", Classes: []string{"hospital_stay"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ra.Stop() })
+	if _, err := ra.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := mrq.New(mrq.Config{
+		Name: "MRQ agent", Transport: tr, KnownBrokers: []string{b.Addr()},
+		World: world, Ontology: "healthcare",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Stop() })
+	if _, err := m.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	mn, err := New(Config{
+		Name: "Mining agent", Transport: tr, KnownBrokers: []string{b.Addr()},
+		Ontology: "healthcare",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mn.Stop() })
+	if _, err := mn.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return mn
+}
+
+func TestDeviationFlagsOutlier(t *testing.T) {
+	mn := rig(t)
+	rep, err := mn.Mine(context.Background(), &Request{
+		Kind:   KindDeviation,
+		SQL:    "SELECT stay_id, cost FROM hospital_stay WHERE procedure = 'caesarian'",
+		Column: "cost",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 21 {
+		t.Errorf("N = %d", rep.N)
+	}
+	if len(rep.Outliers) != 1 {
+		t.Fatalf("outliers = %+v, want the $9000 stay", rep.Outliers)
+	}
+	if rep.Outliers[0].Value != 9000 || rep.Outliers[0].ZScore < 3 {
+		t.Errorf("outlier = %+v", rep.Outliers[0])
+	}
+}
+
+func TestTrendDetectsRisingCosts(t *testing.T) {
+	mn := rig(t)
+	rep, err := mn.Mine(context.Background(), &Request{
+		Kind:   KindTrend,
+		SQL:    "SELECT cost FROM hospital_stay WHERE cost < 2000 ORDER BY cost",
+		Column: "cost",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Direction != "rising" || rep.Slope < 9 || rep.Slope > 11 {
+		t.Errorf("trend = %+v, want rising slope ≈10", rep)
+	}
+}
+
+func TestTrendStable(t *testing.T) {
+	mn := rig(t)
+	// A constant column (procedure costs of a single row set filtered to
+	// one value) — use the outlier-free flat slice by selecting one row.
+	rep, err := mn.Mine(context.Background(), &Request{
+		Kind:   KindTrend,
+		SQL:    "SELECT cost FROM hospital_stay WHERE cost = 1000",
+		Column: "cost",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Direction != "insufficient data" {
+		t.Errorf("single-row trend = %q", rep.Direction)
+	}
+}
+
+func TestDatalogInference(t *testing.T) {
+	mn := rig(t)
+	// Logical inferencing over gathered rows: flag stays over 5000.
+	rep, err := mn.Mine(context.Background(), &Request{
+		Kind: KindDatalog,
+		SQL:  "SELECT stay_id, cost FROM hospital_stay",
+		Program: `
+			expensive(Id, Cost) :- row(Id, Cost), gt(Cost, 5000).
+		`,
+		Goal: "expensive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Derived) != 1 || rep.Derived[0][0] != "S99" {
+		t.Errorf("derived = %v, want the S99 stay", rep.Derived)
+	}
+}
+
+func TestMineViaKQML(t *testing.T) {
+	mn := rig(t)
+	tr := transport.NewInProc()
+	_ = tr // the miner's own transport carries the call
+	msg := kqml.New(kqml.AskAll, "asker", &Request{
+		Kind:   KindDeviation,
+		SQL:    "SELECT stay_id, cost FROM hospital_stay",
+		Column: "cost",
+	})
+	reply, err := mn.Call(context.Background(), mn.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Tell {
+		t.Fatalf("reply = %s: %s", reply.Performative, kqml.ReasonOf(reply))
+	}
+	var rep Report
+	if err := reply.DecodeContent(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outliers) != 1 {
+		t.Errorf("outliers over KQML = %d", len(rep.Outliers))
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	mn := rig(t)
+	ctx := context.Background()
+	cases := []*Request{
+		{Kind: "nope", SQL: "SELECT cost FROM hospital_stay"},
+		{Kind: KindDeviation, SQL: "SELECT cost FROM hospital_stay"},                        // missing column
+		{Kind: KindDeviation, SQL: "SELECT cost FROM hospital_stay", Column: "zz"},          // unknown column
+		{Kind: KindDeviation, SQL: "SELECT cost FROM nowhere", Column: "cost"},              // bad SQL target
+		{Kind: KindDatalog, SQL: "SELECT cost FROM hospital_stay"},                          // missing program
+		{Kind: KindDatalog, SQL: "SELECT cost FROM hospital_stay", Program: "x", Goal: "g"}, // bad program
+	}
+	for _, req := range cases {
+		if _, err := mn.Mine(ctx, req); err == nil {
+			t.Errorf("Mine(%+v) should fail", req)
+		}
+	}
+}
+
+func TestMinerAdvertisesDataMining(t *testing.T) {
+	mn := rig(t)
+	br, err := mn.QueryBrokers(context.Background(), &ontology.Query{
+		Capabilities: []string{ontology.CapDataMining},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ad := range br.Matches {
+		if ad.Name == "Mining agent" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mining agent not discoverable by capability: %v", br.Matches)
+	}
+}
+
+func TestNewRequiresOntology(t *testing.T) {
+	if _, err := New(Config{Name: "m", Transport: transport.NewInProc()}); err == nil ||
+		!strings.Contains(err.Error(), "Ontology") {
+		t.Error("missing ontology should fail")
+	}
+}

@@ -1,0 +1,192 @@
+// Package monitor implements the monitor agent of the paper's Figure 1:
+// it locates resource agents through the broker, registers standing
+// queries with them (subscribe conversations), and collects the update
+// notifications that arrive as the underlying data changes — the
+// infrastructure behind the paper's motivating "notify me when ..."
+// queries.
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"infosleuth/internal/agent"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/transport"
+)
+
+// Config configures a monitor agent.
+type Config struct {
+	Name         string
+	Address      string
+	Transport    transport.Transport
+	KnownBrokers []string
+	Redundancy   int
+	CallTimeout  time.Duration
+
+	// Ontology names the domain the monitor watches.
+	Ontology string
+}
+
+// Event is one update notification received from a resource agent.
+type Event struct {
+	// Resource names the agent that sent the notification.
+	Resource string
+	// SubscriptionID identifies the standing query.
+	SubscriptionID string
+	// SQL is the monitored query.
+	SQL string
+	// Result is the query's new answer.
+	Result kqml.SQLResult
+}
+
+// watch is one active subscription at one resource.
+type watch struct {
+	resource string
+	addr     string
+	subID    string
+}
+
+// Agent is a monitor agent.
+type Agent struct {
+	*agent.Base
+	cfg Config
+
+	mu      sync.Mutex
+	events  []Event
+	watches []watch
+}
+
+// New creates a monitor agent; call Start, then Watch.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Ontology == "" {
+		return nil, fmt.Errorf("monitor: config missing Ontology")
+	}
+	base, err := agent.New(agent.Config{
+		Name:         cfg.Name,
+		Address:      cfg.Address,
+		Transport:    cfg.Transport,
+		KnownBrokers: cfg.KnownBrokers,
+		Redundancy:   cfg.Redundancy,
+		CallTimeout:  cfg.CallTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{Base: base, cfg: cfg}
+	base.Handler = a.handle
+	base.AdBuilder = a.buildAd
+	return a, nil
+}
+
+func (a *Agent) buildAd(addr string) *ontology.Advertisement {
+	return &ontology.Advertisement{
+		Name:          a.cfg.Name,
+		Address:       addr,
+		Type:          ontology.TypeMonitor,
+		CommLanguages: []string{ontology.LangKQML},
+		Conversations: []string{ontology.ConvSubscribe, ontology.ConvUpdate},
+	}
+}
+
+func (a *Agent) handle(msg *kqml.Message) *kqml.Message {
+	switch msg.Performative {
+	case kqml.Update:
+		var uc kqml.UpdateContent
+		if err := msg.DecodeContent(&uc); err != nil {
+			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: "malformed update"})
+		}
+		a.mu.Lock()
+		a.events = append(a.events, Event{
+			Resource:       msg.Sender,
+			SubscriptionID: uc.SubscriptionID,
+			SQL:            uc.SQL,
+			Result:         uc.Result,
+		})
+		a.mu.Unlock()
+		return a.Reply(msg, kqml.Tell, &kqml.SorryContent{Reason: "noted"})
+	default:
+		return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{
+			Reason: fmt.Sprintf("monitor agent does not handle %s", msg.Performative),
+		})
+	}
+}
+
+// Watch locates the resource agents matching the query through the
+// broker(s) and registers the standing SQL query with each. It returns the
+// number of resources subscribed to.
+func (a *Agent) Watch(ctx context.Context, q *ontology.Query, sql string) (int, error) {
+	// Only agents that advertise the subscribe conversation can host a
+	// standing query.
+	qq := q.Clone()
+	qq.Conversations = append(qq.Conversations, ontology.ConvSubscribe)
+	br, err := a.QueryBrokers(ctx, qq)
+	if err != nil {
+		return 0, fmt.Errorf("monitor %s: locating resources: %w", a.Name(), err)
+	}
+	count := 0
+	var lastErr error
+	for _, ad := range br.Matches {
+		msg := kqml.New(kqml.Subscribe, a.Name(), &kqml.SubscribeContent{
+			SQL:               sql,
+			SubscriberName:    a.Name(),
+			SubscriberAddress: a.Addr(),
+		})
+		msg.Receiver = ad.Name
+		reply, err := a.Call(ctx, ad.Address, msg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if reply.Performative != kqml.Tell {
+			lastErr = fmt.Errorf("monitor %s: %s: %s", a.Name(), ad.Name, kqml.ReasonOf(reply))
+			continue
+		}
+		var ack kqml.SubscribeAck
+		if err := reply.DecodeContent(&ack); err != nil {
+			lastErr = err
+			continue
+		}
+		a.mu.Lock()
+		a.watches = append(a.watches, watch{resource: ad.Name, addr: ad.Address, subID: ack.ID})
+		a.mu.Unlock()
+		count++
+	}
+	if count == 0 {
+		if lastErr != nil {
+			return 0, lastErr
+		}
+		return 0, fmt.Errorf("monitor %s: no subscribable resources match %s", a.Name(), q)
+	}
+	return count, nil
+}
+
+// Unwatch cancels every active subscription.
+func (a *Agent) Unwatch(ctx context.Context) {
+	a.mu.Lock()
+	watches := a.watches
+	a.watches = nil
+	a.mu.Unlock()
+	for _, w := range watches {
+		msg := kqml.New(kqml.Unadvertise, a.Name(), &kqml.SorryContent{Reason: w.subID})
+		msg.Receiver = w.resource
+		_, _ = a.Call(ctx, w.addr, msg)
+	}
+}
+
+// Events returns the notifications received so far.
+func (a *Agent) Events() []Event {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Event(nil), a.events...)
+}
+
+// Watches returns the active subscription count.
+func (a *Agent) Watches() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.watches)
+}

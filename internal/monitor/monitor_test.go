@@ -1,0 +1,193 @@
+package monitor
+
+import (
+	"context"
+	"testing"
+
+	"infosleuth/internal/broker"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/resource"
+	"infosleuth/internal/transport"
+)
+
+// setup builds broker + one resource agent with a C2 table + a monitor.
+func setup(t *testing.T) (*Agent, *resource.Agent, transport.Transport) {
+	t.Helper()
+	tr := transport.NewInProc()
+	b, err := broker.New(broker.Config{
+		Name: "Broker1", Transport: tr,
+		World: ontology.NewWorld(ontology.Generic()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Stop() })
+
+	db := relational.NewDatabase()
+	if _, err := relational.GenerateGeneric(db, "C2", 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := resource.New(resource.Config{
+		Name: "RA", Transport: tr, KnownBrokers: []string{b.Addr()},
+		DB:       db,
+		Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ra.Stop() })
+	if _, err := ra.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := New(Config{
+		Name: "Monitor", Transport: tr, KnownBrokers: []string{b.Addr()},
+		Ontology: "generic",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Stop() })
+	return m, ra, tr
+}
+
+func TestWatchAndNotify(t *testing.T) {
+	ctx := context.Background()
+	m, ra, _ := setup(t)
+
+	n, err := m.Watch(ctx, &ontology.Query{
+		Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C2"},
+	}, "SELECT * FROM C2 WHERE a >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || m.Watches() != 1 {
+		t.Fatalf("watching %d resources", n)
+	}
+	if len(ra.Subscriptions()) != 1 {
+		t.Fatalf("resource holds %d subscriptions", len(ra.Subscriptions()))
+	}
+
+	// No change yet: notify is a no-op.
+	if sent := ra.NotifyChanged(ctx); sent != 0 {
+		t.Errorf("unchanged data sent %d notifications", sent)
+	}
+	if len(m.Events()) != 0 {
+		t.Fatal("spurious event")
+	}
+
+	// Insert a row: the monitor gets an update.
+	err = ra.InsertRow(ctx, "C2", relational.Row{
+		relational.Str("C2-new"), relational.Num(1), relational.Num(2), relational.Num(3), relational.Num(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := m.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	if events[0].Resource != "RA" || len(events[0].Result.Rows) != 6 {
+		t.Errorf("event = %+v", events[0])
+	}
+
+	// Unwatch: further changes are silent.
+	m.Unwatch(ctx)
+	if m.Watches() != 0 || len(ra.Subscriptions()) != 0 {
+		t.Error("unwatch did not clear subscriptions")
+	}
+	err = ra.InsertRow(ctx, "C2", relational.Row{
+		relational.Str("C2-new2"), relational.Num(1), relational.Num(2), relational.Num(3), relational.Num(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Events()) != 1 {
+		t.Error("event arrived after unwatch")
+	}
+}
+
+func TestWatchFiltersByQueryResult(t *testing.T) {
+	// A standing query whose answer is unaffected by a change produces
+	// no notification.
+	ctx := context.Background()
+	m, ra, _ := setup(t)
+	if _, err := m.Watch(ctx, &ontology.Query{
+		Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C2"},
+	}, "SELECT * FROM C2 WHERE a >= 10000"); err != nil {
+		t.Fatal(err)
+	}
+	// The new row has a = 1, outside the monitored predicate.
+	err := ra.InsertRow(ctx, "C2", relational.Row{
+		relational.Str("C2-low"), relational.Num(1), relational.Num(0), relational.Num(0), relational.Num(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Events()) != 0 {
+		t.Error("irrelevant change triggered a notification")
+	}
+	// A row inside the predicate does notify.
+	err = ra.InsertRow(ctx, "C2", relational.Row{
+		relational.Str("C2-high"), relational.Num(99999), relational.Num(0), relational.Num(0), relational.Num(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Events()) != 1 {
+		t.Error("relevant change missed")
+	}
+}
+
+func TestWatchNoMatchingResources(t *testing.T) {
+	ctx := context.Background()
+	m, _, _ := setup(t)
+	_, err := m.Watch(ctx, &ontology.Query{
+		Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C5"},
+	}, "SELECT * FROM C5")
+	if err == nil {
+		t.Error("watching a class nobody serves should fail")
+	}
+}
+
+func TestSubscribeBadQuery(t *testing.T) {
+	ctx := context.Background()
+	_, ra, tr := setup(t)
+	msg := kqml.New(kqml.Subscribe, "x", &kqml.SubscribeContent{
+		SQL: "SELECT * FROM C9", SubscriberName: "x", SubscriberAddress: "inproc://x",
+	})
+	reply, err := tr.Call(ctx, ra.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Error {
+		t.Errorf("bad standing query accepted: %s", reply.Performative)
+	}
+	// Malformed content.
+	reply, _ = tr.Call(ctx, ra.Addr(), kqml.New(kqml.Subscribe, "x", &kqml.SubscribeContent{}))
+	if reply.Performative != kqml.Error {
+		t.Errorf("empty subscription accepted: %s", reply.Performative)
+	}
+}
+
+func TestMonitorRejectsOtherPerformatives(t *testing.T) {
+	m, _, tr := setup(t)
+	reply, err := tr.Call(context.Background(), m.Addr(), kqml.New(kqml.AskAll, "x", &kqml.SQLQuery{SQL: "s"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Sorry {
+		t.Errorf("monitor answered %s to ask-all", reply.Performative)
+	}
+}

@@ -1,0 +1,411 @@
+// Package mrq implements the multiresource query agent (MRQ) of the
+// paper's Figures 5-7 walkthrough: it receives an SQL query, determines
+// which ontology classes the query requires, asks the broker for resource
+// agents serving those classes, scatters sub-queries to them, assembles
+// the fragments (horizontal unions and vertical key-joins), and evaluates
+// the original query over the assembled data.
+package mrq
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"infosleuth/internal/agent"
+	"infosleuth/internal/constraint"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/transport"
+)
+
+// Config configures an MRQ agent.
+type Config struct {
+	Name         string
+	Address      string
+	Transport    transport.Transport
+	KnownBrokers []string
+	Redundancy   int
+	CallTimeout  time.Duration
+	// RandomizeBrokerChoice spreads broker queries uniformly over
+	// connected brokers (the paper's query-agent behavior).
+	RandomizeBrokerChoice bool
+
+	// World supplies the domain ontologies (class keys for fragment
+	// assembly); required.
+	World *ontology.World
+	// Ontology names the domain this MRQ serves (used in broker
+	// queries); required.
+	Ontology string
+	// Specialty optionally restricts the MRQ to specific classes, as
+	// the paper's "MRQ2 agent ... specializes in queries over the class
+	// C2"; it is advertised as content.
+	Specialty []string
+	// PushConstraints, when true, includes the SQL WHERE constraints in
+	// broker queries so resources holding only irrelevant data are not
+	// contacted. On by default via New.
+	PushConstraints bool
+}
+
+// Agent is a multiresource query agent.
+type Agent struct {
+	*agent.Base
+	cfg Config
+}
+
+// New creates an MRQ agent; call Start, then Advertise.
+func New(cfg Config) (*Agent, error) {
+	if cfg.World == nil {
+		return nil, fmt.Errorf("mrq: config missing World")
+	}
+	if cfg.Ontology == "" {
+		return nil, fmt.Errorf("mrq: config missing Ontology")
+	}
+	base, err := agent.New(agent.Config{
+		Name:         cfg.Name,
+		Address:      cfg.Address,
+		Transport:    cfg.Transport,
+		KnownBrokers: cfg.KnownBrokers,
+		Redundancy:   cfg.Redundancy,
+		CallTimeout:  cfg.CallTimeout,
+
+		RandomizeBrokerChoice: cfg.RandomizeBrokerChoice,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{Base: base, cfg: cfg}
+	base.Handler = a.handle
+	base.AdBuilder = a.buildAd
+	return a, nil
+}
+
+func (a *Agent) buildAd(addr string) *ontology.Advertisement {
+	ad := &ontology.Advertisement{
+		Name:             a.cfg.Name,
+		Address:          addr,
+		Type:             ontology.TypeQuery,
+		CommLanguages:    []string{ontology.LangKQML},
+		ContentLanguages: []string{ontology.LangSQL2},
+		Conversations:    []string{ontology.ConvAskAll},
+		Capabilities: []string{
+			ontology.CapMultiresourceQuery,
+			ontology.CapRelationalQueryProcessing,
+			ontology.CapAggregation,
+		},
+	}
+	if len(a.cfg.Specialty) > 0 {
+		ad.Content = []ontology.Fragment{{
+			Ontology: a.cfg.Ontology,
+			Classes:  append([]string(nil), a.cfg.Specialty...),
+		}}
+	}
+	return ad
+}
+
+// Advertisement returns the agent's current advertisement.
+func (a *Agent) Advertisement() *ontology.Advertisement { return a.buildAd(a.Addr()) }
+
+func (a *Agent) handle(msg *kqml.Message) *kqml.Message {
+	switch msg.Performative {
+	case kqml.AskAll, kqml.AskOne:
+		var sq kqml.SQLQuery
+		if err := msg.DecodeContent(&sq); err != nil {
+			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: "malformed SQL query content"})
+		}
+		res, err := a.Run(context.Background(), sq.SQL)
+		if err != nil {
+			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: err.Error()})
+		}
+		return a.Reply(msg, kqml.Tell, &kqml.SQLResult{Columns: res.Columns, Rows: res.Rows})
+	default:
+		return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{
+			Reason: fmt.Sprintf("MRQ agent does not handle %s", msg.Performative),
+		})
+	}
+}
+
+// Run processes one multiresource SQL query end to end.
+func (a *Agent) Run(ctx context.Context, sql string) (*sqlparse.Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	classes := stmt.Tables()
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("mrq %s: query references no classes", a.cfg.Name)
+	}
+	var pushed *constraint.Set
+	if a.cfg.PushConstraints {
+		pushed = stmt.WhereConstraints()
+	}
+
+	// Assemble each class's data from the resources serving it, then
+	// evaluate the original statement locally.
+	scratch := relational.NewDatabase()
+	for _, class := range classes {
+		table, err := a.assembleClass(ctx, class, pushed)
+		if err != nil {
+			return nil, err
+		}
+		if err := scratch.Attach(table); err != nil {
+			return nil, err
+		}
+	}
+	return sqlparse.Execute(scratch, stmt)
+}
+
+// assembleClass locates the resources for one class (the paper's Figure 7
+// broker query), fetches their fragments, and merges them into one table.
+func (a *Agent) assembleClass(ctx context.Context, class string, pushed *constraint.Set) (*relational.Table, error) {
+	q := &ontology.Query{
+		Type:            ontology.TypeResource,
+		ContentLanguage: ontology.LangSQL2,
+		Ontology:        a.cfg.Ontology,
+		Classes:         []string{class},
+	}
+	if pushed.Len() > 0 {
+		q.Constraints = pushed
+	}
+	br, err := a.QueryBrokers(ctx, q)
+	if err != nil {
+		return nil, fmt.Errorf("mrq %s: locating resources for class %s: %w", a.cfg.Name, class, err)
+	}
+	if len(br.Matches) == 0 {
+		return nil, fmt.Errorf("mrq %s: no resources serve class %s", a.cfg.Name, class)
+	}
+
+	var results []*kqml.SQLResult
+	var fetchErrs []string
+	for _, ad := range br.Matches {
+		msg := kqml.New(kqml.AskAll, a.cfg.Name, &kqml.SQLQuery{SQL: "SELECT * FROM " + class})
+		msg.Language = ontology.LangSQL2
+		msg.Receiver = ad.Name
+		reply, err := a.Call(ctx, ad.Address, msg)
+		if err != nil {
+			fetchErrs = append(fetchErrs, fmt.Sprintf("%s: %v", ad.Name, err))
+			continue
+		}
+		if reply.Performative != kqml.Tell {
+			fetchErrs = append(fetchErrs, fmt.Sprintf("%s: %s", ad.Name, kqml.ReasonOf(reply)))
+			continue
+		}
+		var sr kqml.SQLResult
+		if err := reply.DecodeContent(&sr); err != nil {
+			fetchErrs = append(fetchErrs, fmt.Sprintf("%s: %v", ad.Name, err))
+			continue
+		}
+		results = append(results, &sr)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("mrq %s: every resource for class %s failed: %s",
+			a.cfg.Name, class, strings.Join(fetchErrs, "; "))
+	}
+	key := ""
+	if ont := a.cfg.World.Ontology(a.cfg.Ontology); ont != nil {
+		key = ont.KeyOf(class)
+	}
+	return MergeFragments(class, key, results)
+}
+
+// MergeFragments combines per-resource results for one class into a single
+// table. Results with identical column sets are unioned with duplicate
+// elimination (horizontal fragments and replicas); results with different
+// column sets are joined on the class key (vertical fragments). Rows whose
+// key appears in only some vertical fragments keep the columns they have;
+// missing cells take the column's zero value.
+func MergeFragments(class, key string, results []*kqml.SQLResult) (*relational.Table, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("mrq: no fragments for class %s", class)
+	}
+	// Group results by column signature.
+	type group struct {
+		cols []string
+		rows []relational.Row
+	}
+	var groups []*group
+	bySig := make(map[string]*group)
+	for _, r := range results {
+		sig := strings.ToLower(strings.Join(r.Columns, "\x00"))
+		g, ok := bySig[sig]
+		if !ok {
+			g = &group{cols: r.Columns}
+			bySig[sig] = g
+			groups = append(groups, g)
+		}
+		g.rows = append(g.rows, r.Rows...)
+	}
+
+	// Deduplicate within each group (horizontal union semantics).
+	for _, g := range groups {
+		seen := make(map[string]bool, len(g.rows))
+		var dedup []relational.Row
+		for _, row := range g.rows {
+			k := rowKey(row)
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, row)
+			}
+		}
+		g.rows = dedup
+	}
+
+	if len(groups) > 1 && key == "" {
+		return nil, fmt.Errorf("mrq: class %s has vertical fragments but no key to join on", class)
+	}
+
+	// Output columns: key first (when joining), then the rest in
+	// first-seen order.
+	var outCols []string
+	seenCol := make(map[string]bool)
+	addCol := func(c string) {
+		lc := strings.ToLower(c)
+		if !seenCol[lc] {
+			seenCol[lc] = true
+			outCols = append(outCols, c)
+		}
+	}
+	if len(groups) > 1 {
+		addCol(key)
+	}
+	for _, g := range groups {
+		for _, c := range g.cols {
+			addCol(c)
+		}
+	}
+
+	// Infer column types from the data; default string.
+	colType := make(map[string]relational.ColType, len(outCols))
+	for _, c := range outCols {
+		colType[strings.ToLower(c)] = relational.TypeString
+	}
+	for _, g := range groups {
+		for ci, c := range g.cols {
+			lc := strings.ToLower(c)
+			for _, row := range g.rows {
+				if ci < len(row) {
+					if row[ci].Kind() == constraint.KindNumber {
+						colType[lc] = relational.TypeNumber
+					}
+					break
+				}
+			}
+		}
+	}
+
+	schemaCols := make([]relational.Column, len(outCols))
+	for i, c := range outCols {
+		schemaCols[i] = relational.Column{Name: c, Type: colType[strings.ToLower(c)]}
+	}
+	schemaKey := ""
+	if key != "" && seenCol[strings.ToLower(key)] {
+		schemaKey = key
+	}
+	table, err := relational.NewTable(relational.Schema{Name: class, Columns: schemaCols, Key: schemaKey})
+	if err != nil {
+		return nil, err
+	}
+
+	colIdx := make(map[string]int, len(outCols))
+	for i, c := range outCols {
+		colIdx[strings.ToLower(c)] = i
+	}
+
+	if len(groups) == 1 {
+		for _, row := range groups[0].rows {
+			out := zeroRow(schemaCols)
+			for ci, c := range groups[0].cols {
+				if ci < len(row) {
+					out[colIdx[strings.ToLower(c)]] = coerce(row[ci], colType[strings.ToLower(c)])
+				}
+			}
+			if err := insertLoose(table, out); err != nil {
+				return nil, err
+			}
+		}
+		return table, nil
+	}
+
+	// Vertical join on the key.
+	keyLC := strings.ToLower(key)
+	merged := make(map[string]relational.Row)
+	var order []string
+	for _, g := range groups {
+		ki := -1
+		for ci, c := range g.cols {
+			if strings.ToLower(c) == keyLC {
+				ki = ci
+				break
+			}
+		}
+		if ki < 0 {
+			return nil, fmt.Errorf("mrq: vertical fragment of %s lacks key column %s", class, key)
+		}
+		for _, row := range g.rows {
+			kv := row[ki].String()
+			out, ok := merged[kv]
+			if !ok {
+				out = zeroRow(schemaCols)
+				merged[kv] = out
+				order = append(order, kv)
+			}
+			for ci, c := range g.cols {
+				if ci < len(row) {
+					out[colIdx[strings.ToLower(c)]] = coerce(row[ci], colType[strings.ToLower(c)])
+				}
+			}
+		}
+	}
+	for _, kv := range order {
+		if err := insertLoose(table, merged[kv]); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
+}
+
+func zeroRow(cols []relational.Column) relational.Row {
+	out := make(relational.Row, len(cols))
+	for i, c := range cols {
+		if c.Type == relational.TypeNumber {
+			out[i] = constraint.Num(0)
+		} else {
+			out[i] = constraint.Str("")
+		}
+	}
+	return out
+}
+
+// coerce aligns a value with the inferred column type (mixed fragments can
+// disagree; the table's type wins, stringifying numbers when needed).
+func coerce(v constraint.Value, t relational.ColType) constraint.Value {
+	if t == relational.TypeNumber && v.Kind() != constraint.KindNumber {
+		return constraint.Num(0)
+	}
+	if t == relational.TypeString && v.Kind() != constraint.KindString {
+		return constraint.Str(strings.Trim(v.String(), "'"))
+	}
+	return v
+}
+
+// insertLoose inserts, tolerating duplicate keys across fragments (the
+// union already deduplicated identical rows; a key collision with
+// different data keeps the first row, replica semantics).
+func insertLoose(t *relational.Table, row relational.Row) error {
+	err := t.Insert(row)
+	if err != nil && strings.Contains(err.Error(), "duplicate key") {
+		return nil
+	}
+	return err
+}
+
+func rowKey(r relational.Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteString(v.String())
+		b.WriteByte(0)
+	}
+	return b.String()
+}

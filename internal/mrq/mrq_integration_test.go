@@ -1,0 +1,248 @@
+package mrq
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"infosleuth/internal/broker"
+	"infosleuth/internal/constraint"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/resource"
+	"infosleuth/internal/transport"
+)
+
+// rig wires a broker, n resource agents over one class, and an MRQ agent.
+type rig struct {
+	tr     transport.Transport
+	broker *broker.Broker
+	mrq    *Agent
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	tr := transport.NewInProc()
+	world := ontology.NewWorld(ontology.Generic())
+	b, err := broker.New(broker.Config{Name: "Broker1", Transport: tr, World: world})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Stop() })
+
+	m, err := New(Config{
+		Name: "MRQ agent", Transport: tr, KnownBrokers: []string{b.Addr()},
+		World: world, Ontology: "generic", PushConstraints: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Stop() })
+	if _, err := m.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{tr: tr, broker: b, mrq: m}
+}
+
+func (r *rig) addResource(t *testing.T, name, class, keyPrefix string, n int) *resource.Agent {
+	t.Helper()
+	db := relational.NewDatabase()
+	tbl, err := db.Create(relational.GenericSchema(class))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tbl.MustInsert(relational.Row{
+			relational.Str(keyPrefix + string(rune('a'+i))),
+			relational.Num(float64(i * 100)), relational.Num(0), relational.Num(0), relational.Num(0),
+		})
+	}
+	ra, err := resource.New(resource.Config{
+		Name: name, Transport: r.tr, KnownBrokers: []string{r.broker.Addr()},
+		DB:       db,
+		Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{class}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ra.Stop() })
+	if _, err := ra.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return ra
+}
+
+func TestRunUnionsHorizontalFragments(t *testing.T) {
+	r := newRig(t)
+	r.addResource(t, "RA1", "C2", "one-", 3)
+	r.addResource(t, "RA2", "C2", "two-", 4)
+	res, err := r.mrq.Run(context.Background(), "SELECT * FROM C2 ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 7 {
+		t.Errorf("rows = %d, want 3+4", res.Len())
+	}
+}
+
+func TestRunCrossClassJoin(t *testing.T) {
+	r := newRig(t)
+	r.addResource(t, "RA-C1", "C1", "k-", 3)
+	r.addResource(t, "RA-C2", "C2", "k-", 3) // same key space
+	res, err := r.mrq.Run(context.Background(),
+		"SELECT C1.id, C2.a FROM C1, C2 WHERE C1.id = C2.id ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("join rows = %d, want 3", res.Len())
+	}
+}
+
+func TestRunViaKQMLHandler(t *testing.T) {
+	r := newRig(t)
+	r.addResource(t, "RA1", "C2", "h-", 5)
+	msg := kqml.New(kqml.AskAll, "user", &kqml.SQLQuery{SQL: "SELECT id FROM C2"})
+	msg.Language = ontology.LangSQL2
+	reply, err := r.tr.Call(context.Background(), r.mrq.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Tell {
+		t.Fatalf("reply = %s: %s", reply.Performative, kqml.ReasonOf(reply))
+	}
+	var sr kqml.SQLResult
+	if err := reply.DecodeContent(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Rows) != 5 {
+		t.Errorf("rows = %d", len(sr.Rows))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	r := newRig(t)
+	ctx := context.Background()
+	if _, err := r.mrq.Run(ctx, "SELEC nope"); err == nil {
+		t.Error("bad SQL should fail")
+	}
+	if _, err := r.mrq.Run(ctx, "SELECT * FROM C5"); err == nil ||
+		!strings.Contains(err.Error(), "no resources serve") {
+		t.Errorf("unserved class error = %v", err)
+	}
+	// Handler surfaces errors as error performatives.
+	reply, err := r.tr.Call(ctx, r.mrq.Addr(), kqml.New(kqml.AskAll, "u", &kqml.SQLQuery{SQL: "SELECT * FROM C5"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Error {
+		t.Errorf("handler error reply = %s", reply.Performative)
+	}
+	// Unknown performative.
+	reply, _ = r.tr.Call(ctx, r.mrq.Addr(), kqml.New(kqml.Update, "u", &kqml.SQLQuery{SQL: "x"}))
+	if reply.Performative != kqml.Sorry {
+		t.Errorf("unsupported performative reply = %s", reply.Performative)
+	}
+}
+
+func TestRunSurvivesOneDeadResource(t *testing.T) {
+	r := newRig(t)
+	r.addResource(t, "RA1", "C2", "live-", 3)
+	dead := r.addResource(t, "RA2", "C2", "dead-", 3)
+	dead.Stop() // crashed after advertising
+	res, err := r.mrq.Run(context.Background(), "SELECT * FROM C2")
+	if err != nil {
+		t.Fatalf("one live resource should suffice: %v", err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("rows = %d, want the live agent's 3", res.Len())
+	}
+}
+
+func TestRunAllResourcesDead(t *testing.T) {
+	r := newRig(t)
+	ra := r.addResource(t, "RA1", "C2", "x-", 3)
+	ra.Stop()
+	if _, err := r.mrq.Run(context.Background(), "SELECT * FROM C2"); err == nil {
+		t.Error("all resources dead should fail")
+	}
+}
+
+func TestConstraintPushdownSkipsIrrelevantResources(t *testing.T) {
+	r := newRig(t)
+	// Two resources over C2 with disjoint advertised ranges on a.
+	addConstrained := func(name, prefix string, lo, hi float64) {
+		db := relational.NewDatabase()
+		tbl, err := db.Create(relational.GenericSchema("C2"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			v := lo + float64(i)
+			tbl.MustInsert(relational.Row{
+				relational.Str(prefix + string(rune('a'+i))),
+				relational.Num(v), relational.Num(0), relational.Num(0), relational.Num(0),
+			})
+		}
+		cs := "C2.a between " + trim(lo) + " and " + trim(hi)
+		ra, err := resource.New(resource.Config{
+			Name: name, Transport: r.tr, KnownBrokers: []string{r.broker.Addr()},
+			DB: db,
+			Fragment: ontology.Fragment{
+				Ontology: "generic", Classes: []string{"C2"},
+				Constraints: mustParse(t, cs),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ra.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ra.Stop() })
+		if _, err := ra.Advertise(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addConstrained("LowRA", "lo-", 0, 99)
+	addConstrained("HighRA", "hi-", 1000, 1099)
+
+	// The WHERE range overlaps only HighRA's advertisement; pushdown
+	// keeps LowRA out of the scatter.
+	res, err := r.mrq.Run(context.Background(), "SELECT id, a FROM C2 WHERE a >= 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("rows = %d, want HighRA's 3", res.Len())
+	}
+	for _, row := range res.Rows {
+		if !strings.HasPrefix(row[0].Text(), "hi-") {
+			t.Errorf("row %v from the wrong resource", row)
+		}
+	}
+}
+
+func trim(f float64) string {
+	s := relational.Num(f).String()
+	return s
+}
+
+func mustParse(t *testing.T, s string) *constraint.Set {
+	t.Helper()
+	cs, err := constraint.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}

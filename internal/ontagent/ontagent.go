@@ -1,0 +1,113 @@
+// Package ontagent implements the ontology agent of the paper's Figure 1:
+// the core agent through which an InfoSleuth community accesses its common
+// ontologies. Other agents ask it for a domain model by name and receive
+// the class definitions (classes, slots, keys, subclass links), which
+// rebuild into a full ontology.Ontology on the requester's side.
+package ontagent
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"infosleuth/internal/agent"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/transport"
+)
+
+// Config configures an ontology agent.
+type Config struct {
+	Name         string
+	Address      string
+	Transport    transport.Transport
+	KnownBrokers []string
+	Redundancy   int
+	CallTimeout  time.Duration
+
+	// Ontologies are the domain models served; required.
+	Ontologies []*ontology.Ontology
+}
+
+// Agent is an ontology agent.
+type Agent struct {
+	*agent.Base
+	served map[string]*ontology.Ontology
+}
+
+// New creates an ontology agent; call Start, then Advertise.
+func New(cfg Config) (*Agent, error) {
+	if len(cfg.Ontologies) == 0 {
+		return nil, fmt.Errorf("ontagent: config missing Ontologies")
+	}
+	base, err := agent.New(agent.Config{
+		Name:         cfg.Name,
+		Address:      cfg.Address,
+		Transport:    cfg.Transport,
+		KnownBrokers: cfg.KnownBrokers,
+		Redundancy:   cfg.Redundancy,
+		CallTimeout:  cfg.CallTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{Base: base, served: make(map[string]*ontology.Ontology, len(cfg.Ontologies))}
+	for _, o := range cfg.Ontologies {
+		a.served[o.Name] = o
+	}
+	base.Handler = a.handle
+	base.AdBuilder = a.buildAd
+	return a, nil
+}
+
+// Served returns the names of the served ontologies, sorted.
+func (a *Agent) Served() []string {
+	out := make([]string, 0, len(a.served))
+	for name := range a.served {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (a *Agent) buildAd(addr string) *ontology.Advertisement {
+	var frags []ontology.Fragment
+	for _, name := range a.Served() {
+		frags = append(frags, ontology.Fragment{
+			Ontology: name,
+			Classes:  a.served[name].Classes(),
+		})
+	}
+	return &ontology.Advertisement{
+		Name:          a.Name(),
+		Address:       addr,
+		Type:          ontology.TypeOntology,
+		CommLanguages: []string{ontology.LangKQML},
+		Conversations: []string{ontology.ConvAskAll},
+		Content:       frags,
+	}
+}
+
+func (a *Agent) handle(msg *kqml.Message) *kqml.Message {
+	switch msg.Performative {
+	case kqml.AskAll, kqml.AskOne:
+		var req kqml.OntologyRequest
+		if err := msg.DecodeContent(&req); err != nil || req.Name == "" {
+			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: "malformed ontology request"})
+		}
+		o, ok := a.served[req.Name]
+		if !ok {
+			return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{
+				Reason: fmt.Sprintf("ontology %q not served", req.Name),
+			})
+		}
+		return a.Reply(msg, kqml.Tell, &kqml.OntologyReply{
+			Name:    o.Name,
+			Classes: o.ClassDefs(),
+		})
+	default:
+		return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{
+			Reason: fmt.Sprintf("ontology agent does not handle %s", msg.Performative),
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package ontagent
+
+import (
+	"context"
+	"testing"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/transport"
+)
+
+func setup(t *testing.T) (*Agent, transport.Transport) {
+	t.Helper()
+	tr := transport.NewInProc()
+	a, err := New(Config{
+		Name:       "Ontology Agent",
+		Transport:  tr,
+		Ontologies: []*ontology.Ontology{ontology.Healthcare(), ontology.Generic()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Stop() })
+	return a, tr
+}
+
+func TestServeOntology(t *testing.T) {
+	a, tr := setup(t)
+	if got := a.Served(); len(got) != 2 || got[0] != "generic" || got[1] != "healthcare" {
+		t.Fatalf("Served = %v", got)
+	}
+	msg := kqml.New(kqml.AskAll, "asker", &kqml.OntologyRequest{Name: "healthcare"})
+	reply, err := tr.Call(context.Background(), a.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Tell {
+		t.Fatalf("reply = %s", reply.Performative)
+	}
+	var or kqml.OntologyReply
+	if err := reply.DecodeContent(&or); err != nil {
+		t.Fatal(err)
+	}
+	// The class definitions rebuild into a working ontology.
+	rebuilt, err := ontology.FromClasses(or.Name, or.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt.IsSubclassOf("podiatrist", "physician") {
+		t.Error("rebuilt ontology lost the subclass hierarchy")
+	}
+	if rebuilt.KeyOf("patient") != "patient_id" {
+		t.Error("rebuilt ontology lost class keys")
+	}
+	orig := ontology.Healthcare()
+	if len(rebuilt.Classes()) != len(orig.Classes()) {
+		t.Errorf("classes = %d, want %d", len(rebuilt.Classes()), len(orig.Classes()))
+	}
+}
+
+func TestUnknownOntology(t *testing.T) {
+	a, tr := setup(t)
+	reply, err := tr.Call(context.Background(), a.Addr(),
+		kqml.New(kqml.AskAll, "asker", &kqml.OntologyRequest{Name: "aerospace"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Sorry {
+		t.Errorf("unknown ontology got %s", reply.Performative)
+	}
+}
+
+func TestMalformedRequest(t *testing.T) {
+	a, tr := setup(t)
+	reply, err := tr.Call(context.Background(), a.Addr(),
+		kqml.New(kqml.AskAll, "asker", &kqml.OntologyRequest{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Error {
+		t.Errorf("empty request got %s", reply.Performative)
+	}
+}
+
+func TestAdvertisementListsClasses(t *testing.T) {
+	a, _ := setup(t)
+	ad := a.AdBuilder(a.Addr())
+	if ad.Type != ontology.TypeOntology {
+		t.Errorf("type = %s", ad.Type)
+	}
+	if len(ad.Content) != 2 {
+		t.Fatalf("fragments = %d", len(ad.Content))
+	}
+	if err := ad.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequiresOntologies(t *testing.T) {
+	if _, err := New(Config{Name: "x", Transport: transport.NewInProc()}); err == nil {
+		t.Error("ontology agent without ontologies should fail")
+	}
+}
+
+func TestClassDefsRoundTrip(t *testing.T) {
+	for _, o := range []*ontology.Ontology{ontology.Healthcare(), ontology.Generic()} {
+		defs := o.ClassDefs()
+		rebuilt, err := ontology.FromClasses(o.Name, defs)
+		if err != nil {
+			t.Fatalf("%s: %v", o.Name, err)
+		}
+		for _, c := range o.Classes() {
+			if len(rebuilt.SlotsOf(c)) != len(o.SlotsOf(c)) {
+				t.Errorf("%s.%s slots differ", o.Name, c)
+			}
+		}
+	}
+	// Reversed definitions still rebuild (order independence).
+	defs := ontology.Generic().ClassDefs()
+	for i, j := 0, len(defs)-1; i < j; i, j = i+1, j-1 {
+		defs[i], defs[j] = defs[j], defs[i]
+	}
+	if _, err := ontology.FromClasses("generic", defs); err != nil {
+		t.Fatalf("reversed defs: %v", err)
+	}
+	// A dangling superclass is rejected.
+	if _, err := ontology.FromClasses("bad", []ontology.Class{{Name: "x", IsA: "missing"}}); err == nil {
+		t.Error("dangling superclass should fail")
+	}
+}

@@ -1,0 +1,70 @@
+package ontology
+
+// Standard conversation and language names used across the reproduction.
+const (
+	LangKQML = "KQML"
+	LangSQL2 = "SQL 2.0"
+	LangLDL  = "LDL"
+	LangOQL  = "OQL"
+
+	ConvAskAll    = "ask-all"
+	ConvSubscribe = "subscribe"
+	ConvUpdate    = "update"
+	ConvAdvertise = "advertise"
+	ConvRecruit   = "recruit"
+)
+
+// Healthcare returns the healthcare domain ontology from Section 2.4:
+// diagnosis and patient classes, with a physician subclass hierarchy
+// standing in for the paper's "podiatrists in Dallas and Houston"
+// specialization example.
+func Healthcare() *Ontology {
+	o := New("healthcare")
+	o.MustAddClass(Class{
+		Name:  "patient",
+		Slots: []string{"patient_id", "patient_age", "patient_name", "region"},
+		Key:   "patient_id",
+	})
+	// diagnosis has no single-slot key: one patient can carry several
+	// diagnoses and one code applies to many patients.
+	o.MustAddClass(Class{
+		Name:  "diagnosis",
+		Slots: []string{"diagnosis_code", "patient_id", "diagnosis_date", "cost"},
+	})
+	o.MustAddClass(Class{
+		Name:  "physician",
+		Slots: []string{"physician_id", "physician_name", "region"},
+		Key:   "physician_id",
+	})
+	o.MustAddClass(Class{
+		Name:  "podiatrist",
+		Slots: []string{"specialty_cert"},
+		IsA:   "physician",
+	})
+	o.MustAddClass(Class{
+		Name:  "hospital_stay",
+		Slots: []string{"stay_id", "patient_id", "procedure", "cost", "days"},
+		Key:   "stay_id",
+	})
+	return o
+}
+
+// Generic returns the C1/C2/C3 toy ontology of the paper's Figures 5-7
+// walkthrough, with C2a/C2b subclasses used by the class-hierarchy (CH)
+// query streams of Section 5.1. Each class carries a key slot `id` plus
+// generic attribute slots so vertical fragmentation has something to split.
+func Generic() *Ontology {
+	o := New("generic")
+	for _, name := range []string{"C1", "C2", "C3", "C4", "C5", "C6"} {
+		o.MustAddClass(Class{
+			Name:  name,
+			Slots: []string{"id", "a", "b", "c", "d"},
+			Key:   "id",
+		})
+	}
+	o.MustAddClass(Class{Name: "C2a", Slots: []string{"e"}, IsA: "C2"})
+	o.MustAddClass(Class{Name: "C2b", Slots: []string{"f"}, IsA: "C2"})
+	o.MustAddClass(Class{Name: "C6a", Slots: []string{"g"}, IsA: "C6"})
+	o.MustAddClass(Class{Name: "C6b", Slots: []string{"h"}, IsA: "C6"})
+	return o
+}

@@ -1,0 +1,169 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+
+	"infosleuth/internal/constraint"
+)
+
+func TestCapabilityIntrospection(t *testing.T) {
+	h := DefaultHierarchy()
+	if !h.Known(CapSelect) || h.Known("levitation") {
+		t.Error("Known wrong")
+	}
+	caps := h.Capabilities()
+	if len(caps) < 10 {
+		t.Errorf("Capabilities = %v", caps)
+	}
+	// Sorted.
+	for i := 1; i < len(caps); i++ {
+		if caps[i] < caps[i-1] {
+			t.Fatalf("not sorted: %v", caps)
+		}
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	mobile := true
+	q := &Query{
+		Type:            TypeResource,
+		ContentLanguage: LangSQL2,
+		Capabilities:    []string{CapSelect, CapJoin},
+		Ontology:        "healthcare",
+		Classes:         []string{"patient"},
+		Constraints:     constraint.MustParse("patient.patient_age between 25 and 65"),
+		RequireMobile:   &mobile,
+	}
+	s := q.String()
+	for _, want := range []string{"type=resource", "lang=SQL 2.0", "caps=select+join",
+		"ontology=healthcare", "classes=patient", "patient.patient_age"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Query.String() = %q missing %q", s, want)
+		}
+	}
+	if got := (&Query{}).String(); got != "query(any)" {
+		t.Errorf("empty query string = %q", got)
+	}
+}
+
+func TestFragmentString(t *testing.T) {
+	f := &Fragment{
+		Ontology:    "healthcare",
+		Classes:     []string{"patient", "diagnosis"},
+		Constraints: constraint.MustParse("patient.patient_age between 43 and 75"),
+	}
+	s := f.String()
+	if !strings.Contains(s, "healthcare(patient, diagnosis") || !strings.Contains(s, "43") {
+		t.Errorf("Fragment.String() = %q", s)
+	}
+	bare := &Fragment{Ontology: "o", Classes: []string{"c"}}
+	if got := bare.String(); got != "o(c)" {
+		t.Errorf("bare fragment = %q", got)
+	}
+}
+
+func TestAdvertisementString(t *testing.T) {
+	ad := &Advertisement{Name: "RA", Type: TypeResource, Address: "tcp://h:1"}
+	if got := ad.String(); got != "RA[resource]@tcp://h:1" {
+		t.Errorf("Advertisement.String() = %q", got)
+	}
+}
+
+func TestMatchReasonValues(t *testing.T) {
+	// The rejection reasons render usefully in logs.
+	for _, r := range []MatchReason{
+		RejectType, RejectCommLanguage, RejectContentLang, RejectConversation,
+		RejectCapability, RejectOntology, RejectClass, RejectSlot,
+		RejectConstraints, RejectResponseTime, RejectMobility,
+	} {
+		if r == Matched || string(r) == "" {
+			t.Error("rejection reason should be non-empty")
+		}
+	}
+}
+
+func TestBrokerAdvertisementClone(t *testing.T) {
+	ad := &Advertisement{
+		Name: "B1", Type: TypeBroker, Address: "inproc://b1",
+		Broker: &BrokerInfo{
+			Community:             "comm",
+			Consortia:             []string{"c1"},
+			AgentTypes:            []AgentType{TypeResource},
+			Specializations:       []string{"healthcare"},
+			SpecializationClasses: []string{"patient"},
+			ConversationTypes:     []string{"forwarding"},
+		},
+	}
+	cp := ad.Clone()
+	cp.Broker.Consortia[0] = "mutated"
+	cp.Broker.Specializations[0] = "mutated"
+	cp.Broker.SpecializationClasses[0] = "mutated"
+	if ad.Broker.Consortia[0] != "c1" || ad.Broker.Specializations[0] != "healthcare" ||
+		ad.Broker.SpecializationClasses[0] != "patient" {
+		t.Error("broker info clone shares slices")
+	}
+}
+
+func TestWorldNilSafety(t *testing.T) {
+	var w *World
+	if w.Ontology("x") != nil {
+		t.Error("nil world should return nil ontology")
+	}
+	// Matching without a world falls back to exact capability equality.
+	ad := &Advertisement{
+		Name: "a", Type: TypeResource,
+		Capabilities: []string{CapQueryProcessing},
+	}
+	q := &Query{Capabilities: []string{CapSelect}}
+	if Match(nil, ad, q) == Matched {
+		t.Error("nil world must not apply hierarchy subsumption")
+	}
+	q2 := &Query{Capabilities: []string{CapQueryProcessing}}
+	if Match(nil, ad, q2) != Matched {
+		t.Error("nil world should still match exact capabilities")
+	}
+}
+
+func TestClassDefsInPackage(t *testing.T) {
+	o := Healthcare()
+	defs := o.ClassDefs()
+	if len(defs) != len(o.Classes()) {
+		t.Fatalf("defs = %d, classes = %d", len(defs), len(o.Classes()))
+	}
+	// Superclasses come before subclasses.
+	pos := make(map[string]int)
+	for i, c := range defs {
+		pos[c.Name] = i
+	}
+	if pos["physician"] > pos["podiatrist"] {
+		t.Error("superclass should precede subclass in ClassDefs")
+	}
+	rebuilt, err := FromClasses("copy", defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt.IsSubclassOf("podiatrist", "physician") {
+		t.Error("rebuilt hierarchy broken")
+	}
+	// Definitions are copies: mutating them must not affect the source.
+	defs[0].Slots[0] = "mutated"
+	fresh := o.ClassDefs()
+	if fresh[0].Slots[0] == "mutated" {
+		t.Error("ClassDefs leaked internal slot slices")
+	}
+	// Class accessor.
+	c, ok := o.Class("patient")
+	if !ok || c.Key != "patient_id" {
+		t.Errorf("Class(patient) = %+v %v", c, ok)
+	}
+	if _, ok := o.Class("nope"); ok {
+		t.Error("unknown class should miss")
+	}
+}
+
+func TestFollowOptionUnknownString(t *testing.T) {
+	if got := FollowOption(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown follow option = %q", got)
+	}
+}

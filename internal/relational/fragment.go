@@ -1,0 +1,109 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+
+	"infosleuth/internal/constraint"
+)
+
+// VerticalFragment projects a table onto the key column plus the listed
+// columns, producing a new table named name. The paper's VF query streams
+// run over classes split this way across resource agents; the MRQ agent
+// reassembles full tuples by joining fragments on the key.
+func VerticalFragment(src *Table, name string, cols []string) (*Table, error) {
+	s := src.Schema()
+	if s.Key == "" {
+		return nil, fmt.Errorf("relational: vertical fragmentation of %q requires a key column", s.Name)
+	}
+	outCols := []Column{s.Columns[s.ColIndex(s.Key)]}
+	idx := []int{s.ColIndex(s.Key)}
+	for _, c := range cols {
+		i := s.ColIndex(c)
+		if i < 0 {
+			return nil, fmt.Errorf("relational: vertical fragment column %q not in %q", c, s.Name)
+		}
+		if strings.EqualFold(c, s.Key) {
+			continue
+		}
+		outCols = append(outCols, s.Columns[i])
+		idx = append(idx, i)
+	}
+	frag, err := NewTable(Schema{Name: name, Columns: outCols, Key: s.Key})
+	if err != nil {
+		return nil, err
+	}
+	var insertErr error
+	src.Scan(func(r Row) bool {
+		out := make(Row, len(idx))
+		for j, i := range idx {
+			out[j] = r[i]
+		}
+		if err := frag.Insert(out); err != nil {
+			insertErr = err
+			return false
+		}
+		return true
+	})
+	if insertErr != nil {
+		return nil, insertErr
+	}
+	return frag, nil
+}
+
+// HorizontalFragment selects the rows of a table satisfying the constraint
+// set into a new table named name with the same schema. The constraints are
+// evaluated against "table.column" records of the *source* table so that
+// advertised constraints like "patient.patient_age between 43 and 75" carve
+// the fragment directly.
+func HorizontalFragment(src *Table, name string, cs *constraint.Set) (*Table, error) {
+	s := src.Schema()
+	frag, err := NewTable(Schema{Name: name, Columns: s.Columns, Key: s.Key})
+	if err != nil {
+		return nil, err
+	}
+	var insertErr error
+	src.Scan(func(r Row) bool {
+		if cs.Matches(src.Record(r)) {
+			if err := frag.Insert(r); err != nil {
+				insertErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if insertErr != nil {
+		return nil, insertErr
+	}
+	return frag, nil
+}
+
+// RangeBounds returns the observed [min, max] of a numeric column, useful
+// for deriving the constraint a fragment should advertise. ok is false for
+// an empty table or non-numeric column.
+func RangeBounds(t *Table, col string) (lo, hi float64, ok bool) {
+	i := t.Schema().ColIndex(col)
+	if i < 0 {
+		return 0, 0, false
+	}
+	first := true
+	t.Scan(func(r Row) bool {
+		v := r[i]
+		if v.Kind() != constraint.KindNumber {
+			return true
+		}
+		x := v.Number()
+		if first {
+			lo, hi, ok, first = x, x, true, false
+			return true
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+		return true
+	})
+	return lo, hi, ok
+}

@@ -1,0 +1,137 @@
+package relational
+
+import (
+	"fmt"
+
+	"infosleuth/internal/constraint"
+	"infosleuth/internal/stats"
+)
+
+// Num and Str are re-exported constructors so generator call sites read
+// naturally without importing constraint directly.
+var (
+	// Num builds a numeric value.
+	Num = constraint.Num
+	// Str builds a string value.
+	Str = constraint.Str
+)
+
+// GenerateHealthcare fills a database with the Section 2.4 healthcare
+// domain: patient, diagnosis and hospital_stay tables, deterministically
+// from the seed. Every patient has one diagnosis; every third patient has a
+// hospital stay.
+func GenerateHealthcare(db *Database, nPatients int, seed int64) error {
+	src := stats.NewSource(seed)
+	regions := []string{"Dallas", "Houston", "Austin", "El Paso"}
+	codes := []string{"40W", "41W", "12K", "77C", "09A"}
+
+	patients, err := db.Create(Schema{
+		Name: "patient",
+		Columns: []Column{
+			{Name: "patient_id", Type: TypeString},
+			{Name: "patient_age", Type: TypeNumber},
+			{Name: "patient_name", Type: TypeString},
+			{Name: "region", Type: TypeString},
+		},
+		Key: "patient_id",
+	})
+	if err != nil {
+		return err
+	}
+	diagnoses, err := db.Create(Schema{
+		Name: "diagnosis",
+		Columns: []Column{
+			{Name: "diagnosis_code", Type: TypeString},
+			{Name: "patient_id", Type: TypeString},
+			{Name: "diagnosis_date", Type: TypeString},
+			{Name: "cost", Type: TypeNumber},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	stays, err := db.Create(Schema{
+		Name: "hospital_stay",
+		Columns: []Column{
+			{Name: "stay_id", Type: TypeString},
+			{Name: "patient_id", Type: TypeString},
+			{Name: "procedure", Type: TypeString},
+			{Name: "cost", Type: TypeNumber},
+			{Name: "days", Type: TypeNumber},
+		},
+		Key: "stay_id",
+	})
+	if err != nil {
+		return err
+	}
+
+	procedures := []string{"caesarian", "appendectomy", "bypass", "hip replacement"}
+	for i := 0; i < nPatients; i++ {
+		pid := fmt.Sprintf("P%05d", i)
+		age := float64(src.Intn(90) + 1)
+		if err := patients.Insert(Row{
+			Str(pid), Num(age),
+			Str(fmt.Sprintf("Patient %d", i)),
+			Str(regions[src.Intn(len(regions))]),
+		}); err != nil {
+			return err
+		}
+		if err := diagnoses.Insert(Row{
+			Str(codes[src.Intn(len(codes))]), Str(pid),
+			Str(fmt.Sprintf("1998-%02d-%02d", src.Intn(12)+1, src.Intn(28)+1)),
+			Num(float64(src.Intn(9000) + 500)),
+		}); err != nil {
+			return err
+		}
+		if i%3 == 0 {
+			if err := stays.Insert(Row{
+				Str(fmt.Sprintf("S%05d", i)), Str(pid),
+				Str(procedures[src.Intn(len(procedures))]),
+				Num(float64(src.Intn(40000) + 2000)),
+				Num(float64(src.Intn(14) + 1)),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GenericSchema returns the schema for one of the paper's C1..C6 toy
+// classes (Figures 5-7): a string key `id` and numeric attributes a..d.
+func GenericSchema(class string) Schema {
+	return Schema{
+		Name: class,
+		Columns: []Column{
+			{Name: "id", Type: TypeString},
+			{Name: "a", Type: TypeNumber},
+			{Name: "b", Type: TypeNumber},
+			{Name: "c", Type: TypeNumber},
+			{Name: "d", Type: TypeNumber},
+		},
+		Key: "id",
+	}
+}
+
+// GenerateGeneric fills a database with n rows of one toy class. Row keys
+// embed the class name so rows from different resources are
+// distinguishable after the MRQ agent unions them.
+func GenerateGeneric(db *Database, class string, n int, seed int64) (*Table, error) {
+	src := stats.NewSource(seed)
+	t, err := db.Create(GenericSchema(class))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := t.Insert(Row{
+			Str(fmt.Sprintf("%s-%06d", class, i)),
+			Num(float64(src.Intn(1000))),
+			Num(float64(src.Intn(1000))),
+			Num(float64(src.Intn(1000))),
+			Num(float64(src.Intn(1000))),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

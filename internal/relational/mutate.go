@@ -1,0 +1,67 @@
+package relational
+
+import (
+	"fmt"
+
+	"infosleuth/internal/constraint"
+)
+
+// Update replaces the row with the given key. It fails on keyless tables,
+// missing keys, or rows that do not satisfy the schema. The new row's key
+// must equal the old one.
+func (t *Table) Update(key constraint.Value, r Row) error {
+	if t.byKey == nil {
+		return fmt.Errorf("relational: table %q has no key; update unsupported", t.schema.Name)
+	}
+	if len(r) != len(t.schema.Columns) {
+		return fmt.Errorf("relational: table %q expects %d values, got %d", t.schema.Name, len(t.schema.Columns), len(r))
+	}
+	ki := t.schema.ColIndex(t.schema.Key)
+	if !r[ki].Equal(key) {
+		return fmt.Errorf("relational: table %q update cannot change key %s to %s", t.schema.Name, key, r[ki])
+	}
+	for i, v := range r {
+		want := t.schema.Columns[i].Type
+		got := TypeString
+		if v.Kind() == constraint.KindNumber {
+			got = TypeNumber
+		}
+		if got != want {
+			return fmt.Errorf("relational: table %q column %q wants %s, got %s",
+				t.schema.Name, t.schema.Columns[i].Name, want, got)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.byKey[key.String()]
+	if !ok {
+		return fmt.Errorf("relational: table %q has no row with key %s", t.schema.Name, key)
+	}
+	t.rows[i] = append(Row(nil), r...)
+	return nil
+}
+
+// Delete removes the row with the given key; it reports whether a row was
+// removed. It fails silently (false) on keyless tables.
+func (t *Table) Delete(key constraint.Value) bool {
+	if t.byKey == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.byKey[key.String()]
+	if !ok {
+		return false
+	}
+	last := len(t.rows) - 1
+	if i != last {
+		// Move the last row into the hole and fix its index.
+		t.rows[i] = t.rows[last]
+		ki := t.schema.ColIndex(t.schema.Key)
+		t.byKey[t.rows[i][ki].String()] = i
+	}
+	t.rows[last] = nil
+	t.rows = t.rows[:last]
+	delete(t.byKey, key.String())
+	return true
+}

@@ -1,0 +1,265 @@
+package relational
+
+import (
+	"testing"
+
+	"infosleuth/internal/constraint"
+)
+
+func patientSchema() Schema {
+	return Schema{
+		Name: "patient",
+		Columns: []Column{
+			{Name: "patient_id", Type: TypeString},
+			{Name: "patient_age", Type: TypeNumber},
+			{Name: "region", Type: TypeString},
+		},
+		Key: "patient_id",
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		schema  Schema
+		wantErr bool
+	}{
+		{"valid", patientSchema(), false},
+		{"no name", Schema{Columns: []Column{{Name: "a"}}}, true},
+		{"no columns", Schema{Name: "t"}, true},
+		{"duplicate column", Schema{Name: "t", Columns: []Column{{Name: "a"}, {Name: "A"}}}, true},
+		{"unnamed column", Schema{Name: "t", Columns: []Column{{}}}, true},
+		{"bad key", Schema{Name: "t", Columns: []Column{{Name: "a"}}, Key: "zz"}, true},
+		{"no key ok", Schema{Name: "t", Columns: []Column{{Name: "a"}}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.schema.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTableInsertTypeChecks(t *testing.T) {
+	tbl := MustNewTable(patientSchema())
+	if err := tbl.Insert(Row{Str("P1"), Num(44), Str("Dallas")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(Row{Str("P2"), Str("not a number"), Str("Dallas")}); err == nil {
+		t.Error("type mismatch should be rejected")
+	}
+	if err := tbl.Insert(Row{Str("P3"), Num(1)}); err == nil {
+		t.Error("arity mismatch should be rejected")
+	}
+	if err := tbl.Insert(Row{Str("P1"), Num(50), Str("Austin")}); err == nil {
+		t.Error("duplicate key should be rejected")
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	tbl := MustNewTable(patientSchema())
+	tbl.MustInsert(Row{Str("P1"), Num(44), Str("Dallas")})
+	r, ok := tbl.Lookup(Str("P1"))
+	if !ok {
+		t.Fatal("Lookup missed existing key")
+	}
+	if !r[1].Equal(Num(44)) {
+		t.Errorf("Lookup row = %v", r)
+	}
+	if _, ok := tbl.Lookup(Str("P9")); ok {
+		t.Error("Lookup hit missing key")
+	}
+	// Mutating the returned row must not affect the table.
+	r[1] = Num(99)
+	r2, _ := tbl.Lookup(Str("P1"))
+	if !r2[1].Equal(Num(44)) {
+		t.Error("Lookup leaked internal row storage")
+	}
+}
+
+func TestTableScanStops(t *testing.T) {
+	tbl := MustNewTable(Schema{Name: "t", Columns: []Column{{Name: "a", Type: TypeNumber}}})
+	for i := 0; i < 10; i++ {
+		tbl.MustInsert(Row{Num(float64(i))})
+	}
+	count := 0
+	tbl.Scan(func(Row) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("scan visited %d rows, want 3", count)
+	}
+}
+
+func TestTableRecord(t *testing.T) {
+	tbl := MustNewTable(patientSchema())
+	rec := tbl.Record(Row{Str("P1"), Num(44), Str("Dallas")})
+	if v, ok := rec["patient.patient_age"]; !ok || !v.Equal(Num(44)) {
+		t.Errorf("qualified record key missing: %v", rec)
+	}
+	if v, ok := rec["patient_age"]; !ok || !v.Equal(Num(44)) {
+		t.Errorf("bare record key missing: %v", rec)
+	}
+	// Constraint matching end to end.
+	cs := constraint.MustParse("patient.patient_age between 25 and 65")
+	if !cs.Matches(rec) {
+		t.Error("constraint should match record")
+	}
+}
+
+func TestDatabaseCreateAttach(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.Create(patientSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Create(patientSchema()); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	other := MustNewTable(Schema{Name: "Patient", Columns: []Column{{Name: "x", Type: TypeNumber}}})
+	if err := db.Attach(other); err == nil {
+		t.Error("case-insensitive duplicate attach should fail")
+	}
+	if _, ok := db.Table("PATIENT"); !ok {
+		t.Error("table lookup should be case-insensitive")
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != "patient" {
+		t.Errorf("Tables = %v", got)
+	}
+}
+
+func TestVerticalFragment(t *testing.T) {
+	tbl := MustNewTable(patientSchema())
+	tbl.MustInsert(Row{Str("P1"), Num(44), Str("Dallas")})
+	tbl.MustInsert(Row{Str("P2"), Num(70), Str("Houston")})
+
+	frag, err := VerticalFragment(tbl, "patient_v1", []string{"region"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := frag.Schema()
+	if len(s.Columns) != 2 || s.Columns[0].Name != "patient_id" || s.Columns[1].Name != "region" {
+		t.Errorf("fragment columns = %v", s.ColNames())
+	}
+	if frag.Len() != 2 {
+		t.Errorf("fragment rows = %d, want 2", frag.Len())
+	}
+	r, ok := frag.Lookup(Str("P2"))
+	if !ok || !r[1].Equal(Str("Houston")) {
+		t.Errorf("fragment lookup = %v, %v", r, ok)
+	}
+	// Listing the key explicitly must not duplicate it.
+	frag2, err := VerticalFragment(tbl, "patient_v2", []string{"patient_id", "patient_age"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frag2.Schema().Columns) != 2 {
+		t.Errorf("fragment2 columns = %v", frag2.Schema().ColNames())
+	}
+	// Unknown column errors.
+	if _, err := VerticalFragment(tbl, "bad", []string{"nope"}); err == nil {
+		t.Error("unknown column should fail")
+	}
+	// Keyless table cannot fragment vertically.
+	nk := MustNewTable(Schema{Name: "nk", Columns: []Column{{Name: "a", Type: TypeNumber}}})
+	if _, err := VerticalFragment(nk, "f", []string{"a"}); err == nil {
+		t.Error("keyless vertical fragmentation should fail")
+	}
+}
+
+func TestHorizontalFragment(t *testing.T) {
+	tbl := MustNewTable(patientSchema())
+	tbl.MustInsert(Row{Str("P1"), Num(44), Str("Dallas")})
+	tbl.MustInsert(Row{Str("P2"), Num(80), Str("Houston")})
+	tbl.MustInsert(Row{Str("P3"), Num(60), Str("Dallas")})
+
+	cs := constraint.MustParse("patient.patient_age between 43 and 75")
+	frag, err := HorizontalFragment(tbl, "patient_4375", cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.Len() != 2 {
+		t.Errorf("fragment rows = %d, want 2 (P1, P3)", frag.Len())
+	}
+	if _, ok := frag.Lookup(Str("P2")); ok {
+		t.Error("P2 (age 80) should be excluded")
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	tbl := MustNewTable(patientSchema())
+	tbl.MustInsert(Row{Str("P1"), Num(44), Str("Dallas")})
+	tbl.MustInsert(Row{Str("P2"), Num(80), Str("Houston")})
+	lo, hi, ok := RangeBounds(tbl, "patient_age")
+	if !ok || lo != 44 || hi != 80 {
+		t.Errorf("RangeBounds = %v %v %v, want 44 80 true", lo, hi, ok)
+	}
+	if _, _, ok := RangeBounds(tbl, "region"); ok {
+		t.Error("non-numeric column should report !ok")
+	}
+	empty := MustNewTable(patientSchema())
+	if _, _, ok := RangeBounds(empty, "patient_age"); ok {
+		t.Error("empty table should report !ok")
+	}
+}
+
+func TestGenerateHealthcareDeterministic(t *testing.T) {
+	db1, db2 := NewDatabase(), NewDatabase()
+	if err := GenerateHealthcare(db1, 50, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateHealthcare(db2, 50, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"patient", "diagnosis", "hospital_stay"} {
+		t1, ok1 := db1.Table(name)
+		t2, ok2 := db2.Table(name)
+		if !ok1 || !ok2 {
+			t.Fatalf("table %s missing", name)
+		}
+		if t1.Len() != t2.Len() {
+			t.Errorf("%s: lengths differ %d vs %d", name, t1.Len(), t2.Len())
+		}
+	}
+	p, _ := db1.Table("patient")
+	if p.Len() != 50 {
+		t.Errorf("patients = %d, want 50", p.Len())
+	}
+	s, _ := db1.Table("hospital_stay")
+	if s.Len() != 17 {
+		t.Errorf("stays = %d, want 17 (every third of 50)", s.Len())
+	}
+	// Ages stay in the generator's documented 1..90 range.
+	lo, hi, ok := RangeBounds(p, "patient_age")
+	if !ok || lo < 1 || hi > 90 {
+		t.Errorf("age bounds = %v..%v", lo, hi)
+	}
+}
+
+func TestGenerateGeneric(t *testing.T) {
+	db := NewDatabase()
+	tbl, err := GenerateGeneric(db, "C2", 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 25 {
+		t.Errorf("rows = %d, want 25", tbl.Len())
+	}
+	if _, ok := db.Table("C2"); !ok {
+		t.Error("C2 not registered in database")
+	}
+	if db.TotalRows() != 25 {
+		t.Errorf("TotalRows = %d", db.TotalRows())
+	}
+	r, ok := tbl.Lookup(Str("C2-000000"))
+	if !ok {
+		t.Fatalf("key C2-000000 missing")
+	}
+	if r[0].Text() != "C2-000000" {
+		t.Errorf("key = %v", r[0])
+	}
+}

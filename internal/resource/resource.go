@@ -1,0 +1,311 @@
+// Package resource implements InfoSleuth resource agents: the back-end
+// proxies for structured repositories (Section 2.4). A resource agent
+// wraps a relational database, advertises its ontology fragment (classes,
+// visible slots, data constraints) and query capabilities to brokers, and
+// answers SQL queries over its data.
+package resource
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"infosleuth/internal/agent"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/oql"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/transport"
+)
+
+// Config configures a resource agent.
+type Config struct {
+	// Name is the agent name (e.g. "DB1 resource agent").
+	Name string
+	// Address, Transport, KnownBrokers, Redundancy, CallTimeout are the
+	// base agent knobs.
+	Address      string
+	Transport    transport.Transport
+	KnownBrokers []string
+	Redundancy   int
+	CallTimeout  time.Duration
+
+	// DB is the repository the agent proxies; required.
+	DB *relational.Database
+	// Fragment describes the ontology portion this agent serves
+	// (advertised to brokers); required.
+	Fragment ontology.Fragment
+	// Capabilities advertised; nil means relational query processing.
+	Capabilities []string
+	// ContentLanguages lists the query languages this agent accepts;
+	// nil means SQL 2.0 only. Supported values: ontology.LangSQL2 and
+	// ontology.LangOQL (the paper's Section 2.3 syntactic-brokering
+	// example: semantically identical agents differing only in language).
+	ContentLanguages []string
+	// World, when set, enables class-hierarchy query rewriting: a query
+	// over a superclass is answered from a served subclass table,
+	// projected onto the superclass slots (the paper's CH streams).
+	World *ontology.World
+	// EstimatedResponseSec is the advertised response-time property.
+	EstimatedResponseSec float64
+	// QueryDelayPerRow, when positive, sleeps this long per stored row
+	// on every query — the paper's resource model ("1 second per
+	// megabyte of data") scaled down for live experiments.
+	QueryDelayPerRow time.Duration
+}
+
+// Agent is a resource agent.
+type Agent struct {
+	*agent.Base
+	cfg Config
+
+	// Subscription state (see subscribe.go); lazily initialized.
+	subMu    sync.Mutex
+	subState *subscriptions
+}
+
+// New creates a resource agent; call Start, then Advertise.
+func New(cfg Config) (*Agent, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("resource: config missing DB")
+	}
+	if cfg.Fragment.Ontology == "" || len(cfg.Fragment.Classes) == 0 {
+		return nil, fmt.Errorf("resource: config missing Fragment ontology/classes")
+	}
+	for _, class := range cfg.Fragment.Classes {
+		if _, ok := cfg.DB.Table(class); !ok {
+			return nil, fmt.Errorf("resource %s: advertised class %q has no table", cfg.Name, class)
+		}
+	}
+	if cfg.Capabilities == nil {
+		cfg.Capabilities = []string{ontology.CapRelationalQueryProcessing}
+	}
+	if cfg.ContentLanguages == nil {
+		cfg.ContentLanguages = []string{ontology.LangSQL2}
+	}
+	base, err := agent.New(agent.Config{
+		Name:         cfg.Name,
+		Address:      cfg.Address,
+		Transport:    cfg.Transport,
+		KnownBrokers: cfg.KnownBrokers,
+		Redundancy:   cfg.Redundancy,
+		CallTimeout:  cfg.CallTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{Base: base, cfg: cfg}
+	base.Handler = a.handle
+	base.AdBuilder = a.buildAd
+	return a, nil
+}
+
+func (a *Agent) buildAd(addr string) *ontology.Advertisement {
+	frag := a.cfg.Fragment
+	frag.Classes = append([]string(nil), a.cfg.Fragment.Classes...)
+	frag.Constraints = a.cfg.Fragment.Constraints.Clone()
+	return &ontology.Advertisement{
+		Name:             a.cfg.Name,
+		Address:          addr,
+		Type:             ontology.TypeResource,
+		CommLanguages:    []string{ontology.LangKQML},
+		ContentLanguages: append([]string(nil), a.cfg.ContentLanguages...),
+		Conversations:    []string{ontology.ConvAskAll, ontology.ConvSubscribe, ontology.ConvUpdate},
+		Capabilities:     append([]string(nil), a.cfg.Capabilities...),
+		Content:          []ontology.Fragment{frag},
+		Properties: ontology.Properties{
+			EstimatedResponseSec: a.cfg.EstimatedResponseSec,
+		},
+	}
+}
+
+// Advertisement returns the agent's current advertisement.
+func (a *Agent) Advertisement() *ontology.Advertisement { return a.buildAd(a.Addr()) }
+
+// DB exposes the backing database (examples and tests).
+func (a *Agent) DB() *relational.Database { return a.cfg.DB }
+
+func (a *Agent) handle(msg *kqml.Message) *kqml.Message {
+	switch msg.Performative {
+	case kqml.AskAll, kqml.AskOne:
+		return a.handleQuery(msg)
+	case kqml.Subscribe:
+		return a.handleSubscribe(msg)
+	case kqml.Unadvertise:
+		// A subscriber cancels its standing query by unadvertising the
+		// subscription id.
+		var sc kqml.SorryContent
+		if err := msg.DecodeContent(&sc); err == nil && a.unsubscribe(sc.Reason) {
+			return a.Reply(msg, kqml.Tell, &kqml.SorryContent{Reason: "unsubscribed"})
+		}
+		return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{Reason: "unknown subscription"})
+	default:
+		return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{
+			Reason: fmt.Sprintf("resource agent does not handle %s", msg.Performative),
+		})
+	}
+}
+
+// InsertRow adds a row to one of the agent's tables and pushes update
+// notifications to affected subscribers.
+func (a *Agent) InsertRow(ctx context.Context, class string, row relational.Row) error {
+	tbl, ok := a.cfg.DB.Table(class)
+	if !ok {
+		return fmt.Errorf("resource %s: no table %q", a.cfg.Name, class)
+	}
+	if err := tbl.Insert(row); err != nil {
+		return err
+	}
+	a.NotifyChanged(ctx)
+	return nil
+}
+
+func (a *Agent) handleQuery(msg *kqml.Message) *kqml.Message {
+	var sq kqml.SQLQuery
+	if err := msg.DecodeContent(&sq); err != nil {
+		return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: "malformed query content"})
+	}
+	lang := msg.Language
+	if lang == "" {
+		lang = a.cfg.ContentLanguages[0]
+	}
+	res, err := a.RunIn(lang, sq.SQL)
+	if err != nil {
+		return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: err.Error()})
+	}
+	return a.Reply(msg, kqml.Tell, &kqml.SQLResult{Columns: res.Columns, Rows: res.Rows})
+}
+
+// Run executes one query in the agent's primary content language.
+func (a *Agent) Run(query string) (*sqlparse.Result, error) {
+	return a.RunIn(a.cfg.ContentLanguages[0], query)
+}
+
+// RunIn parses a query in the named content language (SQL 2.0 or OQL) and
+// executes it against the agent's data, after checking the statement stays
+// inside the advertised capability lattice and classes. A language the
+// agent did not advertise is rejected — the syntactic half of the paper's
+// brokering: a mis-brokered agent "will be unable to understand the
+// message it receives".
+func (a *Agent) RunIn(language, query string) (*sqlparse.Result, error) {
+	if !a.speaks(language) {
+		return nil, fmt.Errorf("resource %s: content language %q not supported (speaks %s)",
+			a.cfg.Name, language, strings.Join(a.cfg.ContentLanguages, ", "))
+	}
+	var stmt *sqlparse.Select
+	var err error
+	switch {
+	case strings.EqualFold(language, ontology.LangOQL):
+		stmt, err = oql.Parse(query)
+	default:
+		stmt, err = sqlparse.Parse(query)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Capability check: the statement's Figure 2 requirements must be
+	// subsumed by an advertised capability (the paper's
+	// myRelationalQueryAgent "cannot do any statistical aggregation"
+	// style restriction).
+	h := ontology.DefaultHierarchy()
+	for _, need := range stmt.Capabilities() {
+		if !h.Satisfies(a.cfg.Capabilities, need) {
+			return nil, fmt.Errorf("resource %s: query needs capability %q beyond advertisement", a.cfg.Name, need)
+		}
+	}
+	// Class check: only advertised classes are queryable — directly, or
+	// through the class hierarchy (a query over C2 is answered from a
+	// served C2a fragment, projected onto C2's slots).
+	for _, table := range stmt.Tables() {
+		if a.servesClass(table) {
+			continue
+		}
+		sub, ok := a.servedSubclassOf(table)
+		if !ok {
+			return nil, fmt.Errorf("resource %s: class %q not served", a.cfg.Name, table)
+		}
+		stmt = rewriteForSubclass(stmt, table, sub, a.superclassSlots(table, sub))
+	}
+	if d := a.cfg.QueryDelayPerRow; d > 0 {
+		time.Sleep(time.Duration(a.cfg.DB.TotalRows()) * d)
+	}
+	return sqlparse.Execute(a.cfg.DB, stmt)
+}
+
+// servedSubclassOf finds a served class that is a subclass of the request.
+func (a *Agent) servedSubclassOf(class string) (string, bool) {
+	if a.cfg.World == nil {
+		return "", false
+	}
+	ont := a.cfg.World.Ontology(a.cfg.Fragment.Ontology)
+	if ont == nil {
+		return "", false
+	}
+	for _, served := range a.cfg.Fragment.Classes {
+		if served != class && ont.IsSubclassOf(served, class) {
+			return served, true
+		}
+	}
+	return "", false
+}
+
+// superclassSlots returns the requested class's slots restricted to the
+// columns the subclass table actually has.
+func (a *Agent) superclassSlots(super, sub string) []string {
+	ont := a.cfg.World.Ontology(a.cfg.Fragment.Ontology)
+	tbl, ok := a.cfg.DB.Table(sub)
+	if !ok || ont == nil {
+		return nil
+	}
+	var out []string
+	for _, s := range ont.SlotsOf(super) {
+		if tbl.Schema().ColIndex(s) >= 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// rewriteForSubclass retargets references to a superclass table onto the
+// served subclass, and narrows a SELECT * to the superclass's slots so
+// unioning across sibling subclasses yields uniform columns.
+func rewriteForSubclass(stmt *sqlparse.Select, super, sub string, slots []string) *sqlparse.Select {
+	for cur := stmt; cur != nil; cur = cur.Union {
+		changed := false
+		for i := range cur.From {
+			if strings.EqualFold(cur.From[i].Name, super) {
+				cur.From[i].Name = sub
+				changed = true
+			}
+		}
+		if changed && cur.Star && len(slots) > 0 {
+			cur.Star = false
+			for _, s := range slots {
+				cur.Columns = append(cur.Columns, sqlparse.ColRef{Column: s})
+			}
+		}
+	}
+	return stmt
+}
+
+// speaks reports whether the agent advertised the content language.
+func (a *Agent) speaks(language string) bool {
+	for _, l := range a.cfg.ContentLanguages {
+		if strings.EqualFold(l, language) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Agent) servesClass(class string) bool {
+	for _, c := range a.cfg.Fragment.Classes {
+		if strings.EqualFold(c, class) {
+			return true
+		}
+	}
+	return false
+}

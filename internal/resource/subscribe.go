@@ -1,0 +1,151 @@
+package resource
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/sqlparse"
+)
+
+// subscription is one standing query registered by a subscriber.
+type subscription struct {
+	id       string
+	sql      string
+	name     string
+	addr     string
+	lastHash string
+}
+
+// subscriptions tracks a resource agent's standing queries; lazily
+// initialized on the first subscribe.
+type subscriptions struct {
+	mu   sync.Mutex
+	next int
+	byID map[string]*subscription
+}
+
+func (a *Agent) subs() *subscriptions {
+	a.subMu.Lock()
+	defer a.subMu.Unlock()
+	if a.subState == nil {
+		a.subState = &subscriptions{byID: make(map[string]*subscription)}
+	}
+	return a.subState
+}
+
+// handleSubscribe registers a standing query (the subscribe conversation
+// the agent advertises) and returns the current answer as the baseline.
+func (a *Agent) handleSubscribe(msg *kqml.Message) *kqml.Message {
+	var sc kqml.SubscribeContent
+	if err := msg.DecodeContent(&sc); err != nil || sc.SQL == "" || sc.SubscriberAddress == "" {
+		return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: "malformed subscription"})
+	}
+	res, err := a.Run(sc.SQL)
+	if err != nil {
+		return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: err.Error()})
+	}
+	s := a.subs()
+	s.mu.Lock()
+	s.next++
+	sub := &subscription{
+		id:       fmt.Sprintf("%s-sub-%d", a.Name(), s.next),
+		sql:      sc.SQL,
+		name:     sc.SubscriberName,
+		addr:     sc.SubscriberAddress,
+		lastHash: resultHash(res),
+	}
+	s.byID[sub.id] = sub
+	s.mu.Unlock()
+	return a.Reply(msg, kqml.Tell, &kqml.SubscribeAck{
+		ID:      sub.id,
+		Initial: kqml.SQLResult{Columns: res.Columns, Rows: res.Rows},
+	})
+}
+
+// unsubscribe removes a standing query by id; it reports whether the id
+// existed. Subscribers cancel by sending unadvertise with the id.
+func (a *Agent) unsubscribe(id string) bool {
+	s := a.subs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[id]; !ok {
+		return false
+	}
+	delete(s.byID, id)
+	return true
+}
+
+// Subscriptions returns the active subscription ids, for inspection.
+func (a *Agent) Subscriptions() []string {
+	s := a.subs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byID))
+	for id := range s.byID {
+		out = append(out, id)
+	}
+	return out
+}
+
+// NotifyChanged re-evaluates every standing query and sends an update
+// notification to each subscriber whose answer changed. Call it after
+// mutating the agent's data. It returns the number of notifications sent.
+func (a *Agent) NotifyChanged(ctx context.Context) int {
+	s := a.subs()
+	s.mu.Lock()
+	subs := make([]*subscription, 0, len(s.byID))
+	for _, sub := range s.byID {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+
+	sent := 0
+	for _, sub := range subs {
+		res, err := a.Run(sub.sql)
+		if err != nil {
+			continue
+		}
+		h := resultHash(res)
+		s.mu.Lock()
+		changed := h != sub.lastHash
+		if changed {
+			sub.lastHash = h
+		}
+		s.mu.Unlock()
+		if !changed {
+			continue
+		}
+		msg := kqml.New(kqml.Update, a.Name(), &kqml.UpdateContent{
+			SubscriptionID: sub.id,
+			SQL:            sub.sql,
+			Result:         kqml.SQLResult{Columns: res.Columns, Rows: res.Rows},
+		})
+		msg.Receiver = sub.name
+		if _, err := a.Call(ctx, sub.addr, msg); err == nil {
+			sent++
+		}
+	}
+	return sent
+}
+
+// resultHash fingerprints a result for change detection; row order is
+// normalized out via a commutative combination.
+func resultHash(res *sqlparse.Result) string {
+	if res == nil {
+		return ""
+	}
+	var acc uint64
+	for _, row := range res.Rows {
+		var h uint64 = 14695981039346656037
+		for _, v := range row {
+			for _, b := range []byte(v.String()) {
+				h = (h ^ uint64(b)) * 1099511628211
+			}
+			h = (h ^ 0x1f) * 1099511628211
+		}
+		acc += h
+	}
+	return fmt.Sprintf("%d:%d:%x", len(res.Rows), len(res.Columns), acc)
+}

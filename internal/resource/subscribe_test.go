@@ -1,0 +1,234 @@
+package resource
+
+import (
+	"context"
+	"testing"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/transport"
+)
+
+// collector is a bare listener that records update notifications.
+type collector struct {
+	addr    string
+	updates []kqml.UpdateContent
+}
+
+func newCollector(t *testing.T, tr transport.Transport) *collector {
+	t.Helper()
+	c := &collector{}
+	l, err := tr.Listen("", func(msg *kqml.Message) *kqml.Message {
+		var uc kqml.UpdateContent
+		if err := msg.DecodeContent(&uc); err == nil {
+			c.updates = append(c.updates, uc)
+		}
+		return kqml.New(kqml.Tell, "collector", &kqml.SorryContent{Reason: "noted"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	c.addr = l.Addr()
+	return c
+}
+
+func subscribe(t *testing.T, tr transport.Transport, ra *Agent, subAddr, sql string) kqml.SubscribeAck {
+	t.Helper()
+	msg := kqml.New(kqml.Subscribe, "collector", &kqml.SubscribeContent{
+		SQL:               sql,
+		SubscriberName:    "collector",
+		SubscriberAddress: subAddr,
+	})
+	reply, err := tr.Call(context.Background(), ra.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Tell {
+		t.Fatalf("subscribe = %s: %s", reply.Performative, kqml.ReasonOf(reply))
+	}
+	var ack kqml.SubscribeAck
+	if err := reply.DecodeContent(&ack); err != nil {
+		t.Fatal(err)
+	}
+	return ack
+}
+
+func TestSubscribeBaselineAndNotify(t *testing.T) {
+	ctx := context.Background()
+	ra, tr := newResource(t)
+	col := newCollector(t, tr)
+
+	ack := subscribe(t, tr, ra, col.addr, "SELECT * FROM C2")
+	if len(ack.Initial.Rows) != 20 {
+		t.Errorf("baseline rows = %d, want 20", len(ack.Initial.Rows))
+	}
+	if ack.ID == "" {
+		t.Fatal("missing subscription id")
+	}
+
+	// A change notifies the collector with the new result.
+	err := ra.InsertRow(ctx, "C2", relational.Row{
+		relational.Str("C2-x"), relational.Num(1), relational.Num(2), relational.Num(3), relational.Num(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.updates) != 1 {
+		t.Fatalf("updates = %d", len(col.updates))
+	}
+	if col.updates[0].SubscriptionID != ack.ID || len(col.updates[0].Result.Rows) != 21 {
+		t.Errorf("update = %+v", col.updates[0])
+	}
+
+	// Cancel via unadvertise with the subscription id.
+	cancel := kqml.New(kqml.Unadvertise, "collector", &kqml.SorryContent{Reason: ack.ID})
+	reply, err := tr.Call(ctx, ra.Addr(), cancel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Tell {
+		t.Fatalf("cancel = %s", reply.Performative)
+	}
+	if len(ra.Subscriptions()) != 0 {
+		t.Error("subscription not removed")
+	}
+	// Cancelling again is a sorry.
+	reply, _ = tr.Call(ctx, ra.Addr(), cancel)
+	if reply.Performative != kqml.Sorry {
+		t.Errorf("double cancel = %s", reply.Performative)
+	}
+}
+
+func TestNotifyChangedSkipsDeadSubscriber(t *testing.T) {
+	ctx := context.Background()
+	ra, tr := newResource(t)
+	col := newCollector(t, tr)
+	subscribe(t, tr, ra, col.addr, "SELECT * FROM C2")
+	// A second subscription whose endpoint never listens: it counts as
+	// registered, but its notification delivery fails silently.
+	subscribe(t, tr, ra, "inproc://gone", "SELECT id FROM C2")
+	if len(ra.Subscriptions()) != 2 {
+		t.Fatalf("subscriptions = %d", len(ra.Subscriptions()))
+	}
+	err := ra.InsertRow(ctx, "C2", relational.Row{
+		relational.Str("C2-y"), relational.Num(1), relational.Num(2), relational.Num(3), relational.Num(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.updates) != 1 {
+		t.Errorf("live subscriber updates = %d, want 1", len(col.updates))
+	}
+}
+
+func TestSubscribeRespectsCapabilities(t *testing.T) {
+	ra, tr := newResource(t)
+	msg := kqml.New(kqml.Subscribe, "x", &kqml.SubscribeContent{
+		SQL:               "SELECT COUNT(*) FROM C2",
+		SubscriberName:    "x",
+		SubscriberAddress: "inproc://x",
+	})
+	reply, err := tr.Call(context.Background(), ra.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Error {
+		t.Errorf("aggregate standing query beyond capabilities = %s, want error", reply.Performative)
+	}
+}
+
+func TestInsertRowUnknownClass(t *testing.T) {
+	ra, _ := newResource(t)
+	err := ra.InsertRow(context.Background(), "C9", relational.Row{relational.Str("x")})
+	if err == nil {
+		t.Error("insert into unknown class should fail")
+	}
+}
+
+func TestSubclassRewriteDirect(t *testing.T) {
+	// A resource serving C2a answers queries over C2, projected onto
+	// C2's slots.
+	tr := transport.NewInProc()
+	db := relational.NewDatabase()
+	tbl, err := db.Create(relational.Schema{
+		Name: "C2a",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.TypeString},
+			{Name: "a", Type: relational.TypeNumber},
+			{Name: "b", Type: relational.TypeNumber},
+			{Name: "c", Type: relational.TypeNumber},
+			{Name: "d", Type: relational.TypeNumber},
+			{Name: "e", Type: relational.TypeNumber},
+		},
+		Key: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		tbl.MustInsert(relational.Row{
+			relational.Str(string(rune('a' + i))), relational.Num(float64(i)),
+			relational.Num(0), relational.Num(0), relational.Num(0), relational.Num(99),
+		})
+	}
+	ra, err := New(Config{
+		Name: "SubRA", Transport: tr, DB: db,
+		Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C2a"}},
+		World:    ontology.NewWorld(ontology.Generic()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ra.Stop() })
+
+	// SELECT * over the superclass projects onto C2's slots (id,a,b,c,d
+	// — no e).
+	res, err := ra.Run("SELECT * FROM C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 || len(res.Columns) != 5 {
+		t.Errorf("rewritten result = %d rows x %v", res.Len(), res.Columns)
+	}
+	for _, c := range res.Columns {
+		if c == "e" {
+			t.Error("subclass-only slot leaked into superclass projection")
+		}
+	}
+	// Conditions on superclass slots work through the rewrite.
+	res, err = ra.Run("SELECT id FROM C2 WHERE a >= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("filtered rewrite rows = %d", res.Len())
+	}
+	// The subclass itself stays directly queryable, including e.
+	res, err = ra.Run("SELECT e FROM C2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Errorf("direct subclass rows = %d", res.Len())
+	}
+	// Without a world, superclass queries fail.
+	raNoWorld, err := New(Config{
+		Name: "NoWorld", Transport: tr, DB: db,
+		Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C2a"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := raNoWorld.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { raNoWorld.Stop() })
+	if _, err := raNoWorld.Run("SELECT * FROM C2"); err == nil {
+		t.Error("superclass query without a world should fail")
+	}
+}

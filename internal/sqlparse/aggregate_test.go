@@ -1,0 +1,167 @@
+package sqlparse
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"infosleuth/internal/constraint"
+)
+
+func TestCountStar(t *testing.T) {
+	db := testDB(t)
+	res := run(t, db, "SELECT COUNT(*) FROM patient")
+	if res.Len() != 1 || !res.Rows[0][0].Equal(constraint.Num(4)) {
+		t.Errorf("COUNT(*) = %v", res.Rows)
+	}
+	if res.Columns[0] != "COUNT(*)" {
+		t.Errorf("column = %q", res.Columns[0])
+	}
+}
+
+func TestCountWithWhere(t *testing.T) {
+	db := testDB(t)
+	res := run(t, db, "SELECT COUNT(*) FROM patient WHERE patient_age > 50")
+	if !res.Rows[0][0].Equal(constraint.Num(2)) {
+		t.Errorf("filtered count = %v", res.Rows[0][0])
+	}
+	// Empty input still yields one zero row.
+	res = run(t, db, "SELECT COUNT(*) FROM patient WHERE patient_age > 500")
+	if res.Len() != 1 || !res.Rows[0][0].Equal(constraint.Num(0)) {
+		t.Errorf("empty count = %v", res.Rows)
+	}
+}
+
+func TestSumAvgMinMax(t *testing.T) {
+	db := testDB(t)
+	// Ages: 44, 80, 60, 30.
+	res := run(t, db, "SELECT SUM(patient_age), AVG(patient_age), MIN(patient_age), MAX(patient_age) FROM patient")
+	want := []float64{214, 53.5, 30, 80}
+	for i, w := range want {
+		if got := res.Rows[0][i].Number(); math.Abs(got-w) > 1e-9 {
+			t.Errorf("agg %s = %v, want %v", res.Columns[i], got, w)
+		}
+	}
+}
+
+func TestMinMaxStrings(t *testing.T) {
+	db := testDB(t)
+	res := run(t, db, "SELECT MIN(region), MAX(region) FROM patient")
+	if res.Rows[0][0].Text() != "Austin" || res.Rows[0][1].Text() != "Houston" {
+		t.Errorf("string min/max = %v", res.Rows[0])
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := testDB(t)
+	res := run(t, db, "SELECT region, COUNT(*) FROM patient GROUP BY region")
+	if res.Len() != 3 {
+		t.Fatalf("groups = %d, want 3 (Austin, Dallas, Houston)", res.Len())
+	}
+	counts := map[string]float64{}
+	for _, row := range res.Rows {
+		counts[row[0].Text()] = row[1].Number()
+	}
+	want := map[string]float64{"Dallas": 2, "Houston": 1, "Austin": 1}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("group counts = %v", counts)
+	}
+	// Sorted group order for determinism.
+	if res.Rows[0][0].Text() != "Austin" {
+		t.Errorf("first group = %v, want Austin (sorted)", res.Rows[0][0])
+	}
+}
+
+func TestGroupByWithJoin(t *testing.T) {
+	db := testDB(t)
+	res := run(t, db, "SELECT d.diagnosis_code, SUM(d.cost) FROM patient p, diagnosis d WHERE p.patient_id = d.patient_id GROUP BY d.diagnosis_code")
+	if res.Len() != 3 {
+		t.Fatalf("groups = %d: %v", res.Len(), res.Rows)
+	}
+	sums := map[string]float64{}
+	for _, row := range res.Rows {
+		sums[row[0].Text()] = row[1].Number()
+	}
+	if sums["40W"] != 2500 { // 1000 (P1) + 1500 (P3)
+		t.Errorf("SUM for 40W = %v", sums["40W"])
+	}
+}
+
+func TestAggregateCapabilities(t *testing.T) {
+	caps := MustParse("SELECT COUNT(*) FROM patient").Capabilities()
+	found := false
+	for _, c := range caps {
+		if c == "statistical aggregation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("aggregate query capabilities = %v, want statistical aggregation", caps)
+	}
+	for _, c := range MustParse("SELECT * FROM patient").Capabilities() {
+		if c == "statistical aggregation" {
+			t.Error("plain query should not need aggregation")
+		}
+	}
+}
+
+func TestAggregateParseErrors(t *testing.T) {
+	for _, q := range []string{
+		"SELECT SUM(*) FROM t",
+		"SELECT COUNT( FROM t",
+		"SELECT region, COUNT(*) FROM t",                // non-grouped plain column
+		"SELECT region, COUNT(*) FROM t GROUP BY other", // plain column != group column
+		"SELECT * FROM t GROUP BY region",               // GROUP BY without aggregates
+		"SELECT COUNT(*) FROM a UNION SELECT COUNT(*) FROM b",
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestAggregateStringRoundTrip(t *testing.T) {
+	for _, q := range []string{
+		"SELECT COUNT(*) FROM patient",
+		"SELECT region, AVG(patient_age) FROM patient GROUP BY region",
+		"SELECT MIN(cost), MAX(cost) FROM diagnosis WHERE cost > 100",
+	} {
+		s1 := MustParse(q)
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("round trip of %q -> %q: %v", q, s1.String(), err)
+		}
+		if s1.String() != s2.String() {
+			t.Errorf("drift: %q -> %q", s1.String(), s2.String())
+		}
+	}
+}
+
+func TestColumnNamedCountIsNotAggregate(t *testing.T) {
+	// "count" without parentheses is an ordinary column name.
+	db := testDB(t)
+	if _, err := Parse("SELECT count FROM patient"); err != nil {
+		t.Fatalf("bare count column: %v", err)
+	}
+	// It fails at execution only because the column doesn't exist.
+	stmt := MustParse("SELECT count FROM patient")
+	if _, err := Execute(db, stmt); err == nil {
+		t.Error("nonexistent column should fail at execution")
+	}
+}
+
+func TestResourceCapabilityBlocksAggregation(t *testing.T) {
+	// The Section 1 scenario end to end is covered in the resource
+	// package; here we check the statement's requirement is not
+	// satisfied by relational query processing alone.
+	caps := MustParse("SELECT AVG(cost) FROM diagnosis").Capabilities()
+	hasAgg := false
+	for _, c := range caps {
+		if c == "statistical aggregation" {
+			hasAgg = true
+		}
+	}
+	if !hasAgg {
+		t.Fatal("aggregation requirement missing")
+	}
+}

@@ -1,0 +1,272 @@
+// Package sqlparse implements the SQL 2.0 subset that InfoSleuth resource
+// agents advertise and execute: SELECT with projection, selection
+// (conjunctive WHERE), joins and UNION — exactly the relational capability
+// lattice of the paper's Figure 2 (select / project / join / union under
+// relational query processing).
+//
+// The package provides the AST, a recursive-descent parser, a capability
+// analyzer (mapping a query onto Figure 2 capability names, so agents can
+// check a query against what they advertised), and an executor over
+// relational.Database.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"infosleuth/internal/constraint"
+)
+
+// ColRef names a column, optionally qualified by table or alias.
+type ColRef struct {
+	Table  string // "" if unqualified
+	Column string
+}
+
+// String renders the reference.
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// TableRef names a table in the FROM clause with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Binding returns the name the table is referred to by in conditions.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// String renders the reference.
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// CompareOp is a comparison operator in a WHERE condition.
+type CompareOp string
+
+// Comparison operators.
+const (
+	OpEq CompareOp = "="
+	OpNe CompareOp = "<>"
+	OpLt CompareOp = "<"
+	OpLe CompareOp = "<="
+	OpGt CompareOp = ">"
+	OpGe CompareOp = ">="
+)
+
+// Cond is one conjunct of the WHERE clause: column-vs-literal or
+// column-vs-column (the latter expressing join conditions).
+type Cond struct {
+	Left ColRef
+	Op   CompareOp
+	// Exactly one of RightCol / RightVal is used; RightIsCol selects.
+	RightIsCol bool
+	RightCol   ColRef
+	RightVal   constraint.Value
+	// Between marks a BETWEEN condition; RightVal is the low bound and
+	// HighVal the high bound, Op is ignored.
+	Between bool
+	HighVal constraint.Value
+}
+
+// String renders the condition.
+func (c Cond) String() string {
+	if c.Between {
+		return fmt.Sprintf("%s BETWEEN %s AND %s", c.Left, c.RightVal, c.HighVal)
+	}
+	if c.RightIsCol {
+		return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.RightCol)
+	}
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.RightVal)
+}
+
+// Select is a SELECT statement, possibly UNIONed with another.
+type Select struct {
+	// Star selects all columns; otherwise Columns lists the projection.
+	Star    bool
+	Columns []ColRef
+	// Aggs lists aggregate select items (COUNT/SUM/AVG/MIN/MAX); when
+	// non-empty the statement is an aggregate query and Columns may only
+	// repeat the GroupBy column.
+	Aggs []Aggregate
+	// GroupBy optionally groups an aggregate query by one column.
+	GroupBy ColRef
+	From    []TableRef
+	Where   []Cond
+	// OrderBy optionally sorts the final result by one output column.
+	OrderBy   string
+	OrderDesc bool
+	// Union chains the next SELECT; SQL UNION semantics (duplicates
+	// eliminated across the whole chain).
+	Union *Select
+}
+
+// Tables returns the distinct table names referenced anywhere in the
+// statement (including UNION branches), in first-appearance order. The MRQ
+// agent uses this to discover which ontology classes a user query needs
+// (the paper's "looks at the query to determine which classes are required").
+func (s *Select) Tables() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for cur := s; cur != nil; cur = cur.Union {
+		for _, tr := range cur.From {
+			key := strings.ToLower(tr.Name)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, tr.Name)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the statement back to SQL.
+func (s *Select) String() string {
+	var b strings.Builder
+	for cur := s; cur != nil; cur = cur.Union {
+		if cur != s {
+			b.WriteString(" UNION ")
+		}
+		b.WriteString("SELECT ")
+		switch {
+		case cur.Star:
+			b.WriteString("*")
+		default:
+			parts := make([]string, 0, len(cur.Columns)+len(cur.Aggs))
+			for _, c := range cur.Columns {
+				parts = append(parts, c.String())
+			}
+			for _, a := range cur.Aggs {
+				parts = append(parts, a.String())
+			}
+			b.WriteString(strings.Join(parts, ", "))
+		}
+		b.WriteString(" FROM ")
+		parts := make([]string, len(cur.From))
+		for i, t := range cur.From {
+			parts[i] = t.String()
+		}
+		b.WriteString(strings.Join(parts, ", "))
+		if len(cur.Where) > 0 {
+			b.WriteString(" WHERE ")
+			conds := make([]string, len(cur.Where))
+			for i, c := range cur.Where {
+				conds[i] = c.String()
+			}
+			b.WriteString(strings.Join(conds, " AND "))
+		}
+		if cur.GroupBy.Column != "" {
+			fmt.Fprintf(&b, " GROUP BY %s", cur.GroupBy)
+		}
+	}
+	if s.OrderBy != "" {
+		fmt.Fprintf(&b, " ORDER BY %s", s.OrderBy)
+		if s.OrderDesc {
+			b.WriteString(" DESC")
+		}
+	}
+	return b.String()
+}
+
+// Capabilities maps the statement onto the Figure 2 capability names it
+// requires: always "select"; "project" when projecting specific columns;
+// "join" when any branch reads multiple tables or compares columns;
+// "union" for UNION chains. An agent advertising "relational query
+// processing" (or anything subsuming these) can run any such statement.
+func (s *Select) Capabilities() []string {
+	need := map[string]bool{"select": true}
+	for cur := s; cur != nil; cur = cur.Union {
+		if !cur.Star {
+			need["project"] = true
+		}
+		if len(cur.From) > 1 {
+			need["join"] = true
+		}
+		for _, c := range cur.Where {
+			if c.RightIsCol {
+				need["join"] = true
+			}
+		}
+		if len(cur.Aggs) > 0 {
+			need["statistical aggregation"] = true
+		}
+	}
+	if s.Union != nil {
+		need["union"] = true
+	}
+	// Stable order: select, project, join, union, aggregation.
+	var out []string
+	for _, c := range []string{"select", "project", "join", "union", "statistical aggregation"} {
+		if need[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WhereConstraints converts the column-vs-literal conjuncts into a
+// constraint.Set keyed by "table.column" (alias-resolved) so the broker's
+// semantic matching can reason over a concrete SQL query, as in the
+// paper's Section 2.4 example.
+func (s *Select) WhereConstraints() *constraint.Set {
+	set := constraint.NewSet()
+	for cur := s; cur != nil; cur = cur.Union {
+		alias := make(map[string]string)
+		for _, tr := range cur.From {
+			alias[strings.ToLower(tr.Binding())] = strings.ToLower(tr.Name)
+		}
+		for _, c := range cur.Where {
+			if c.RightIsCol {
+				continue
+			}
+			field := strings.ToLower(c.Left.Column)
+			if c.Left.Table != "" {
+				tbl := strings.ToLower(c.Left.Table)
+				if real, ok := alias[tbl]; ok {
+					tbl = real
+				}
+				field = tbl + "." + field
+			} else if len(cur.From) == 1 {
+				field = strings.ToLower(cur.From[0].Name) + "." + field
+			}
+			if c.Between {
+				if c.RightVal.Kind() == constraint.KindNumber && c.HighVal.Kind() == constraint.KindNumber {
+					set.Add(constraint.Atom{Field: field,
+						Interval: constraint.NewRange(c.RightVal.Number(), c.HighVal.Number())})
+				}
+				continue
+			}
+			switch {
+			case c.Op == OpEq && c.RightVal.Kind() == constraint.KindString:
+				set.Add(constraint.Atom{Field: field, Allowed: []constraint.Value{c.RightVal}})
+			case c.RightVal.Kind() == constraint.KindNumber:
+				v := c.RightVal.Number()
+				switch c.Op {
+				case OpEq:
+					set.Add(constraint.Atom{Field: field, Interval: constraint.Exactly(v)})
+				case OpLt:
+					set.Add(constraint.Atom{Field: field, Interval: constraint.LessThan(v)})
+				case OpLe:
+					set.Add(constraint.Atom{Field: field, Interval: constraint.AtMost(v)})
+				case OpGt:
+					set.Add(constraint.Atom{Field: field, Interval: constraint.GreaterThan(v)})
+				case OpGe:
+					set.Add(constraint.Atom{Field: field, Interval: constraint.AtLeast(v)})
+				}
+			}
+		}
+	}
+	return set
+}

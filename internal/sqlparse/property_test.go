@@ -1,0 +1,255 @@
+package sqlparse
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"infosleuth/internal/relational"
+	"infosleuth/internal/stats"
+)
+
+// oracleFilter applies a WHERE predicate in plain Go, as ground truth for
+// the executor.
+type predicate struct {
+	col string
+	op  CompareOp
+	val float64
+}
+
+func (p predicate) holds(v float64) bool {
+	switch p.op {
+	case OpEq:
+		return v == p.val
+	case OpNe:
+		return v != p.val
+	case OpLt:
+		return v < p.val
+	case OpLe:
+		return v <= p.val
+	case OpGt:
+		return v > p.val
+	case OpGe:
+		return v >= p.val
+	}
+	return false
+}
+
+// TestWhereMatchesOracle drives the executor with randomized single-table
+// conjunctive predicates and compares row counts against a direct scan.
+func TestWhereMatchesOracle(t *testing.T) {
+	src := stats.NewSource(99)
+	db := relational.NewDatabase()
+	tbl := db.MustCreate(relational.Schema{
+		Name: "t",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.TypeString},
+			{Name: "x", Type: relational.TypeNumber},
+			{Name: "y", Type: relational.TypeNumber},
+		},
+		Key: "id",
+	})
+	for i := 0; i < 200; i++ {
+		tbl.MustInsert(relational.Row{
+			relational.Str(fmt.Sprintf("k%03d", i)),
+			relational.Num(float64(src.Intn(50))),
+			relational.Num(float64(src.Intn(50))),
+		})
+	}
+	ops := []CompareOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	cols := []string{"x", "y"}
+	for trial := 0; trial < 300; trial++ {
+		nPreds := src.Intn(3) + 1
+		var preds []predicate
+		sql := "SELECT * FROM t WHERE "
+		for i := 0; i < nPreds; i++ {
+			p := predicate{
+				col: cols[src.Intn(2)],
+				op:  ops[src.Intn(len(ops))],
+				val: float64(src.Intn(50)),
+			}
+			preds = append(preds, p)
+			if i > 0 {
+				sql += " AND "
+			}
+			op := string(p.op)
+			sql += fmt.Sprintf("%s %s %v", p.col, op, p.val)
+		}
+		res, err := Execute(db, MustParse(sql))
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		want := 0
+		tbl.Scan(func(r relational.Row) bool {
+			ok := true
+			for _, p := range preds {
+				ci := 1
+				if p.col == "y" {
+					ci = 2
+				}
+				if !p.holds(r[ci].Number()) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want++
+			}
+			return true
+		})
+		if res.Len() != want {
+			t.Fatalf("%s: executor %d rows, oracle %d", sql, res.Len(), want)
+		}
+	}
+}
+
+// TestJoinMatchesOracle compares hash-join output against a nested-loop
+// oracle over random data.
+func TestJoinMatchesOracle(t *testing.T) {
+	src := stats.NewSource(123)
+	for trial := 0; trial < 30; trial++ {
+		db := relational.NewDatabase()
+		left := db.MustCreate(relational.Schema{
+			Name: "l",
+			Columns: []relational.Column{
+				{Name: "k", Type: relational.TypeNumber},
+				{Name: "a", Type: relational.TypeNumber},
+			},
+		})
+		right := db.MustCreate(relational.Schema{
+			Name: "r",
+			Columns: []relational.Column{
+				{Name: "k", Type: relational.TypeNumber},
+				{Name: "b", Type: relational.TypeNumber},
+			},
+		})
+		nl, nr := src.Intn(30)+1, src.Intn(30)+1
+		for i := 0; i < nl; i++ {
+			left.MustInsert(relational.Row{relational.Num(float64(src.Intn(10))), relational.Num(float64(i))})
+		}
+		for i := 0; i < nr; i++ {
+			right.MustInsert(relational.Row{relational.Num(float64(src.Intn(10))), relational.Num(float64(i))})
+		}
+		res, err := Execute(db, MustParse("SELECT l.a, r.b FROM l, r WHERE l.k = r.k"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, lr := range left.Rows() {
+			for _, rr := range right.Rows() {
+				if lr[0].Equal(rr[0]) {
+					want++
+				}
+			}
+		}
+		if res.Len() != want {
+			t.Fatalf("trial %d: join %d rows, oracle %d", trial, res.Len(), want)
+		}
+	}
+}
+
+// TestAggregatesMatchOracle checks SUM/COUNT against direct accumulation
+// for random GROUP BY data.
+func TestAggregatesMatchOracle(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		db := relational.NewDatabase()
+		tbl := db.MustCreate(relational.Schema{
+			Name: "t",
+			Columns: []relational.Column{
+				{Name: "g", Type: relational.TypeString},
+				{Name: "v", Type: relational.TypeNumber},
+			},
+		})
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for _, b := range raw {
+			g := fmt.Sprintf("g%d", b%4)
+			v := float64(b)
+			tbl.MustInsert(relational.Row{relational.Str(g), relational.Num(v)})
+			sums[g] += v
+			counts[g]++
+		}
+		res, err := Execute(db, MustParse("SELECT g, SUM(v), COUNT(*) FROM t GROUP BY g"))
+		if err != nil {
+			return false
+		}
+		if res.Len() != len(sums) {
+			return false
+		}
+		for _, row := range res.Rows {
+			g := row[0].Text()
+			if row[1].Number() != sums[g] || int(row[2].Number()) != counts[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnionIsSetUnion checks UNION semantics against a map-based oracle.
+func TestUnionIsSetUnion(t *testing.T) {
+	src := stats.NewSource(7)
+	for trial := 0; trial < 30; trial++ {
+		db := relational.NewDatabase()
+		mk := func(name string) *relational.Table {
+			tb := db.MustCreate(relational.Schema{
+				Name:    name,
+				Columns: []relational.Column{{Name: "v", Type: relational.TypeNumber}},
+			})
+			n := src.Intn(20)
+			for i := 0; i < n; i++ {
+				tb.MustInsert(relational.Row{relational.Num(float64(src.Intn(8)))})
+			}
+			return tb
+		}
+		a, b := mk("a"), mk("b")
+		res, err := Execute(db, MustParse("SELECT v FROM a UNION SELECT v FROM b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct := map[string]bool{}
+		for _, r := range append(a.Rows(), b.Rows()...) {
+			distinct[r[0].String()] = true
+		}
+		if res.Len() != len(distinct) {
+			t.Fatalf("trial %d: union %d rows, oracle %d", trial, res.Len(), len(distinct))
+		}
+	}
+}
+
+// TestOrderByIsSorted verifies the ORDER BY postcondition over random data.
+func TestOrderByIsSorted(t *testing.T) {
+	src := stats.NewSource(17)
+	db := relational.NewDatabase()
+	tbl := db.MustCreate(relational.Schema{
+		Name:    "t",
+		Columns: []relational.Column{{Name: "v", Type: relational.TypeNumber}},
+	})
+	for i := 0; i < 100; i++ {
+		tbl.MustInsert(relational.Row{relational.Num(float64(src.Intn(1000)))})
+	}
+	res, err := Execute(db, MustParse("SELECT v FROM t ORDER BY v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < res.Len(); i++ {
+		if res.Rows[i][0].Compare(res.Rows[i-1][0]) < 0 {
+			t.Fatalf("not sorted at %d: %v < %v", i, res.Rows[i][0], res.Rows[i-1][0])
+		}
+	}
+	res, err = Execute(db, MustParse("SELECT v FROM t ORDER BY v DESC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < res.Len(); i++ {
+		if res.Rows[i][0].Compare(res.Rows[i-1][0]) > 0 {
+			t.Fatal("DESC not sorted")
+		}
+	}
+}

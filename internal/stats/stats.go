@@ -1,0 +1,155 @@
+// Package stats provides the random variates and aggregation helpers used by
+// the InfoSleuth experiments: exponential inter-arrival and failure times,
+// the bounded Gaussian distributions the paper uses for query complexity and
+// coverage, and simple mean/ratio accumulators.
+//
+// All randomness flows through a seeded *Source so that experiments are
+// reproducible run-to-run; the paper averages several runs of each
+// experiment to wash out anomalous pseudo-random sequences, and the harness
+// does the same by advancing the seed per run.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Source is a seeded random source for one simulation run or workload.
+// The zero value is not usable; create one with NewSource.
+type Source struct {
+	rng *rand.Rand
+}
+
+// NewSource returns a Source seeded deterministically.
+func NewSource(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Exponential returns an exponentially distributed variate with the given
+// mean. The paper uses exponential distributions for query inter-arrival
+// times and for hardware time-to-failure and time-to-repair.
+func (s *Source) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic(fmt.Sprintf("stats: exponential mean must be positive, got %v", mean))
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// Normal returns a normally distributed variate.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return s.rng.NormFloat64()*stddev + mean
+}
+
+// BoundedGaussian samples a Gaussian and rejects samples outside [lo, hi],
+// mirroring the paper's "bounded Gaussian" used for query complexity
+// (bounded to stay positive) and coverage (bounded to [0, 1]).
+// It panics if the bounds are inverted or the acceptance region is
+// vanishingly unlikely.
+func (s *Source) BoundedGaussian(mean, stddev, lo, hi float64) float64 {
+	if lo >= hi {
+		panic(fmt.Sprintf("stats: bounded gaussian requires lo < hi, got [%v, %v]", lo, hi))
+	}
+	for i := 0; i < 10000; i++ {
+		v := s.Normal(mean, stddev)
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	panic(fmt.Sprintf("stats: bounded gaussian (mean=%v stddev=%v) never landed in [%v, %v]", mean, stddev, lo, hi))
+}
+
+// Mean is a streaming accumulator for a sample mean and variance
+// (Welford's algorithm).
+type Mean struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (m *Mean) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of observations added.
+func (m *Mean) N() int { return m.n }
+
+// Mean returns the sample mean, or 0 if no observations were added.
+func (m *Mean) Mean() float64 { return m.mean }
+
+// Variance returns the unbiased sample variance, or 0 for fewer than two
+// observations.
+func (m *Mean) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Mean) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Ratio accumulates a numerator and denominator and reports their quotient;
+// used for the paper's multi/single response-time ratios and the Table 5/6
+// reply and success percentages.
+type Ratio struct {
+	Num, Den float64
+}
+
+// Add accumulates into both terms.
+func (r *Ratio) Add(num, den float64) {
+	r.Num += num
+	r.Den += den
+}
+
+// Value returns Num/Den, or 0 when the denominator is zero.
+func (r *Ratio) Value() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return r.Num / r.Den
+}
+
+// Percent returns the ratio as a percentage.
+func (r *Ratio) Percent() float64 { return r.Value() * 100 }
+
+// Median returns the median of the sample, or 0 for an empty sample.
+// The input slice is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// MeanOf returns the arithmetic mean of the sample, or 0 for an empty sample.
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterministic(t *testing.T) {
+	a, b := NewSource(7), NewSource(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed should give the same sequence")
+		}
+	}
+	c := NewSource(8)
+	same := true
+	a2 := NewSource(7)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	src := NewSource(1)
+	var m Mean
+	for i := 0; i < 200000; i++ {
+		m.Add(src.Exponential(30))
+	}
+	if got := m.Mean(); math.Abs(got-30) > 0.5 {
+		t.Errorf("exponential mean = %v, want ≈30", got)
+	}
+}
+
+func TestExponentialRejectsBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive mean should panic")
+		}
+	}()
+	NewSource(1).Exponential(0)
+}
+
+func TestBoundedGaussianStaysInBounds(t *testing.T) {
+	src := NewSource(2)
+	for i := 0; i < 10000; i++ {
+		// The paper's coverage distribution: mean 0.1, bounded [0, 1].
+		v := src.BoundedGaussian(0.1, 0.05, 0, 1)
+		if v < 0 || v > 1 {
+			t.Fatalf("sample %v outside [0,1]", v)
+		}
+	}
+	// The paper's complexity distribution: mean 1, bounded positive.
+	for i := 0; i < 10000; i++ {
+		if v := src.BoundedGaussian(1.0, 0.2, 0, math.MaxFloat64); v <= 0 {
+			t.Fatalf("complexity sample %v not positive", v)
+		}
+	}
+}
+
+func TestBoundedGaussianBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted bounds should panic")
+		}
+	}()
+	NewSource(1).BoundedGaussian(0, 1, 5, 5)
+}
+
+func TestMeanAccumulator(t *testing.T) {
+	var m Mean
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.N() != 8 {
+		t.Errorf("N = %d", m.N())
+	}
+	if got := m.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if got := m.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := m.StdDev(); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestMeanEmptyAndSingle(t *testing.T) {
+	var m Mean
+	if m.Mean() != 0 || m.Variance() != 0 {
+		t.Error("empty accumulator should be zero")
+	}
+	m.Add(3)
+	if m.Mean() != 3 || m.Variance() != 0 {
+		t.Error("single observation: mean 3, variance 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	r.Add(3, 4)
+	r.Add(1, 4)
+	if r.Value() != 0.5 {
+		t.Errorf("Value = %v", r.Value())
+	}
+	if r.Percent() != 50 {
+		t.Errorf("Percent = %v", r.Percent())
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if MeanOf(nil) != 0 {
+		t.Error("empty MeanOf should be 0")
+	}
+	if got := MeanOf([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("MeanOf = %v", got)
+	}
+}
+
+// Property: the streaming Mean matches the batch mean.
+func TestMeanMatchesBatchProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true // skip pathological inputs
+			}
+		}
+		var m Mean
+		for _, x := range xs {
+			m.Add(x)
+		}
+		batch := MeanOf(xs)
+		return math.Abs(m.Mean()-batch) <= 1e-6*(1+math.Abs(batch))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermAndIntn(t *testing.T) {
+	src := NewSource(3)
+	p := src.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 100; i++ {
+		if v := src.Intn(5); v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}

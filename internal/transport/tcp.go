@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"infosleuth/internal/kqml"
+)
+
+// MaxFrame bounds a single message frame (16 MiB): large enough for any
+// result the reproduction produces, small enough to fail fast on a
+// corrupted length prefix.
+const MaxFrame = 16 << 20
+
+// TCP is a Transport over TCP with "tcp://host:port" addresses. Frames are
+// a 4-byte big-endian length followed by the JSON-encoded message; each
+// Call opens a connection, writes one request, reads one reply and closes.
+// The zero value is ready to use.
+type TCP struct {
+	// DialTimeout bounds connection establishment when the Call context
+	// carries no deadline; zero means 5 seconds.
+	DialTimeout time.Duration
+}
+
+type tcpListener struct {
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+func (l *tcpListener) Addr() string { return "tcp://" + l.ln.Addr().String() }
+
+func (l *tcpListener) Close() error {
+	close(l.closed)
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}
+
+// Listen serves at "tcp://host:port"; port 0 picks a free port, reported by
+// the listener's Addr.
+func (t *TCP) Listen(addr string, h Handler) (Listener, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler")
+	}
+	hostport, err := stripTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", hostport)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	tl := &tcpListener{ln: ln, closed: make(chan struct{})}
+	tl.wg.Add(1)
+	go func() {
+		defer tl.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-tl.closed:
+					return
+				default:
+				}
+				if errors.Is(err, net.ErrClosed) {
+					return
+				}
+				continue
+			}
+			tl.wg.Add(1)
+			go func() {
+				defer tl.wg.Done()
+				defer conn.Close()
+				serveConn(conn, h)
+			}()
+		}
+	}()
+	return tl, nil
+}
+
+// serveConn handles sequential request/reply exchanges on one connection
+// until the peer closes it or a frame error occurs.
+func serveConn(conn net.Conn, h Handler) {
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		msg, err := kqml.Unmarshal(req)
+		if err != nil {
+			return
+		}
+		reply := safeHandle(h, msg)
+		if reply == nil {
+			reply = &kqml.Message{Performative: kqml.Error, Sender: msg.Receiver}
+		}
+		out, err := kqml.Marshal(reply)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+// Call dials the address, sends the message and waits for the reply.
+// Connection refusals surface as ErrUnreachable.
+func (t *TCP) Call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
+	hostport, err := stripTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	timeout := t.DialTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", hostport)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, err
+		}
+	}
+	out, err := kqml.Marshal(msg)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, out); err != nil {
+		return nil, fmt.Errorf("transport: writing to %s: %w", addr, err)
+	}
+	in, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading reply from %s: %w", addr, err)
+	}
+	return kqml.Unmarshal(in)
+}
+
+func stripTCP(addr string) (string, error) {
+	if !strings.HasPrefix(addr, "tcp://") {
+		return "", fmt.Errorf("transport: TCP transport requires tcp:// address, got %q", addr)
+	}
+	return strings.TrimPrefix(addr, "tcp://"), nil
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

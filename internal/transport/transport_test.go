@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"infosleuth/internal/kqml"
+)
+
+func echoHandler(name string) Handler {
+	return func(msg *kqml.Message) *kqml.Message {
+		reply := &kqml.Message{
+			Performative: kqml.Tell,
+			Sender:       name,
+			Receiver:     msg.Sender,
+			InReplyTo:    msg.ReplyWith,
+			Content:      msg.Content,
+		}
+		return reply
+	}
+}
+
+func testCall(t *testing.T, tr Transport, addr string) {
+	t.Helper()
+	msg := kqml.New(kqml.AskAll, "caller", &kqml.SQLQuery{SQL: "select * from C2"})
+	msg.ReplyWith = "m1"
+	reply, err := tr.Call(context.Background(), addr, msg)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if reply.Performative != kqml.Tell || reply.InReplyTo != "m1" {
+		t.Errorf("reply = %+v", reply)
+	}
+	var q kqml.SQLQuery
+	if err := reply.DecodeContent(&q); err != nil {
+		t.Fatal(err)
+	}
+	if q.SQL != "select * from C2" {
+		t.Errorf("echoed content = %q", q.SQL)
+	}
+}
+
+func TestInProcCall(t *testing.T) {
+	tr := NewInProc()
+	l, err := tr.Listen("inproc://echo", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	testCall(t, tr, "inproc://echo")
+}
+
+func TestInProcUnreachable(t *testing.T) {
+	tr := NewInProc()
+	_, err := tr.Call(context.Background(), "inproc://nobody", kqml.New(kqml.Ping, "x", &kqml.PingContent{}))
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestInProcCloseUnbinds(t *testing.T) {
+	tr := NewInProc()
+	l, err := tr.Listen("inproc://a", echoHandler("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = tr.Call(context.Background(), "inproc://a", kqml.New(kqml.Ping, "x", &kqml.PingContent{}))
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("after close, err = %v, want ErrUnreachable", err)
+	}
+	// Address can be reused after close — agents restart at the same
+	// address in the robustness experiments.
+	if _, err := tr.Listen("inproc://a", echoHandler("a")); err != nil {
+		t.Errorf("rebind after close: %v", err)
+	}
+}
+
+func TestInProcDuplicateBind(t *testing.T) {
+	tr := NewInProc()
+	if _, err := tr.Listen("inproc://a", echoHandler("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Listen("inproc://a", echoHandler("a2")); err == nil {
+		t.Error("duplicate bind should fail")
+	}
+}
+
+func TestInProcAutoAddress(t *testing.T) {
+	tr := NewInProc()
+	l1, err := tr.Listen("", echoHandler("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := tr.Listen("", echoHandler("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Addr() == l2.Addr() {
+		t.Errorf("auto addresses collide: %s", l1.Addr())
+	}
+	testCall(t, tr, l1.Addr())
+}
+
+func TestInProcRejectsWrongScheme(t *testing.T) {
+	tr := NewInProc()
+	if _, err := tr.Listen("tcp://x:1", echoHandler("x")); err == nil {
+		t.Error("inproc transport should reject tcp addresses")
+	}
+}
+
+func TestInProcNoSharedPointers(t *testing.T) {
+	// The in-process transport must behave like the wire: mutations by
+	// the handler must not leak back into the caller's message.
+	tr := NewInProc()
+	var got *kqml.Message
+	_, err := tr.Listen("inproc://m", func(msg *kqml.Message) *kqml.Message {
+		got = msg
+		msg.Sender = "mutated"
+		return &kqml.Message{Performative: kqml.Tell, Sender: "m"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := kqml.New(kqml.Ping, "caller", &kqml.PingContent{AgentName: "caller"})
+	if _, err := tr.Call(context.Background(), "inproc://m", orig); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Sender != "caller" {
+		t.Error("handler mutation leaked into the caller's message")
+	}
+	if got == orig {
+		t.Error("handler received the caller's pointer")
+	}
+}
+
+func TestInProcConcurrentCalls(t *testing.T) {
+	tr := NewInProc()
+	if _, err := tr.Listen("inproc://echo", echoHandler("echo")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := kqml.New(kqml.AskAll, fmt.Sprintf("caller-%d", i), &kqml.SQLQuery{SQL: "q"})
+			if _, err := tr.Call(context.Background(), "inproc://echo", m); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestInProcContextCancelled(t *testing.T) {
+	tr := NewInProc()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := tr.Call(ctx, "inproc://x", kqml.New(kqml.Ping, "x", &kqml.PingContent{}))
+	if err == nil {
+		t.Error("cancelled context should fail the call")
+	}
+}
+
+func TestTCPCall(t *testing.T) {
+	tr := &TCP{}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	testCall(t, tr, l.Addr())
+}
+
+func TestTCPUnreachable(t *testing.T) {
+	tr := &TCP{DialTimeout: 200 * time.Millisecond}
+	// A port that nothing listens on.
+	_, err := tr.Call(context.Background(), "tcp://127.0.0.1:1", kqml.New(kqml.Ping, "x", &kqml.PingContent{}))
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestTCPListenerCloseStops(t *testing.T) {
+	tr := &TCP{}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := &TCP{DialTimeout: 200 * time.Millisecond}
+	if _, err := tr2.Call(context.Background(), addr, kqml.New(kqml.Ping, "x", &kqml.PingContent{})); err == nil {
+		t.Error("call to closed listener should fail")
+	}
+}
+
+func TestTCPSequentialCallsOnManyConnections(t *testing.T) {
+	tr := &TCP{}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		testCall(t, tr, l.Addr())
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	tr := &TCP{}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := kqml.New(kqml.AskAll, "c", &kqml.SQLQuery{SQL: "q"})
+			if _, err := tr.Call(context.Background(), l.Addr(), m); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestTCPDeadline(t *testing.T) {
+	tr := &TCP{}
+	slow := func(msg *kqml.Message) *kqml.Message {
+		time.Sleep(300 * time.Millisecond)
+		return &kqml.Message{Performative: kqml.Tell, Sender: "slow"}
+	}
+	l, err := tr.Listen("tcp://127.0.0.1:0", slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := tr.Call(ctx, l.Addr(), kqml.New(kqml.Ping, "x", &kqml.PingContent{})); err == nil {
+		t.Error("deadline should abort the slow call")
+	}
+}
+
+func TestTCPRejectsWrongScheme(t *testing.T) {
+	tr := &TCP{}
+	if _, err := tr.Listen("inproc://x", echoHandler("x")); err == nil {
+		t.Error("TCP transport should reject inproc addresses")
+	}
+	if _, err := tr.Call(context.Background(), "inproc://x", &kqml.Message{Performative: kqml.Ping, Sender: "s"}); err == nil {
+		t.Error("TCP call should reject inproc addresses")
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var sink frameBuffer
+	if err := writeFrame(&sink, make([]byte, MaxFrame+1)); err == nil {
+		t.Error("oversized frame should be rejected on write")
+	}
+}
+
+type frameBuffer struct{ data []byte }
+
+func (b *frameBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func TestHandlerPanicBecomesErrorReply(t *testing.T) {
+	tr := NewInProc()
+	_, err := tr.Listen("inproc://panicky", func(msg *kqml.Message) *kqml.Message {
+		panic("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := tr.Call(context.Background(), "inproc://panicky",
+		kqml.New(kqml.AskAll, "x", &kqml.SQLQuery{SQL: "s"}))
+	if err != nil {
+		t.Fatalf("panic should become a reply, not a call error: %v", err)
+	}
+	if reply.Performative != kqml.Error {
+		t.Errorf("reply = %s, want error", reply.Performative)
+	}
+}
+
+func TestTCPHandlerPanicKeepsServerAlive(t *testing.T) {
+	tr := &TCP{}
+	calls := 0
+	l, err := tr.Listen("tcp://127.0.0.1:0", func(msg *kqml.Message) *kqml.Message {
+		calls++
+		if calls == 1 {
+			panic("first call explodes")
+		}
+		return kqml.New(kqml.Tell, "s", &kqml.PingReply{Known: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	reply, err := tr.Call(context.Background(), l.Addr(), kqml.New(kqml.Ping, "x", &kqml.PingContent{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Error {
+		t.Errorf("first reply = %s, want error", reply.Performative)
+	}
+	// The listener survived; the next call succeeds.
+	reply, err = tr.Call(context.Background(), l.Addr(), kqml.New(kqml.Ping, "x", &kqml.PingContent{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Tell {
+		t.Errorf("second reply = %s, want tell", reply.Performative)
+	}
+}

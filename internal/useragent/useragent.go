@@ -1,0 +1,122 @@
+// Package useragent implements InfoSleuth user agents: proxies for
+// individual users that accept SQL queries, locate a multiresource query
+// agent through the broker (the paper's Figure 6), and forward the query
+// to it.
+package useragent
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"infosleuth/internal/agent"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/transport"
+)
+
+// Config configures a user agent.
+type Config struct {
+	Name         string
+	Address      string
+	Transport    transport.Transport
+	KnownBrokers []string
+	Redundancy   int
+	CallTimeout  time.Duration
+	// RandomizeBrokerChoice spreads broker queries uniformly over
+	// connected brokers (the paper's query-agent behavior).
+	RandomizeBrokerChoice bool
+
+	// Ontology optionally narrows MRQ lookup to specialists in the
+	// query's classes (the paper's MRQ2 preference). Empty skips the
+	// content part of the lookup.
+	Ontology string
+}
+
+// Agent is a user agent.
+type Agent struct {
+	*agent.Base
+	cfg Config
+}
+
+// New creates a user agent; call Start, then Advertise.
+func New(cfg Config) (*Agent, error) {
+	base, err := agent.New(agent.Config{
+		Name:         cfg.Name,
+		Address:      cfg.Address,
+		Transport:    cfg.Transport,
+		KnownBrokers: cfg.KnownBrokers,
+		Redundancy:   cfg.Redundancy,
+		CallTimeout:  cfg.CallTimeout,
+
+		RandomizeBrokerChoice: cfg.RandomizeBrokerChoice,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{Base: base, cfg: cfg}
+	base.AdBuilder = a.buildAd
+	return a, nil
+}
+
+func (a *Agent) buildAd(addr string) *ontology.Advertisement {
+	return &ontology.Advertisement{
+		Name:          a.cfg.Name,
+		Address:       addr,
+		Type:          ontology.TypeUser,
+		CommLanguages: []string{ontology.LangKQML},
+		Conversations: []string{ontology.ConvAskAll},
+	}
+}
+
+// Submit runs one SQL query for the user: locate an MRQ agent via the
+// broker, forward the query, return the assembled result. When the query
+// names classes and an ontology is configured, the broker lookup includes
+// them so a class specialist wins over a generalist.
+func (a *Agent) Submit(ctx context.Context, sql string) (*sqlparse.Result, error) {
+	q := &ontology.Query{
+		Type:            ontology.TypeQuery,
+		ContentLanguage: ontology.LangSQL2,
+		Capabilities:    []string{ontology.CapMultiresourceQuery},
+		Limit:           1,
+	}
+	if a.cfg.Ontology != "" {
+		if stmt, err := sqlparse.Parse(sql); err == nil {
+			q.Ontology = a.cfg.Ontology
+			q.Classes = stmt.Tables()
+		}
+	}
+	br, err := a.QueryBrokers(ctx, q)
+	if err != nil {
+		return nil, fmt.Errorf("user agent %s: locating an MRQ agent: %w", a.Name(), err)
+	}
+	if len(br.Matches) == 0 && q.Ontology != "" {
+		// No class specialist: fall back to any MRQ agent.
+		q.Ontology, q.Classes = "", nil
+		br, err = a.QueryBrokers(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("user agent %s: locating an MRQ agent: %w", a.Name(), err)
+		}
+	}
+	if len(br.Matches) == 0 {
+		return nil, fmt.Errorf("user agent %s: no multiresource query agent available", a.Name())
+	}
+	mrqAd := br.Matches[0]
+
+	msg := kqml.New(kqml.AskAll, a.Name(), &kqml.SQLQuery{SQL: sql})
+	msg.Language = ontology.LangSQL2
+	msg.Receiver = mrqAd.Name
+	reply, err := a.Call(ctx, mrqAd.Address, msg)
+	if err != nil {
+		return nil, fmt.Errorf("user agent %s: querying %s: %w", a.Name(), mrqAd.Name, err)
+	}
+	if reply.Performative != kqml.Tell {
+		return nil, fmt.Errorf("user agent %s: %s: %s", a.Name(), mrqAd.Name, kqml.ReasonOf(reply))
+	}
+	var sr kqml.SQLResult
+	if err := reply.DecodeContent(&sr); err != nil {
+		return nil, err
+	}
+	return &sqlparse.Result{Columns: sr.Columns, Rows: sr.Rows}, nil
+}

@@ -1,0 +1,122 @@
+package useragent
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"infosleuth/internal/broker"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/transport"
+)
+
+// fakeMRQ answers SQL asks with a canned result, or an error reply.
+func fakeMRQ(tr transport.Transport, t *testing.T, fail bool) string {
+	t.Helper()
+	l, err := tr.Listen("inproc://fake-mrq", func(msg *kqml.Message) *kqml.Message {
+		if fail {
+			r := kqml.New(kqml.Error, "fake MRQ", &kqml.SorryContent{Reason: "boom"})
+			r.InReplyTo = msg.ReplyWith
+			return r
+		}
+		r := kqml.New(kqml.Tell, "fake MRQ", &kqml.SQLResult{Columns: []string{"id"}})
+		r.InReplyTo = msg.ReplyWith
+		return r
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l.Addr()
+}
+
+func setup(t *testing.T, failMRQ bool) (*Agent, *broker.Broker) {
+	t.Helper()
+	tr := transport.NewInProc()
+	b, err := broker.New(broker.Config{
+		Name: "Broker1", Transport: tr,
+		World: ontology.NewWorld(ontology.Generic()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Stop() })
+
+	mrqAddr := fakeMRQ(tr, t, failMRQ)
+	if err := b.Repository().Put(&ontology.Advertisement{
+		Name: "fake MRQ", Address: mrqAddr, Type: ontology.TypeQuery,
+		ContentLanguages: []string{ontology.LangSQL2},
+		Capabilities:     []string{ontology.CapMultiresourceQuery},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	u, err := New(Config{
+		Name: "user", Transport: tr,
+		KnownBrokers: []string{b.Addr()},
+		Ontology:     "generic",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { u.Stop() })
+	if _, err := u.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return u, b
+}
+
+func TestSubmitLocatesMRQAndForwards(t *testing.T) {
+	u, _ := setup(t, false)
+	res, err := u.Submit(context.Background(), "SELECT * FROM C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "id" {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestSubmitFallsBackWhenNoSpecialist(t *testing.T) {
+	// The MRQ has no content fragment, so the class-narrowed lookup
+	// finds nothing and Submit retries without classes.
+	u, _ := setup(t, false)
+	if _, err := u.Submit(context.Background(), "SELECT * FROM C4"); err != nil {
+		t.Fatalf("fallback lookup failed: %v", err)
+	}
+}
+
+func TestSubmitSurfacesMRQError(t *testing.T) {
+	u, _ := setup(t, true)
+	_, err := u.Submit(context.Background(), "SELECT * FROM C2")
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v, want MRQ failure surfaced", err)
+	}
+}
+
+func TestSubmitNoMRQAvailable(t *testing.T) {
+	u, b := setup(t, false)
+	b.Repository().Remove("fake MRQ")
+	_, err := u.Submit(context.Background(), "SELECT * FROM C2")
+	if err == nil || !strings.Contains(err.Error(), "no multiresource query agent") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUserAdvertisement(t *testing.T) {
+	u, b := setup(t, false)
+	ad, ok := b.Repository().Get("user")
+	if !ok {
+		t.Fatal("user not advertised")
+	}
+	if ad.Type != ontology.TypeUser || ad.Address != u.Addr() {
+		t.Errorf("ad = %+v", ad)
+	}
+}
