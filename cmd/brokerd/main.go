@@ -23,6 +23,7 @@ import (
 
 	"infosleuth/internal/broker"
 	"infosleuth/internal/ontology"
+	"infosleuth/internal/telemetry"
 	"infosleuth/internal/transport"
 )
 
@@ -38,8 +39,18 @@ func main() {
 		maxHops     = flag.Int("max-hops", 4, "maximum inter-broker hop count")
 		peerPruning = flag.Bool("peer-pruning", false, "prune peers by advertised specialization")
 		useDatalog  = flag.Bool("datalog", false, "use the LDL-style Datalog matcher instead of the compiled one")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /metrics.json here (e.g. :9090); empty disables")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.Default)
+		if err != nil {
+			log.Fatalf("brokerd: metrics endpoint: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("metrics at http://%s/metrics", srv.Addr())
+	}
 
 	world := ontology.NewWorld(ontology.Generic(), ontology.Healthcare())
 	cfg := broker.Config{

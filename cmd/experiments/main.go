@@ -5,9 +5,9 @@
 //	experiments -run table3       # one artifact
 //	experiments -run fig14 -quick # reduced runs/durations for a fast look
 //
-// Artifacts: table1 table2 table3 table4 fig14 fig15 fig16 fig17 table5
-// table6. EXPERIMENTS.md records the reference output and compares it with
-// the paper's reported results.
+// Artifacts: table1 table2 table3 table4 latency fig14 fig15 fig16 fig17
+// table5 table6. EXPERIMENTS.md records the reference output and compares
+// it with the paper's reported results.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "comma-separated artifacts to regenerate (all, table1..table6, fig14..fig17, ext-knowledge)")
+		run    = flag.String("run", "all", "comma-separated artifacts to regenerate (all, table1..table6, fig14..fig17, latency, ext-knowledge)")
 		quick  = flag.Bool("quick", false, "reduced rounds/durations for a fast pass")
 		format = flag.String("format", "text", "output format: text or csv")
 		seed   = flag.Int64("seed", 1999, "base random seed")
@@ -80,6 +80,13 @@ func main() {
 		_, tbl, err := experiments.Table4(liveOpts)
 		if err != nil {
 			log.Fatalf("table4: %v", err)
+		}
+		printTable(tbl)
+	}
+	if sel("latency") {
+		tbl, err := experiments.LatencySummary(liveOpts)
+		if err != nil {
+			log.Fatalf("latency: %v", err)
 		}
 		printTable(tbl)
 	}

@@ -25,6 +25,7 @@ import (
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/mrq"
 	"infosleuth/internal/ontology"
+	"infosleuth/internal/telemetry"
 	"infosleuth/internal/transport"
 )
 
@@ -41,6 +42,7 @@ func main() {
 		hops        = flag.Int("hops", 1, "inter-broker hop count")
 		sql         = flag.String("sql", "", "run this SQL query across matching resources instead of listing agents")
 		timeout     = flag.Duration("timeout", 30*time.Second, "overall timeout")
+		trace       = flag.Bool("trace", false, "trace the conversation and print one span per hop")
 	)
 	flag.Parse()
 
@@ -76,6 +78,9 @@ func main() {
 	tr := &transport.TCP{}
 	msg := kqml.New(kqml.AskAll, "isquery", &kqml.BrokerQuery{Query: q})
 	msg.Ontology = kqml.ServiceOntology
+	if *trace {
+		msg.TraceID = telemetry.NewTraceID()
+	}
 	reply, err := tr.Call(ctx, *brokerAddr, msg)
 	if err != nil {
 		log.Fatalf("isquery: %v", err)
@@ -89,13 +94,19 @@ func main() {
 	}
 	if len(br.Matches) == 0 {
 		fmt.Println("no matching agents")
-		return
+	} else {
+		fmt.Printf("%d matching agent(s) (brokers consulted: %s):\n", len(br.Matches), strings.Join(br.Brokers, ", "))
+		for _, ad := range br.Matches {
+			fmt.Printf("  %-28s %-9s %s\n", ad.Name, ad.Type, ad.Address)
+			for _, f := range ad.Content {
+				fmt.Printf("    serves %s\n", f.String())
+			}
+		}
 	}
-	fmt.Printf("%d matching agent(s) (brokers consulted: %s):\n", len(br.Matches), strings.Join(br.Brokers, ", "))
-	for _, ad := range br.Matches {
-		fmt.Printf("  %-28s %-9s %s\n", ad.Name, ad.Type, ad.Address)
-		for _, f := range ad.Content {
-			fmt.Printf("    serves %s\n", f.String())
+	if *trace {
+		fmt.Printf("trace %s (%d spans):\n", reply.TraceID, len(reply.Trace))
+		for _, s := range reply.Trace {
+			fmt.Printf("  hop %d  %-20s %-20s %d µs\n", s.Hop, s.Agent, s.Op, s.DurationMicros)
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"infosleuth/internal/mrq"
 	"infosleuth/internal/ontology"
+	"infosleuth/internal/telemetry"
 	"infosleuth/internal/transport"
 )
 
@@ -31,8 +32,18 @@ func main() {
 		ontoName  = flag.String("ontology", "healthcare", "domain ontology served")
 		specialty = flag.String("specialty", "", "comma-separated classes this MRQ specializes in (the paper's MRQ2)")
 		heartbeat = flag.Duration("heartbeat", 60*time.Second, "broker ping interval (0 disables)")
+		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /metrics.json here (e.g. :9092); empty disables")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		srv, err := telemetry.Serve(*metrics, telemetry.Default)
+		if err != nil {
+			log.Fatalf("mrqd: metrics endpoint: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("metrics at http://%s/metrics", srv.Addr())
+	}
 
 	cfg := mrq.Config{
 		Name:            *name,

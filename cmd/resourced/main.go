@@ -34,6 +34,7 @@ import (
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/relational"
 	"infosleuth/internal/resource"
+	"infosleuth/internal/telemetry"
 	"infosleuth/internal/transport"
 )
 
@@ -48,8 +49,18 @@ func main() {
 		respTime    = flag.Float64("response-time", 5, "advertised estimated response time (s)")
 		seed        = flag.Int64("seed", 1, "data generation seed")
 		heartbeat   = flag.Duration("heartbeat", 60*time.Second, "broker ping interval (0 disables)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /metrics.json here (e.g. :9091); empty disables")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.Default)
+		if err != nil {
+			log.Fatalf("resourced: metrics endpoint: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("metrics at http://%s/metrics", srv.Addr())
+	}
 
 	db, frag, err := buildData(*data, *seed, *constraints)
 	if err != nil {

@@ -83,6 +83,21 @@ func main() {
 	}
 	query("before failure")
 
+	// Trace one service query across the consortium: the entry broker
+	// forwards to its peers, and every broker stamps a hop-annotated span
+	// on the way back.
+	_, trace, err := user.QueryBrokersTraced(ctx, &infosleuth.Query{
+		Type: infosleuth.TypeResource, Ontology: "generic", Classes: []string{"C2"},
+		Policy: infosleuth.SearchPolicy{HopCount: 2, Follow: infosleuth.FollowAll},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntraced conversation %s crossed %d brokers:\n", trace.ID, len(trace.BrokerSpans()))
+	for _, s := range trace.BrokerSpans() {
+		fmt.Printf("  hop %d  %-8s %d µs\n", s.Hop, s.Agent, s.DurationMicros)
+	}
+
 	// Broker1 dies without warning.
 	fmt.Println("\n*** Broker1 crashes ***")
 	c.Brokers[0].Stop()

@@ -50,6 +50,7 @@ import (
 	"infosleuth/internal/resource"
 	"infosleuth/internal/sim"
 	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/telemetry"
 	"infosleuth/internal/transport"
 	"infosleuth/internal/useragent"
 )
@@ -220,6 +221,25 @@ type (
 
 // NewCommunity builds and starts the brokers of a community.
 func NewCommunity(cfg CommunityConfig) (*Community, error) { return community.New(cfg) }
+
+// Observability.
+type (
+	// ConversationTrace is a completed traced conversation: the trace ID
+	// plus one span per agent hop (Section 2.3's conversation, made
+	// visible). Returned by QueryBrokersTraced on any agent.
+	ConversationTrace = kqml.Trace
+	// TraceSpan is one hop of a traced conversation.
+	TraceSpan = kqml.TraceSpan
+	// MetricsServer serves the process-wide metrics registry over HTTP
+	// (/metrics in Prometheus text format, /metrics.json, /healthz).
+	MetricsServer = telemetry.Server
+)
+
+// ServeMetrics exposes the process-wide telemetry registry at addr
+// (e.g. ":9090"); close the returned server to stop.
+func ServeMetrics(addr string) (*MetricsServer, error) {
+	return telemetry.Serve(addr, telemetry.Default)
+}
 
 // Relational storage and SQL.
 type (

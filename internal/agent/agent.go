@@ -14,6 +14,7 @@ import (
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/stats"
+	"infosleuth/internal/telemetry"
 	"infosleuth/internal/transport"
 )
 
@@ -151,8 +152,23 @@ func (a *Base) Dormant() bool {
 	return a.dormant
 }
 
-// dispatch answers pings itself and forwards everything else to Handler.
+// dispatch times and counts every incoming message by performative, and
+// stamps the reply with a trace span when the request carries a trace ID,
+// before handing application messages to Handler (pings it answers
+// itself).
 func (a *Base) dispatch(msg *kqml.Message) *kqml.Message {
+	start := time.Now()
+	reply := a.dispatchInner(msg)
+	d := observeDispatch(string(msg.Performative), start)
+	kqml.PropagateTrace(msg, reply, kqml.TraceSpan{
+		Agent:          a.cfg.Name,
+		Op:             "dispatch." + string(msg.Performative),
+		DurationMicros: d.Microseconds(),
+	})
+	return reply
+}
+
+func (a *Base) dispatchInner(msg *kqml.Message) *kqml.Message {
 	if msg.Performative == kqml.Ping {
 		reply := kqml.New(kqml.Tell, a.cfg.Name, &kqml.PingReply{Known: true})
 		reply.Receiver = msg.Sender
@@ -355,24 +371,43 @@ func (a *Base) StartHeartbeat(interval time.Duration) (stop func()) {
 // first successful reply. It tries connected brokers in order, then any
 // remaining known brokers.
 func (a *Base) QueryBrokers(ctx context.Context, q *ontology.Query) (*kqml.BrokerReply, error) {
+	br, _, err := a.queryBrokers(ctx, q, "")
+	return br, err
+}
+
+// QueryBrokersTraced is QueryBrokers with conversation tracing: it mints a
+// trace ID, carries it on the query, and returns the spans accumulated
+// across every agent that touched the conversation — one span per broker
+// hop in a multibroker search (Section 2.3's conversation, made visible).
+func (a *Base) QueryBrokersTraced(ctx context.Context, q *ontology.Query) (*kqml.BrokerReply, *kqml.Trace, error) {
+	traceID := telemetry.NewTraceID()
+	br, spans, err := a.queryBrokers(ctx, q, traceID)
+	if err != nil {
+		return nil, nil, err
+	}
+	return br, &kqml.Trace{ID: traceID, Spans: spans}, nil
+}
+
+func (a *Base) queryBrokers(ctx context.Context, q *ontology.Query, traceID string) (*kqml.BrokerReply, []kqml.TraceSpan, error) {
 	tried := make(map[string]bool)
 	var lastErr error
-	attempt := func(addr string) (*kqml.BrokerReply, error) {
+	attempt := func(addr string) (*kqml.BrokerReply, []kqml.TraceSpan, error) {
 		tried[addr] = true
 		msg := kqml.New(kqml.AskAll, a.cfg.Name, &kqml.BrokerQuery{Query: q})
 		msg.Ontology = kqml.ServiceOntology
+		msg.TraceID = traceID
 		reply, err := a.call(ctx, addr, msg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if reply.Performative != kqml.Tell {
-			return nil, fmt.Errorf("agent %s: broker at %s: %s", a.cfg.Name, addr, kqml.ReasonOf(reply))
+			return nil, nil, fmt.Errorf("agent %s: broker at %s: %s", a.cfg.Name, addr, kqml.ReasonOf(reply))
 		}
 		var br kqml.BrokerReply
 		if err := reply.DecodeContent(&br); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return &br, nil
+		return &br, reply.Trace, nil
 	}
 	connected := a.ConnectedBrokers()
 	if a.rng != nil && len(connected) > 1 {
@@ -386,9 +421,10 @@ func (a *Base) QueryBrokers(ctx context.Context, q *ontology.Query) (*kqml.Broke
 		connected = shuffled
 	}
 	for _, addr := range connected {
-		br, err := attempt(addr)
+		br, spans, err := attempt(addr)
 		if err == nil {
-			return br, nil
+			mBrokerQueries.With("ok").Inc()
+			return br, spans, nil
 		}
 		lastErr = err
 	}
@@ -396,16 +432,18 @@ func (a *Base) QueryBrokers(ctx context.Context, q *ontology.Query) (*kqml.Broke
 		if tried[addr] {
 			continue
 		}
-		br, err := attempt(addr)
+		br, spans, err := attempt(addr)
 		if err == nil {
-			return br, nil
+			mBrokerQueries.With("ok").Inc()
+			return br, spans, nil
 		}
 		lastErr = err
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("agent %s: no brokers to query", a.cfg.Name)
 	}
-	return nil, lastErr
+	mBrokerQueries.With("error").Inc()
+	return nil, nil, lastErr
 }
 
 // Call sends a message to an arbitrary agent address and returns the reply;

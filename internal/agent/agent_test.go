@@ -314,3 +314,92 @@ func TestRandomizedBrokerChoiceSpreadsQueries(t *testing.T) {
 		t.Errorf("randomized choice should hit both brokers: B1=%d B2=%d", s1, s2)
 	}
 }
+
+// TestQueryBrokersTracedCollectsBrokerSpans is the end-to-end trace
+// acceptance check: a query that B1 must forward to B2 comes back with a
+// trace carrying both brokers' spans, hop-annotated, plus the asker's
+// dispatch span preserved across the two transport legs.
+func TestQueryBrokersTracedCollectsBrokerSpans(t *testing.T) {
+	tr := transport.NewInProc()
+	b1 := startBroker(t, tr, "B1")
+	b2 := startBroker(t, tr, "B2")
+	if err := b1.JoinConsortium(context.Background(), b2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// The resource is known only to B2, so B1 can answer only by
+	// forwarding.
+	res := newAgent(t, tr, "R1", 1, b2.Addr())
+	if _, err := res.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	asker := newAgent(t, tr, "Asker", 1, b1.Addr())
+	if _, err := asker.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	br, trace, err := asker.QueryBrokersTraced(context.Background(), &ontology.Query{
+		Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C2"},
+		Policy: ontology.SearchPolicy{HopCount: 2, Follow: ontology.FollowAll},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range br.Matches {
+		if m.Name == "R1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("traced query should still find R1 via forwarding; matches: %v", br.Matches)
+	}
+	if trace.ID == "" {
+		t.Error("trace should carry a non-empty ID")
+	}
+	spans := trace.BrokerSpans()
+	if len(spans) < 2 {
+		t.Fatalf("trace should have >= 2 broker spans, got %d: %+v", len(spans), trace.Spans)
+	}
+	// Spans come back innermost first: the forwarded-to broker (hop 1),
+	// then the entry broker (hop 0).
+	byAgent := make(map[string]kqml.TraceSpan)
+	for _, s := range spans {
+		byAgent[s.Agent] = s
+	}
+	if s, ok := byAgent["B1"]; !ok || s.Hop != 0 {
+		t.Errorf("B1 span missing or wrong hop: %+v", byAgent)
+	}
+	if s, ok := byAgent["B2"]; !ok || s.Hop != 1 {
+		t.Errorf("B2 span missing or wrong hop: %+v", byAgent)
+	}
+	if last := spans[len(spans)-1]; last.Agent != "B1" {
+		t.Errorf("entry broker should be the last broker span, got %s", last.Agent)
+	}
+}
+
+// TestDispatchStampsTraceSpan checks the base agent's side of tracing: a
+// traced request to a plain agent comes back with the agent's dispatch
+// span appended, and an untraced request stays untraced.
+func TestDispatchStampsTraceSpan(t *testing.T) {
+	tr := transport.NewInProc()
+	a := newAgent(t, tr, "R1", 1)
+	msg := kqml.New(kqml.Ping, "caller", &kqml.PingContent{AgentName: "R1"})
+	msg.TraceID = "abc123"
+	reply, err := tr.Call(context.Background(), a.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.TraceID != "abc123" {
+		t.Errorf("reply trace ID = %q, want abc123", reply.TraceID)
+	}
+	if len(reply.Trace) != 1 || reply.Trace[0].Agent != "R1" || reply.Trace[0].Op != "dispatch.ping" {
+		t.Errorf("reply trace = %+v, want one dispatch.ping span from R1", reply.Trace)
+	}
+	untraced := kqml.New(kqml.Ping, "caller", &kqml.PingContent{AgentName: "R1"})
+	reply, err = tr.Call(context.Background(), a.Addr(), untraced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.TraceID != "" || len(reply.Trace) != 0 {
+		t.Errorf("untraced request must stay untraced, got ID=%q trace=%+v", reply.TraceID, reply.Trace)
+	}
+}

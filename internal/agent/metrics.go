@@ -1,0 +1,28 @@
+package agent
+
+import (
+	"time"
+
+	"infosleuth/internal/telemetry"
+)
+
+// Dispatch metrics: every message an agent receives is counted and timed
+// by performative, which is how the paper's conversation layer carves up
+// agent work (ask-all vs advertise vs ping are different conversations
+// with very different costs).
+var (
+	mDispatched = telemetry.Default.CounterVec("infosleuth_agent_dispatched_total",
+		"Messages dispatched by a base agent, by performative.", "performative")
+	mDispatchSeconds = telemetry.Default.HistogramVec("infosleuth_agent_dispatch_seconds",
+		"Handler time per dispatched message in seconds, by performative.", "performative")
+	mBrokerQueries = telemetry.Default.CounterVec("infosleuth_agent_broker_queries_total",
+		"Service queries issued to brokers by a base agent, by outcome.", "outcome")
+)
+
+// observeDispatch records one handled message.
+func observeDispatch(performative string, start time.Time) time.Duration {
+	d := time.Since(start)
+	mDispatched.With(performative).Inc()
+	mDispatchSeconds.With(performative).Observe(d.Seconds())
+	return d
+}

@@ -102,6 +102,8 @@ type Broker struct {
 	cfg     Config
 	repo    *Repository
 	matcher Matcher
+	// matcherName labels the match-duration metric ("direct", "datalog").
+	matcherName string
 
 	// lmu guards listener: Start/Stop run on the owner's goroutine while
 	// handlers read the bound address concurrently.
@@ -148,6 +150,7 @@ func New(cfg Config) (*Broker, error) {
 	if b.matcher == nil {
 		b.matcher = &DirectMatcher{World: cfg.World}
 	}
+	b.matcherName = matcherLabel(b.matcher)
 	return b, nil
 }
 
@@ -277,6 +280,7 @@ func (b *Broker) addPeer(ad *ontology.Advertisement) {
 	// Peer brokers also live in the repository so that queries for
 	// brokers are answerable.
 	_ = b.repo.Put(ad)
+	b.recordRepoSize()
 }
 
 func (b *Broker) removePeer(name string) {
@@ -284,6 +288,7 @@ func (b *Broker) removePeer(name string) {
 	delete(b.peers, adKey(name))
 	b.mu.Unlock()
 	b.repo.Remove(name)
+	b.recordRepoSize()
 }
 
 func (b *Broker) call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
@@ -323,9 +328,11 @@ func (b *Broker) handleRecruit(msg *kqml.Message) *kqml.Message {
 	q.Limit = 1
 	reply, err := b.Search(context.Background(), &kqml.BrokerQuery{Query: q})
 	if err != nil {
+		mRecruits.With("search_error").Inc()
 		return b.sorry(msg, err.Error())
 	}
 	if len(reply.Matches) == 0 {
+		mRecruits.With("no_match").Inc()
 		return b.sorry(msg, "no agent provides the requested service")
 	}
 	target := reply.Matches[0]
@@ -333,8 +340,10 @@ func (b *Broker) handleRecruit(msg *kqml.Message) *kqml.Message {
 	fwd.Receiver = target.Name
 	agentReply, err := b.call(context.Background(), target.Address, &fwd)
 	if err != nil {
+		mRecruits.With("delivery_failed").Inc()
 		return b.sorry(msg, fmt.Sprintf("recruited %s but delivery failed: %v", target.Name, err))
 	}
+	mRecruits.With("ok").Inc()
 	return b.reply(msg, kqml.Tell, &kqml.RecruitReply{Agent: target.Name, Reply: agentReply})
 }
 
@@ -380,6 +389,7 @@ func (b *Broker) handleAdvertise(msg *kqml.Message) *kqml.Message {
 		return b.sorry(msg, err.Error())
 	}
 	b.Stats.AdsAccepted.Add(1)
+	b.recordRepoSize()
 	return b.reply(msg, kqml.Tell, &kqml.AdvertiseContent{Ad: b.Advertisement()})
 }
 
@@ -492,11 +502,13 @@ func (b *Broker) handleUnadvertise(msg *kqml.Message) *kqml.Message {
 	if !b.repo.Remove(name) {
 		return b.sorry(msg, "not advertised")
 	}
+	b.recordRepoSize()
 	return b.reply(msg, kqml.Tell, &kqml.SorryContent{Reason: "unadvertised"})
 }
 
 func (b *Broker) handlePing(msg *kqml.Message) *kqml.Message {
 	b.Stats.PingsHandled.Add(1)
+	mPings.Inc()
 	var pc kqml.PingContent
 	if err := msg.DecodeContent(&pc); err != nil {
 		return b.sorry(msg, "malformed ping")
@@ -510,25 +522,46 @@ func (b *Broker) handleQuery(msg *kqml.Message) *kqml.Message {
 		return b.sorry(msg, "malformed broker query")
 	}
 	b.Stats.QueriesServed.Add(1)
-	reply, err := b.Search(context.Background(), &bq)
+	mQueries.With(b.cfg.Name).Inc()
+	start := time.Now()
+	reply, peerSpans, err := b.searchTraced(context.Background(), &bq, msg.TraceID)
 	if err != nil {
 		return b.sorry(msg, err.Error())
 	}
-	if len(reply.Matches) == 0 {
-		// An empty result is still a successful reply; sorry is
-		// reserved for processing failures. The paper's broker replies
-		// with "no matches", which agents use in broker pings.
-		return b.reply(msg, kqml.Tell, reply)
-	}
-	return b.reply(msg, kqml.Tell, reply)
+	// An empty result is still a successful reply; sorry is reserved for
+	// processing failures. The paper's broker replies with "no matches",
+	// which agents use in broker pings.
+	out := b.reply(msg, kqml.Tell, reply)
+	// The reply carries the peers' spans first, then this broker's own,
+	// so the originator reads the trace innermost-hop-first with its
+	// entry broker last.
+	out.Trace = peerSpans
+	kqml.PropagateTrace(msg, out, kqml.TraceSpan{
+		Agent:          b.cfg.Name,
+		Op:             kqml.OpBrokerSearch,
+		Hop:            bq.Depth,
+		DurationMicros: time.Since(start).Microseconds(),
+	})
+	return out
 }
 
 // Search performs matchmaking for a broker query: the local repository
 // first, then — policy permitting — the inter-broker search of Section 4.3.
 func (b *Broker) Search(ctx context.Context, bq *kqml.BrokerQuery) (*kqml.BrokerReply, error) {
+	reply, _, err := b.searchTraced(ctx, bq, "")
+	return reply, err
+}
+
+// searchTraced is Search carrying a conversation trace ID: forwarded
+// queries propagate the ID so every broker in the search stamps a span,
+// and the spans peers returned come back alongside the reply.
+func (b *Broker) searchTraced(ctx context.Context, bq *kqml.BrokerQuery, traceID string) (*kqml.BrokerReply, []kqml.TraceSpan, error) {
 	q := bq.Query
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if bq.Forwarded {
+		mForwardHops.Observe(float64(bq.Depth))
 	}
 
 	hops := bq.HopsLeft
@@ -556,11 +589,12 @@ func (b *Broker) Search(ctx context.Context, bq *kqml.BrokerQuery) (*kqml.Broker
 
 	local, err := b.matchLocal(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	b.Stats.LocalMatches.Add(int64(len(local)))
 
 	reply := &kqml.BrokerReply{Matches: local, Brokers: []string{b.cfg.Name}}
+	var peerSpans []kqml.TraceSpan
 	done := func() *kqml.BrokerReply {
 		reply.Matches = mergeMatches(b.cfg.World, q, reply.Matches)
 		if q.Limit > 0 && len(reply.Matches) > q.Limit {
@@ -570,7 +604,7 @@ func (b *Broker) Search(ctx context.Context, bq *kqml.BrokerQuery) (*kqml.Broker
 	}
 
 	if follow == ontology.FollowLocal || hops <= 0 {
-		return done(), nil
+		return done(), peerSpans, nil
 	}
 	target := q.Limit
 	if follow == ontology.FollowUntilMatch {
@@ -578,11 +612,11 @@ func (b *Broker) Search(ctx context.Context, bq *kqml.BrokerQuery) (*kqml.Broker
 			target = 1
 		}
 		if len(reply.Matches) >= target {
-			return done(), nil
+			return done(), peerSpans, nil
 		}
 	}
 	if b.cfg.Propagation == OriginOnly && bq.Forwarded {
-		return done(), nil
+		return done(), peerSpans, nil
 	}
 
 	// Select unvisited (and unpruned) peers.
@@ -616,17 +650,18 @@ func (b *Broker) Search(ctx context.Context, bq *kqml.BrokerQuery) (*kqml.Broker
 	if follow == ontology.FollowUntilMatch {
 		// Sequential: stop as soon as the target is met.
 		for _, p := range targets {
-			matches, brokers, err := b.forwardQuery(ctx, p, q, hops-1, fwdVisited)
+			matches, brokers, spans, err := b.forwardQuery(ctx, p, q, hops-1, bq.Depth, fwdVisited, traceID)
 			if err != nil {
 				continue
 			}
 			reply.Matches = mergeMatches(b.cfg.World, q, reply.Matches, matches)
 			reply.Brokers = append(reply.Brokers, brokers...)
+			peerSpans = append(peerSpans, spans...)
 			if len(reply.Matches) >= target {
 				break
 			}
 		}
-		return done(), nil
+		return done(), peerSpans, nil
 	}
 
 	// FollowAll: fan out concurrently (the paper: "forward the request
@@ -634,6 +669,7 @@ func (b *Broker) Search(ctx context.Context, bq *kqml.BrokerQuery) (*kqml.Broker
 	type result struct {
 		matches []*ontology.Advertisement
 		brokers []string
+		spans   []kqml.TraceSpan
 	}
 	results := make(chan result, len(targets))
 	var wg sync.WaitGroup
@@ -641,11 +677,11 @@ func (b *Broker) Search(ctx context.Context, bq *kqml.BrokerQuery) (*kqml.Broker
 		wg.Add(1)
 		go func(p peer) {
 			defer wg.Done()
-			matches, brokers, err := b.forwardQuery(ctx, p, q, hops-1, fwdVisited)
+			matches, brokers, spans, err := b.forwardQuery(ctx, p, q, hops-1, bq.Depth, fwdVisited, traceID)
 			if err != nil {
 				return
 			}
-			results <- result{matches: matches, brokers: brokers}
+			results <- result{matches: matches, brokers: brokers, spans: spans}
 		}(p)
 	}
 	wg.Wait()
@@ -653,8 +689,9 @@ func (b *Broker) Search(ctx context.Context, bq *kqml.BrokerQuery) (*kqml.Broker
 	for r := range results {
 		reply.Matches = mergeMatches(b.cfg.World, q, reply.Matches, r.matches)
 		reply.Brokers = append(reply.Brokers, r.brokers...)
+		peerSpans = append(peerSpans, r.spans...)
 	}
-	return done(), nil
+	return done(), peerSpans, nil
 }
 
 func specializesIn(info *ontology.BrokerInfo, ont string) bool {
@@ -686,27 +723,32 @@ func prunedPeer(info *ontology.BrokerInfo, q *ontology.Query) bool {
 	return false
 }
 
-func (b *Broker) forwardQuery(ctx context.Context, p peer, q *ontology.Query, hopsLeft int, visited []string) ([]*ontology.Advertisement, []string, error) {
+func (b *Broker) forwardQuery(ctx context.Context, p peer, q *ontology.Query, hopsLeft, depth int, visited []string, traceID string) ([]*ontology.Advertisement, []string, []kqml.TraceSpan, error) {
 	b.Stats.InterBrokerSent.Add(1)
+	mForwards.With(b.cfg.Name).Inc()
 	msg := kqml.New(kqml.AskAll, b.cfg.Name, &kqml.BrokerQuery{
 		Query:     q,
 		HopsLeft:  hopsLeft,
 		Visited:   visited,
 		Forwarded: true,
+		Depth:     depth + 1,
 	})
 	msg.Ontology = kqml.ServiceOntology
+	msg.TraceID = traceID
 	reply, err := b.call(ctx, p.addr, msg)
 	if err != nil {
-		return nil, nil, err
+		mForwardErrors.With(b.cfg.Name).Inc()
+		return nil, nil, nil, err
 	}
 	if reply.Performative != kqml.Tell {
-		return nil, nil, fmt.Errorf("broker %s: peer %s: %s", b.cfg.Name, p.name, kqml.ReasonOf(reply))
+		mForwardErrors.With(b.cfg.Name).Inc()
+		return nil, nil, nil, fmt.Errorf("broker %s: peer %s: %s", b.cfg.Name, p.name, kqml.ReasonOf(reply))
 	}
 	var br kqml.BrokerReply
 	if err := reply.DecodeContent(&br); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return br.Matches, br.Brokers, nil
+	return br.Matches, br.Brokers, reply.Trace, nil
 }
 
 // matchLocal runs the matcher over the local repository, charging the
@@ -720,7 +762,10 @@ func (b *Broker) matchLocal(q *ontology.Query) ([]*ontology.Advertisement, error
 		time.Sleep(time.Duration(b.repo.LenNonBroker()) * c)
 		b.costMu.Unlock()
 	}
-	return b.matcher.Match(b.repo, q)
+	start := time.Now()
+	matches, err := b.matcher.Match(b.repo, q)
+	mMatchSeconds.With(b.matcherName).Observe(time.Since(start).Seconds())
+	return matches, err
 }
 
 // PingAgents checks the liveness of every advertised non-broker agent and
@@ -738,8 +783,12 @@ func (b *Broker) PingAgents(ctx context.Context) int {
 		if _, err := b.call(ctx, ad.Address, msg); err != nil {
 			b.repo.Remove(ad.Name)
 			b.Stats.AgentsDropped.Add(1)
+			mAgentsDropped.Inc()
 			dropped++
 		}
+	}
+	if dropped > 0 {
+		b.recordRepoSize()
 	}
 	return dropped
 }

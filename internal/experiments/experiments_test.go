@@ -81,7 +81,7 @@ func TestTable1And2Render(t *testing.T) {
 // TestLiveRunAllStreamsAnswer runs every stream through a single-broker
 // community once and checks all six produce answers.
 func TestLiveRunAllStreamsAnswer(t *testing.T) {
-	res, err := liveRun(StreamSetFor(5), 1, false, fastLive().withDefaults())
+	res, snaps, err := liveRun(StreamSetFor(5), 1, false, fastLive().withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,6 +92,10 @@ func TestLiveRunAllStreamsAnswer(t *testing.T) {
 		if mean <= 0 {
 			t.Errorf("stream %s mean response = %v", name, mean)
 		}
+		s := snaps[name]
+		if s.Count == 0 || s.P95 < s.P50 {
+			t.Errorf("stream %s latency snapshot = %+v", name, s)
+		}
 	}
 }
 
@@ -99,10 +103,10 @@ func TestLiveRunAllStreamsAnswer(t *testing.T) {
 // consortium, both plain and specialized.
 func TestLiveRunMultibroker(t *testing.T) {
 	opts := fastLive().withDefaults()
-	if _, err := liveRun(StreamSetFor(5), 4, false, opts); err != nil {
+	if _, _, err := liveRun(StreamSetFor(5), 4, false, opts); err != nil {
 		t.Fatalf("unspecialized: %v", err)
 	}
-	if _, err := liveRun(StreamSetFor(5), 4, true, opts); err != nil {
+	if _, _, err := liveRun(StreamSetFor(5), 4, true, opts); err != nil {
 		t.Fatalf("specialized: %v", err)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/relational"
 	"infosleuth/internal/stats"
+	"infosleuth/internal/telemetry"
 	"infosleuth/internal/transport"
 	"infosleuth/internal/useragent"
 )
@@ -344,9 +345,15 @@ func (o LiveOptions) withDefaults() LiveOptions {
 }
 
 // liveRun builds a community for one experiment configuration, runs the
-// workload and returns the mean response time per stream.
-func liveRun(streams []Stream, brokers int, specialized bool, opts LiveOptions) (map[string]float64, error) {
+// workload and returns the mean response time per stream, plus a
+// histogram snapshot per stream (count, mean, p50/p95/p99) recorded
+// through a run-private telemetry registry so experiment samples do not
+// pollute the process-wide one.
+func liveRun(streams []Stream, brokers int, specialized bool, opts LiveOptions) (map[string]float64, map[string]telemetry.HistogramSnapshot, error) {
 	ctx := context.Background()
+	reg := telemetry.NewRegistry()
+	latencies := reg.HistogramVec("experiment_query_seconds",
+		"Per-query response time in seconds, by stream.", "stream")
 	tr := &latencyTransport{inner: transport.NewInProc(), delay: opts.NetLatency}
 
 	// Broker configuration: under specialization, broker i declares the
@@ -369,7 +376,7 @@ func liveRun(streams []Stream, brokers int, specialized bool, opts LiveOptions) 
 		},
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer c.Close()
 
@@ -387,19 +394,19 @@ func liveRun(streams []Stream, brokers int, specialized bool, opts LiveOptions) 
 			return []string{addr}
 		}
 		if err := s.build(ctx, c, name, brokersFor, opts.RowsPerClass); err != nil {
-			return nil, fmt.Errorf("building stream %s: %w", s.Name, err)
+			return nil, nil, fmt.Errorf("building stream %s: %w", s.Name, err)
 		}
 		raIndex += s.NumRAs
 	}
 
 	if _, err := c.AddMRQ(ctx, "MRQ agent", "generic"); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	users := make(map[string]*useragent.Agent, len(streams))
 	for _, s := range streams {
 		u, err := c.AddUser(ctx, "user-"+s.Name, "generic")
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		users[s.Name] = u
 	}
@@ -428,6 +435,7 @@ func liveRun(streams []Stream, brokers int, specialized bool, opts LiveOptions) 
 						return
 					}
 					elapsed := time.Since(start).Seconds()
+					latencies.With(s.Name).Observe(elapsed)
 					mu.Lock()
 					results[s.Name].Add(elapsed)
 					mu.Unlock()
@@ -437,14 +445,16 @@ func liveRun(streams []Stream, brokers int, specialized bool, opts LiveOptions) 
 		wg.Wait()
 		close(errCh)
 		for err := range errCh {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	out := make(map[string]float64, len(streams))
+	snaps := make(map[string]telemetry.HistogramSnapshot, len(streams))
 	for name, m := range results {
 		out[name] = m.Mean()
+		snaps[name] = latencies.With(name).Snapshot()
 	}
-	return out, nil
+	return out, snaps, nil
 }
 
 // joinClasses renders a stream's class list.

@@ -64,11 +64,11 @@ func Table3(opts LiveOptions) ([]Table3Result, *Table, error) {
 	var results []Table3Result
 	for expt := 1; expt <= 5; expt++ {
 		streams := StreamSetFor(expt)
-		single, err := liveRun(streams, 1, false, opts)
+		single, _, err := liveRun(streams, 1, false, opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("table3 expt %d single: %w", expt, err)
 		}
-		multi, err := liveRun(streams, opts.MultiBrokers, false, opts)
+		multi, _, err := liveRun(streams, opts.MultiBrokers, false, opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("table3 expt %d multi: %w", expt, err)
 		}
@@ -107,11 +107,11 @@ func table3Render(title string, results []Table3Result) *Table {
 func Table4(opts LiveOptions) (Table3Result, *Table, error) {
 	opts = opts.withDefaults()
 	streams := StreamSetFor(5)
-	plain, err := liveRun(streams, opts.MultiBrokers, false, opts)
+	plain, _, err := liveRun(streams, opts.MultiBrokers, false, opts)
 	if err != nil {
 		return Table3Result{}, nil, fmt.Errorf("table4 unspecialized: %w", err)
 	}
-	spec, err := liveRun(streams, opts.MultiBrokers, true, opts)
+	spec, _, err := liveRun(streams, opts.MultiBrokers, true, opts)
 	if err != nil {
 		return Table3Result{}, nil, fmt.Errorf("table4 specialized: %w", err)
 	}
@@ -130,7 +130,37 @@ func Table4(opts LiveOptions) (Table3Result, *Table, error) {
 // single-broker community and returns the per-stream mean response times —
 // the workload-generator benchmark behind BenchmarkTable1QueryStreams.
 func LiveStreamsOnce(opts LiveOptions) (map[string]float64, error) {
-	return liveRun(StreamSetFor(5), 1, false, opts.withDefaults())
+	means, _, err := liveRun(StreamSetFor(5), 1, false, opts.withDefaults())
+	return means, err
+}
+
+// LatencySummary runs all six query streams through a multibroker
+// community and reports the full response-time distribution per stream —
+// count, mean and p50/p95/p99 in milliseconds — where the paper's tables
+// reduce each stream to a single mean.
+func LatencySummary(opts LiveOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	streams := StreamSetFor(5)
+	_, snaps, err := liveRun(streams, opts.MultiBrokers, false, opts)
+	if err != nil {
+		return nil, fmt.Errorf("latency summary: %w", err)
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Query latency distribution (%d-broker community, ms)", opts.MultiBrokers),
+		Header: []string{"Stream", "Queries", "Mean", "P50", "P95", "P99"},
+	}
+	ms := func(seconds float64) string { return fmt.Sprintf("%.1f", seconds*1e3) }
+	for _, name := range streamOrder {
+		s, ok := snaps[name]
+		if !ok {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprintf("%d", s.Count),
+			ms(s.Mean()), ms(s.P50), ms(s.P95), ms(s.P99),
+		})
+	}
+	return t, nil
 }
 
 // sortedKeys is a test helper-ish utility for deterministic iteration.

@@ -72,8 +72,75 @@ type Message struct {
 	// ReplyWith / InReplyTo link requests to replies.
 	ReplyWith string `json:"reply-with,omitempty"`
 	InReplyTo string `json:"in-reply-to,omitempty"`
+	// TraceID identifies the conversation this message belongs to for
+	// end-to-end tracing: where reply-with/in-reply-to link one
+	// request/reply pair, the trace ID follows the whole conversation
+	// (Section 2.3) across user agent, brokers and resource agents.
+	// Empty means the conversation is untraced.
+	TraceID string `json:"trace-id,omitempty"`
+	// Trace accumulates one span per hop the conversation took; replies
+	// carry the spans gathered so far back toward the originator.
+	Trace []TraceSpan `json:"trace,omitempty"`
 	// Content is the typed payload, JSON-encoded.
 	Content json.RawMessage `json:"content,omitempty"`
+}
+
+// TraceSpan records one hop of a traced conversation: which agent did what
+// and how long it took. Spans ride the KQML envelope next to the
+// conversation bookkeeping fields, so any agent can follow a query from
+// user agent through brokers to resource agents and back.
+type TraceSpan struct {
+	// Agent names the agent the span describes.
+	Agent string `json:"agent"`
+	// Op is what the agent did: a performative for dispatched messages,
+	// or a finer-grained step such as "broker-search".
+	Op string `json:"op"`
+	// Hop is the inter-broker distance from the conversation's origin
+	// broker (0 = the broker first contacted, 1 = one forward away, ...).
+	// It is 0 for non-broker spans.
+	Hop int `json:"hop,omitempty"`
+	// DurationMicros is the span's processing time in microseconds.
+	DurationMicros int64 `json:"us,omitempty"`
+}
+
+// Trace is a completed conversation trace, returned by traced query
+// entry points: the ID that tied the messages together plus every span
+// gathered on the way back to the originator.
+type Trace struct {
+	ID    string      `json:"id"`
+	Spans []TraceSpan `json:"spans"`
+}
+
+// BrokerSpans returns the spans contributed by broker searches, in the
+// order they were appended — the conversation's path through the broker
+// network.
+func (t *Trace) BrokerSpans() []TraceSpan {
+	if t == nil {
+		return nil
+	}
+	var out []TraceSpan
+	for _, s := range t.Spans {
+		if s.Op == OpBrokerSearch {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// OpBrokerSearch is the TraceSpan.Op recorded by a broker for one
+// matchmaking search (local repository plus any inter-broker forwarding
+// it initiated).
+const OpBrokerSearch = "broker.search"
+
+// PropagateTrace copies the request's trace identity onto a reply and
+// appends the given span; it is a no-op for untraced conversations, so
+// callers can apply it unconditionally on hot paths.
+func PropagateTrace(req, reply *Message, span TraceSpan) {
+	if req == nil || reply == nil || req.TraceID == "" {
+		return
+	}
+	reply.TraceID = req.TraceID
+	reply.Trace = append(reply.Trace, span)
 }
 
 // String renders a compact summary for logs.
@@ -132,6 +199,11 @@ type BrokerQuery struct {
 	// Forwarded marks a broker-to-broker forward (so the receiving
 	// broker applies the carried policy rather than re-initializing it).
 	Forwarded bool `json:"forwarded,omitempty"`
+	// Depth is the inter-broker distance from the origin broker (0 at
+	// the broker first contacted, incremented on each forward). Visited
+	// cannot stand in for it because a forwarding round pre-loads the
+	// visited list with every sibling peer it contacts.
+	Depth int `json:"depth,omitempty"`
 }
 
 // BrokerReply is a broker's answer: the matching advertisements, best

@@ -34,6 +34,65 @@ func TestMessageRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTraceRoundTrip(t *testing.T) {
+	m := New(AskAll, "user agent", &SQLQuery{SQL: "select * from C2"})
+	m.TraceID = "deadbeef01234567"
+	m.Trace = []TraceSpan{
+		{Agent: "Broker2", Op: "broker-search", Hop: 1, DurationMicros: 420},
+		{Agent: "Broker1", Op: "broker-search", Hop: 0, DurationMicros: 1300},
+	}
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"trace-id":"deadbeef01234567"`) {
+		t.Errorf("wire frame missing trace-id: %s", data)
+	}
+	m2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.TraceID != m.TraceID {
+		t.Errorf("trace id = %q, want %q", m2.TraceID, m.TraceID)
+	}
+	if len(m2.Trace) != 2 {
+		t.Fatalf("trace spans = %d, want 2", len(m2.Trace))
+	}
+	if m2.Trace[0] != m.Trace[0] || m2.Trace[1] != m.Trace[1] {
+		t.Errorf("spans changed in flight: %+v", m2.Trace)
+	}
+}
+
+func TestTraceOmittedWhenEmpty(t *testing.T) {
+	m := New(Tell, "agent", &PingReply{Known: true})
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "trace") {
+		t.Errorf("untraced message must not carry trace fields: %s", data)
+	}
+}
+
+func TestPropagateTrace(t *testing.T) {
+	req := New(AskAll, "caller", &SQLQuery{SQL: "q"})
+	reply := New(Tell, "callee", &PingReply{Known: true})
+	// Untraced request: propagation is a no-op.
+	PropagateTrace(req, reply, TraceSpan{Agent: "callee", Op: "ask-all"})
+	if reply.TraceID != "" || reply.Trace != nil {
+		t.Errorf("untraced request must not mark the reply: %+v", reply)
+	}
+	// Traced request: the reply inherits the ID and gains the span.
+	req.TraceID = "0123456789abcdef"
+	PropagateTrace(req, reply, TraceSpan{Agent: "callee", Op: "ask-all", DurationMicros: 7})
+	if reply.TraceID != req.TraceID {
+		t.Errorf("reply trace id = %q, want %q", reply.TraceID, req.TraceID)
+	}
+	if len(reply.Trace) != 1 || reply.Trace[0].Agent != "callee" {
+		t.Errorf("reply spans = %+v", reply.Trace)
+	}
+}
+
 func TestUnmarshalErrors(t *testing.T) {
 	if _, err := Unmarshal([]byte("{nope")); err == nil {
 		t.Error("bad JSON should fail")

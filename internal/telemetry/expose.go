@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges emit one sample per label
+// value; histograms emit summary-typed quantile samples plus _sum and
+// _count, which is how Prometheus expects client-side quantiles.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		typ := "counter"
+		switch f.kind {
+		case kindGauge:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "summary"
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, typ); err != nil {
+			return err
+		}
+		for _, s := range f.snapshotSeries() {
+			base := labelPairs(f.label, s.labelValue)
+			switch c := s.collector.(type) {
+			case *Counter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, wrap(base), c.Value()); err != nil {
+					return err
+				}
+			case *Gauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, wrap(base), formatFloat(c.Value())); err != nil {
+					return err
+				}
+			case *Histogram:
+				snap := c.Snapshot()
+				for _, q := range []struct {
+					q string
+					v float64
+				}{{"0.5", snap.P50}, {"0.95", snap.P95}, {"0.99", snap.P99}} {
+					pairs := append(append([]string(nil), base...), `quantile="`+q.q+`"`)
+					if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, wrap(pairs), formatFloat(q.v)); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, wrap(base), formatFloat(snap.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, wrap(base), snap.Count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func labelPairs(label, value string) []string {
+	if label == "" {
+		return nil
+	}
+	return []string{label + `="` + escapeLabel(value) + `"`}
+}
+
+func wrap(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot returns the registry as a JSON-marshalable tree:
+// metric name -> label value -> value (or histogram summary). Unlabeled
+// metrics appear under the empty-string label.
+func (r *Registry) Snapshot() map[string]map[string]any {
+	out := make(map[string]map[string]any)
+	for _, f := range r.snapshotFamilies() {
+		m := make(map[string]any)
+		for _, s := range f.snapshotSeries() {
+			switch c := s.collector.(type) {
+			case *Counter:
+				m[s.labelValue] = c.Value()
+			case *Gauge:
+				m[s.labelValue] = c.Value()
+			case *Histogram:
+				m[s.labelValue] = c.Snapshot()
+			}
+		}
+		if len(m) > 0 {
+			out[f.name] = m
+		}
+	}
+	return out
+}
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  JSON snapshot (histograms as {count,sum,min,max,p50,p95,p99})
+//	/healthz       liveness probe
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Serve exposes the registry at addr (host:port) and returns the running
+// server. The daemons call this behind -metrics-addr.
+func Serve(addr string, r *Registry) (*Server, error) {
+	if r == nil {
+		r = Default
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{srv: srv, ln: ln}, nil
+}
+
+// Server is a running metrics exposition endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (m *Server) Addr() string { return m.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (m *Server) Close() error { return m.srv.Close() }
+
+// SortedNames returns the registered metric names, sorted — handy for
+// documentation tests and debugging.
+func (r *Registry) SortedNames() []string {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// windowSize is the bounded observation window a histogram keeps. 1024
+// samples is enough for stable p50/p95/p99 estimates of a hot path while
+// keeping memory per series fixed — the registry never grows with traffic,
+// only with the number of instrumented sites.
+const windowSize = 1024
+
+// Histogram records observations into a bounded ring window and reports
+// quantile snapshots over the most recent windowSize samples, plus exact
+// lifetime count and sum. Observe is safe for concurrent use and does no
+// allocation, so instrumentation can stay always-on (see the package
+// benchmark).
+type Histogram struct {
+	mu     sync.Mutex
+	window [windowSize]float64
+	next   int // ring write position
+	filled int // how much of the window holds data
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample (by convention: seconds for durations).
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.window[h.next] = v
+	h.next = (h.next + 1) % windowSize
+	if h.filled < windowSize {
+		h.filled++
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	// Count and Sum cover the histogram's whole lifetime.
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	// Min and Max cover the histogram's whole lifetime.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Quantiles are estimated over the most recent bounded window.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Mean returns the lifetime mean, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot computes the current summary. It sorts a copy of the window, so
+// it costs O(window log window) — fine for exposition endpoints, not meant
+// for hot paths.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	n := h.filled
+	samples := make([]float64, n)
+	copy(samples, h.window[:n])
+	snap := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	h.mu.Unlock()
+	if n == 0 {
+		return snap
+	}
+	sort.Float64s(samples)
+	snap.P50 = quantile(samples, 0.50)
+	snap.P95 = quantile(samples, 0.95)
+	snap.P99 = quantile(samples, 0.99)
+	return snap
+}
+
+// quantile reads the q-quantile from a sorted sample using the
+// nearest-rank method.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

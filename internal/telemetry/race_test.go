@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports that the race detector is on; timing assertions are
+// skipped since instrumented atomics run an order of magnitude slower.
+const raceEnabled = true

@@ -1,0 +1,274 @@
+// Package telemetry is the observability layer of the reproduction: a
+// dependency-free metrics registry (atomic counters, gauges, and
+// bounded-window histograms with quantile snapshots) plus the trace-ID
+// generator behind KQML conversation tracing.
+//
+// The paper's evaluation (Section 5) is built on measuring broker routing
+// quality, inter-broker hop counts and query latency; this package gives a
+// running community the same visibility. Instrumented hot paths record into
+// the process-wide Default registry, and every daemon can expose it over
+// HTTP in Prometheus text format (see expose.go) behind a -metrics-addr
+// flag.
+//
+// The registry depends only on the standard library so that every package
+// in the tree — including internal/kqml and internal/transport at the very
+// bottom of the dependency graph — can record into it without cycles.
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// maxLabelValues bounds the per-family label cardinality so that an
+// instrumented path keyed by a caller-controlled string (for example a
+// per-address failure counter) cannot grow the registry without bound
+// under heavy traffic; further label values collapse into "_other".
+const maxLabelValues = 256
+
+// Counter is a monotonically increasing counter. All methods are safe for
+// concurrent use; the zero value is ready.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (queue depths, registry sizes).
+// All methods are safe for concurrent use; the zero value is ready.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the value by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// kind discriminates what a registered name holds, so that one name cannot
+// be registered as two different metric types.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one registered metric name: its help text, its label
+// dimension (empty for unlabeled metrics), and the per-label-value
+// collectors. Unlabeled metrics live under the empty label value.
+type family struct {
+	name  string
+	help  string
+	kind  kind
+	label string
+
+	mu     sync.Mutex
+	order  []string
+	series map[string]any // label value -> *Counter | *Gauge | *Histogram
+}
+
+// get returns the collector for one label value, creating it on first use
+// and collapsing excess cardinality into "_other".
+func (f *family) get(labelValue string, make func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.series[labelValue]; ok {
+		return c
+	}
+	if len(f.series) >= maxLabelValues {
+		labelValue = "_other"
+		if c, ok := f.series[labelValue]; ok {
+			return c
+		}
+	}
+	c := make()
+	f.series[labelValue] = c
+	f.order = append(f.order, labelValue)
+	return c
+}
+
+// Registry holds named metrics. Registration is idempotent: asking for the
+// same name again returns the same collector, so package-level metric
+// variables in different files can share a family. Registering one name as
+// two different types or with two different label dimensions panics — that
+// is a programming error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry the instrumented hot paths record
+// into; daemons expose it via Serve.
+var Default = NewRegistry()
+
+func (r *Registry) family(name, help string, k kind, label string) *family {
+	if name == "" {
+		panic("telemetry: metric name must not be empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k {
+			panic(fmt.Sprintf("telemetry: %s already registered as a %s, not a %s", name, f.kind, k))
+		}
+		if f.label != label {
+			panic(fmt.Sprintf("telemetry: %s already registered with label %q, not %q", name, f.label, label))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: k, label: label, series: make(map[string]any)}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// Counter registers (or retrieves) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, kindCounter, "")
+	return f.get("", func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or retrieves) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge, "")
+	return f.get("", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or retrieves) an unlabeled bounded-window histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	f := r.family(name, help, kindHistogram, "")
+	return f.get("", func() any { return newHistogram() }).(*Histogram)
+}
+
+// CounterVec is a counter family with one label dimension.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or retrieves) a labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, label)}
+}
+
+// With returns the counter for one label value.
+func (v *CounterVec) With(labelValue string) *Counter {
+	return v.f.get(labelValue, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family with one label dimension.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or retrieves) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, kindGauge, label)}
+}
+
+// With returns the gauge for one label value.
+func (v *GaugeVec) With(labelValue string) *Gauge {
+	return v.f.get(labelValue, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with one label dimension.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or retrieves) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help, label string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, kindHistogram, label)}
+}
+
+// With returns the histogram for one label value.
+func (v *HistogramVec) With(labelValue string) *Histogram {
+	return v.f.get(labelValue, func() any { return newHistogram() }).(*Histogram)
+}
+
+// snapshotFamilies returns a stable-ordered copy of the registry contents
+// for the exposition formats.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	return fams
+}
+
+// seriesView is one (label value, collector) pair captured under the
+// family lock.
+type seriesView struct {
+	labelValue string
+	collector  any
+}
+
+func (f *family) snapshotSeries() []seriesView {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]seriesView, 0, len(f.order))
+	ordered := append([]string(nil), f.order...)
+	sort.Strings(ordered)
+	for _, lv := range ordered {
+		out = append(out, seriesView{labelValue: lv, collector: f.series[lv]})
+	}
+	return out
+}
+
+// NewTraceID returns a fresh 16-hex-digit conversation trace ID — the
+// handle that follows one query across user agent, brokers and resource
+// agents (the KQML envelope's trace-id field).
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively impossible; fall back to a
+		// process-local sequence so tracing degrades rather than panics.
+		return fmt.Sprintf("trace-%016x", traceFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var traceFallback atomic.Uint64

@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(3.5)
+	g.Add(-1)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "x")
+	b := r.Counter("same_total", "x")
+	if a != b {
+		t.Error("re-registering a counter should return the same collector")
+	}
+	h1 := r.HistogramVec("same_hist", "x", "op").With("a")
+	h2 := r.HistogramVec("same_hist", "x", "op").With("a")
+	if h1 != h2 {
+		t.Error("re-registering a histogram vec series should return the same collector")
+	}
+}
+
+func TestRegistrationKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name as two kinds should panic")
+		}
+	}()
+	r.Gauge("clash_total", "x")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Errorf("count = %d, want 100", s.Count)
+	}
+	if s.Sum != 5050 {
+		t.Errorf("sum = %v, want 5050", s.Sum)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("min/max = %v/%v, want 1/100", s.Min, s.Max)
+	}
+	if s.P50 != 50 {
+		t.Errorf("p50 = %v, want 50", s.P50)
+	}
+	if s.P95 != 95 {
+		t.Errorf("p95 = %v, want 95", s.P95)
+	}
+	if s.P99 != 99 {
+		t.Errorf("p99 = %v, want 99", s.P99)
+	}
+	if got := s.Mean(); got != 50.5 {
+		t.Errorf("mean = %v, want 50.5", got)
+	}
+}
+
+func TestHistogramWindowBounded(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_window_seconds", "latency")
+	// Fill the window with large values, then overwrite with small ones:
+	// quantiles must reflect only the recent window, while count/sum/max
+	// stay lifetime-exact.
+	for i := 0; i < windowSize; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < windowSize; i++ {
+		h.Observe(1)
+	}
+	s := h.Snapshot()
+	if s.Count != 2*windowSize {
+		t.Errorf("count = %d, want %d", s.Count, 2*windowSize)
+	}
+	if s.P99 != 1 {
+		t.Errorf("p99 = %v, want 1 (old samples must age out of the window)", s.P99)
+	}
+	if s.Max != 1000 {
+		t.Errorf("max = %v, want lifetime 1000", s.Max)
+	}
+}
+
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	s := r.Histogram("test_empty_seconds", "x").Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.Mean() != 0 {
+		t.Errorf("empty snapshot = %+v, want zeros", s)
+	}
+}
+
+// TestConcurrentUpdates exercises every collector type from many
+// goroutines; run with -race (satellite requirement: concurrent
+// counter/histogram updates pass `go test -race`).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "x")
+	g := r.Gauge("conc_gauge", "x")
+	h := r.Histogram("conc_seconds", "x")
+	vec := r.CounterVec("conc_vec_total", "x", "worker")
+	hvec := r.HistogramVec("conc_vec_seconds", "x", "worker")
+
+	const workers, perWorker = 16, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := fmt.Sprintf("w%d", w%4)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i))
+				vec.With(label).Inc()
+				hvec.With(label).Observe(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := h.Snapshot().Count; got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var vecTotal int64
+	for i := 0; i < 4; i++ {
+		vecTotal += vec.With(fmt.Sprintf("w%d", i)).Value()
+	}
+	if vecTotal != workers*perWorker {
+		t.Errorf("vec total = %d, want %d", vecTotal, workers*perWorker)
+	}
+}
+
+func TestLabelCardinalityBounded(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("cardinality_total", "x", "addr")
+	for i := 0; i < maxLabelValues+50; i++ {
+		vec.With(fmt.Sprintf("addr-%d", i)).Inc()
+	}
+	// Everything past the cap collapses into one overflow series.
+	if got := vec.With("_other").Value(); got < 49 {
+		t.Errorf("overflow series = %d, want >= 49", got)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("expo_ops_total", "operations performed").Add(7)
+	r.GaugeVec("expo_size", "repository size", "broker").With("Broker1").Set(12)
+	h := r.Histogram("expo_seconds", "call latency")
+	for i := 0; i < 10; i++ {
+		h.Observe(0.25)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP expo_ops_total operations performed",
+		"# TYPE expo_ops_total counter",
+		"expo_ops_total 7",
+		"# TYPE expo_size gauge",
+		`expo_size{broker="Broker1"} 12`,
+		"# TYPE expo_seconds summary",
+		`expo_seconds{quantile="0.5"} 0.25`,
+		`expo_seconds{quantile="0.99"} 0.25`,
+		"expo_seconds_sum 2.5",
+		"expo_seconds_count 10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "x", "addr").With(`tcp://a"b\c`).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{addr="tcp://a\"b\\c"} 1`) {
+		t.Errorf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http_ops_total", "x").Add(3)
+	r.Histogram("http_seconds", "x").Observe(0.5)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "http_ops_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	var snap map[string]map[string]any
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatalf("bad /metrics.json: %v", err)
+	}
+	if _, ok := snap["http_seconds"]; !ok {
+		t.Errorf("/metrics.json missing histogram: %v", snap)
+	}
+	if out := get("/healthz"); !strings.Contains(out, "ok") {
+		t.Errorf("/healthz = %q", out)
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace id %q: want 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("trace id %q repeated", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"time"
+
+	"infosleuth/internal/telemetry"
+)
+
+// Transport-layer metrics, recorded into the process-wide telemetry
+// registry. The label distinguishes the in-process and TCP transports;
+// per-address failure counts are kept separately because they are the raw
+// signal behind dead-broker detection (Section 4.2.2): an agent's Call
+// failing against a broker address is exactly the observation that starts
+// the re-advertising cycle.
+var (
+	mCalls = telemetry.Default.CounterVec("infosleuth_transport_calls_total",
+		"KQML request/reply calls issued, by transport.", "transport")
+	mCallErrors = telemetry.Default.CounterVec("infosleuth_transport_call_errors_total",
+		"Calls that returned an error, by transport.", "transport")
+	mCallSeconds = telemetry.Default.HistogramVec("infosleuth_transport_call_seconds",
+		"Round-trip latency of KQML calls in seconds, by transport.", "transport")
+	mBytesSent = telemetry.Default.CounterVec("infosleuth_transport_bytes_sent_total",
+		"Request payload bytes written, by transport.", "transport")
+	mBytesReceived = telemetry.Default.CounterVec("infosleuth_transport_bytes_received_total",
+		"Reply payload bytes read, by transport.", "transport")
+	mPeerFailures = telemetry.Default.CounterVec("infosleuth_transport_peer_failures_total",
+		"Failed calls by remote address — the raw signal feeding dead-broker detection.", "addr")
+	mServed = telemetry.Default.CounterVec("infosleuth_transport_served_total",
+		"Incoming messages served, by transport.", "transport")
+	mServeSeconds = telemetry.Default.HistogramVec("infosleuth_transport_serve_seconds",
+		"Server-side handling time per incoming message in seconds, by transport.", "transport")
+	mServeErrors = telemetry.Default.CounterVec("infosleuth_transport_serve_errors_total",
+		"Incoming exchanges aborted by frame or codec errors, by transport.", "transport")
+)
+
+// recordCall folds one completed Call into the registry.
+func recordCall(label, addr string, start time.Time, sent, received int, err error) {
+	mCalls.With(label).Inc()
+	mCallSeconds.With(label).Observe(time.Since(start).Seconds())
+	mBytesSent.With(label).Add(int64(sent))
+	mBytesReceived.With(label).Add(int64(received))
+	if err != nil {
+		mCallErrors.With(label).Inc()
+		mPeerFailures.With(addr).Inc()
+	}
+}
+
+// PeerFailures reports how many calls have failed against addr since the
+// process started. Agents and operators can use it to corroborate a
+// dead-broker diagnosis before dropping the address from the
+// connected-broker-list.
+func PeerFailures(addr string) int64 {
+	return mPeerFailures.With(addr).Value()
+}

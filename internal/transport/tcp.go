@@ -19,6 +19,17 @@ import (
 // corrupted length prefix.
 const MaxFrame = 16 << 20
 
+// ErrFrameTooLarge reports a frame whose length prefix or payload exceeds
+// MaxFrame — on the read side usually a corrupted prefix or a non-KQML
+// peer, on the write side a result that should have been paginated.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrame")
+
+// ErrTruncatedFrame reports a connection that closed or failed in the
+// middle of a frame: the peer died mid-reply, as opposed to a clean close
+// between exchanges (plain io.EOF) or a peer that never existed
+// (ErrUnreachable).
+var ErrTruncatedFrame = errors.New("transport: truncated frame")
+
 // TCP is a Transport over TCP with "tcp://host:port" addresses. Frames are
 // a 4-byte big-endian length followed by the JSON-encoded message; each
 // Call opens a connection, writes one request, reads one reply and closes.
@@ -92,32 +103,51 @@ func serveConn(conn net.Conn, h Handler) {
 	for {
 		req, err := readFrame(conn)
 		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				mServeErrors.With("tcp").Inc()
+			}
 			return
 		}
 		msg, err := kqml.Unmarshal(req)
 		if err != nil {
+			mServeErrors.With("tcp").Inc()
 			return
 		}
+		start := time.Now()
 		reply := safeHandle(h, msg)
+		mServed.With("tcp").Inc()
+		mServeSeconds.With("tcp").Observe(time.Since(start).Seconds())
 		if reply == nil {
 			reply = &kqml.Message{Performative: kqml.Error, Sender: msg.Receiver}
 		}
 		out, err := kqml.Marshal(reply)
 		if err != nil {
+			mServeErrors.With("tcp").Inc()
 			return
 		}
 		if err := writeFrame(conn, out); err != nil {
+			mServeErrors.With("tcp").Inc()
 			return
 		}
 	}
 }
 
 // Call dials the address, sends the message and waits for the reply.
-// Connection refusals surface as ErrUnreachable.
+// Connection refusals surface as ErrUnreachable. The write and read both
+// run under a deadline derived from the context, and cancellation aborts
+// an in-flight exchange, so a hung remote returns the context's error
+// instead of blocking the caller forever.
 func (t *TCP) Call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
+	start := time.Now()
+	reply, sent, received, err := t.doCall(ctx, addr, msg)
+	recordCall("tcp", addr, start, sent, received, err)
+	return reply, err
+}
+
+func (t *TCP) doCall(ctx context.Context, addr string, msg *kqml.Message) (_ *kqml.Message, sent, received int, _ error) {
 	hostport, err := stripTCP(addr)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	timeout := t.DialTimeout
 	if timeout == 0 {
@@ -126,26 +156,46 @@ func (t *TCP) Call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.M
 	d := net.Dialer{Timeout: timeout}
 	conn, err := d.DialContext(ctx, "tcp", hostport)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+		return nil, 0, 0, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
 	defer conn.Close()
-	if deadline, ok := ctx.Deadline(); ok {
-		if err := conn.SetDeadline(deadline); err != nil {
-			return nil, err
+	// Derive the read/write deadline from the context via a watcher rather
+	// than conn.SetDeadline(ctx.Deadline()): ctx.Done() closes only after
+	// ctx.Err() is set, so when a blocked write or read wakes up the cause
+	// is unambiguous. This also covers cancellation without a deadline.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(time.Now())
+		case <-watchDone:
 		}
+	}()
+	// ctxWrap prefers the context's error once it has fired, so callers
+	// see context.DeadlineExceeded / context.Canceled rather than an
+	// opaque i/o timeout.
+	ctxWrap := func(op string, err error) error {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("transport: %s %s: %w", op, addr, ctxErr)
+		}
+		return fmt.Errorf("transport: %s %s: %w", op, addr, err)
 	}
 	out, err := kqml.Marshal(msg)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	if err := writeFrame(conn, out); err != nil {
-		return nil, fmt.Errorf("transport: writing to %s: %w", addr, err)
+		return nil, 0, 0, ctxWrap("writing to", err)
 	}
+	sent = len(out)
 	in, err := readFrame(conn)
 	if err != nil {
-		return nil, fmt.Errorf("transport: reading reply from %s: %w", addr, err)
+		return nil, sent, 0, ctxWrap("reading reply from", err)
 	}
-	return kqml.Unmarshal(in)
+	received = len(in)
+	reply, err := kqml.Unmarshal(in)
+	return reply, sent, received, err
 }
 
 func stripTCP(addr string) (string, error) {
@@ -157,7 +207,7 @@ func stripTCP(addr string) (string, error) {
 
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+		return fmt.Errorf("%w: writing %d bytes (limit %d)", ErrFrameTooLarge, len(payload), MaxFrame)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -171,15 +221,20 @@ func writeFrame(w io.Writer, payload []byte) error {
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			// Bytes arrived, then the stream died: a peer failing
+			// mid-frame, not a clean between-exchanges close.
+			return nil, fmt.Errorf("%w: connection closed mid-header: %v", ErrTruncatedFrame, err)
+		}
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+		return nil, fmt.Errorf("%w: reading %d bytes (limit %d)", ErrFrameTooLarge, n, MaxFrame)
 	}
 	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
+	if m, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: got %d of %d payload bytes: %v", ErrTruncatedFrame, m, n, err)
 	}
 	return payload, nil
 }

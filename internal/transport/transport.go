@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"infosleuth/internal/kqml"
 )
@@ -115,32 +116,45 @@ func (t *InProc) Listen(addr string, h Handler) (Listener, error) {
 // returns ErrUnreachable. Context cancellation is honored before dispatch
 // (in-process handlers are assumed fast).
 func (t *InProc) Call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
+	start := time.Now()
+	reply, sent, received, err := t.doCall(ctx, addr, msg)
+	recordCall("inproc", addr, start, sent, received, err)
+	return reply, err
+}
+
+func (t *InProc) doCall(ctx context.Context, addr string, msg *kqml.Message) (_ *kqml.Message, sent, received int, _ error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	t.mu.RLock()
 	h, ok := t.handlers[addr]
 	t.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnreachable, addr)
+		return nil, 0, 0, fmt.Errorf("%w: %s", ErrUnreachable, addr)
 	}
 	// Round-trip through the codec so in-process behavior matches TCP
 	// exactly (no shared pointers between caller and handler).
 	wire, err := kqml.Marshal(msg)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
+	sent = len(wire)
 	decoded, err := kqml.Unmarshal(wire)
 	if err != nil {
-		return nil, err
+		return nil, sent, 0, err
 	}
+	served := time.Now()
 	reply := safeHandle(h, decoded)
+	mServed.With("inproc").Inc()
+	mServeSeconds.With("inproc").Observe(time.Since(served).Seconds())
 	if reply == nil {
-		return nil, fmt.Errorf("transport: handler at %s returned no reply", addr)
+		return nil, sent, 0, fmt.Errorf("transport: handler at %s returned no reply", addr)
 	}
 	wire, err = kqml.Marshal(reply)
 	if err != nil {
-		return nil, err
+		return nil, sent, 0, err
 	}
-	return kqml.Unmarshal(wire)
+	received = len(wire)
+	out, err := kqml.Unmarshal(wire)
+	return out, sent, received, err
 }

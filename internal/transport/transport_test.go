@@ -1,9 +1,13 @@
 package transport
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -277,8 +281,208 @@ func TestTCPRejectsWrongScheme(t *testing.T) {
 
 func TestFrameSizeLimit(t *testing.T) {
 	var sink frameBuffer
-	if err := writeFrame(&sink, make([]byte, MaxFrame+1)); err == nil {
-		t.Error("oversized frame should be rejected on write")
+	err := writeFrame(&sink, make([]byte, MaxFrame+1))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized write err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// hungListener accepts TCP connections and never replies — the shape of a
+// remote that wedged after accepting (distinct from a dead peer, which
+// refuses the connection outright).
+func hungListener(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []net.Conn
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, conn)
+			mu.Unlock()
+			go func() {
+				// Drain the request but never answer.
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+			}()
+		}
+	}()
+	return "tcp://" + ln.Addr().String(), func() {
+		close(done)
+		ln.Close()
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	}
+}
+
+// TestTCPHungRemoteReturnsContextError is the regression test for the
+// read-path deadline: a remote that accepts the connection and then hangs
+// must fail the Call with the context's error once the deadline passes,
+// not block forever on the read.
+func TestTCPHungRemoteReturnsContextError(t *testing.T) {
+	addr, stop := hungListener(t)
+	defer stop()
+	tr := &TCP{}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := tr.Call(ctx, addr, kqml.New(kqml.Ping, "x", &kqml.PingContent{}))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("call took %v: the read did not honor the deadline", elapsed)
+	}
+}
+
+// TestTCPCancelAbortsInFlightCall covers cancellation without a deadline:
+// before the hardening, a context with no deadline left the connection
+// with no read deadline at all, so a hung remote blocked the caller
+// forever regardless of cancellation.
+func TestTCPCancelAbortsInFlightCall(t *testing.T) {
+	addr, stop := hungListener(t)
+	defer stop()
+	tr := &TCP{}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := tr.Call(ctx, addr, kqml.New(kqml.Ping, "x", &kqml.PingContent{}))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("call took %v: cancellation did not abort the read", elapsed)
+	}
+}
+
+// TestReadFrameOversized covers the read side of the frame limit: a
+// length prefix beyond MaxFrame (a corrupted prefix or a non-KQML peer)
+// surfaces as ErrFrameTooLarge.
+func TestReadFrameOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	_, err := readFrame(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestReadFrameMidFrameEOF covers a peer dying mid-frame: both a
+// truncated header and a truncated payload surface as ErrTruncatedFrame,
+// while a clean close between exchanges stays plain io.EOF (which is how
+// serveConn tells the difference).
+func TestReadFrameMidFrameEOF(t *testing.T) {
+	// Truncated header: two of four length bytes.
+	_, err := readFrame(bytes.NewReader([]byte{0, 0}))
+	if !errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("mid-header err = %v, want ErrTruncatedFrame", err)
+	}
+	// Truncated payload: header promises 100 bytes, 10 arrive.
+	var frame bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	frame.Write(hdr[:])
+	frame.Write(make([]byte, 10))
+	_, err = readFrame(&frame)
+	if !errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("mid-payload err = %v, want ErrTruncatedFrame", err)
+	}
+	// Clean close between exchanges: plain io.EOF, not a frame error.
+	_, err = readFrame(bytes.NewReader(nil))
+	if !errors.Is(err, io.EOF) || errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("clean close err = %v, want plain io.EOF", err)
+	}
+}
+
+// TestErrorPathsAreDistinct pins the taxonomy: unreachable peers,
+// oversized frames, and truncated frames are three different conditions
+// and must never alias (agents treat unreachable as broker death, the
+// others as protocol damage).
+func TestErrorPathsAreDistinct(t *testing.T) {
+	tr := &TCP{DialTimeout: 200 * time.Millisecond}
+	_, refusedErr := tr.Call(context.Background(), "tcp://127.0.0.1:1",
+		kqml.New(kqml.Ping, "x", &kqml.PingContent{}))
+	if !errors.Is(refusedErr, ErrUnreachable) {
+		t.Fatalf("refused err = %v, want ErrUnreachable", refusedErr)
+	}
+	if errors.Is(refusedErr, ErrFrameTooLarge) || errors.Is(refusedErr, ErrTruncatedFrame) {
+		t.Errorf("refused error aliases a frame error: %v", refusedErr)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	_, oversizedErr := readFrame(bytes.NewReader(hdr[:]))
+	if errors.Is(oversizedErr, ErrTruncatedFrame) || errors.Is(oversizedErr, ErrUnreachable) {
+		t.Errorf("oversized error aliases another sentinel: %v", oversizedErr)
+	}
+	_, truncatedErr := readFrame(bytes.NewReader([]byte{0, 0}))
+	if errors.Is(truncatedErr, ErrFrameTooLarge) || errors.Is(truncatedErr, ErrUnreachable) {
+		t.Errorf("truncated error aliases another sentinel: %v", truncatedErr)
+	}
+}
+
+// TestOversizedReplySurfacesOnClient sends a request to a server whose
+// reply frame claims to exceed MaxFrame; the client must fail with
+// ErrFrameTooLarge rather than allocating the bogus size.
+func TestOversizedReplySurfacesOnClient(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, err := readFrame(conn); err != nil {
+			return
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+		_, _ = conn.Write(hdr[:])
+	}()
+	tr := &TCP{}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err = tr.Call(ctx, "tcp://"+ln.Addr().String(), kqml.New(kqml.Ping, "x", &kqml.PingContent{}))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestPeerFailureCounter checks the telemetry feed behind dead-broker
+// detection: failed calls are counted against the remote address.
+func TestPeerFailureCounter(t *testing.T) {
+	tr := &TCP{DialTimeout: 200 * time.Millisecond}
+	const addr = "tcp://127.0.0.1:1"
+	before := PeerFailures(addr)
+	_, _ = tr.Call(context.Background(), addr, kqml.New(kqml.Ping, "x", &kqml.PingContent{}))
+	if got := PeerFailures(addr); got != before+1 {
+		t.Errorf("PeerFailures(%s) = %d, want %d", addr, got, before+1)
 	}
 }
 
