@@ -23,6 +23,7 @@ import (
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/relational"
 	"infosleuth/internal/sim"
+	"infosleuth/internal/transport"
 )
 
 // benchLive are reduced live-experiment options sized for benchmarking.
@@ -298,6 +299,113 @@ func BenchmarkFollowOption(b *testing.B) {
 			b.ResetTimer()
 			runBrokerQueries(b, c, qq)
 		})
+	}
+}
+
+// --- Hot-path benchmarks (transport pool + match cache) ---
+
+// BenchmarkPooledCall measures one full broker call over TCP with the
+// connection pool on (default) and off (dial-per-call, the pre-pool
+// behavior), reporting actual TCP dials per call.
+func BenchmarkPooledCall(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		maxIdle int
+	}{
+		{"pooled", 0},
+		{"dial-per-call", -1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			tr := &transport.TCP{MaxIdleConnsPerHost: mode.maxIdle}
+			br, err := broker.New(broker.Config{
+				Name:      "bench-broker",
+				Address:   "tcp://127.0.0.1:0",
+				Transport: tr,
+				World:     experiments.BenchWorld(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := br.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer br.Stop()
+			for _, ad := range experiments.BenchAds(32) {
+				if err := br.Repository().Put(ad); err != nil {
+					b.Fatal(err)
+				}
+			}
+			msg := kqml.New(kqml.AskAll, "bench-client", &kqml.BrokerQuery{Query: experiments.BenchQuery()})
+			before := transport.SnapshotPoolStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Call(context.Background(), br.Addr(), msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			after := transport.SnapshotPoolStats()
+			b.ReportMetric(float64(after.Dials-before.Dials)/float64(b.N), "dials/call")
+		})
+	}
+}
+
+// BenchmarkMatchCached measures the generation-invalidated match cache
+// over a 400-advertisement repository and reports the speedup against
+// the uncached engine measured in the same process.
+func BenchmarkMatchCached(b *testing.B) {
+	repo := broker.NewRepository()
+	for _, ad := range experiments.BenchAds(400) {
+		if err := repo.Put(ad); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := experiments.BenchQuery()
+	direct := &broker.DirectMatcher{World: experiments.BenchWorld()}
+	cached := broker.NewCachedMatcher(direct, 0)
+
+	// Uncached baseline, timed outside the benchmark clock.
+	const probes = 64
+	start := time.Now()
+	for i := 0; i < probes; i++ {
+		if _, err := direct.Match(repo, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	uncachedPerOp := time.Since(start) / probes
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cached.Match(repo, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if cachedPerOp := b.Elapsed() / time.Duration(b.N); cachedPerOp > 0 {
+		b.ReportMetric(float64(uncachedPerOp)/float64(cachedPerOp), "speedup-x")
+	}
+}
+
+// BenchmarkMatchUncached is the baseline for BenchmarkMatchCached: the
+// direct engine over the same 400-advertisement repository (also the
+// Section 5 modeling mode, DisableMatchCache).
+func BenchmarkMatchUncached(b *testing.B) {
+	repo := broker.NewRepository()
+	for _, ad := range experiments.BenchAds(400) {
+		if err := repo.Put(ad); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := experiments.BenchQuery()
+	direct := &broker.DirectMatcher{World: experiments.BenchWorld()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := direct.Match(repo, q); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

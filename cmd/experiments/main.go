@@ -8,6 +8,12 @@
 // Artifacts: table1 table2 table3 table4 latency fig14 fig15 fig16 fig17
 // table5 table6. EXPERIMENTS.md records the reference output and compares
 // it with the paper's reported results.
+//
+//	experiments -run bench        # hot-path benchmarks -> BENCH_broker.json
+//
+// The bench artifact measures this implementation's transport pool and
+// match cache; it is not part of -run all because the Section 5 artifacts
+// deliberately run with the cache disabled.
 package main
 
 import (
@@ -22,10 +28,12 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "comma-separated artifacts to regenerate (all, table1..table6, fig14..fig17, latency, ext-knowledge)")
-		quick  = flag.Bool("quick", false, "reduced rounds/durations for a fast pass")
-		format = flag.String("format", "text", "output format: text or csv")
-		seed   = flag.Int64("seed", 1999, "base random seed")
+		run      = flag.String("run", "all", "comma-separated artifacts to regenerate (all, table1..table6, fig14..fig17, latency, ext-knowledge, bench)")
+		quick    = flag.Bool("quick", false, "reduced rounds/durations for a fast pass")
+		format   = flag.String("format", "text", "output format: text or csv")
+		seed     = flag.Int64("seed", 1999, "base random seed")
+		benchOut = flag.String("bench-out", "BENCH_broker.json", "output path for the bench artifact")
+		benchAds = flag.Int("bench-ads", 400, "repository size for the match-cache benchmark")
 	)
 	flag.Parse()
 
@@ -104,6 +112,25 @@ func main() {
 	}
 	if sel("ext-knowledge") {
 		printFigure(experiments.ExtBrokerKnowledge(simOpts))
+	}
+	// The hot-path benchmarks measure this implementation, not the
+	// paper's evaluation, so "all" does not include them — ask for them
+	// explicitly with -run bench.
+	if want["bench"] {
+		res, err := experiments.WriteBrokerBench(*benchOut, *benchAds)
+		if err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+		fmt.Printf("  transport: pooled %.0f ns/op %.3f dials/call, dial-per-call %.0f ns/op %.3f dials/call (%.1fx fewer dials)\n",
+			res.TransportPooled.NsPerOp, res.TransportPooled.DialsPerCall,
+			res.TransportDialPerCall.NsPerOp, res.TransportDialPerCall.DialsPerCall,
+			res.DialReductionX)
+		fmt.Printf("  match (%d ads): uncached %.0f ns/op %d allocs/op, cached %.0f ns/op %d allocs/op (%.1fx speedup)\n",
+			res.RepositoryAds,
+			res.MatchUncached.NsPerOp, res.MatchUncached.AllocsPerOp,
+			res.MatchCached.NsPerOp, res.MatchCached.AllocsPerOp,
+			res.CachedSpeedupX)
 	}
 	if sel("table5") || sel("table6") || all {
 		cells := experiments.RobustnessGrid(simOpts)

@@ -74,6 +74,14 @@ type Config struct {
 	// reasoning-time model (1 s per MB of advertisements) at laptop
 	// scale for the live experiments.
 	SyntheticCostPerAd time.Duration
+	// DisableMatchCache turns off the generation-invalidated match
+	// cache, so every query re-runs the matching engine — the original
+	// LDL broker's behavior, which the Section 5 reasoning-cost
+	// experiments model (the experiment harness sets this).
+	DisableMatchCache bool
+	// MatchCacheSize bounds the distinct queries the match cache holds;
+	// zero means DefaultMatchCacheSize.
+	MatchCacheSize int
 	// CallTimeout bounds each outgoing call; zero means 10 s.
 	CallTimeout time.Duration
 }
@@ -150,6 +158,9 @@ func New(cfg Config) (*Broker, error) {
 	if b.matcher == nil {
 		b.matcher = &DirectMatcher{World: cfg.World}
 	}
+	if !cfg.DisableMatchCache {
+		b.matcher = NewCachedMatcher(b.matcher, cfg.MatchCacheSize)
+	}
 	b.matcherName = matcherLabel(b.matcher)
 	return b, nil
 }
@@ -205,7 +216,7 @@ func (b *Broker) Advertisement() *ontology.Advertisement {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	types := make(map[ontology.AgentType]bool)
-	for _, ad := range b.repo.All() {
+	for _, ad := range b.repo.snapshot() {
 		types[ad.Type] = true
 	}
 	var typeList []ontology.AgentType
@@ -547,6 +558,8 @@ func (b *Broker) handleQuery(msg *kqml.Message) *kqml.Message {
 
 // Search performs matchmaking for a broker query: the local repository
 // first, then — policy permitting — the inter-broker search of Section 4.3.
+// The advertisements in the reply are shared immutable snapshots (see
+// Matcher.Match): in-process callers must treat them as read-only.
 func (b *Broker) Search(ctx context.Context, bq *kqml.BrokerQuery) (*kqml.BrokerReply, error) {
 	reply, _, err := b.searchTraced(ctx, bq, "")
 	return reply, err

@@ -1,0 +1,259 @@
+package broker
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"infosleuth/internal/ontology"
+)
+
+// Match caching. A broker serving a steady query stream sees the same
+// handful of service queries over and over (the Section 5 workloads
+// literally replay fixed query streams), yet every arrival used to re-run
+// the full semantic match over the repository. The cache in front of
+// Matcher.Match memoizes ranked results keyed on a canonical
+// serialization of the query, stamped with the repository generation at
+// compute time: any Put/Remove bumps the generation and thereby
+// invalidates every entry at once, with no bookkeeping on the mutation
+// path beyond one atomic increment. Concurrent identical searches — the
+// Flood fan-in case, where one client query arrives at a broker once
+// directly and again via peers — are deduplicated singleflight-style so
+// the match computes once per (query, generation).
+//
+// The cache deliberately memoizes only the matcher's relation (which ads
+// match, in rank order). It does not cache anything per-conversation:
+// traced queries still stamp their own spans, counters still count every
+// arrival, and hop/policy handling runs per request.
+
+// DefaultMatchCacheSize bounds cached distinct queries per broker.
+const DefaultMatchCacheSize = 256
+
+// matchCacheEntry is one memoized result.
+type matchCacheEntry struct {
+	key     string
+	gen     uint64
+	matches []*ontology.Advertisement
+}
+
+// matchFlight is one in-progress computation that concurrent identical
+// lookups wait on.
+type matchFlight struct {
+	done    chan struct{}
+	matches []*ontology.Advertisement
+	err     error
+}
+
+// matchCache is a generation-invalidated LRU of match results with
+// singleflight deduplication. Safe for concurrent use.
+type matchCache struct {
+	cap int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // canonical key -> *matchCacheEntry element
+	lru     *list.List               // front = most recently used
+	flights map[string]*matchFlight  // "key@gen" -> in-progress computation
+}
+
+func newMatchCache(capacity int) *matchCache {
+	if capacity <= 0 {
+		capacity = DefaultMatchCacheSize
+	}
+	return &matchCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		flights: make(map[string]*matchFlight),
+	}
+}
+
+// lookup returns the cached matches for the key at the given generation.
+// An entry stamped with an older generation is dropped (a stale hit must
+// never be served after an invalidation).
+func (c *matchCache) lookup(key string, gen uint64) ([]*ontology.Advertisement, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*matchCacheEntry)
+	if e.gen != gen {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		mMatchCacheInvalidations.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return e.matches, true
+}
+
+// store memoizes a result, evicting the least recently used entry past
+// capacity.
+func (c *matchCache) store(key string, gen uint64, matches []*ontology.Advertisement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*matchCacheEntry)
+		e.gen = gen
+		e.matches = matches
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&matchCacheEntry{key: key, gen: gen, matches: matches})
+	c.entries[key] = el
+	for c.lru.Len() > c.cap {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.entries, old.Value.(*matchCacheEntry).key)
+		mMatchCacheEvictions.Inc()
+	}
+	mMatchCacheEntries.Set(float64(c.lru.Len()))
+}
+
+// len reports the resident entry count (tests).
+func (c *matchCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// CachedMatcher memoizes an inner Matcher's results in a
+// generation-invalidated LRU. It implements Matcher and is what Broker
+// installs in front of the configured engine unless
+// Config.DisableMatchCache is set.
+type CachedMatcher struct {
+	// Inner is the matching engine computing misses.
+	Inner Matcher
+	cache *matchCache
+}
+
+// NewCachedMatcher wraps inner with a match cache holding up to capacity
+// distinct queries (<= 0 means DefaultMatchCacheSize).
+func NewCachedMatcher(inner Matcher, capacity int) *CachedMatcher {
+	return &CachedMatcher{Inner: inner, cache: newMatchCache(capacity)}
+}
+
+// Match implements Matcher. Hits return a fresh slice header over the
+// memoized (immutable-snapshot) ads, so callers may reorder or truncate
+// their result without corrupting the cache.
+func (m *CachedMatcher) Match(repo *Repository, q *ontology.Query) ([]*ontology.Advertisement, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	key := canonicalQuery(q)
+	// The generation is read before the match runs. If a Put lands in
+	// between, the computed result is stamped with the pre-Put
+	// generation and the next lookup (seeing the bumped generation)
+	// recomputes — conservative, never stale.
+	gen := repo.Generation()
+	if matches, ok := m.cache.lookup(key, gen); ok {
+		mMatchCacheOps.With("hit").Inc()
+		return append([]*ontology.Advertisement(nil), matches...), nil
+	}
+	mMatchCacheOps.With("miss").Inc()
+
+	// Singleflight per (key, generation): the first arrival computes,
+	// concurrent identical arrivals wait and share the result. Keying
+	// the flight on the generation keeps a post-invalidation request
+	// from piggybacking on a pre-invalidation computation.
+	fkey := key + "@" + strconv.FormatUint(gen, 10)
+	m.cache.mu.Lock()
+	if f, ok := m.cache.flights[fkey]; ok {
+		m.cache.mu.Unlock()
+		<-f.done
+		mMatchCacheOps.With("shared").Inc()
+		if f.err != nil {
+			return nil, f.err
+		}
+		return append([]*ontology.Advertisement(nil), f.matches...), nil
+	}
+	f := &matchFlight{done: make(chan struct{})}
+	m.cache.flights[fkey] = f
+	m.cache.mu.Unlock()
+
+	matches, err := m.Inner.Match(repo, q)
+	f.matches, f.err = matches, err
+	close(f.done)
+
+	m.cache.mu.Lock()
+	delete(m.cache.flights, fkey)
+	m.cache.mu.Unlock()
+
+	if err != nil {
+		return nil, err
+	}
+	m.cache.store(key, gen, matches)
+	return append([]*ontology.Advertisement(nil), matches...), nil
+}
+
+// Len reports the resident cached query count.
+func (m *CachedMatcher) Len() int { return m.cache.len() }
+
+// canonicalQuery serializes the match-relevant fields of a query into a
+// deterministic cache key. Two queries that must produce the same match
+// result produce the same key: conjunctive requirement lists are sorted
+// (their order never affects matching) and case-folded like the matcher
+// folds them. Limit and Policy are deliberately excluded — the matcher
+// ignores both (the broker applies the limit after merging, and policy
+// only steers inter-broker forwarding).
+func canonicalQuery(q *ontology.Query) string {
+	var b strings.Builder
+	b.Grow(128)
+	b.WriteString("t=")
+	b.WriteString(strings.ToLower(string(q.Type)))
+	b.WriteString(";cl=")
+	b.WriteString(strings.ToLower(q.ContentLanguage))
+	b.WriteString(";al=")
+	b.WriteString(strings.ToLower(q.CommLanguage))
+	writeSortedList(&b, ";cv=", q.Conversations)
+	writeSortedList(&b, ";cap=", q.Capabilities)
+	b.WriteString(";o=")
+	b.WriteString(strings.ToLower(q.Ontology))
+	writeSortedList(&b, ";cls=", q.Classes)
+	writeSortedList(&b, ";sl=", q.Slots)
+	b.WriteString(";con=")
+	if q.Constraints.Len() > 0 {
+		// Set.String renders atoms in sorted field order: deterministic.
+		b.WriteString(q.Constraints.String())
+	}
+	b.WriteString(";mr=")
+	b.WriteString(strconv.FormatFloat(q.MaxResponseSec, 'g', -1, 64))
+	b.WriteString(";mob=")
+	switch {
+	case q.RequireMobile == nil:
+		b.WriteString("any")
+	case *q.RequireMobile:
+		b.WriteString("y")
+	default:
+		b.WriteString("n")
+	}
+	return b.String()
+}
+
+// writeSortedList appends a case-folded, sorted rendering of a
+// requirement list, so semantically identical queries share a key
+// regardless of declaration order.
+func writeSortedList(b *strings.Builder, prefix string, vals []string) {
+	b.WriteString(prefix)
+	if len(vals) == 0 {
+		return
+	}
+	if len(vals) == 1 {
+		b.WriteString(strings.ToLower(vals[0]))
+		return
+	}
+	sorted := make([]string, len(vals))
+	for i, v := range vals {
+		sorted[i] = strings.ToLower(v)
+	}
+	sort.Strings(sorted)
+	for i, v := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v)
+	}
+}

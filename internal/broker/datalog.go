@@ -28,7 +28,10 @@ func (m *DatalogMatcher) Match(repo *Repository, q *ontology.Query) ([]*ontology
 	p := datalog.NewProgram()
 	m.assertHierarchy(p)
 	m.assertOntologies(p)
-	ads := repo.All()
+	// snapshot hands out the repository's immutable entries directly;
+	// both the fact-assertion pass and the returned matches only read
+	// them, so no per-match clone is needed.
+	ads := repo.snapshot()
 	for _, ad := range ads {
 		m.assertAdvertisement(p, ad)
 	}
@@ -43,7 +46,7 @@ func (m *DatalogMatcher) Match(repo *Repository, q *ontology.Query) ([]*ontology
 	var out []*ontology.Advertisement
 	for _, ad := range ads {
 		if db.Contains(datalog.NewFact("recommend", adKey(ad.Name))) {
-			out = append(out, ad.Clone())
+			out = append(out, ad)
 		}
 	}
 	rankMatches(m.World, out, q)

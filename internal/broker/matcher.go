@@ -2,6 +2,7 @@ package broker
 
 import (
 	"sort"
+	"sync"
 
 	"infosleuth/internal/ontology"
 )
@@ -14,7 +15,10 @@ import (
 type Matcher interface {
 	// Match returns the matching advertisements, best semantic match
 	// first (ties broken by name for determinism). The returned ads are
-	// copies.
+	// the repository's immutable snapshots, shared with other callers:
+	// they must be treated as read-only. Reordering or truncating the
+	// returned slice is fine; mutating an Advertisement through it is
+	// not.
 	Match(repo *Repository, q *ontology.Query) ([]*ontology.Advertisement, error)
 }
 
@@ -29,55 +33,88 @@ func (m *DirectMatcher) Match(repo *Repository, q *ontology.Query) ([]*ontology.
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	var out []*ontology.Advertisement
-	for _, ad := range repo.candidates(q) {
+	cands := repo.candidates(q)
+	out := make([]*ontology.Advertisement, 0, len(cands))
+	for _, ad := range cands {
 		if ontology.Match(m.World, ad, q) == ontology.Matched {
-			out = append(out, ad.Clone())
+			out = append(out, ad)
 		}
 	}
 	rankMatches(m.World, out, q)
 	return out, nil
 }
 
+// rankedAds sorts an ad slice and its parallel score slice together:
+// best score first, name as the deterministic tiebreak. Implementing
+// sort.Interface over the two parallel slices avoids allocating a
+// []struct{ad, score} per match call on the hot path.
+type rankedAds struct {
+	ads    []*ontology.Advertisement
+	scores []int
+}
+
+func (r *rankedAds) Len() int { return len(r.ads) }
+func (r *rankedAds) Less(i, j int) bool {
+	if r.scores[i] != r.scores[j] {
+		return r.scores[i] > r.scores[j]
+	}
+	return r.ads[i].Name < r.ads[j].Name
+}
+func (r *rankedAds) Swap(i, j int) {
+	r.ads[i], r.ads[j] = r.ads[j], r.ads[i]
+	r.scores[i], r.scores[j] = r.scores[j], r.scores[i]
+}
+
+// rankPool recycles the score slices (and their rankedAds headers)
+// between rankMatches calls.
+var rankPool = sync.Pool{
+	New: func() any { return &rankedAds{scores: make([]int, 0, 64)} },
+}
+
 // rankMatches sorts best-semantic-match first (the paper's MRQ2 example:
 // the specialist is recommended over the generalist), with name as the
 // deterministic tiebreak.
 func rankMatches(w *ontology.World, ads []*ontology.Advertisement, q *ontology.Query) {
-	type scored struct {
-		ad    *ontology.Advertisement
-		score int
+	if len(ads) < 2 {
+		return
 	}
-	ss := make([]scored, len(ads))
-	for i, ad := range ads {
-		ss[i] = scored{ad: ad, score: ontology.Specificity(w, ad, q)}
+	r := rankPool.Get().(*rankedAds)
+	r.ads = ads
+	r.scores = r.scores[:0]
+	for _, ad := range ads {
+		r.scores = append(r.scores, ontology.Specificity(w, ad, q))
 	}
-	sort.SliceStable(ss, func(i, j int) bool {
-		if ss[i].score != ss[j].score {
-			return ss[i].score > ss[j].score
-		}
-		return ss[i].ad.Name < ss[j].ad.Name
-	})
-	for i := range ss {
-		ads[i] = ss[i].ad
-	}
+	sort.Stable(r)
+	r.ads = nil
+	rankPool.Put(r)
 }
 
 // mergeMatches unions match lists from several brokers, eliminating
 // duplicate agents by name (the paper: the initiating broker "combines
 // them with its own list of providing agents, eliminating duplicated
-// entries") and re-ranking the union.
+// entries") and re-ranking the union. Duplicates are eliminated after
+// ranking, so when two brokers return different copies of the same agent
+// (one stale, one freshly re-advertised with narrower content) the
+// highest-ranked copy survives rather than whichever list happened to be
+// merged first.
 func mergeMatches(w *ontology.World, q *ontology.Query, lists ...[]*ontology.Advertisement) []*ontology.Advertisement {
-	seen := make(map[string]bool)
-	var out []*ontology.Advertisement
+	n := 0
 	for _, list := range lists {
-		for _, ad := range list {
-			key := adKey(ad.Name)
-			if !seen[key] {
-				seen[key] = true
-				out = append(out, ad)
-			}
+		n += len(list)
+	}
+	all := make([]*ontology.Advertisement, 0, n)
+	for _, list := range lists {
+		all = append(all, list...)
+	}
+	rankMatches(w, all, q)
+	seen := make(map[string]bool, len(all))
+	out := all[:0]
+	for _, ad := range all {
+		key := adKey(ad.Name)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, ad)
 		}
 	}
-	rankMatches(w, out, q)
 	return out
 }

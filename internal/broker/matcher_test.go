@@ -246,6 +246,78 @@ func TestMergeMatchesDeduplicates(t *testing.T) {
 	}
 }
 
+// TestMergeMatchesKeepsBestRankedCopy: when two brokers hold different
+// copies of the same agent (a stale broad one and a re-advertised
+// specific one), the merged result must keep the copy that ranks higher
+// for the query — not whichever list was merged first.
+func TestMergeMatchesKeepsBestRankedCopy(t *testing.T) {
+	w := matcherWorld()
+	q := &ontology.Query{
+		Ontology:     "generic",
+		Classes:      []string{"C2"},
+		Capabilities: []string{ontology.CapRelationalQueryProcessing},
+	}
+
+	// Broad copy: matches the class but dropped its capability claim.
+	broad := resourceAd("dup-agent", "C2")
+	broad.Capabilities = nil
+	// Specific copy: also advertises the requested capability, which
+	// Specificity scores higher.
+	specific := resourceAd("dup-agent", "C2")
+
+	sBroad := ontology.Specificity(w, broad, q)
+	sSpecific := ontology.Specificity(w, specific, q)
+	if sSpecific <= sBroad {
+		t.Fatalf("fixture broken: specific copy scores %d, broad %d", sSpecific, sBroad)
+	}
+
+	// The broad (lower-ranked) copy arrives in the FIRST list — the
+	// first-seen-wins bug kept this one.
+	merged := mergeMatches(w, q,
+		[]*ontology.Advertisement{broad},
+		[]*ontology.Advertisement{specific},
+	)
+	if len(merged) != 1 {
+		t.Fatalf("merged = %v, want 1", namesOf(merged))
+	}
+	if got := ontology.Specificity(w, merged[0], q); got != sSpecific {
+		t.Errorf("merge kept the copy with specificity %d, want the best copy (%d)", got, sSpecific)
+	}
+}
+
+// TestMatchOrderStability: candidates no longer pre-sorts (the ranker
+// re-ranks with a name tiebreak), so repeated matches over an unchanged
+// repository must return an identical, deterministic order — including
+// across index-narrowed and full-scan paths.
+func TestMatchOrderStability(t *testing.T) {
+	w := matcherWorld()
+	m := &DirectMatcher{World: w}
+	queries := []*ontology.Query{
+		{Ontology: "generic"}, // index-narrowed (byOntology)
+		{},                    // full scan
+		{Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C2"}}, // 2-set intersect
+	}
+	// Fresh repositories exercise fresh map iteration orders.
+	var want []string
+	for trial := 0; trial < 10; trial++ {
+		repo := matcherFixture(t)
+		for qi, q := range queries {
+			got, err := m.Match(repo, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := fmt.Sprintf("q%d:%v", qi, namesOf(got))
+			if trial == 0 {
+				want = append(want, key)
+				continue
+			}
+			if key != want[qi] {
+				t.Fatalf("trial %d: order changed: %s != %s", trial, key, want[qi])
+			}
+		}
+	}
+}
+
 func BenchmarkMatcherDirectVsDatalog(b *testing.B) {
 	repo := NewRepository()
 	w := matcherWorld()

@@ -28,15 +28,49 @@ var (
 		"Broker pings answered (the Section 4.2.2 liveness checks).")
 	mAgentsDropped = telemetry.Default.Counter("infosleuth_broker_agents_dropped_total",
 		"Advertised agents dropped after failing a liveness ping.")
+
+	// Match-cache metrics. hit/miss is the headline ratio; "shared"
+	// counts lookups that piggybacked on a concurrent identical
+	// computation (the Flood fan-in dedup), and invalidations counts
+	// entries dropped because the repository generation moved on.
+	mMatchCacheOps = telemetry.Default.CounterVec("infosleuth_broker_match_cache_total",
+		"Match cache lookups, by result (hit, miss, shared).", "result")
+	mMatchCacheInvalidations = telemetry.Default.Counter("infosleuth_broker_match_cache_invalidations_total",
+		"Cached match results dropped because a Put/Remove bumped the repository generation.")
+	mMatchCacheEvictions = telemetry.Default.Counter("infosleuth_broker_match_cache_evictions_total",
+		"Cached match results evicted by the LRU capacity bound.")
+	mMatchCacheEntries = telemetry.Default.Gauge("infosleuth_broker_match_cache_entries",
+		"Match results currently resident in the cache.")
 )
 
-// matcherLabel names the matchmaking engine for the duration metric.
+// MatchCacheStats snapshots the process-wide match-cache counters, for
+// benchmarks and the BENCH_broker.json writer.
+type MatchCacheStats struct {
+	Hits   int64
+	Misses int64
+	Shared int64
+}
+
+// SnapshotMatchCacheStats reads the match-cache counters.
+func SnapshotMatchCacheStats() MatchCacheStats {
+	return MatchCacheStats{
+		Hits:   mMatchCacheOps.With("hit").Value(),
+		Misses: mMatchCacheOps.With("miss").Value(),
+		Shared: mMatchCacheOps.With("shared").Value(),
+	}
+}
+
+// matcherLabel names the matchmaking engine for the duration metric,
+// unwrapping the cache so the label reflects the engine that computes
+// misses.
 func matcherLabel(m Matcher) string {
-	switch m.(type) {
+	switch mm := m.(type) {
 	case *DirectMatcher:
 		return "direct"
 	case *DatalogMatcher:
 		return "datalog"
+	case *CachedMatcher:
+		return matcherLabel(mm.Inner)
 	default:
 		return "custom"
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"infosleuth/internal/ontology"
 )
@@ -18,9 +19,21 @@ import (
 // supported ontology and content language, so matchmaking intersects index
 // hits before running the full semantic match. It is safe for concurrent
 // use.
+//
+// Stored advertisements are immutable snapshots: Put clones its argument
+// once, and nothing mutates an entry afterwards — an update Puts a fresh
+// clone under the same key. Internal readers (candidates, snapshot) hand
+// out the stored pointers directly under a read-only contract, which is
+// what lets the matchmaking hot path skip per-match cloning; the exported
+// Get/All still clone for callers outside the package's control.
 type Repository struct {
 	mu  sync.RWMutex
 	ads map[string]*ontology.Advertisement // by lower-cased agent name
+
+	// gen counts mutations (Put/Remove). The match cache stamps each
+	// entry with the generation it was computed at; a bump invalidates
+	// every cached result without touching the cache itself.
+	gen atomic.Uint64
 
 	// Secondary indexes: value → set of agent keys.
 	byType     map[ontology.AgentType]map[string]bool
@@ -77,6 +90,7 @@ func (r *Repository) Put(ad *ontology.Advertisement) error {
 	}
 	r.ads[key] = cp
 	r.indexLocked(key, cp)
+	r.gen.Add(1)
 	return nil
 }
 
@@ -90,8 +104,15 @@ func (r *Repository) Remove(name string) bool {
 	}
 	r.unindexLocked(key)
 	delete(r.ads, key)
+	r.gen.Add(1)
 	return true
 }
+
+// Generation returns the repository's mutation counter. It increments
+// before Put/Remove return, so any result computed from a generation read
+// before the call cannot be served as current afterwards — the match
+// cache's invalidation signal.
+func (r *Repository) Generation() uint64 { return r.gen.Load() }
 
 // Get returns a copy of an agent's advertisement.
 func (r *Repository) Get(name string) (*ontology.Advertisement, bool) {
@@ -191,13 +212,16 @@ func (r *Repository) unindexLocked(key string) {
 }
 
 // candidates returns the advertisement pointers a query could match,
-// narrowed by the secondary indexes when possible. Callers must not mutate
-// the returned ads.
+// narrowed by the secondary indexes when possible. The returned ads are
+// the repository's immutable snapshots: callers must not mutate them.
+// The result order is unspecified — every caller (the matchers) re-ranks
+// with rankMatches, whose name tiebreak restores determinism, so
+// candidates does not pay for a sort of its own.
 func (r *Repository) candidates(q *ontology.Query) []*ontology.Advertisement {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if !r.indexed {
-		return r.allLocked()
+		return r.unsortedLocked()
 	}
 	var sets []map[string]bool
 	if q.Type != ontology.TypeAny {
@@ -210,12 +234,15 @@ func (r *Repository) candidates(q *ontology.Query) []*ontology.Advertisement {
 		sets = append(sets, r.byLanguage[strings.ToLower(q.ContentLanguage)])
 	}
 	if len(sets) == 0 {
-		return r.allLocked()
+		return r.unsortedLocked()
 	}
-	// Intersect starting from the smallest set.
-	sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+	// Intersect starting from the smallest set; with a single set there
+	// is nothing to order.
+	if len(sets) > 1 {
+		sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+	}
 	smallest := sets[0]
-	var out []*ontology.Advertisement
+	out := make([]*ontology.Advertisement, 0, len(smallest))
 outer:
 	for key := range smallest {
 		for _, s := range sets[1:] {
@@ -225,15 +252,25 @@ outer:
 		}
 		out = append(out, r.ads[key])
 	}
+	return out
+}
+
+// snapshot returns every stored advertisement as shared immutable
+// snapshots, sorted by name. Package-internal: callers must not mutate
+// the ads (the DatalogMatcher's fact-assertion pass, the broker's
+// self-advertisement summary).
+func (r *Repository) snapshot() []*ontology.Advertisement {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := r.unsortedLocked()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-func (r *Repository) allLocked() []*ontology.Advertisement {
+func (r *Repository) unsortedLocked() []*ontology.Advertisement {
 	out := make([]*ontology.Advertisement, 0, len(r.ads))
 	for _, ad := range r.ads {
 		out = append(out, ad)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

@@ -1,0 +1,118 @@
+package broker
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/transport"
+)
+
+// TestConcurrentMutationVsCachedSearch is the cache-coherence stress
+// test (run under -race in CI): repository mutations interleave with
+// cached searches, and the cache must never serve a result that predates
+// a completed mutation. Concretely:
+//
+//   - a mutator flaps one advertisement (Put, verify present; Remove,
+//     verify absent) — each verification searches AFTER the mutation
+//     returned, so a hit on a pre-mutation cache entry is a bug;
+//   - reader goroutines hammer the same query (maximizing cache traffic
+//     and singleflight collisions) and check an invariant that holds at
+//     every generation: the anchor ads are always recommended;
+//   - everything flows through Broker.Search so the shared snapshot ads
+//     cross goroutines exactly as they do in production, letting the
+//     race detector see any mutation of a shared Advertisement.
+func TestConcurrentMutationVsCachedSearch(t *testing.T) {
+	tr := transport.NewInProc()
+	b, err := New(Config{Name: "B1", Transport: tr, World: matcherWorld()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchors are always present; the flapper comes and goes.
+	for i := 0; i < 8; i++ {
+		if err := b.Repository().Put(resourceAd(fmt.Sprintf("anchor-%d", i), "C2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := &ontology.Query{Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C2"}}
+	search := func() []*ontology.Advertisement {
+		reply, err := b.Search(context.Background(), &kqml.BrokerQuery{Query: q.Clone()})
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return reply.Matches
+	}
+	has := func(matches []*ontology.Advertisement, name string) bool {
+		for _, ad := range matches {
+			if ad.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	const (
+		readers = 4
+		rounds  = 200
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Readers: hammer the cached query, touch every returned ad's fields
+	// (so the race detector watches the shared snapshots), and check the
+	// generation-independent invariant.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				matches := search()
+				anchors := 0
+				for _, ad := range matches {
+					// Read through the shared snapshot's nested fields so
+					// the race detector watches them.
+					if ad.Type != ontology.TypeResource || ad.Content[0].Ontology == "" {
+						t.Errorf("corrupted snapshot ad: %+v", ad)
+						return
+					}
+					if ad.Name[0] == 'a' {
+						anchors++
+					}
+				}
+				if anchors < 8 {
+					t.Errorf("search returned %d anchors, want 8: %v", anchors, namesOf(matches))
+					return
+				}
+			}
+		}()
+	}
+
+	// Mutator: flap the extra ad and verify the cache tracks every
+	// completed mutation immediately.
+	for i := 0; i < rounds; i++ {
+		flapper := resourceAd("flapper", "C2")
+		if i%2 == 0 {
+			// Vary the copy so a stale cached snapshot is detectable.
+			flapper.Capabilities = []string{ontology.CapSelect}
+		}
+		if err := b.Repository().Put(flapper); err != nil {
+			t.Fatal(err)
+		}
+		if m := search(); !has(m, "flapper") {
+			t.Fatalf("round %d: stale cache: flapper missing right after Put: %v", i, namesOf(m))
+		}
+		if !b.Repository().Remove("flapper") {
+			t.Fatalf("round %d: flapper vanished", i)
+		}
+		if m := search(); has(m, "flapper") {
+			t.Fatalf("round %d: stale cache: flapper still recommended right after Remove", i)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

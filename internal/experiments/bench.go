@@ -1,0 +1,228 @@
+// Broker hot-path benchmarks: pooled transport calls and cached
+// matchmaking, emitted as BENCH_broker.json by `experiments -run bench`.
+// These measure the implementation (DESIGN.md "Performance"), not the
+// paper's Section 5 results — the Section 5 artifacts always run with
+// the match cache disabled so they model the original uncached LDL
+// broker.
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"infosleuth/internal/broker"
+	"infosleuth/internal/constraint"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/transport"
+)
+
+// BenchStat is one benchmark's headline numbers.
+type BenchStat struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	DialsPerCall float64 `json:"dials_per_call,omitempty"`
+}
+
+// BrokerBenchResult is the checked-in BENCH_broker.json shape.
+type BrokerBenchResult struct {
+	Note                 string    `json:"note"`
+	RepositoryAds        int       `json:"repository_ads"`
+	TransportPooled      BenchStat `json:"transport_pooled"`
+	TransportDialPerCall BenchStat `json:"transport_dial_per_call"`
+	DialReductionX       float64   `json:"dial_reduction_x"`
+	MatchUncached        BenchStat `json:"match_uncached"`
+	MatchCached          BenchStat `json:"match_cached"`
+	CachedSpeedupX       float64   `json:"cached_speedup_x"`
+}
+
+// BenchWorld is the ontology world shared by the hot-path benchmarks.
+func BenchWorld() *ontology.World {
+	return ontology.NewWorld(ontology.Generic())
+}
+
+// BenchAds builds n resource advertisements spread over the generic
+// ontology's classes, each with a distinct range constraint so the
+// matcher exercises constraint intersection, not just class lookup.
+func BenchAds(n int) []*ontology.Advertisement {
+	ads := make([]*ontology.Advertisement, 0, n)
+	for i := 0; i < n; i++ {
+		class := fmt.Sprintf("C%d", i%6+1)
+		ads = append(ads, &ontology.Advertisement{
+			Name:             fmt.Sprintf("bench-ra-%03d", i),
+			Address:          fmt.Sprintf("inproc://bench-ra-%03d", i),
+			Type:             ontology.TypeResource,
+			CommLanguages:    []string{ontology.LangKQML},
+			ContentLanguages: []string{ontology.LangSQL2},
+			Conversations:    []string{ontology.ConvAskAll},
+			Capabilities:     []string{ontology.CapRelationalQueryProcessing},
+			Content: []ontology.Fragment{{
+				Ontology:    "generic",
+				Classes:     []string{class},
+				Constraints: constraint.MustParse(fmt.Sprintf("%s.a between %d and %d", class, i*10, i*10+500)),
+			}},
+		})
+	}
+	return ads
+}
+
+// BenchQuery is the repeated hot-path query: class-constrained with a
+// capability requirement, so ranking has something to score.
+func BenchQuery() *ontology.Query {
+	return &ontology.Query{
+		Type:         ontology.TypeResource,
+		Ontology:     "generic",
+		Classes:      []string{"C2"},
+		Capabilities: []string{ontology.CapRelationalQueryProcessing},
+	}
+}
+
+func benchRepository(n int) (*broker.Repository, error) {
+	repo := broker.NewRepository()
+	for _, ad := range BenchAds(n) {
+		if err := repo.Put(ad); err != nil {
+			return nil, err
+		}
+	}
+	return repo, nil
+}
+
+func stat(r testing.BenchmarkResult) BenchStat {
+	return BenchStat{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// transportBench measures one full broker call (TCP frame + matchmaking)
+// with the given pool setting and reports TCP dials per call.
+func transportBench(maxIdle, ads int) (BenchStat, error) {
+	tr := &transport.TCP{MaxIdleConnsPerHost: maxIdle}
+	b, err := broker.New(broker.Config{
+		Name:      "bench-broker",
+		Address:   "tcp://127.0.0.1:0",
+		Transport: tr,
+		World:     BenchWorld(),
+	})
+	if err != nil {
+		return BenchStat{}, err
+	}
+	if err := b.Start(); err != nil {
+		return BenchStat{}, err
+	}
+	defer b.Stop()
+	for _, ad := range BenchAds(ads) {
+		if err := b.Repository().Put(ad); err != nil {
+			return BenchStat{}, err
+		}
+	}
+	msg := kqml.New(kqml.AskAll, "bench-client", &kqml.BrokerQuery{Query: BenchQuery()})
+	var calls, failed atomic.Int64
+	before := transport.SnapshotPoolStats().Dials
+	res := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			if _, err := tr.Call(context.Background(), b.Addr(), msg); err != nil {
+				failed.Add(1)
+				tb.Fatal(err)
+			}
+		}
+		calls.Add(int64(tb.N))
+	})
+	if failed.Load() > 0 {
+		return BenchStat{}, fmt.Errorf("transport bench: %d calls failed", failed.Load())
+	}
+	s := stat(res)
+	if n := calls.Load(); n > 0 {
+		s.DialsPerCall = float64(transport.SnapshotPoolStats().Dials-before) / float64(n)
+	}
+	return s, nil
+}
+
+// matchBench measures DirectMatcher.Match with and without the
+// generation-invalidated cache in front, over an ads-sized repository.
+func matchBench(ads int) (uncached, cached BenchStat, err error) {
+	repo, err := benchRepository(ads)
+	if err != nil {
+		return BenchStat{}, BenchStat{}, err
+	}
+	q := BenchQuery()
+	direct := &broker.DirectMatcher{World: BenchWorld()}
+	var matchErr atomic.Value
+	run := func(m broker.Matcher) BenchStat {
+		return stat(testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if _, err := m.Match(repo, q); err != nil {
+					matchErr.Store(err)
+					tb.Fatal(err)
+				}
+			}
+		}))
+	}
+	uncached = run(direct)
+	cached = run(broker.NewCachedMatcher(direct, 0))
+	if err, _ := matchErr.Load().(error); err != nil {
+		return BenchStat{}, BenchStat{}, err
+	}
+	return uncached, cached, nil
+}
+
+// BrokerBench runs the hot-path benchmark suite: pooled vs dial-per-call
+// transport, and cached vs uncached matchmaking over an ads-sized
+// repository (the issue's reference point is 400).
+func BrokerBench(ads int) (*BrokerBenchResult, error) {
+	if ads <= 0 {
+		ads = 400
+	}
+	pooled, err := transportBench(0, 32)
+	if err != nil {
+		return nil, fmt.Errorf("pooled transport: %w", err)
+	}
+	dialEach, err := transportBench(-1, 32)
+	if err != nil {
+		return nil, fmt.Errorf("dial-per-call transport: %w", err)
+	}
+	uncached, cached, err := matchBench(ads)
+	if err != nil {
+		return nil, fmt.Errorf("match bench: %w", err)
+	}
+	res := &BrokerBenchResult{
+		Note:                 "broker hot-path benchmarks; Section 5 artifacts run with the match cache disabled",
+		RepositoryAds:        ads,
+		TransportPooled:      pooled,
+		TransportDialPerCall: dialEach,
+		MatchUncached:        uncached,
+		MatchCached:          cached,
+	}
+	if pooled.DialsPerCall > 0 {
+		res.DialReductionX = dialEach.DialsPerCall / pooled.DialsPerCall
+	}
+	if cached.NsPerOp > 0 {
+		res.CachedSpeedupX = uncached.NsPerOp / cached.NsPerOp
+	}
+	return res, nil
+}
+
+// WriteBrokerBench runs BrokerBench and writes the JSON artifact.
+func WriteBrokerBench(path string, ads int) (*BrokerBenchResult, error) {
+	res, err := BrokerBench(ads)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

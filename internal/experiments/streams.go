@@ -365,6 +365,9 @@ func liveRun(streams []Stream, brokers int, specialized bool, opts LiveOptions) 
 		ResourceQueryDelayPerRow: opts.RowDelay,
 		BrokerOptions: func(i int, cfg *broker.Config) {
 			cfg.SyntheticCostPerAd = opts.CostPerAd
+			// The Section 5 experiments model the original broker's
+			// uncached LDL reasoning: every query pays the full match.
+			cfg.DisableMatchCache = true
 			if specialized {
 				cfg.PeerPruning = true
 				for si, s := range streams {

@@ -31,7 +31,40 @@ var (
 		"Server-side handling time per incoming message in seconds, by transport.", "transport")
 	mServeErrors = telemetry.Default.CounterVec("infosleuth_transport_serve_errors_total",
 		"Incoming exchanges aborted by frame or codec errors, by transport.", "transport")
+	mServeIdleCloses = telemetry.Default.CounterVec("infosleuth_transport_serve_idle_closes_total",
+		"Server-side connections closed for sitting idle past the idle timeout, by transport.", "transport")
+
+	// Connection-pool metrics. dials vs reuses is the headline ratio: a
+	// hot peer should show one dial and then reuses, which is the ≥5x
+	// dial reduction the pooling change is accountable for.
+	mPoolDials = telemetry.Default.Counter("infosleuth_transport_pool_dials_total",
+		"TCP connections dialed (pool misses plus retry redials).")
+	mPoolReuses = telemetry.Default.Counter("infosleuth_transport_pool_reuses_total",
+		"Calls served over a pooled connection instead of a fresh dial.")
+	mPoolEvictions = telemetry.Default.CounterVec("infosleuth_transport_pool_evictions_total",
+		"Pooled connections discarded, by reason (expired, broken, overflow, closed).", "reason")
+	mPoolIdle = telemetry.Default.Gauge("infosleuth_transport_pool_idle_conns",
+		"TCP connections currently parked idle in the pool.")
 )
+
+// PoolStats is a point-in-time snapshot of the connection-pool counters,
+// for benchmarks and the BENCH_broker.json writer.
+type PoolStats struct {
+	Dials     int64
+	Reuses    int64
+	Broken    int64
+	IdleConns float64
+}
+
+// SnapshotPoolStats reads the process-wide pool counters.
+func SnapshotPoolStats() PoolStats {
+	return PoolStats{
+		Dials:     mPoolDials.Value(),
+		Reuses:    mPoolReuses.Value(),
+		Broken:    mPoolEvictions.With("broken").Value(),
+		IdleConns: mPoolIdle.Value(),
+	}
+}
 
 // recordCall folds one completed Call into the registry.
 func recordCall(label, addr string, start time.Time, sent, received int, err error) {

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+// Connection pooling for the TCP transport. Before this existed every
+// Call dialed, used and discarded a fresh connection, so a query agent
+// talking to one broker paid a TCP handshake per request — the dominant
+// fixed cost on the Section 5 hot path once matchmaking itself is fast.
+// serveConn has always handled sequential request/reply exchanges on one
+// connection, so keeping client connections warm changes nothing on the
+// wire: the pool only moves the dial out of the per-call path.
+//
+// The pool keeps a bounded LIFO stack of idle connections per peer
+// address. LIFO keeps the working set small and hot: under steady load
+// the same one or two connections are reused while the rest age out via
+// the idle reaper. A connection that fails mid-exchange is evicted (and
+// the exchange retried once on a fresh dial when it had been idle — see
+// TCP.doCall); a connection returned to a full stack is closed rather
+// than kept.
+
+// pooledConn is one idle connection with the time it went idle, for
+// expiry decisions.
+type pooledConn struct {
+	conn net.Conn
+	idle time.Time
+}
+
+// connPool holds idle client connections per "host:port" target.
+type connPool struct {
+	maxIdle int           // per-address idle cap
+	timeout time.Duration // idle expiry
+
+	mu      sync.Mutex
+	idle    map[string][]pooledConn
+	reaping bool
+}
+
+func newConnPool(maxIdle int, timeout time.Duration) *connPool {
+	return &connPool{
+		maxIdle: maxIdle,
+		timeout: timeout,
+		idle:    make(map[string][]pooledConn),
+	}
+}
+
+// get pops the most recently parked live connection for the address, or
+// returns nil when the caller must dial. Expired connections found on the
+// way are closed and counted as evictions.
+func (p *connPool) get(hostport string) net.Conn {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	stack := p.idle[hostport]
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p.timeout > 0 && now.Sub(pc.idle) > p.timeout {
+			pc.conn.Close()
+			mPoolEvictions.With("expired").Inc()
+			mPoolIdle.Add(-1)
+			continue
+		}
+		p.storeLocked(hostport, stack)
+		mPoolIdle.Add(-1)
+		return pc.conn
+	}
+	p.storeLocked(hostport, stack)
+	return nil
+}
+
+// put parks a healthy connection for reuse. It refuses when the
+// per-address cap is reached, closing the connection instead, and lazily
+// starts the idle reaper.
+func (p *connPool) put(hostport string, conn net.Conn) {
+	p.mu.Lock()
+	if len(p.idle[hostport]) >= p.maxIdle {
+		p.mu.Unlock()
+		conn.Close()
+		mPoolEvictions.With("overflow").Inc()
+		return
+	}
+	p.idle[hostport] = append(p.idle[hostport], pooledConn{conn: conn, idle: time.Now()})
+	mPoolIdle.Add(1)
+	startReaper := !p.reaping && p.timeout > 0
+	if startReaper {
+		p.reaping = true
+	}
+	p.mu.Unlock()
+	if startReaper {
+		go p.reap()
+	}
+}
+
+// storeLocked writes a stack back, dropping empty map entries so
+// long-gone peers do not accumulate.
+func (p *connPool) storeLocked(hostport string, stack []pooledConn) {
+	if len(stack) == 0 {
+		delete(p.idle, hostport)
+		return
+	}
+	p.idle[hostport] = stack
+}
+
+// reap sweeps expired idle connections. It runs while the pool holds any
+// idle connection and exits when the pool drains, to be restarted by the
+// next put — so an idle process carries no background goroutine.
+func (p *connPool) reap() {
+	tick := p.timeout / 2
+	if tick < time.Second {
+		tick = time.Second
+	}
+	for {
+		time.Sleep(tick)
+		now := time.Now()
+		p.mu.Lock()
+		for hostport, stack := range p.idle {
+			kept := stack[:0]
+			for _, pc := range stack {
+				if now.Sub(pc.idle) > p.timeout {
+					pc.conn.Close()
+					mPoolEvictions.With("expired").Inc()
+					mPoolIdle.Add(-1)
+					continue
+				}
+				kept = append(kept, pc)
+			}
+			p.storeLocked(hostport, kept)
+		}
+		if len(p.idle) == 0 {
+			p.reaping = false
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+	}
+}
+
+// drain closes every idle connection. The pool remains usable: the next
+// exchange dials fresh and may park its connection again.
+func (p *connPool) drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for hostport, stack := range p.idle {
+		for _, pc := range stack {
+			pc.conn.Close()
+			mPoolEvictions.With("closed").Inc()
+			mPoolIdle.Add(-1)
+		}
+		delete(p.idle, hostport)
+	}
+}
+
+// idleCount reports the pooled idle connections for one address (tests
+// and the stats snapshot).
+func (p *connPool) idleCount(hostport string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle[hostport])
+}
+
+// checkout returns a connection to hostport — pooled when possible,
+// freshly dialed otherwise — honoring the context during dials. reused
+// reports whether the connection came from the pool, which is what
+// decides retry eligibility when the exchange fails.
+func (t *TCP) checkout(ctx context.Context, hostport string) (conn net.Conn, reused bool, err error) {
+	if pool := t.connPool(); pool != nil {
+		if c := pool.get(hostport); c != nil {
+			mPoolReuses.Inc()
+			return c, true, nil
+		}
+	}
+	c, err := t.dial(ctx, hostport)
+	return c, false, err
+}
+
+func (t *TCP) dial(ctx context.Context, hostport string) (net.Conn, error) {
+	timeout := t.DialTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", hostport)
+	if err != nil {
+		return nil, err
+	}
+	mPoolDials.Inc()
+	return conn, nil
+}
+
+// checkin returns a healthy connection to the pool, or closes it when
+// pooling is disabled.
+func (t *TCP) checkin(hostport string, conn net.Conn) {
+	if pool := t.connPool(); pool != nil {
+		pool.put(hostport, conn)
+		return
+	}
+	conn.Close()
+}
+
+// connPool lazily builds the pool so the zero TCP value stays ready to
+// use; it returns nil when pooling is disabled.
+func (t *TCP) connPool() *connPool {
+	if t.MaxIdleConnsPerHost < 0 {
+		return nil
+	}
+	t.poolOnce.Do(func() {
+		maxIdle := t.MaxIdleConnsPerHost
+		if maxIdle == 0 {
+			maxIdle = DefaultMaxIdleConnsPerHost
+		}
+		timeout := t.IdleConnTimeout
+		if timeout == 0 {
+			timeout = DefaultIdleConnTimeout
+		}
+		t.pool = newConnPool(maxIdle, timeout)
+	})
+	return t.pool
+}
+
+// CloseIdleConnections drops every pooled connection. In-flight calls
+// are unaffected; the next Call per peer dials fresh. Call it when
+// tearing a client down so parked connections do not linger until the
+// peer's idle timeout fires.
+func (t *TCP) CloseIdleConnections() {
+	if pool := t.connPool(); pool != nil {
+		pool.drain()
+	}
+}

@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"infosleuth/internal/kqml"
+)
+
+// poolCall issues one echo call and fails the test on error.
+func poolCall(t *testing.T, tr *TCP, addr string) {
+	t.Helper()
+	msg := kqml.New(kqml.AskAll, "caller", &kqml.SQLQuery{SQL: "select 1"})
+	reply, err := tr.Call(context.Background(), addr, msg)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if reply.Performative != kqml.Tell {
+		t.Fatalf("reply performative = %q", reply.Performative)
+	}
+}
+
+// TestPoolReusesConnections is the headline pooling property: N
+// sequential calls to one peer dial once.
+func TestPoolReusesConnections(t *testing.T) {
+	tr := &TCP{}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	before := SnapshotPoolStats()
+	const calls = 20
+	for i := 0; i < calls; i++ {
+		poolCall(t, tr, l.Addr())
+	}
+	after := SnapshotPoolStats()
+	if dials := after.Dials - before.Dials; dials != 1 {
+		t.Errorf("dials for %d sequential calls = %d, want 1", calls, dials)
+	}
+	if reuses := after.Reuses - before.Reuses; reuses != calls-1 {
+		t.Errorf("reuses = %d, want %d", reuses, calls-1)
+	}
+	hostport, _ := stripTCP(l.Addr())
+	if n := tr.connPool().idleCount(hostport); n != 1 {
+		t.Errorf("idle conns after sequential calls = %d, want 1", n)
+	}
+}
+
+// TestPoolDisabled checks the ablation knob: a negative cap restores the
+// dial-per-call behavior.
+func TestPoolDisabled(t *testing.T) {
+	tr := &TCP{MaxIdleConnsPerHost: -1}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	before := SnapshotPoolStats()
+	for i := 0; i < 5; i++ {
+		poolCall(t, tr, l.Addr())
+	}
+	after := SnapshotPoolStats()
+	if reuses := after.Reuses - before.Reuses; reuses != 0 {
+		t.Errorf("reuses with pooling disabled = %d, want 0", reuses)
+	}
+}
+
+// TestPoolBoundedIdle checks the per-address cap: parking more
+// connections than the cap closes the overflow.
+func TestPoolBoundedIdle(t *testing.T) {
+	tr := &TCP{MaxIdleConnsPerHost: 2}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Concurrent calls force distinct connections; on completion at most
+	// the cap may stay parked.
+	const concurrent = 6
+	errs := make(chan error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		go func() {
+			msg := kqml.New(kqml.AskAll, "caller", &kqml.SQLQuery{SQL: "select 1"})
+			_, err := tr.Call(context.Background(), l.Addr(), msg)
+			errs <- err
+		}()
+	}
+	for i := 0; i < concurrent; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	hostport, _ := stripTCP(l.Addr())
+	if n := tr.connPool().idleCount(hostport); n > 2 {
+		t.Errorf("idle conns = %d, want <= cap 2", n)
+	}
+}
+
+// TestPoolRetriesStaleConnection: a connection the server closed while
+// parked must be evicted and the call retried on a fresh dial, invisibly
+// to the caller.
+func TestPoolRetriesStaleConnection(t *testing.T) {
+	tr := &TCP{}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolCall(t, tr, l.Addr()) // park one connection
+
+	// Restarting the listener on the same port closes the parked
+	// connection's server side.
+	addr := l.Addr()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := tr.Listen(addr, echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+
+	before := SnapshotPoolStats()
+	poolCall(t, tr, addr) // must succeed via the single redial retry
+	after := SnapshotPoolStats()
+	if broken := after.Broken - before.Broken; broken != 1 {
+		t.Errorf("broken evictions = %d, want 1", broken)
+	}
+}
+
+// TestPoolIdleExpiry: a parked connection older than IdleConnTimeout is
+// not handed out again.
+func TestPoolIdleExpiry(t *testing.T) {
+	tr := &TCP{IdleConnTimeout: 30 * time.Millisecond}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	poolCall(t, tr, l.Addr())
+	time.Sleep(60 * time.Millisecond)
+	before := SnapshotPoolStats()
+	poolCall(t, tr, l.Addr())
+	after := SnapshotPoolStats()
+	if dials := after.Dials - before.Dials; dials != 1 {
+		t.Errorf("dials after expiry = %d, want 1 (expired conn must not be reused)", dials)
+	}
+}
+
+// TestPoolReaperDrainsIdle: with no further traffic the reaper closes
+// expired connections in the background.
+func TestPoolReaperDrainsIdle(t *testing.T) {
+	tr := &TCP{IdleConnTimeout: 20 * time.Millisecond}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	poolCall(t, tr, l.Addr())
+	hostport, _ := stripTCP(l.Addr())
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.connPool().idleCount(hostport) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("reaper did not drain the expired idle connection")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseIdleConnections drains the pool on demand.
+func TestCloseIdleConnections(t *testing.T) {
+	tr := &TCP{}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	poolCall(t, tr, l.Addr())
+	tr.CloseIdleConnections()
+	hostport, _ := stripTCP(l.Addr())
+	if n := tr.connPool().idleCount(hostport); n != 0 {
+		t.Errorf("idle conns after CloseIdleConnections = %d, want 0", n)
+	}
+	// The transport stays usable.
+	poolCall(t, tr, l.Addr())
+}
+
+// TestServerIdleTimeoutClosesQuietConns is the regression test for the
+// goroutine leak: a client connection that goes quiet must be closed by
+// the server after ServerIdleTimeout rather than pinning its serving
+// goroutine forever.
+func TestServerIdleTimeoutClosesQuietConns(t *testing.T) {
+	tr := &TCP{ServerIdleTimeout: 50 * time.Millisecond}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	hostport, _ := stripTCP(l.Addr())
+	conn, err := net.Dial("tcp", hostport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Send nothing. The server must close the connection, observed here
+	// as EOF / reset on a blocking read.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server kept the quiet connection open; expected idle close")
+	}
+}
+
+// TestServerIdleTimeoutSparesActiveConns: exchanges slower than the
+// timeout interval but with steady traffic must not be cut.
+func TestServerIdleTimeoutSparesActiveConns(t *testing.T) {
+	tr := &TCP{ServerIdleTimeout: 80 * time.Millisecond}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Each call resets the idle clock; spacing them below the timeout
+	// keeps one pooled connection alive across all of them.
+	before := SnapshotPoolStats()
+	for i := 0; i < 4; i++ {
+		poolCall(t, tr, l.Addr())
+		time.Sleep(40 * time.Millisecond)
+	}
+	after := SnapshotPoolStats()
+	if dials := after.Dials - before.Dials; dials != 1 {
+		t.Errorf("dials = %d, want 1 (steady traffic must keep the conn alive)", dials)
+	}
+}
+
+// TestListenerCloseWithParkedConns: closing a listener must not hang on
+// client connections parked in pools (the server closes its side).
+func TestListenerCloseWithParkedConns(t *testing.T) {
+	tr := &TCP{}
+	l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolCall(t, tr, l.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- l.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("listener Close hung on a parked client connection")
+	}
+}
+
+func BenchmarkPooledVsUnpooledCall(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		maxIdle int
+	}{
+		{"pooled", 0},
+		{"dial-per-call", -1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			tr := &TCP{MaxIdleConnsPerHost: mode.maxIdle}
+			l, err := tr.Listen("tcp://127.0.0.1:0", echoHandler("echo"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			msg := kqml.New(kqml.AskAll, "caller", &kqml.SQLQuery{SQL: "select 1"})
+			before := SnapshotPoolStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Call(context.Background(), l.Addr(), msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			after := SnapshotPoolStats()
+			b.ReportMetric(float64(after.Dials-before.Dials)/float64(b.N), "dials/call")
+		})
+	}
+}

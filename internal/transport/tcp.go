@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -30,20 +31,59 @@ var ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrame")
 // (ErrUnreachable).
 var ErrTruncatedFrame = errors.New("transport: truncated frame")
 
+// Pool and server-side idle defaults, overridable per TCP value.
+const (
+	// DefaultMaxIdleConnsPerHost bounds idle pooled connections per peer.
+	DefaultMaxIdleConnsPerHost = 4
+	// DefaultIdleConnTimeout is how long a pooled client connection may
+	// sit idle before the reaper closes it.
+	DefaultIdleConnTimeout = 60 * time.Second
+	// DefaultServerIdleTimeout is how long the server side keeps a quiet
+	// connection before closing it. It is deliberately longer than the
+	// client pool's idle expiry so the client usually closes first and
+	// never checks out a connection the server is about to kill.
+	DefaultServerIdleTimeout = 2 * time.Minute
+)
+
 // TCP is a Transport over TCP with "tcp://host:port" addresses. Frames are
-// a 4-byte big-endian length followed by the JSON-encoded message; each
-// Call opens a connection, writes one request, reads one reply and closes.
-// The zero value is ready to use.
+// a 4-byte big-endian length followed by the JSON-encoded message.
+// Connections are pooled: a Call reuses an idle connection to its peer
+// when one is parked, and parks its connection on success, so steady
+// traffic to one peer pays the TCP handshake once instead of per call
+// (serveConn has always served sequential exchanges per connection, so
+// only this client side changed). The zero value is ready to use.
 type TCP struct {
 	// DialTimeout bounds connection establishment when the Call context
 	// carries no deadline; zero means 5 seconds.
 	DialTimeout time.Duration
+	// MaxIdleConnsPerHost bounds the idle pooled connections kept per
+	// peer address; zero means DefaultMaxIdleConnsPerHost, negative
+	// disables pooling entirely (every Call dials — the pre-pool
+	// behavior, kept for the dial-cost ablation benchmarks).
+	MaxIdleConnsPerHost int
+	// IdleConnTimeout is how long a pooled connection may sit idle
+	// before the reaper evicts it; zero means DefaultIdleConnTimeout.
+	IdleConnTimeout time.Duration
+	// ServerIdleTimeout closes server-side connections that carry no
+	// request for this long, so abandoned client connections cannot pin
+	// a serving goroutine forever; zero means DefaultServerIdleTimeout,
+	// negative disables the deadline.
+	ServerIdleTimeout time.Duration
+
+	poolOnce sync.Once
+	pool     *connPool
 }
 
 type tcpListener struct {
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
+
+	// mu guards conns, the active server-side connections. Close closes
+	// them so a listener shutdown does not wait out clients whose pooled
+	// connections are parked open.
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
 }
 
 func (l *tcpListener) Addr() string { return "tcp://" + l.ln.Addr().String() }
@@ -51,8 +91,25 @@ func (l *tcpListener) Addr() string { return "tcp://" + l.ln.Addr().String() }
 func (l *tcpListener) Close() error {
 	close(l.closed)
 	err := l.ln.Close()
+	l.mu.Lock()
+	for conn := range l.conns {
+		conn.Close()
+	}
+	l.mu.Unlock()
 	l.wg.Wait()
 	return err
+}
+
+func (l *tcpListener) track(conn net.Conn) {
+	l.mu.Lock()
+	l.conns[conn] = struct{}{}
+	l.mu.Unlock()
+}
+
+func (l *tcpListener) untrack(conn net.Conn) {
+	l.mu.Lock()
+	delete(l.conns, conn)
+	l.mu.Unlock()
 }
 
 // Listen serves at "tcp://host:port"; port 0 picks a free port, reported by
@@ -69,7 +126,11 @@ func (t *TCP) Listen(addr string, h Handler) (Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	tl := &tcpListener{ln: ln, closed: make(chan struct{})}
+	idle := t.ServerIdleTimeout
+	if idle == 0 {
+		idle = DefaultServerIdleTimeout
+	}
+	tl := &tcpListener{ln: ln, closed: make(chan struct{}), conns: make(map[net.Conn]struct{})}
 	tl.wg.Add(1)
 	go func() {
 		defer tl.wg.Done()
@@ -89,8 +150,10 @@ func (t *TCP) Listen(addr string, h Handler) (Listener, error) {
 			tl.wg.Add(1)
 			go func() {
 				defer tl.wg.Done()
+				defer tl.untrack(conn)
 				defer conn.Close()
-				serveConn(conn, h)
+				tl.track(conn)
+				serveConn(conn, h, idle)
 			}()
 		}
 	}()
@@ -98,12 +161,22 @@ func (t *TCP) Listen(addr string, h Handler) (Listener, error) {
 }
 
 // serveConn handles sequential request/reply exchanges on one connection
-// until the peer closes it or a frame error occurs.
-func serveConn(conn net.Conn, h Handler) {
+// until the peer closes it, a frame error occurs, or the connection sits
+// quiet past idleTimeout — without the deadline an abandoned (now:
+// pooled) client connection would pin this goroutine forever.
+func serveConn(conn net.Conn, h Handler, idleTimeout time.Duration) {
 	for {
+		if idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(idleTimeout))
+		}
 		req, err := readFrame(conn)
 		if err != nil {
-			if !errors.Is(err, io.EOF) {
+			switch {
+			case errors.Is(err, io.EOF):
+				// Clean close between exchanges.
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				mServeIdleCloses.With("tcp").Inc()
+			default:
 				mServeErrors.With("tcp").Inc()
 			}
 			return
@@ -132,11 +205,14 @@ func serveConn(conn net.Conn, h Handler) {
 	}
 }
 
-// Call dials the address, sends the message and waits for the reply.
+// Call sends the message to the address and waits for the reply, reusing
+// a pooled connection when one is parked and dialing otherwise.
 // Connection refusals surface as ErrUnreachable. The write and read both
 // run under a deadline derived from the context, and cancellation aborts
 // an in-flight exchange, so a hung remote returns the context's error
-// instead of blocking the caller forever.
+// instead of blocking the caller forever. An exchange that fails on a
+// reused connection — typically one the peer closed while it sat idle —
+// is evicted and retried once on a fresh dial.
 func (t *TCP) Call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
 	start := time.Now()
 	reply, sent, received, err := t.doCall(ctx, addr, msg)
@@ -149,29 +225,56 @@ func (t *TCP) doCall(ctx context.Context, addr string, msg *kqml.Message) (_ *kq
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	timeout := t.DialTimeout
-	if timeout == 0 {
-		timeout = 5 * time.Second
+	out, err := kqml.Marshal(msg)
+	if err != nil {
+		return nil, 0, 0, err
 	}
-	d := net.Dialer{Timeout: timeout}
-	conn, err := d.DialContext(ctx, "tcp", hostport)
+	conn, reused, err := t.checkout(ctx, hostport)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
-	defer conn.Close()
+	reply, sent, received, err := t.exchange(ctx, conn, addr, hostport, out)
+	if err != nil && reused && ctx.Err() == nil && !errors.Is(err, ErrFrameTooLarge) {
+		// The parked connection had gone stale under us (the peer's idle
+		// timeout, a restart). The request is re-sent verbatim on a
+		// fresh dial — once: a second failure is a real peer problem.
+		mPoolEvictions.With("broken").Inc()
+		conn, err = t.dial(ctx, hostport)
+		if err != nil {
+			return nil, sent, received, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+		}
+		var sent2, received2 int
+		reply, sent2, received2, err = t.exchange(ctx, conn, addr, hostport, out)
+		sent += sent2
+		received += received2
+	}
+	return reply, sent, received, err
+}
+
+// exchange performs one framed request/reply on the connection. On
+// success the connection is parked for reuse; on failure it is closed.
+func (t *TCP) exchange(ctx context.Context, conn net.Conn, addr, hostport string, out []byte) (_ *kqml.Message, sent, received int, _ error) {
 	// Derive the read/write deadline from the context via a watcher rather
 	// than conn.SetDeadline(ctx.Deadline()): ctx.Done() closes only after
 	// ctx.Err() is set, so when a blocked write or read wakes up the cause
 	// is unambiguous. This also covers cancellation without a deadline.
+	// The watcher is joined (not just signaled) before the connection is
+	// parked, so a late cancellation cannot poison a pooled connection's
+	// deadline after it has been reset.
+	watchStop := make(chan struct{})
 	watchDone := make(chan struct{})
-	defer close(watchDone)
 	go func() {
+		defer close(watchDone)
 		select {
 		case <-ctx.Done():
 			_ = conn.SetDeadline(time.Now())
-		case <-watchDone:
+		case <-watchStop:
 		}
 	}()
+	stopWatcher := func() {
+		close(watchStop)
+		<-watchDone
+	}
 	// ctxWrap prefers the context's error once it has fired, so callers
 	// see context.DeadlineExceeded / context.Canceled rather than an
 	// opaque i/o timeout.
@@ -181,21 +284,27 @@ func (t *TCP) doCall(ctx context.Context, addr string, msg *kqml.Message) (_ *kq
 		}
 		return fmt.Errorf("transport: %s %s: %w", op, addr, err)
 	}
-	out, err := kqml.Marshal(msg)
-	if err != nil {
-		return nil, 0, 0, err
-	}
 	if err := writeFrame(conn, out); err != nil {
+		stopWatcher()
+		conn.Close()
 		return nil, 0, 0, ctxWrap("writing to", err)
 	}
 	sent = len(out)
 	in, err := readFrame(conn)
 	if err != nil {
+		stopWatcher()
+		conn.Close()
 		return nil, sent, 0, ctxWrap("reading reply from", err)
 	}
-	received = len(in)
+	stopWatcher()
 	reply, err := kqml.Unmarshal(in)
-	return reply, sent, received, err
+	if err != nil {
+		conn.Close()
+		return nil, sent, len(in), err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	t.checkin(hostport, conn)
+	return reply, sent, len(in), nil
 }
 
 func stripTCP(addr string) (string, error) {
