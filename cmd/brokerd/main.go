@@ -8,22 +8,29 @@
 // Peers are joined into a consortium at startup (Section 4.1 of the
 // paper); the broker pings its advertised agents periodically and drops
 // the ones that have died (Section 2.2).
+//
+// With -metrics-addr the daemon also exposes /metrics, /metrics.json,
+// /healthz, /readyz (ready once the broker is listening and joined to its
+// configured peers), /traces and /traces/{id} (the conversation flight
+// recorder), and — with -pprof — /debug/pprof.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"infosleuth/internal/broker"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/telemetry"
+	"infosleuth/internal/telemetry/logging"
+	"infosleuth/internal/telemetry/recorder"
 	"infosleuth/internal/transport"
 )
 
@@ -39,17 +46,40 @@ func main() {
 		maxHops     = flag.Int("max-hops", 4, "maximum inter-broker hop count")
 		peerPruning = flag.Bool("peer-pruning", false, "prune peers by advertised specialization")
 		useDatalog  = flag.Bool("datalog", false, "use the LDL-style Datalog matcher instead of the compiled one")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /metrics.json here (e.g. :9090); empty disables")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /traces and health probes here (e.g. :9090); empty disables")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the metrics address")
+		logOpts     logging.Options
 	)
+	logOpts.AddFlags(flag.CommandLine)
 	flag.Parse()
+	logger := logging.Setup("brokerd", logOpts)
 
+	// ready flips once the broker is listening and consortium joining has
+	// run; /readyz reports 503 until then.
+	var ready atomic.Bool
 	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, telemetry.Default)
+		rec := recorder.New(recorder.Options{})
+		telemetry.SetSpanRecorder(rec)
+		telemetry.Default.EnableRuntimeMetrics()
+		opts := []telemetry.ServeOption{
+			telemetry.WithHandler("/traces", rec.Handler()),
+			telemetry.WithHandler("/traces/", rec.Handler()),
+			telemetry.WithReadiness(func() error {
+				if !ready.Load() {
+					return fmt.Errorf("broker still starting")
+				}
+				return nil
+			}),
+		}
+		if *pprofOn {
+			opts = append(opts, telemetry.WithPprof())
+		}
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.Default, opts...)
 		if err != nil {
-			log.Fatalf("brokerd: metrics endpoint: %v", err)
+			logging.Fatal(logger, "metrics endpoint failed", "err", err)
 		}
 		defer srv.Close()
-		log.Printf("metrics at http://%s/metrics", srv.Addr())
+		logger.Info("metrics endpoint up", "url", "http://"+srv.Addr()+"/metrics")
 	}
 
 	world := ontology.NewWorld(ontology.Generic(), ontology.Healthcare())
@@ -71,22 +101,23 @@ func main() {
 	}
 	b, err := broker.New(cfg)
 	if err != nil {
-		log.Fatalf("brokerd: %v", err)
+		logging.Fatal(logger, "broker construction failed", "err", err)
 	}
 	if err := b.Start(); err != nil {
-		log.Fatalf("brokerd: %v", err)
+		logging.Fatal(logger, "broker start failed", "err", err)
 	}
 	defer b.Stop()
-	log.Printf("broker %s listening at %s", b.Name(), b.Addr())
+	logger.Info("broker listening", "name", b.Name(), "addr", b.Addr())
 
 	if *peers != "" {
 		addrs := strings.Split(*peers, ",")
 		if err := b.JoinConsortium(context.Background(), addrs...); err != nil {
-			log.Printf("brokerd: joining consortium: %v", err)
+			logger.Warn("joining consortium failed", "err", err)
 		} else {
-			log.Printf("joined consortium with peers %v", b.Peers())
+			logger.Info("joined consortium", "peers", b.Peers())
 		}
 	}
+	ready.Store(true)
 
 	stopPing := make(chan struct{})
 	if *pingEvery > 0 {
@@ -99,7 +130,7 @@ func main() {
 					return
 				case <-ticker.C:
 					if dropped := b.PingAgents(context.Background()); dropped > 0 {
-						log.Printf("dropped %d dead agents", dropped)
+						logger.Info("dropped dead agents", "count", dropped)
 					}
 				}
 			}
@@ -111,6 +142,8 @@ func main() {
 	<-sig
 	close(stopPing)
 	fmt.Println()
-	log.Printf("broker %s shutting down: %d queries served, %d ads accepted",
-		b.Name(), b.Stats.QueriesServed.Load(), b.Stats.AdsAccepted.Load())
+	logger.Info("broker shutting down",
+		"name", b.Name(),
+		"queries_served", b.Stats.QueriesServed.Load(),
+		"ads_accepted", b.Stats.AdsAccepted.Load())
 }

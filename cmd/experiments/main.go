@@ -10,16 +10,18 @@
 // it with the paper's reported results.
 //
 //	experiments -run bench        # hot-path benchmarks -> BENCH_broker.json
+//	experiments -run traces       # traced multibroker query -> TRACES.txt
 //
-// The bench artifact measures this implementation's transport pool and
-// match cache; it is not part of -run all because the Section 5 artifacts
-// deliberately run with the cache disabled.
+// The bench and traces artifacts measure this implementation (the
+// transport pool, the match cache, the conversation flight recorder),
+// not the paper's evaluation, so -run all does not include them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -28,12 +30,13 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated artifacts to regenerate (all, table1..table6, fig14..fig17, latency, ext-knowledge, bench)")
-		quick    = flag.Bool("quick", false, "reduced rounds/durations for a fast pass")
-		format   = flag.String("format", "text", "output format: text or csv")
-		seed     = flag.Int64("seed", 1999, "base random seed")
-		benchOut = flag.String("bench-out", "BENCH_broker.json", "output path for the bench artifact")
-		benchAds = flag.Int("bench-ads", 400, "repository size for the match-cache benchmark")
+		run       = flag.String("run", "all", "comma-separated artifacts to regenerate (all, table1..table6, fig14..fig17, latency, ext-knowledge, bench)")
+		quick     = flag.Bool("quick", false, "reduced rounds/durations for a fast pass")
+		format    = flag.String("format", "text", "output format: text or csv")
+		seed      = flag.Int64("seed", 1999, "base random seed")
+		benchOut  = flag.String("bench-out", "BENCH_broker.json", "output path for the bench artifact")
+		benchAds  = flag.Int("bench-ads", 400, "repository size for the match-cache benchmark")
+		tracesOut = flag.String("traces-out", "TRACES.txt", "output path for the traces artifact")
 	)
 	flag.Parse()
 
@@ -131,6 +134,19 @@ func main() {
 			res.MatchUncached.NsPerOp, res.MatchUncached.AllocsPerOp,
 			res.MatchCached.NsPerOp, res.MatchCached.AllocsPerOp,
 			res.CachedSpeedupX)
+	}
+	// The traces artifact exercises this implementation's flight recorder,
+	// so like bench it only runs when asked for explicitly.
+	if want["traces"] {
+		art, err := experiments.Traces()
+		if err != nil {
+			log.Fatalf("traces: %v", err)
+		}
+		fmt.Print(art.Text)
+		if err := os.WriteFile(*tracesOut, []byte(art.Text), 0o644); err != nil {
+			log.Fatalf("traces: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *tracesOut)
 	}
 	if sel("table5") || sel("table6") || all {
 		cells := experiments.RobustnessGrid(simOpts)

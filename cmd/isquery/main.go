@@ -11,6 +11,10 @@
 //
 //	isquery -broker tcp://127.0.0.1:4356 -ontology healthcare \
 //	    -sql "SELECT patient_id, patient_age FROM patient WHERE patient_age BETWEEN 50 AND 60"
+//
+// With -trace-dump, the conversation's spans are assembled into a trace
+// tree (the same rendering a daemon serves at /traces/{id}) and printed
+// after the result.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"infosleuth/internal/mrq"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/telemetry"
+	"infosleuth/internal/telemetry/recorder"
 	"infosleuth/internal/transport"
 )
 
@@ -43,14 +48,21 @@ func main() {
 		sql         = flag.String("sql", "", "run this SQL query across matching resources instead of listing agents")
 		timeout     = flag.Duration("timeout", 30*time.Second, "overall timeout")
 		trace       = flag.Bool("trace", false, "trace the conversation and print one span per hop")
+		traceDump   = flag.Bool("trace-dump", false, "trace the conversation and print the assembled trace tree")
 	)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	var rec *recorder.Recorder
+	if *traceDump {
+		rec = recorder.New(recorder.Options{})
+		telemetry.SetSpanRecorder(rec)
+	}
+
 	if *sql != "" {
-		runSQL(ctx, *brokerAddr, *ontoName, *sql)
+		runSQL(ctx, *brokerAddr, *ontoName, *sql, rec)
 		return
 	}
 
@@ -78,7 +90,7 @@ func main() {
 	tr := &transport.TCP{}
 	msg := kqml.New(kqml.AskAll, "isquery", &kqml.BrokerQuery{Query: q})
 	msg.Ontology = kqml.ServiceOntology
-	if *trace {
+	if *trace || *traceDump {
 		msg.TraceID = telemetry.NewTraceID()
 	}
 	reply, err := tr.Call(ctx, *brokerAddr, msg)
@@ -109,9 +121,21 @@ func main() {
 			fmt.Printf("  hop %d  %-20s %-20s %d µs\n", s.Hop, s.Agent, s.Op, s.DurationMicros)
 		}
 	}
+	if rec != nil {
+		dumpTrace(rec, msg.TraceID)
+	}
 }
 
-func runSQL(ctx context.Context, brokerAddr, ontoName, sql string) {
+func dumpTrace(rec *recorder.Recorder, traceID string) {
+	tree, ok := rec.Trace(traceID)
+	if !ok {
+		fmt.Printf("trace %s: no spans recorded\n", traceID)
+		return
+	}
+	fmt.Print(tree.Format())
+}
+
+func runSQL(ctx context.Context, brokerAddr, ontoName, sql string, rec *recorder.Recorder) {
 	if ontoName == "" {
 		ontoName = "healthcare"
 	}
@@ -131,10 +155,18 @@ func runSQL(ctx context.Context, brokerAddr, ontoName, sql string) {
 		log.Fatalf("isquery: %v", err)
 	}
 	defer a.Stop()
+	traceID := ""
+	if rec != nil {
+		traceID = telemetry.NewTraceID()
+		ctx = telemetry.WithTraceID(ctx, traceID)
+	}
 	res, err := a.Run(ctx, sql)
 	if err != nil {
 		log.Fatalf("isquery: %v", err)
 	}
 	fmt.Print(res.String())
 	fmt.Printf("(%d rows)\n", res.Len())
+	if rec != nil {
+		dumpTrace(rec, traceID)
+	}
 }

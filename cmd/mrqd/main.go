@@ -5,13 +5,16 @@
 //
 //	mrqd -name "MRQ agent" -listen tcp://127.0.0.1:4500 \
 //	    -brokers tcp://127.0.0.1:4356 -ontology healthcare
+//
+// With -metrics-addr the daemon also exposes /metrics, /healthz, /readyz
+// (ready while at least one broker holds its advertisement), /traces and
+// — with -pprof — /debug/pprof.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,6 +24,8 @@ import (
 	"infosleuth/internal/mrq"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/telemetry"
+	"infosleuth/internal/telemetry/logging"
+	"infosleuth/internal/telemetry/recorder"
 	"infosleuth/internal/transport"
 )
 
@@ -32,18 +37,13 @@ func main() {
 		ontoName  = flag.String("ontology", "healthcare", "domain ontology served")
 		specialty = flag.String("specialty", "", "comma-separated classes this MRQ specializes in (the paper's MRQ2)")
 		heartbeat = flag.Duration("heartbeat", 60*time.Second, "broker ping interval (0 disables)")
-		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /metrics.json here (e.g. :9092); empty disables")
+		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics, /traces and health probes here (e.g. :9092); empty disables")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the metrics address")
+		logOpts   logging.Options
 	)
+	logOpts.AddFlags(flag.CommandLine)
 	flag.Parse()
-
-	if *metrics != "" {
-		srv, err := telemetry.Serve(*metrics, telemetry.Default)
-		if err != nil {
-			log.Fatalf("mrqd: metrics endpoint: %v", err)
-		}
-		defer srv.Close()
-		log.Printf("metrics at http://%s/metrics", srv.Addr())
-	}
+	logger := logging.Setup("mrqd", logOpts)
 
 	cfg := mrq.Config{
 		Name:            *name,
@@ -59,19 +59,45 @@ func main() {
 	}
 	a, err := mrq.New(cfg)
 	if err != nil {
-		log.Fatalf("mrqd: %v", err)
+		logging.Fatal(logger, "agent construction failed", "err", err)
 	}
+
+	if *metrics != "" {
+		rec := recorder.New(recorder.Options{})
+		telemetry.SetSpanRecorder(rec)
+		telemetry.Default.EnableRuntimeMetrics()
+		opts := []telemetry.ServeOption{
+			telemetry.WithHandler("/traces", rec.Handler()),
+			telemetry.WithHandler("/traces/", rec.Handler()),
+			telemetry.WithReadiness(func() error {
+				if len(a.ConnectedBrokers()) == 0 {
+					return fmt.Errorf("no connected brokers")
+				}
+				return nil
+			}),
+		}
+		if *pprofOn {
+			opts = append(opts, telemetry.WithPprof())
+		}
+		srv, err := telemetry.Serve(*metrics, telemetry.Default, opts...)
+		if err != nil {
+			logging.Fatal(logger, "metrics endpoint failed", "err", err)
+		}
+		defer srv.Close()
+		logger.Info("metrics endpoint up", "url", "http://"+srv.Addr()+"/metrics")
+	}
+
 	if err := a.Start(); err != nil {
-		log.Fatalf("mrqd: %v", err)
+		logging.Fatal(logger, "agent start failed", "err", err)
 	}
 	defer a.Stop()
-	log.Printf("MRQ agent %s listening at %s (ontology %s)", a.Name(), a.Addr(), *ontoName)
+	logger.Info("MRQ agent listening", "name", a.Name(), "addr", a.Addr(), "ontology", *ontoName)
 
 	n, err := a.Advertise(context.Background())
 	if err != nil {
-		log.Printf("mrqd: advertising: %v", err)
+		logger.Warn("advertising failed", "err", err)
 	}
-	log.Printf("advertised to %d broker(s)", n)
+	logger.Info("advertised", "brokers", n)
 
 	var stop func()
 	if *heartbeat > 0 {
@@ -86,5 +112,5 @@ func main() {
 		stop()
 	}
 	a.Unadvertise(context.Background())
-	log.Printf("MRQ agent %s unregistered and shut down", a.Name())
+	logger.Info("MRQ agent unregistered and shut down", "name", a.Name())
 }

@@ -22,7 +22,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strconv"
@@ -35,6 +34,8 @@ import (
 	"infosleuth/internal/relational"
 	"infosleuth/internal/resource"
 	"infosleuth/internal/telemetry"
+	"infosleuth/internal/telemetry/logging"
+	"infosleuth/internal/telemetry/recorder"
 	"infosleuth/internal/transport"
 )
 
@@ -49,22 +50,17 @@ func main() {
 		respTime    = flag.Float64("response-time", 5, "advertised estimated response time (s)")
 		seed        = flag.Int64("seed", 1, "data generation seed")
 		heartbeat   = flag.Duration("heartbeat", 60*time.Second, "broker ping interval (0 disables)")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /metrics.json here (e.g. :9091); empty disables")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /traces and health probes here (e.g. :9091); empty disables")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the metrics address")
+		logOpts     logging.Options
 	)
+	logOpts.AddFlags(flag.CommandLine)
 	flag.Parse()
-
-	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, telemetry.Default)
-		if err != nil {
-			log.Fatalf("resourced: metrics endpoint: %v", err)
-		}
-		defer srv.Close()
-		log.Printf("metrics at http://%s/metrics", srv.Addr())
-	}
+	logger := logging.Setup("resourced", logOpts)
 
 	db, frag, err := buildData(*data, *seed, *constraints)
 	if err != nil {
-		log.Fatalf("resourced: %v", err)
+		logging.Fatal(logger, "data generation failed", "err", err)
 	}
 	a, err := resource.New(resource.Config{
 		Name:                 *name,
@@ -78,19 +74,47 @@ func main() {
 		EstimatedResponseSec: *respTime,
 	})
 	if err != nil {
-		log.Fatalf("resourced: %v", err)
+		logging.Fatal(logger, "agent construction failed", "err", err)
 	}
+
+	if *metricsAddr != "" {
+		rec := recorder.New(recorder.Options{})
+		telemetry.SetSpanRecorder(rec)
+		telemetry.Default.EnableRuntimeMetrics()
+		opts := []telemetry.ServeOption{
+			telemetry.WithHandler("/traces", rec.Handler()),
+			telemetry.WithHandler("/traces/", rec.Handler()),
+			// Ready means registered: an agent with no connected broker
+			// is alive but cannot be found by queries (Section 4.2).
+			telemetry.WithReadiness(func() error {
+				if len(a.ConnectedBrokers()) == 0 {
+					return fmt.Errorf("no connected brokers")
+				}
+				return nil
+			}),
+		}
+		if *pprofOn {
+			opts = append(opts, telemetry.WithPprof())
+		}
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.Default, opts...)
+		if err != nil {
+			logging.Fatal(logger, "metrics endpoint failed", "err", err)
+		}
+		defer srv.Close()
+		logger.Info("metrics endpoint up", "url", "http://"+srv.Addr()+"/metrics")
+	}
+
 	if err := a.Start(); err != nil {
-		log.Fatalf("resourced: %v", err)
+		logging.Fatal(logger, "agent start failed", "err", err)
 	}
 	defer a.Stop()
-	log.Printf("resource agent %s listening at %s (%d rows)", a.Name(), a.Addr(), db.TotalRows())
+	logger.Info("resource agent listening", "name", a.Name(), "addr", a.Addr(), "rows", db.TotalRows())
 
 	n, err := a.Advertise(context.Background())
 	if err != nil {
-		log.Printf("resourced: advertising: %v", err)
+		logger.Warn("advertising failed", "err", err)
 	}
-	log.Printf("advertised to %d broker(s): %v", n, a.ConnectedBrokers())
+	logger.Info("advertised", "brokers", n, "connected", a.ConnectedBrokers())
 
 	var stop func()
 	if *heartbeat > 0 {
@@ -105,7 +129,7 @@ func main() {
 		stop()
 	}
 	a.Unadvertise(context.Background())
-	log.Printf("resource agent %s unregistered and shut down", a.Name())
+	logger.Info("resource agent unregistered and shut down", "name", a.Name())
 }
 
 func buildData(spec string, seed int64, constraintText string) (*relational.Database, *ontology.Fragment, error) {

@@ -20,6 +20,10 @@ import (
 
 func main() {
 	ctx := context.Background()
+	// The flight recorder collects every traced conversation's spans and
+	// assembles them into trees — the same view a daemon serves at
+	// /traces/{id}.
+	rec := infosleuth.InstallFlightRecorder()
 	c, err := infosleuth.NewCommunity(infosleuth.CommunityConfig{Brokers: 4})
 	if err != nil {
 		log.Fatal(err)
@@ -96,6 +100,16 @@ func main() {
 	fmt.Printf("\ntraced conversation %s crossed %d brokers:\n", trace.ID, len(trace.BrokerSpans()))
 	for _, s := range trace.BrokerSpans() {
 		fmt.Printf("  hop %d  %-8s %d µs\n", s.Hop, s.Agent, s.DurationMicros)
+	}
+
+	// A full data query leaves a deeper trail: the user agent, the MRQ it
+	// found, the brokers each search crossed, and every resource fetched.
+	// SubmitTraced returns the trace ID; the recorder assembles the tree.
+	if _, traceID, err := user.SubmitTraced(ctx, "SELECT * FROM C3"); err == nil {
+		if tree, ok := rec.Trace(traceID); ok {
+			fmt.Println("\nflight-recorder tree for a full data query:")
+			fmt.Print(tree.Format())
+		}
 	}
 
 	// Broker1 dies without warning.

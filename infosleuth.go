@@ -51,6 +51,7 @@ import (
 	"infosleuth/internal/sim"
 	"infosleuth/internal/sqlparse"
 	"infosleuth/internal/telemetry"
+	"infosleuth/internal/telemetry/recorder"
 	"infosleuth/internal/transport"
 	"infosleuth/internal/useragent"
 )
@@ -233,12 +234,30 @@ type (
 	// MetricsServer serves the process-wide metrics registry over HTTP
 	// (/metrics in Prometheus text format, /metrics.json, /healthz).
 	MetricsServer = telemetry.Server
+	// FlightRecorder collects completed conversation spans into a bounded
+	// ring and assembles them into per-trace trees; install one with
+	// InstallFlightRecorder.
+	FlightRecorder = recorder.Recorder
+	// TraceTree is a trace assembled into parent/child structure, as
+	// served at /traces/{id} and rendered by its Format method.
+	TraceTree = recorder.Tree
 )
 
 // ServeMetrics exposes the process-wide telemetry registry at addr
 // (e.g. ":9090"); close the returned server to stop.
 func ServeMetrics(addr string) (*MetricsServer, error) {
 	return telemetry.Serve(addr, telemetry.Default)
+}
+
+// InstallFlightRecorder creates a flight recorder with default bounds and
+// installs it process-wide: every traced conversation from then on records
+// its spans into it. Use UserAgent.SubmitTraced (or
+// telemetry.WithTraceID on a context) to start a traced conversation, then
+// read the assembled tree with the recorder's Trace method.
+func InstallFlightRecorder() *FlightRecorder {
+	rec := recorder.New(recorder.Options{})
+	telemetry.SetSpanRecorder(rec)
+	return rec
 }
 
 // Relational storage and SQL.

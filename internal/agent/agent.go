@@ -160,11 +160,16 @@ func (a *Base) dispatch(msg *kqml.Message) *kqml.Message {
 	start := time.Now()
 	reply := a.dispatchInner(msg)
 	d := observeDispatch(string(msg.Performative), start)
-	kqml.PropagateTrace(msg, reply, kqml.TraceSpan{
-		Agent:          a.cfg.Name,
-		Op:             "dispatch." + string(msg.Performative),
-		DurationMicros: d.Microseconds(),
-	})
+	if msg.TraceID != "" {
+		span := kqml.TraceSpan{
+			Agent:          a.cfg.Name,
+			Op:             "dispatch." + string(msg.Performative),
+			Start:          start.UnixNano(),
+			DurationMicros: d.Microseconds(),
+		}
+		kqml.PropagateTrace(msg, reply, span)
+		transport.RecordTraceSpans(msg.TraceID, span)
+	}
 	return reply
 }
 
@@ -369,9 +374,10 @@ func (a *Base) StartHeartbeat(interval time.Duration) (stop func()) {
 
 // QueryBrokers sends a service query to the agent's brokers, returning the
 // first successful reply. It tries connected brokers in order, then any
-// remaining known brokers.
+// remaining known brokers. When the context carries a trace ID (see
+// telemetry.WithTraceID), the query joins that conversation trace.
 func (a *Base) QueryBrokers(ctx context.Context, q *ontology.Query) (*kqml.BrokerReply, error) {
-	br, _, err := a.queryBrokers(ctx, q, "")
+	br, _, err := a.queryBrokers(ctx, q, telemetry.TraceIDFrom(ctx))
 	return br, err
 }
 
@@ -389,6 +395,26 @@ func (a *Base) QueryBrokersTraced(ctx context.Context, q *ontology.Query) (*kqml
 }
 
 func (a *Base) queryBrokers(ctx context.Context, q *ontology.Query, traceID string) (*kqml.BrokerReply, []kqml.TraceSpan, error) {
+	if traceID == "" {
+		return a.queryBrokersInner(ctx, q, traceID)
+	}
+	start := time.Now()
+	br, spans, err := a.queryBrokersInner(ctx, q, traceID)
+	span := telemetry.Span{
+		TraceID:        traceID,
+		Agent:          a.cfg.Name,
+		Op:             telemetry.OpQueryBrokers,
+		StartUnixNano:  start.UnixNano(),
+		DurationMicros: time.Since(start).Microseconds(),
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	telemetry.RecordSpan(span)
+	return br, spans, err
+}
+
+func (a *Base) queryBrokersInner(ctx context.Context, q *ontology.Query, traceID string) (*kqml.BrokerReply, []kqml.TraceSpan, error) {
 	tried := make(map[string]bool)
 	var lastErr error
 	attempt := func(addr string) (*kqml.BrokerReply, []kqml.TraceSpan, error) {

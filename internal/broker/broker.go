@@ -3,6 +3,7 @@ package broker
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
@@ -537,7 +538,19 @@ func (b *Broker) handleQuery(msg *kqml.Message) *kqml.Message {
 	start := time.Now()
 	reply, peerSpans, err := b.searchTraced(context.Background(), &bq, msg.TraceID)
 	if err != nil {
-		return b.sorry(msg, err.Error())
+		out := b.sorry(msg, err.Error())
+		span := kqml.TraceSpan{
+			Agent:          b.cfg.Name,
+			Op:             kqml.OpBrokerSearch,
+			Hop:            bq.Depth,
+			Start:          start.UnixNano(),
+			DurationMicros: time.Since(start).Microseconds(),
+			Err:            err.Error(),
+		}
+		kqml.PropagateTrace(msg, out, span)
+		transport.RecordTraceSpans(msg.TraceID, span)
+		slog.Debug("broker query failed", "broker", b.cfg.Name, "err", err, "trace_id", msg.TraceID)
+		return out
 	}
 	// An empty result is still a successful reply; sorry is reserved for
 	// processing failures. The paper's broker replies with "no matches",
@@ -545,14 +558,18 @@ func (b *Broker) handleQuery(msg *kqml.Message) *kqml.Message {
 	out := b.reply(msg, kqml.Tell, reply)
 	// The reply carries the peers' spans first, then this broker's own,
 	// so the originator reads the trace innermost-hop-first with its
-	// entry broker last.
-	out.Trace = peerSpans
-	kqml.PropagateTrace(msg, out, kqml.TraceSpan{
+	// entry broker last. AppendSpans keeps a deep forwarding fan-out from
+	// bloating the frame past the envelope span cap.
+	out.Trace = kqml.AppendSpans(nil, peerSpans...)
+	span := kqml.TraceSpan{
 		Agent:          b.cfg.Name,
 		Op:             kqml.OpBrokerSearch,
 		Hop:            bq.Depth,
+		Start:          start.UnixNano(),
 		DurationMicros: time.Since(start).Microseconds(),
-	})
+	}
+	kqml.PropagateTrace(msg, out, span)
+	transport.RecordTraceSpans(msg.TraceID, span)
 	return out
 }
 
@@ -798,6 +815,7 @@ func (b *Broker) PingAgents(ctx context.Context) int {
 			b.Stats.AgentsDropped.Add(1)
 			mAgentsDropped.Inc()
 			dropped++
+			slog.Info("dropped unresponsive agent", "broker", b.cfg.Name, "agent", ad.Name, "err", err)
 		}
 	}
 	if dropped > 0 {

@@ -99,8 +99,18 @@ type TraceSpan struct {
 	// broker (0 = the broker first contacted, 1 = one forward away, ...).
 	// It is 0 for non-broker spans.
 	Hop int `json:"hop,omitempty"`
+	// Start is the span's start time in Unix nanoseconds. It lets the
+	// flight recorder order and nest spans that arrive out of order, and
+	// distinguishes a span observed locally from a genuinely different
+	// one carried on a reply envelope.
+	Start int64 `json:"start,omitempty"`
 	// DurationMicros is the span's processing time in microseconds.
 	DurationMicros int64 `json:"us,omitempty"`
+	// Err is the error the spanned step returned, empty on success.
+	Err string `json:"err,omitempty"`
+	// Dropped is only set on OpTraceDropped marker spans: how many spans
+	// were evicted from this envelope's trace to respect MaxTraceSpans.
+	Dropped int `json:"dropped,omitempty"`
 }
 
 // Trace is a completed conversation trace, returned by traced query
@@ -132,15 +142,83 @@ func (t *Trace) BrokerSpans() []TraceSpan {
 // it initiated).
 const OpBrokerSearch = "broker.search"
 
+// OpResourceQuery is the TraceSpan.Op recorded by a resource agent for
+// one query execution against its repository.
+const OpResourceQuery = "resource.query"
+
+// OpTraceDropped marks a synthetic span standing in for spans evicted
+// from an envelope's trace (see MaxTraceSpans); its Dropped field carries
+// how many were folded away.
+const OpTraceDropped = "trace.dropped"
+
+// MaxTraceSpans bounds how many spans one message envelope carries,
+// marker included. A deep or pathological forwarding chain appends spans
+// at every hop; without a cap a forward loop could bloat every frame on
+// the path toward the transport's frame limit. Overflow drops the oldest
+// spans and accounts for them in a leading OpTraceDropped marker.
+const MaxTraceSpans = 64
+
+// AppendSpans appends spans to an envelope trace while enforcing
+// MaxTraceSpans: when the combined trace overflows, the oldest spans are
+// dropped and a single marker span at index 0 accumulates the dropped
+// count (markers already present anywhere in either input — a merged
+// peer trace can carry its own — are coalesced into it).
+func AppendSpans(dst []TraceSpan, spans ...TraceSpan) []TraceSpan {
+	if len(spans) == 0 && len(dst) <= MaxTraceSpans {
+		return dst
+	}
+	hasMarker := false
+	for _, s := range dst {
+		if s.Op == OpTraceDropped {
+			hasMarker = true
+			break
+		}
+	}
+	if !hasMarker {
+		for _, s := range spans {
+			if s.Op == OpTraceDropped {
+				hasMarker = true
+				break
+			}
+		}
+	}
+	if !hasMarker && len(dst)+len(spans) <= MaxTraceSpans {
+		return append(dst, spans...)
+	}
+	// Slow path: strip markers, summing their counts, then cap.
+	dropped := 0
+	all := make([]TraceSpan, 0, len(dst)+len(spans))
+	for _, in := range [2][]TraceSpan{dst, spans} {
+		for _, s := range in {
+			if s.Op == OpTraceDropped {
+				dropped += s.Dropped
+				continue
+			}
+			all = append(all, s)
+		}
+	}
+	if over := len(all) - (MaxTraceSpans - 1); over > 0 {
+		dropped += over
+		all = all[over:]
+	}
+	if dropped == 0 {
+		return all
+	}
+	out := make([]TraceSpan, 0, len(all)+1)
+	out = append(out, TraceSpan{Op: OpTraceDropped, Dropped: dropped})
+	return append(out, all...)
+}
+
 // PropagateTrace copies the request's trace identity onto a reply and
-// appends the given span; it is a no-op for untraced conversations, so
-// callers can apply it unconditionally on hot paths.
+// appends the given span (respecting MaxTraceSpans); it is a no-op for
+// untraced conversations, so callers can apply it unconditionally on hot
+// paths.
 func PropagateTrace(req, reply *Message, span TraceSpan) {
 	if req == nil || reply == nil || req.TraceID == "" {
 		return
 	}
 	reply.TraceID = req.TraceID
-	reply.Trace = append(reply.Trace, span)
+	reply.Trace = AppendSpans(reply.Trace, span)
 }
 
 // String renders a compact summary for logs.

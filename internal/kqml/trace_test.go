@@ -1,0 +1,125 @@
+package kqml
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mkSpans(n, firstStart int) []TraceSpan {
+	out := make([]TraceSpan, n)
+	for i := range out {
+		out[i] = TraceSpan{
+			Agent: fmt.Sprintf("a%d", firstStart+i), Op: "op",
+			Start: int64(firstStart + i + 1), DurationMicros: 1,
+		}
+	}
+	return out
+}
+
+func TestAppendSpansFastPath(t *testing.T) {
+	dst := mkSpans(3, 0)
+	out := AppendSpans(dst, mkSpans(2, 3)...)
+	if len(out) != 5 {
+		t.Fatalf("len = %d, want 5", len(out))
+	}
+	for i, s := range out {
+		if want := fmt.Sprintf("a%d", i); s.Agent != want {
+			t.Errorf("out[%d].Agent = %q, want %q", i, s.Agent, want)
+		}
+	}
+	// No-op append leaves dst alone.
+	if same := AppendSpans(dst); len(same) != 3 {
+		t.Errorf("AppendSpans(dst) len = %d, want 3", len(same))
+	}
+}
+
+func TestAppendSpansCapKeepsNewest(t *testing.T) {
+	out := AppendSpans(nil, mkSpans(MaxTraceSpans+10, 0)...)
+	if len(out) != MaxTraceSpans {
+		t.Fatalf("len = %d, want cap %d", len(out), MaxTraceSpans)
+	}
+	if out[0].Op != OpTraceDropped || out[0].Dropped != 11 {
+		t.Fatalf("out[0] = %+v, want a marker for the 11 evicted spans", out[0])
+	}
+	// The oldest spans were evicted: the first survivor is a11.
+	if out[1].Agent != "a11" || out[len(out)-1].Agent != fmt.Sprintf("a%d", MaxTraceSpans+9) {
+		t.Errorf("survivors run %s..%s, want a11..a%d",
+			out[1].Agent, out[len(out)-1].Agent, MaxTraceSpans+9)
+	}
+}
+
+func TestAppendSpansCoalescesMarkers(t *testing.T) {
+	dst := AppendSpans(nil, mkSpans(MaxTraceSpans+5, 0)...) // marker(6) + 63 spans
+	out := AppendSpans(dst, mkSpans(4, 1000)...)
+	if len(out) != MaxTraceSpans {
+		t.Fatalf("len = %d, want cap %d", len(out), MaxTraceSpans)
+	}
+	markers := 0
+	dropped := 0
+	for _, s := range out {
+		if s.Op == OpTraceDropped {
+			markers++
+			dropped += s.Dropped
+		}
+	}
+	if markers != 1 {
+		t.Fatalf("out holds %d markers, want exactly 1", markers)
+	}
+	// 6 dropped in the first append, 4 more real spans evicted to make
+	// room in the second.
+	if dropped != 10 {
+		t.Errorf("marker accounts %d dropped spans, want 10", dropped)
+	}
+	if out[len(out)-1].Agent != "a1003" {
+		t.Errorf("newest span = %q, want a1003", out[len(out)-1].Agent)
+	}
+}
+
+func TestAppendSpansExactCap(t *testing.T) {
+	out := AppendSpans(nil, mkSpans(MaxTraceSpans, 0)...)
+	if len(out) != MaxTraceSpans {
+		t.Fatalf("len = %d, want %d", len(out), MaxTraceSpans)
+	}
+	for _, s := range out {
+		if s.Op == OpTraceDropped {
+			t.Fatal("exactly-at-cap append must not drop anything")
+		}
+	}
+}
+
+func TestPropagateTraceBounded(t *testing.T) {
+	req := New(AskAll, "caller", &SQLQuery{SQL: "q"})
+	req.TraceID = "0123456789abcdef"
+	reply := New(Tell, "callee", &PingReply{Known: true})
+	reply.Trace = mkSpans(MaxTraceSpans, 0)
+	PropagateTrace(req, reply, TraceSpan{Agent: "callee", Op: "op", Start: 9999, DurationMicros: 1})
+	if len(reply.Trace) != MaxTraceSpans {
+		t.Fatalf("reply carries %d spans, want bounded at %d", len(reply.Trace), MaxTraceSpans)
+	}
+	if reply.Trace[0].Op != OpTraceDropped {
+		t.Fatalf("reply.Trace[0] = %+v, want a dropped marker", reply.Trace[0])
+	}
+	if last := reply.Trace[len(reply.Trace)-1]; last.Agent != "callee" {
+		t.Errorf("the just-propagated span must survive, got %+v", last)
+	}
+}
+
+func TestTraceSpanDroppedRoundTrip(t *testing.T) {
+	msg := New(Tell, "a", &PingReply{Known: true})
+	msg.TraceID = "0123456789abcdef"
+	msg.Trace = []TraceSpan{
+		{Op: OpTraceDropped, Dropped: 12},
+		{Agent: "b", Op: OpBrokerSearch, Hop: 2, Start: 42, DurationMicros: 7, Err: "x"},
+	}
+	data, err := Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trace) != 2 || got.Trace[0].Dropped != 12 || got.Trace[1].Start != 42 || got.Trace[1].Err != "x" {
+		t.Errorf("trace after round trip = %+v", got.Trace)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/relational"
 	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/telemetry"
 	"infosleuth/internal/transport"
 )
 
@@ -115,7 +116,9 @@ func (a *Agent) handle(msg *kqml.Message) *kqml.Message {
 		if err := msg.DecodeContent(&sq); err != nil {
 			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: "malformed SQL query content"})
 		}
-		res, err := a.Run(context.Background(), sq.SQL)
+		// The incoming trace ID flows through the context so every broker
+		// query and resource fetch this run issues joins the conversation.
+		res, err := a.Run(telemetry.WithTraceID(context.Background(), msg.TraceID), sq.SQL)
 		if err != nil {
 			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: err.Error()})
 		}
@@ -127,8 +130,31 @@ func (a *Agent) handle(msg *kqml.Message) *kqml.Message {
 	}
 }
 
-// Run processes one multiresource SQL query end to end.
+// Run processes one multiresource SQL query end to end. A trace ID on the
+// context (telemetry.WithTraceID) makes the run and everything under it —
+// broker queries, resource fetches — record conversation spans.
 func (a *Agent) Run(ctx context.Context, sql string) (*sqlparse.Result, error) {
+	traceID := telemetry.TraceIDFrom(ctx)
+	if traceID == "" {
+		return a.run(ctx, sql)
+	}
+	start := time.Now()
+	res, err := a.run(ctx, sql)
+	span := telemetry.Span{
+		TraceID:        traceID,
+		Agent:          a.cfg.Name,
+		Op:             telemetry.OpMRQRun,
+		StartUnixNano:  start.UnixNano(),
+		DurationMicros: time.Since(start).Microseconds(),
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	telemetry.RecordSpan(span)
+	return res, err
+}
+
+func (a *Agent) run(ctx context.Context, sql string) (*sqlparse.Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -160,6 +186,26 @@ func (a *Agent) Run(ctx context.Context, sql string) (*sqlparse.Result, error) {
 // assembleClass locates the resources for one class (the paper's Figure 7
 // broker query), fetches their fragments, and merges them into one table.
 func (a *Agent) assembleClass(ctx context.Context, class string, pushed *constraint.Set) (*relational.Table, error) {
+	if traceID := telemetry.TraceIDFrom(ctx); traceID != "" {
+		start := time.Now()
+		table, err := a.assembleClassInner(ctx, class, pushed, traceID)
+		span := telemetry.Span{
+			TraceID:        traceID,
+			Agent:          a.cfg.Name,
+			Op:             telemetry.OpMRQAssemble,
+			StartUnixNano:  start.UnixNano(),
+			DurationMicros: time.Since(start).Microseconds(),
+		}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		telemetry.RecordSpan(span)
+		return table, err
+	}
+	return a.assembleClassInner(ctx, class, pushed, "")
+}
+
+func (a *Agent) assembleClassInner(ctx context.Context, class string, pushed *constraint.Set, traceID string) (*relational.Table, error) {
 	q := &ontology.Query{
 		Type:            ontology.TypeResource,
 		ContentLanguage: ontology.LangSQL2,
@@ -183,6 +229,7 @@ func (a *Agent) assembleClass(ctx context.Context, class string, pushed *constra
 		msg := kqml.New(kqml.AskAll, a.cfg.Name, &kqml.SQLQuery{SQL: "SELECT * FROM " + class})
 		msg.Language = ontology.LangSQL2
 		msg.Receiver = ad.Name
+		msg.TraceID = traceID
 		reply, err := a.Call(ctx, ad.Address, msg)
 		if err != nil {
 			fetchErrs = append(fetchErrs, fmt.Sprintf("%s: %v", ad.Name, err))

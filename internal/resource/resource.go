@@ -172,11 +172,28 @@ func (a *Agent) handleQuery(msg *kqml.Message) *kqml.Message {
 	if lang == "" {
 		lang = a.cfg.ContentLanguages[0]
 	}
+	start := time.Now()
 	res, err := a.RunIn(lang, sq.SQL)
+	var reply *kqml.Message
 	if err != nil {
-		return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: err.Error()})
+		reply = a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: err.Error()})
+	} else {
+		reply = a.Reply(msg, kqml.Tell, &kqml.SQLResult{Columns: res.Columns, Rows: res.Rows})
 	}
-	return a.Reply(msg, kqml.Tell, &kqml.SQLResult{Columns: res.Columns, Rows: res.Rows})
+	if msg.TraceID != "" {
+		span := kqml.TraceSpan{
+			Agent:          a.cfg.Name,
+			Op:             kqml.OpResourceQuery,
+			Start:          start.UnixNano(),
+			DurationMicros: time.Since(start).Microseconds(),
+		}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		kqml.PropagateTrace(msg, reply, span)
+		transport.RecordTraceSpans(msg.TraceID, span)
+	}
+	return reply
 }
 
 // Run executes one query in the agent's primary content language.

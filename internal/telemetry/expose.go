@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,6 +18,7 @@ import (
 // value; histograms emit summary-typed quantile samples plus _sum and
 // _count, which is how Prometheus expects client-side quantiles.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runHooks()
 	for _, f := range r.snapshotFamilies() {
 		typ := "counter"
 		switch f.kind {
@@ -100,6 +102,7 @@ func formatFloat(v float64) string {
 // metric name -> label value -> value (or histogram summary). Unlabeled
 // metrics appear under the empty-string label.
 func (r *Registry) Snapshot() map[string]map[string]any {
+	r.runHooks()
 	out := make(map[string]map[string]any)
 	for _, f := range r.snapshotFamilies() {
 		m := make(map[string]any)
@@ -120,12 +123,60 @@ func (r *Registry) Snapshot() map[string]map[string]any {
 	return out
 }
 
+// ServeOption customizes the HTTP handler built by Handler and Serve.
+type ServeOption func(*serveOptions)
+
+type serveOptions struct {
+	mounts    []mount
+	readiness []func() error
+	pprof     bool
+}
+
+type mount struct {
+	pattern string
+	handler http.Handler
+}
+
+// WithHandler mounts an extra handler on the exposition mux (for example a
+// flight recorder's /traces endpoints).
+func WithHandler(pattern string, h http.Handler) ServeOption {
+	return func(o *serveOptions) {
+		o.mounts = append(o.mounts, mount{pattern: pattern, handler: h})
+	}
+}
+
+// WithReadiness adds a readiness check consulted by /readyz: the endpoint
+// answers 200 only while every check returns nil, and 503 with the first
+// failure's text otherwise. Daemons wire their broker-registration state
+// here (a resource agent with no connected broker is alive but not ready).
+func WithReadiness(check func() error) ServeOption {
+	return func(o *serveOptions) {
+		if check != nil {
+			o.readiness = append(o.readiness, check)
+		}
+	}
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ — behind the
+// daemons' -pprof opt-in flag, since profiling endpoints on a metrics port
+// are not always wanted.
+func WithPprof() ServeOption {
+	return func(o *serveOptions) { o.pprof = true }
+}
+
 // Handler returns an http.Handler exposing the registry:
 //
 //	/metrics       Prometheus text format
 //	/metrics.json  JSON snapshot (histograms as {count,sum,min,max,p50,p95,p99})
-//	/healthz       liveness probe
-func (r *Registry) Handler() http.Handler {
+//	/healthz       liveness probe (always 200 while the process serves)
+//	/readyz        readiness probe (200 iff every WithReadiness check passes)
+//
+// plus any handlers mounted via options.
+func (r *Registry) Handler(opts ...ServeOption) http.Handler {
+	var o serveOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -140,12 +191,32 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	checks := o.readiness
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		for _, check := range checks {
+			if err := check(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	if o.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	for _, m := range o.mounts {
+		mux.Handle(m.pattern, m.handler)
+	}
 	return mux
 }
 
 // Serve exposes the registry at addr (host:port) and returns the running
 // server. The daemons call this behind -metrics-addr.
-func Serve(addr string, r *Registry) (*Server, error) {
+func Serve(addr string, r *Registry, opts ...ServeOption) (*Server, error) {
 	if r == nil {
 		r = Default
 	}
@@ -153,7 +224,7 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: r.Handler(opts...), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{srv: srv, ln: ln}, nil
 }

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", path, nil))
+	return rw
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	h := NewRegistry().Handler()
+	if rw := get(t, h, "/healthz"); rw.Code != 200 || !strings.Contains(rw.Body.String(), "ok") {
+		t.Fatalf("/healthz: code %d body %q", rw.Code, rw.Body.String())
+	}
+}
+
+func TestReadyzReflectsChecks(t *testing.T) {
+	r := NewRegistry()
+	var fail error
+	h := r.Handler(
+		WithReadiness(func() error { return nil }),
+		WithReadiness(func() error { return fail }),
+	)
+	if rw := get(t, h, "/readyz"); rw.Code != 200 {
+		t.Fatalf("/readyz with passing checks: code %d", rw.Code)
+	}
+	fail = errors.New("no connected brokers")
+	rw := get(t, h, "/readyz")
+	if rw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with failing check: code %d, want 503", rw.Code)
+	}
+	if !strings.Contains(rw.Body.String(), "no connected brokers") {
+		t.Errorf("/readyz body %q, want the failure text", rw.Body.String())
+	}
+	fail = nil
+	if rw := get(t, h, "/readyz"); rw.Code != 200 {
+		t.Fatalf("/readyz after recovery: code %d", rw.Code)
+	}
+}
+
+func TestReadyzWithoutChecksIsReady(t *testing.T) {
+	if rw := get(t, NewRegistry().Handler(), "/readyz"); rw.Code != 200 {
+		t.Fatalf("/readyz with no checks: code %d", rw.Code)
+	}
+}
+
+func TestWithHandlerMounts(t *testing.T) {
+	r := NewRegistry()
+	h := r.Handler(WithHandler("/traces", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(299)
+	})))
+	if rw := get(t, h, "/traces"); rw.Code != 299 {
+		t.Fatalf("mounted handler not reached: code %d", rw.Code)
+	}
+	// The standard endpoints still work alongside the mount.
+	if rw := get(t, h, "/metrics"); rw.Code != 200 {
+		t.Fatalf("/metrics alongside mount: code %d", rw.Code)
+	}
+}
+
+func TestPprofOnlyWhenEnabled(t *testing.T) {
+	r := NewRegistry()
+	if rw := get(t, r.Handler(), "/debug/pprof/cmdline"); rw.Code == 200 {
+		t.Fatal("pprof reachable without WithPprof")
+	}
+	if rw := get(t, r.Handler(WithPprof()), "/debug/pprof/cmdline"); rw.Code != 200 {
+		t.Fatalf("pprof with WithPprof: code %d", rw.Code)
+	}
+}
+
+func TestMetricsJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("shape_total", "x").Inc()
+	r.Histogram("shape_seconds", "x").Observe(0.5)
+	rw := get(t, r.Handler(), "/metrics.json")
+	if rw.Code != 200 || !strings.Contains(rw.Header().Get("Content-Type"), "application/json") {
+		t.Fatalf("/metrics.json: code %d content-type %q", rw.Code, rw.Header().Get("Content-Type"))
+	}
+	var snap map[string]map[string]any
+	if err := json.Unmarshal(rw.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot JSON: %v", err)
+	}
+	// Families map label value ("" when unlabeled) to the series value.
+	if v, _ := snap["shape_total"][""].(float64); v != 1 {
+		t.Errorf("shape_total = %v, want 1", snap["shape_total"])
+	}
+	hist, ok := snap["shape_seconds"][""].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot missing shape_seconds histogram: %v", snap)
+	}
+	for _, k := range []string{"count", "p95"} {
+		if _, ok := hist[k]; !ok {
+			t.Errorf("histogram snapshot missing %q: %v", k, hist)
+		}
+	}
+}
+
+func TestOnCollectRunsAtExposition(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("lazy_gauge", "x")
+	n := 0
+	r.OnCollect(func() { n++; g.Set(float64(n)) })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !strings.Contains(sb.String(), "lazy_gauge 1") {
+		t.Errorf("hook ran %d times, exposition:\n%s", n, sb.String())
+	}
+	r.Snapshot()
+	if n != 2 {
+		t.Errorf("hook ran %d times after Snapshot, want 2", n)
+	}
+}
+
+func TestRuntimeMetricsAppearOnScrape(t *testing.T) {
+	r := NewRegistry()
+	r.EnableRuntimeMetrics()
+	r.EnableRuntimeMetrics() // idempotent
+	runtime.GC()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"infosleuth_runtime_goroutines",
+		"infosleuth_runtime_heap_inuse_bytes",
+		"infosleuth_runtime_gc_pause_p95_seconds",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	snap := r.Snapshot()
+	if v, _ := snap["infosleuth_runtime_goroutines"][""].(float64); v < 1 {
+		t.Errorf("goroutine gauge = %v, want >= 1", snap["infosleuth_runtime_goroutines"])
+	}
+	if v, _ := snap["infosleuth_runtime_heap_inuse_bytes"][""].(float64); v <= 0 {
+		t.Errorf("heap gauge = %v, want > 0", snap["infosleuth_runtime_heap_inuse_bytes"])
+	}
+}

@@ -1,0 +1,108 @@
+// Package logging is the shared structured-logging layer for the cmd/
+// daemons: one flag set (-log-format, -log-level), one slog handler
+// construction, and a trace-ID attribute helper so log records correlate
+// with the conversation traces in the flight recorder.
+//
+// Setup installs the built logger as the slog default, which also routes
+// the standard library's log.Printf output through it — so a dependency
+// that still logs the old way ends up in the same stream with the same
+// format.
+package logging
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Options are the shared logging knobs, normally bound to flags with
+// AddFlags before flag.Parse.
+type Options struct {
+	// Format is "text" or "json".
+	Format string
+	// Level is "debug", "info", "warn" or "error".
+	Level string
+}
+
+// AddFlags binds -log-format and -log-level on the flag set (the command
+// line by default when fs is flag.CommandLine).
+func (o *Options) AddFlags(fs *flag.FlagSet) {
+	if o.Format == "" {
+		o.Format = "text"
+	}
+	if o.Level == "" {
+		o.Level = "info"
+	}
+	fs.StringVar(&o.Format, "log-format", o.Format, "log output format: text or json")
+	fs.StringVar(&o.Level, "log-level", o.Level, "minimum log level: debug, info, warn or error")
+}
+
+// ParseLevel maps a level name to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("logging: unknown level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// New builds a logger writing to w with the options' format and level,
+// tagged with the component name (the daemon: "brokerd", "resourced", ...).
+func New(component string, o Options, w io.Writer) (*slog.Logger, error) {
+	level, err := ParseLevel(o.Level)
+	if err != nil {
+		return nil, err
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(strings.TrimSpace(o.Format)) {
+	case "", "text":
+		h = slog.NewTextHandler(w, hopts)
+	case "json":
+		h = slog.NewJSONHandler(w, hopts)
+	default:
+		return nil, fmt.Errorf("logging: unknown format %q (want text or json)", o.Format)
+	}
+	l := slog.New(h)
+	if component != "" {
+		l = l.With("component", component)
+	}
+	return l, nil
+}
+
+// Setup builds the component's logger on stderr and installs it as the
+// slog (and, via the slog bridge, the standard log) default. Invalid
+// options are a startup configuration error: the daemon exits.
+func Setup(component string, o Options) *slog.Logger {
+	l, err := New(component, o, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(l)
+	return l
+}
+
+// Trace returns the attribute correlating a record with a conversation
+// trace, so `grep trace_id=...` (or a JSON field match) joins daemon logs
+// with the flight recorder's assembled tree.
+func Trace(id string) slog.Attr {
+	return slog.String("trace_id", id)
+}
+
+// Fatal logs at error level and exits — the structured replacement for
+// log.Fatalf in daemon startup paths.
+func Fatal(l *slog.Logger, msg string, args ...any) {
+	l.Error(msg, args...)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+package logging
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+	}{
+		{"", slog.LevelInfo},
+		{"info", slog.LevelInfo},
+		{"INFO", slog.LevelInfo},
+		{"debug", slog.LevelDebug},
+		{"warn", slog.LevelWarn},
+		{"warning", slog.LevelWarn},
+		{"error", slog.LevelError},
+		{"  error  ", slog.LevelError},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel(verbose) should fail")
+	}
+}
+
+func TestNewTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New("brokerd", Options{Format: "text", Level: "info"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("agent advertised", "agent", "R1", Trace("abc123"))
+	out := buf.String()
+	for _, want := range []string{"component=brokerd", "agent advertised", "agent=R1", "trace_id=abc123"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Below-threshold records are dropped.
+	buf.Reset()
+	l.Debug("noise")
+	if buf.Len() != 0 {
+		t.Errorf("debug record emitted at info level: %q", buf.String())
+	}
+}
+
+func TestNewJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New("resourced", Options{Format: "json", Level: "debug"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("query executed", Trace("def456"))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSON record: %v in %q", err, buf.String())
+	}
+	if rec["component"] != "resourced" || rec["msg"] != "query executed" || rec["trace_id"] != "def456" {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	if _, err := New("x", Options{Format: "xml"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if _, err := New("x", Options{Level: "loud"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown level should fail")
+	}
+}
+
+func TestAddFlags(t *testing.T) {
+	var o Options
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o.AddFlags(fs)
+	if err := fs.Parse([]string{"-log-format", "json", "-log-level", "debug"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Format != "json" || o.Level != "debug" {
+		t.Errorf("parsed options = %+v", o)
+	}
+	// Defaults without flags.
+	var d Options
+	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
+	d.AddFlags(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Format != "text" || d.Level != "info" {
+		t.Errorf("default options = %+v", d)
+	}
+}

@@ -1,0 +1,46 @@
+package recorder
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the recorder over HTTP, meant to be mounted on the
+// metrics endpoint at both /traces and /traces/ (see telemetry.WithHandler):
+//
+//	/traces          JSON array of trace summaries, most recent first
+//	/traces?limit=N  at most N summaries
+//	/traces/{id}     the assembled tree for one trace (404 if unknown)
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := strings.Trim(strings.TrimPrefix(req.URL.Path, "/traces"), "/")
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id == "" {
+			limit := 0
+			if v := req.URL.Query().Get("limit"); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					http.Error(w, "bad limit", http.StatusBadRequest)
+					return
+				}
+				limit = n
+			}
+			sums := r.Summaries(limit)
+			if sums == nil {
+				sums = []Summary{}
+			}
+			_ = enc.Encode(sums)
+			return
+		}
+		tree, ok := r.Trace(id)
+		if !ok {
+			http.Error(w, "unknown trace", http.StatusNotFound)
+			return
+		}
+		_ = enc.Encode(tree)
+	})
+}

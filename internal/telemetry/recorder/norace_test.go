@@ -1,0 +1,5 @@
+//go:build !race
+
+package recorder
+
+const raceEnabled = false

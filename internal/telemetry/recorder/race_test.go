@@ -1,0 +1,8 @@
+//go:build race
+
+package recorder
+
+// raceEnabled reports that the race detector is on; timing assertions are
+// skipped since instrumented atomics and mutexes run an order of
+// magnitude slower.
+const raceEnabled = true

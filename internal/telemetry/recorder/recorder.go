@@ -1,0 +1,313 @@
+// Package recorder is the in-process flight recorder behind the
+// conversation tracing of PR 1: a bounded ring buffer of completed spans
+// plus a trace store that assembles spans sharing a trace ID into trace
+// trees (entry hop → forwarded hops, per-hop durations, error status).
+//
+// The recorder implements telemetry.SpanRecorder; installing one with
+// telemetry.SetSpanRecorder makes every instrumented hop in the process —
+// agent dispatch, client RPCs, broker searches at every forwarding depth,
+// MRQ fan-out, resource query execution — record into it, and spans
+// carried back on reply envelopes are mirrored in by the transport layer,
+// so one traced user query yields one assembled tree spanning user agent,
+// brokers and resources. Daemons expose it at /traces (summaries) and
+// /traces/{id} (the full tree) on the metrics endpoint; `isquery
+// -trace-dump` and `experiments -run traces` render the same tree as
+// text.
+//
+// Everything is bounded: the span ring holds SpanCapacity spans (oldest
+// overwritten, drops counted), traces are evicted by count and age, and a
+// single trace keeps at most MaxSpansPerTrace spans — a recorder can run
+// in a loaded broker indefinitely without growing.
+package recorder
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infosleuth/internal/telemetry"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultSpanCapacity     = 4096
+	DefaultMaxTraces        = 256
+	DefaultMaxSpansPerTrace = 512
+	DefaultMaxTraceAge      = 10 * time.Minute
+)
+
+// Options bounds a Recorder.
+type Options struct {
+	// SpanCapacity is the span ring size; when full the oldest span is
+	// overwritten and the drop counter incremented. Zero means
+	// DefaultSpanCapacity.
+	SpanCapacity int
+	// MaxTraces bounds how many distinct traces are kept assembled; the
+	// least recently updated whole trace is evicted first. Zero means
+	// DefaultMaxTraces.
+	MaxTraces int
+	// MaxSpansPerTrace bounds one trace's stored spans (a runaway fan-out
+	// cannot monopolize the store); further spans are counted as dropped
+	// on that trace. Zero means DefaultMaxSpansPerTrace.
+	MaxSpansPerTrace int
+	// MaxTraceAge evicts traces not updated for this long. Zero means
+	// DefaultMaxTraceAge.
+	MaxTraceAge time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SpanCapacity <= 0 {
+		o.SpanCapacity = DefaultSpanCapacity
+	}
+	if o.MaxTraces <= 0 {
+		o.MaxTraces = DefaultMaxTraces
+	}
+	if o.MaxSpansPerTrace <= 0 {
+		o.MaxSpansPerTrace = DefaultMaxSpansPerTrace
+	}
+	if o.MaxTraceAge <= 0 {
+		o.MaxTraceAge = DefaultMaxTraceAge
+	}
+	return o
+}
+
+// spanKey identifies a span within a trace for deduplication: on an
+// in-process transport the same span reaches the recorder twice — once
+// recorded locally by the agent that produced it and once mirrored from
+// the reply envelope it rode back on.
+type spanKey struct {
+	agent string
+	op    string
+	hop   int
+	start int64
+	dur   int64
+}
+
+func keyOf(s telemetry.Span) spanKey {
+	return spanKey{agent: s.Agent, op: s.Op, hop: s.Hop, start: s.StartUnixNano, dur: s.DurationMicros}
+}
+
+// trace is one trace ID's accumulated state.
+type trace struct {
+	id         string
+	spans      []telemetry.Span
+	seen       map[spanKey]struct{}
+	dropped    int64 // envelope-marker drops + per-trace overflow
+	errors     int
+	lastUpdate time.Time
+}
+
+// Recorder is a bounded flight recorder; create one with New. It is safe
+// for concurrent use and never blocks on record.
+type Recorder struct {
+	opts Options
+
+	drops atomic.Int64 // ring overwrites
+
+	mu     sync.Mutex
+	ring   []telemetry.Span
+	head   int // next write index
+	filled bool
+	traces map[string]*trace
+
+	// now is swappable for eviction tests.
+	now func() time.Time
+}
+
+// New returns a Recorder with the given bounds.
+func New(opts Options) *Recorder {
+	o := opts.withDefaults()
+	return &Recorder{
+		opts:   o,
+		ring:   make([]telemetry.Span, o.SpanCapacity),
+		traces: make(map[string]*trace),
+		now:    time.Now,
+	}
+}
+
+// RecordSpan implements telemetry.SpanRecorder: the span enters the ring
+// (evicting the oldest when full) and its trace's store.
+func (r *Recorder) RecordSpan(s telemetry.Span) {
+	if s.TraceID == "" {
+		return
+	}
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Ring: fixed capacity, oldest overwritten, drops counted.
+	if r.filled {
+		r.drops.Add(1)
+	}
+	r.ring[r.head] = s
+	r.head++
+	if r.head == len(r.ring) {
+		r.head = 0
+		r.filled = true
+	}
+
+	// Trace store.
+	t, ok := r.traces[s.TraceID]
+	if !ok {
+		r.evictLocked(now)
+		t = &trace{id: s.TraceID, seen: make(map[spanKey]struct{})}
+		r.traces[s.TraceID] = t
+	}
+	t.lastUpdate = now
+	if s.Op == telemetry.OpTraceDropped {
+		// A capped envelope's marker: account, don't store.
+		t.dropped += int64(s.Dropped)
+		return
+	}
+	k := keyOf(s)
+	if _, dup := t.seen[k]; dup {
+		return
+	}
+	if len(t.spans) >= r.opts.MaxSpansPerTrace {
+		t.dropped++
+		return
+	}
+	t.seen[k] = struct{}{}
+	t.spans = append(t.spans, s)
+	if s.Err != "" {
+		t.errors++
+	}
+}
+
+// evictLocked drops aged-out traces, then the least recently updated ones
+// until a new trace fits under MaxTraces. Called with r.mu held.
+func (r *Recorder) evictLocked(now time.Time) {
+	cutoff := now.Add(-r.opts.MaxTraceAge)
+	for id, t := range r.traces {
+		if t.lastUpdate.Before(cutoff) {
+			delete(r.traces, id)
+		}
+	}
+	for len(r.traces) >= r.opts.MaxTraces {
+		var oldest *trace
+		for _, t := range r.traces {
+			if oldest == nil || t.lastUpdate.Before(oldest.lastUpdate) {
+				oldest = t
+			}
+		}
+		if oldest == nil {
+			return
+		}
+		delete(r.traces, oldest.id)
+	}
+}
+
+// Drops returns how many spans the ring has overwritten since creation.
+func (r *Recorder) Drops() int64 { return r.drops.Load() }
+
+// Spans returns up to limit of the most recent ring spans, oldest first
+// (limit <= 0 means all).
+func (r *Recorder) Spans(limit int) []telemetry.Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.head
+	if r.filled {
+		n = len(r.ring)
+	}
+	out := make([]telemetry.Span, 0, n)
+	start := 0
+	if r.filled {
+		start = r.head
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// Summary is a one-line view of an assembled trace for listings.
+type Summary struct {
+	ID string `json:"id"`
+	// Spans is how many distinct spans the trace holds.
+	Spans int `json:"spans"`
+	// Agents is how many distinct agents contributed spans.
+	Agents int `json:"agents"`
+	// MaxHop is the deepest inter-broker forwarding depth seen.
+	MaxHop int `json:"max_hop"`
+	// Errors counts spans that recorded an error.
+	Errors int `json:"errors,omitempty"`
+	// Dropped counts spans lost to envelope caps or per-trace bounds.
+	Dropped int64 `json:"dropped,omitempty"`
+	// StartUnixNano is the earliest span start; DurationMicros spans from
+	// it to the latest span end.
+	StartUnixNano  int64 `json:"start,omitempty"`
+	DurationMicros int64 `json:"us"`
+}
+
+func (t *trace) summary() Summary {
+	s := Summary{ID: t.id, Spans: len(t.spans), Errors: t.errors, Dropped: t.dropped}
+	agents := make(map[string]struct{})
+	var minStart, maxEnd int64
+	for _, sp := range t.spans {
+		agents[sp.Agent] = struct{}{}
+		if sp.Hop > s.MaxHop {
+			s.MaxHop = sp.Hop
+		}
+		if sp.StartUnixNano == 0 {
+			continue
+		}
+		if minStart == 0 || sp.StartUnixNano < minStart {
+			minStart = sp.StartUnixNano
+		}
+		if end := sp.EndUnixNano(); end > maxEnd {
+			maxEnd = end
+		}
+	}
+	s.Agents = len(agents)
+	s.StartUnixNano = minStart
+	if maxEnd > minStart {
+		s.DurationMicros = (maxEnd - minStart) / 1000
+	}
+	return s
+}
+
+// Summaries returns up to limit trace summaries, most recently updated
+// first (limit <= 0 means all).
+func (r *Recorder) Summaries(limit int) []Summary {
+	r.mu.Lock()
+	ordered := make([]*trace, 0, len(r.traces))
+	for _, t := range r.traces {
+		ordered = append(ordered, t)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if !ordered[i].lastUpdate.Equal(ordered[j].lastUpdate) {
+			return ordered[i].lastUpdate.After(ordered[j].lastUpdate)
+		}
+		return ordered[i].id < ordered[j].id
+	})
+	if limit > 0 && len(ordered) > limit {
+		ordered = ordered[:limit]
+	}
+	out := make([]Summary, len(ordered))
+	for i, t := range ordered {
+		out[i] = t.summary()
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Trace assembles and returns the tree for one trace ID.
+func (r *Recorder) Trace(id string) (*Tree, bool) {
+	r.mu.Lock()
+	t, ok := r.traces[id]
+	var spans []telemetry.Span
+	var sum Summary
+	if ok {
+		spans = append([]telemetry.Span(nil), t.spans...)
+		sum = t.summary()
+	}
+	r.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return assemble(sum, spans), true
+}

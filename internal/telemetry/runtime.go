@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// OnCollect registers a hook that runs at the start of every exposition
+// (WritePrometheus and Snapshot), so gauges that mirror external state can
+// refresh lazily on scrape instead of needing a sampling goroutine.
+func (r *Registry) OnCollect(hook func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, hook)
+	r.mu.Unlock()
+}
+
+func (r *Registry) runHooks() {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+}
+
+// EnableRuntimeMetrics registers Go runtime health gauges — goroutine
+// count, heap in-use bytes, and the GC pause p95 — refreshed from
+// runtime/metrics on every scrape. Calling it again is a no-op.
+func (r *Registry) EnableRuntimeMetrics() {
+	r.mu.Lock()
+	if r.runtimeOn {
+		r.mu.Unlock()
+		return
+	}
+	r.runtimeOn = true
+	r.mu.Unlock()
+
+	goroutines := r.Gauge("infosleuth_runtime_goroutines",
+		"Live goroutines in the process.")
+	heapInUse := r.Gauge("infosleuth_runtime_heap_inuse_bytes",
+		"Bytes of heap memory occupied by live objects and not-yet-reclaimed dead objects.")
+	gcPauseP95 := r.Gauge("infosleuth_runtime_gc_pause_p95_seconds",
+		"95th percentile of GC stop-the-world pause latencies since process start.")
+
+	samples := []metrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	r.OnCollect(func() {
+		metrics.Read(samples)
+		if v := samples[0].Value; v.Kind() == metrics.KindUint64 {
+			goroutines.Set(float64(v.Uint64()))
+		}
+		if v := samples[1].Value; v.Kind() == metrics.KindUint64 {
+			heapInUse.Set(float64(v.Uint64()))
+		}
+		if v := samples[2].Value; v.Kind() == metrics.KindFloat64Histogram {
+			gcPauseP95.Set(histogramQuantile(v.Float64Histogram(), 0.95))
+		}
+	})
+}
+
+// histogramQuantile estimates a quantile from a runtime/metrics cumulative
+// bucket histogram, returning the upper bound of the bucket the quantile
+// falls in (the lower bound for the +Inf bucket).
+func histogramQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	thresh := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= thresh {
+			// Counts[i] covers [Buckets[i], Buckets[i+1]).
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Span is one completed unit of traced work: an agent handling a message,
+// a client-side RPC round trip, a broker search at some forwarding depth.
+// It is the recorder-side mirror of the kqml TraceSpan that rides reply
+// envelopes, widened with the trace ID (implicit on the envelope) and an
+// error string. Field encodings match the wire form — start in Unix
+// nanoseconds, duration in microseconds — so a span observed locally and
+// its copy ingested from a reply envelope compare equal and deduplicate.
+type Span struct {
+	// TraceID is the conversation the span belongs to; never empty for a
+	// recorded span.
+	TraceID string `json:"trace_id"`
+	// Agent names the agent that did the work.
+	Agent string `json:"agent"`
+	// Op is what the agent did (see the Op* constants).
+	Op string `json:"op"`
+	// Hop is the inter-broker distance from the origin broker, 0 for
+	// non-broker spans.
+	Hop int `json:"hop,omitempty"`
+	// StartUnixNano is the span's start time in Unix nanoseconds.
+	StartUnixNano int64 `json:"start,omitempty"`
+	// DurationMicros is the span's duration in microseconds.
+	DurationMicros int64 `json:"us,omitempty"`
+	// Err is the error the spanned operation returned, empty on success.
+	Err string `json:"err,omitempty"`
+	// Dropped carries the span count folded into a trace-dropped marker
+	// span (see the kqml envelope cap); 0 for ordinary spans.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// EndUnixNano returns the span's end time in Unix nanoseconds.
+func (s *Span) EndUnixNano() int64 {
+	return s.StartUnixNano + s.DurationMicros*1000
+}
+
+// Span op names. The envelope-level constants (broker search, the dropped
+// marker) are duplicated from package kqml rather than imported so that
+// kqml keeps its telemetry-free dependency posture; a cross-check test in
+// internal/transport pins the strings together.
+const (
+	// OpRPCCall is a client-side transport round trip.
+	OpRPCCall = "rpc.call"
+	// OpDispatchPrefix prefixes agent.Base dispatch spans; the full op is
+	// "dispatch." + performative.
+	OpDispatchPrefix = "dispatch."
+	// OpBrokerSearch mirrors kqml.OpBrokerSearch.
+	OpBrokerSearch = "broker.search"
+	// OpQueryBrokers is an agent's broker-query attempt loop (connected
+	// brokers first, then known brokers).
+	OpQueryBrokers = "query.brokers"
+	// OpMRQRun is one end-to-end multiresource query in an MRQ agent.
+	OpMRQRun = "mrq.run"
+	// OpMRQAssemble is one class's resource discovery + fragment fetch.
+	OpMRQAssemble = "mrq.assemble"
+	// OpResourceQuery is a resource agent executing a data query.
+	OpResourceQuery = "resource.query"
+	// OpUserSubmit is a user agent's end-to-end SQL submission.
+	OpUserSubmit = "useragent.submit"
+	// OpTraceDropped mirrors kqml.OpTraceDropped: a marker standing in
+	// for spans evicted from a capped envelope trace.
+	OpTraceDropped = "trace.dropped"
+)
+
+// SpanRecorder consumes completed spans. Implementations must be safe for
+// concurrent use and must not block: RecordSpan is called on transport and
+// dispatch hot paths.
+type SpanRecorder interface {
+	RecordSpan(Span)
+}
+
+// recorderBox wraps the interface so atomic.Pointer has one concrete type.
+type recorderBox struct{ r SpanRecorder }
+
+var activeRecorder atomic.Pointer[recorderBox]
+
+// SetSpanRecorder installs r as the process-wide span recorder and returns
+// the previous one (nil if none). Passing nil uninstalls. Untraced
+// processes never install one, and RecordSpan is then a single atomic load.
+func SetSpanRecorder(r SpanRecorder) SpanRecorder {
+	var next *recorderBox
+	if r != nil {
+		next = &recorderBox{r: r}
+	}
+	prev := activeRecorder.Swap(next)
+	if prev == nil {
+		return nil
+	}
+	return prev.r
+}
+
+// SpanRecorderActive reports whether a span recorder is installed — a
+// cheap guard for call sites that would otherwise loop or allocate to
+// build spans nobody collects.
+func SpanRecorderActive() bool {
+	return activeRecorder.Load() != nil
+}
+
+// RecordSpan hands a completed span to the installed recorder; it is a
+// no-op when none is installed. Spans without a trace ID are ignored.
+func RecordSpan(s Span) {
+	if s.TraceID == "" {
+		return
+	}
+	if box := activeRecorder.Load(); box != nil {
+		box.r.RecordSpan(s)
+	}
+}
+
+// traceIDKey is the context key carrying a conversation trace ID.
+type traceIDKey struct{}
+
+// WithTraceID returns a context carrying the trace ID, so a conversation's
+// identity survives call chains (MRQ handle → Run → per-class assembly)
+// without widening every signature.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom extracts the trace ID from the context, "" if untraced.
+func TraceIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}

@@ -137,6 +137,11 @@ type Registry struct {
 	mu       sync.Mutex
 	order    []string
 	families map[string]*family
+
+	// hooks run at the start of every exposition (see OnCollect);
+	// runtimeOn makes EnableRuntimeMetrics idempotent.
+	hooks     []func()
+	runtimeOn bool
 }
 
 // NewRegistry returns an empty registry.

@@ -217,6 +217,7 @@ func (t *TCP) Call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.M
 	start := time.Now()
 	reply, sent, received, err := t.doCall(ctx, addr, msg)
 	recordCall("tcp", addr, start, sent, received, err)
+	recordCallTrace(msg, reply, start, err)
 	return reply, err
 }
 

@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"time"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/telemetry"
+)
+
+// This file is the bridge between KQML conversation tracing and the
+// process-local flight recorder. The kqml package stays telemetry-free
+// (spans ride reply envelopes as plain data); transport is the lowest
+// layer that imports both, so it translates envelope spans into recorder
+// spans and stamps every client call with its own rpc.call span. Because
+// every inter-agent exchange goes through Call, ingesting reply envelopes
+// here covers broker forwards, MRQ fan-out and resource fetches without
+// per-caller wiring.
+
+// RecordTraceSpans mirrors envelope spans into the installed span
+// recorder, if any. Agents call it (directly or via PropagateTrace call
+// sites) when they produce a span locally, and Call invokes it on every
+// reply's trace; the recorder deduplicates the double delivery.
+func RecordTraceSpans(traceID string, spans ...kqml.TraceSpan) {
+	if traceID == "" || len(spans) == 0 || !telemetry.SpanRecorderActive() {
+		return
+	}
+	for _, s := range spans {
+		telemetry.RecordSpan(telemetry.Span{
+			TraceID:        traceID,
+			Agent:          s.Agent,
+			Op:             s.Op,
+			Hop:            s.Hop,
+			StartUnixNano:  s.Start,
+			DurationMicros: s.DurationMicros,
+			Err:            s.Err,
+			Dropped:        s.Dropped,
+		})
+	}
+}
+
+// recordCallTrace emits the client-side rpc.call span for a traced call
+// and ingests whatever spans the reply envelope carried back.
+func recordCallTrace(msg, reply *kqml.Message, start time.Time, err error) {
+	if msg == nil || msg.TraceID == "" || !telemetry.SpanRecorderActive() {
+		return
+	}
+	span := telemetry.Span{
+		TraceID:        msg.TraceID,
+		Agent:          msg.Sender,
+		Op:             telemetry.OpRPCCall,
+		StartUnixNano:  start.UnixNano(),
+		DurationMicros: time.Since(start).Microseconds(),
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	telemetry.RecordSpan(span)
+	if err == nil && reply != nil && reply.TraceID == msg.TraceID {
+		RecordTraceSpans(reply.TraceID, reply.Trace...)
+	}
+}

@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/telemetry"
+)
+
+// collector is a minimal telemetry.SpanRecorder for tests.
+type collector struct {
+	mu    sync.Mutex
+	spans []telemetry.Span
+}
+
+func (c *collector) RecordSpan(s telemetry.Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+func (c *collector) byOp(op string) []telemetry.Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []telemetry.Span
+	for _, s := range c.spans {
+		if s.Op == op {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (c *collector) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spans)
+}
+
+// TestTraceOpConstantsMatchKQML pins the duplicated op strings together:
+// kqml carries them on envelopes, telemetry assembles trees from them,
+// and the packages deliberately don't import each other.
+func TestTraceOpConstantsMatchKQML(t *testing.T) {
+	pairs := []struct{ kqmlOp, telemetryOp, name string }{
+		{kqml.OpBrokerSearch, telemetry.OpBrokerSearch, "OpBrokerSearch"},
+		{kqml.OpResourceQuery, telemetry.OpResourceQuery, "OpResourceQuery"},
+		{kqml.OpTraceDropped, telemetry.OpTraceDropped, "OpTraceDropped"},
+	}
+	for _, p := range pairs {
+		if p.kqmlOp != p.telemetryOp {
+			t.Errorf("%s diverged: kqml %q vs telemetry %q", p.name, p.kqmlOp, p.telemetryOp)
+		}
+	}
+}
+
+// TestCallRecordsTraceSpans: a traced Call records the client-side
+// rpc.call span and mirrors the spans the reply envelope carried back.
+func TestCallRecordsTraceSpans(t *testing.T) {
+	col := &collector{}
+	prev := telemetry.SetSpanRecorder(col)
+	defer telemetry.SetSpanRecorder(prev)
+
+	tr := NewInProc()
+	l, err := tr.Listen("inproc://traced", func(msg *kqml.Message) *kqml.Message {
+		reply := kqml.New(kqml.Tell, "traced", &kqml.PingReply{Known: true})
+		reply.InReplyTo = msg.ReplyWith
+		kqml.PropagateTrace(msg, reply, kqml.TraceSpan{
+			Agent: "traced", Op: kqml.OpBrokerSearch, Hop: 2, Start: 42, DurationMicros: 7, Err: "boom",
+		})
+		return reply
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	msg := kqml.New(kqml.AskAll, "caller", &kqml.SQLQuery{SQL: "q"})
+	msg.TraceID = "0123456789abcdef"
+	if _, err := tr.Call(context.Background(), "inproc://traced", msg); err != nil {
+		t.Fatal(err)
+	}
+
+	calls := col.byOp(telemetry.OpRPCCall)
+	if len(calls) != 1 {
+		t.Fatalf("recorded %d rpc.call spans, want 1", len(calls))
+	}
+	if c := calls[0]; c.TraceID != msg.TraceID || c.Agent != "caller" || c.StartUnixNano == 0 || c.Err != "" {
+		t.Errorf("rpc.call span = %+v", c)
+	}
+	mirrored := col.byOp(kqml.OpBrokerSearch)
+	if len(mirrored) != 1 {
+		t.Fatalf("recorded %d mirrored envelope spans, want 1", len(mirrored))
+	}
+	m := mirrored[0]
+	if m.TraceID != msg.TraceID || m.Agent != "traced" || m.Hop != 2 || m.StartUnixNano != 42 ||
+		m.DurationMicros != 7 || m.Err != "boom" {
+		t.Errorf("mirrored span lost fields: %+v", m)
+	}
+}
+
+// TestCallWithoutTraceIDRecordsNothing: untraced traffic must not touch
+// the recorder at all.
+func TestCallWithoutTraceIDRecordsNothing(t *testing.T) {
+	col := &collector{}
+	prev := telemetry.SetSpanRecorder(col)
+	defer telemetry.SetSpanRecorder(prev)
+
+	tr := NewInProc()
+	l, err := tr.Listen("inproc://untraced", echoHandler("untraced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	testCall(t, tr, "inproc://untraced")
+	if n := col.len(); n != 0 {
+		t.Errorf("untraced call recorded %d spans, want 0", n)
+	}
+}
+
+// TestFailedCallRecordsErrSpan: an unreachable peer still yields the
+// client-side span, with the error attached.
+func TestFailedCallRecordsErrSpan(t *testing.T) {
+	col := &collector{}
+	prev := telemetry.SetSpanRecorder(col)
+	defer telemetry.SetSpanRecorder(prev)
+
+	tr := NewInProc()
+	msg := kqml.New(kqml.AskAll, "caller", &kqml.SQLQuery{SQL: "q"})
+	msg.TraceID = "0123456789abcdef"
+	if _, err := tr.Call(context.Background(), "inproc://nobody-home", msg); err == nil {
+		t.Fatal("expected unreachable error")
+	}
+	calls := col.byOp(telemetry.OpRPCCall)
+	if len(calls) != 1 || calls[0].Err == "" {
+		t.Fatalf("failed call spans = %+v, want one rpc.call with Err set", calls)
+	}
+}
+
+// TestRecordTraceSpansFieldMapping covers the envelope→telemetry bridge
+// directly, including the Dropped marker.
+func TestRecordTraceSpansFieldMapping(t *testing.T) {
+	col := &collector{}
+	prev := telemetry.SetSpanRecorder(col)
+	defer telemetry.SetSpanRecorder(prev)
+
+	RecordTraceSpans("tid",
+		kqml.TraceSpan{Op: kqml.OpTraceDropped, Dropped: 5},
+		kqml.TraceSpan{Agent: "b", Op: kqml.OpResourceQuery, Hop: 1, Start: 10, DurationMicros: 3},
+	)
+	if col.len() != 2 {
+		t.Fatalf("recorded %d spans, want 2", col.len())
+	}
+	if d := col.byOp(telemetry.OpTraceDropped); len(d) != 1 || d[0].Dropped != 5 || d[0].TraceID != "tid" {
+		t.Errorf("dropped marker = %+v", d)
+	}
+	// No trace ID or no spans: no-ops.
+	RecordTraceSpans("", kqml.TraceSpan{Agent: "x", Op: "op"})
+	RecordTraceSpans("tid")
+	if col.len() != 2 {
+		t.Errorf("no-op calls recorded spans; have %d", col.len())
+	}
+}
+
+// TestForwardLoopCannotBloatFrames is the frame-size regression for the
+// envelope cap: a pathological forwarding loop that stamps spans forever
+// must converge to MaxTraceSpans spans, keeping the marshaled frame far
+// below the transport's MaxFrame limit.
+func TestForwardLoopCannotBloatFrames(t *testing.T) {
+	msg := kqml.New(kqml.Tell, "b", &kqml.PingReply{Known: true})
+	msg.TraceID = "0123456789abcdef"
+	longErr := strings.Repeat("e", 100)
+	for i := 0; i < 10000; i++ {
+		msg.Trace = kqml.AppendSpans(msg.Trace, kqml.TraceSpan{
+			Agent: "Broker1", Op: kqml.OpBrokerSearch, Hop: i % 5,
+			Start: int64(i + 1), DurationMicros: 99, Err: longErr,
+		})
+	}
+	if len(msg.Trace) > kqml.MaxTraceSpans {
+		t.Fatalf("envelope holds %d spans, cap is %d", len(msg.Trace), kqml.MaxTraceSpans)
+	}
+	data, err := kqml.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= MaxFrame {
+		t.Fatalf("frame is %d bytes, exceeds MaxFrame %d", len(data), MaxFrame)
+	}
+	if len(data) > 64<<10 {
+		t.Errorf("capped trace frame is %d bytes; expected well under 64KiB", len(data))
+	}
+	// The marker accounts for everything evicted.
+	if msg.Trace[0].Op != kqml.OpTraceDropped || msg.Trace[0].Dropped != 10000-(kqml.MaxTraceSpans-1) {
+		t.Errorf("marker = %+v, want %d dropped", msg.Trace[0], 10000-(kqml.MaxTraceSpans-1))
+	}
+}

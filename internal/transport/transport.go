@@ -119,6 +119,7 @@ func (t *InProc) Call(ctx context.Context, addr string, msg *kqml.Message) (*kqm
 	start := time.Now()
 	reply, sent, received, err := t.doCall(ctx, addr, msg)
 	recordCall("inproc", addr, start, sent, received, err)
+	recordCallTrace(msg, reply, start, err)
 	return reply, err
 }
 

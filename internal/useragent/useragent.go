@@ -13,6 +13,7 @@ import (
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/telemetry"
 	"infosleuth/internal/transport"
 )
 
@@ -73,7 +74,9 @@ func (a *Agent) buildAd(addr string) *ontology.Advertisement {
 // Submit runs one SQL query for the user: locate an MRQ agent via the
 // broker, forward the query, return the assembled result. When the query
 // names classes and an ontology is configured, the broker lookup includes
-// them so a class specialist wins over a generalist.
+// them so a class specialist wins over a generalist. A trace ID on the
+// context (telemetry.WithTraceID) makes the whole conversation record
+// spans into the flight recorder; SubmitTraced mints one for you.
 func (a *Agent) Submit(ctx context.Context, sql string) (*sqlparse.Result, error) {
 	q := &ontology.Query{
 		Type:            ontology.TypeQuery,
@@ -107,6 +110,7 @@ func (a *Agent) Submit(ctx context.Context, sql string) (*sqlparse.Result, error
 	msg := kqml.New(kqml.AskAll, a.Name(), &kqml.SQLQuery{SQL: sql})
 	msg.Language = ontology.LangSQL2
 	msg.Receiver = mrqAd.Name
+	msg.TraceID = telemetry.TraceIDFrom(ctx)
 	reply, err := a.Call(ctx, mrqAd.Address, msg)
 	if err != nil {
 		return nil, fmt.Errorf("user agent %s: querying %s: %w", a.Name(), mrqAd.Name, err)
@@ -119,4 +123,30 @@ func (a *Agent) Submit(ctx context.Context, sql string) (*sqlparse.Result, error
 		return nil, err
 	}
 	return &sqlparse.Result{Columns: sr.Columns, Rows: sr.Rows}, nil
+}
+
+// SubmitTraced is Submit with conversation tracing: it reuses the
+// context's trace ID or mints one, records the user agent's own top-level
+// span, and returns the trace ID so the caller can fetch the assembled
+// tree from the flight recorder (or /traces/{id} on a daemon).
+func (a *Agent) SubmitTraced(ctx context.Context, sql string) (*sqlparse.Result, string, error) {
+	traceID := telemetry.TraceIDFrom(ctx)
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+		ctx = telemetry.WithTraceID(ctx, traceID)
+	}
+	start := time.Now()
+	res, err := a.Submit(ctx, sql)
+	span := telemetry.Span{
+		TraceID:        traceID,
+		Agent:          a.Name(),
+		Op:             telemetry.OpUserSubmit,
+		StartUnixNano:  start.UnixNano(),
+		DurationMicros: time.Since(start).Microseconds(),
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	telemetry.RecordSpan(span)
+	return res, traceID, err
 }
