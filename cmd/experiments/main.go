@@ -30,13 +30,14 @@ import (
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "comma-separated artifacts to regenerate (all, table1..table6, fig14..fig17, latency, ext-knowledge, bench)")
-		quick     = flag.Bool("quick", false, "reduced rounds/durations for a fast pass")
-		format    = flag.String("format", "text", "output format: text or csv")
-		seed      = flag.Int64("seed", 1999, "base random seed")
-		benchOut  = flag.String("bench-out", "BENCH_broker.json", "output path for the bench artifact")
-		benchAds  = flag.Int("bench-ads", 400, "repository size for the match-cache benchmark")
-		tracesOut = flag.String("traces-out", "TRACES.txt", "output path for the traces artifact")
+		run         = flag.String("run", "all", "comma-separated artifacts to regenerate (all, table1..table6, fig14..fig17, latency, ext-knowledge, bench)")
+		quick       = flag.Bool("quick", false, "reduced rounds/durations for a fast pass")
+		format      = flag.String("format", "text", "output format: text or csv")
+		seed        = flag.Int64("seed", 1999, "base random seed")
+		benchOut    = flag.String("bench-out", "BENCH_broker.json", "output path for the bench artifact")
+		benchAds    = flag.Int("bench-ads", 400, "repository size for the match-cache benchmark")
+		mrqBenchOut = flag.String("mrq-bench-out", "BENCH_mrq.json", "output path for the MRQ fan-out bench artifact")
+		tracesOut   = flag.String("traces-out", "TRACES.txt", "output path for the traces artifact")
 	)
 	flag.Parse()
 
@@ -134,6 +135,25 @@ func main() {
 			res.MatchUncached.NsPerOp, res.MatchUncached.AllocsPerOp,
 			res.MatchCached.NsPerOp, res.MatchCached.AllocsPerOp,
 			res.CachedSpeedupX)
+	}
+	// The MRQ fan-out bench rides along with -run bench and also runs
+	// standalone as -run mrqbench.
+	if want["bench"] || want["mrqbench"] {
+		opts := experiments.MRQBenchOptions{}
+		if *quick {
+			opts.RowsPerFragment = 8
+			opts.CallLatency = time.Millisecond
+		}
+		res, err := experiments.WriteMRQBench(*mrqBenchOut, opts)
+		if err != nil {
+			log.Fatalf("mrqbench: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *mrqBenchOut)
+		fmt.Printf("  gather (%d fragments, %s/call): serial %.0f ns/op, parallel %.0f ns/op (%.1fx speedup)\n",
+			res.Fragments, res.SimulatedCallLatency,
+			res.Serial.NsPerOp, res.Parallel.NsPerOp, res.SpeedupX)
+		fmt.Printf("  wire bytes/query: %d without pushdown, %d with (%.1fx reduction)\n",
+			res.FetchBytesPerOpNoPushdown, res.FetchBytesPerOpPushdown, res.PushdownBytesReductionX)
 	}
 	// The traces artifact exercises this implementation's flight recorder,
 	// so like bench it only runs when asked for explicitly.

@@ -36,6 +36,7 @@ func main() {
 		brokers   = flag.String("brokers", "tcp://127.0.0.1:4356", "comma-separated broker addresses")
 		ontoName  = flag.String("ontology", "healthcare", "domain ontology served")
 		specialty = flag.String("specialty", "", "comma-separated classes this MRQ specializes in (the paper's MRQ2)")
+		fanout    = flag.Int("fanout", 0, "max concurrent fragment fetches per class (0 = min(8, matched resources), 1 = serial)")
 		heartbeat = flag.Duration("heartbeat", 60*time.Second, "broker ping interval (0 disables)")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics, /traces and health probes here (e.g. :9092); empty disables")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the metrics address")
@@ -53,6 +54,7 @@ func main() {
 		World:           ontology.NewWorld(ontology.Generic(), ontology.Healthcare()),
 		Ontology:        *ontoName,
 		PushConstraints: true,
+		MaxFanout:       *fanout,
 	}
 	if *specialty != "" {
 		cfg.Specialty = strings.Split(*specialty, ",")

@@ -183,6 +183,10 @@ func (c *Community) AddMRQ(ctx context.Context, name, ontologyName string, speci
 		Ontology:              ontologyName,
 		Specialty:             specialty,
 		PushConstraints:       true,
+		// The Section 5 harness models the paper's serial gather; keeping
+		// the fan-out at 1 also keeps the reference experiment artifacts
+		// stable (same rule as disabling the broker match cache there).
+		MaxFanout: 1,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,248 @@
+// MRQ fan-out benchmarks: serial vs parallel fragment gathering over a
+// horizontally fragmented class with simulated per-call latency, and
+// bytes-on-wire with and without pushdown, emitted as BENCH_mrq.json by
+// `experiments -run bench` (or `-run mrqbench` alone). Like the broker
+// bench these measure the implementation, not the paper's Section 5
+// results — the Section 5 harness keeps the MRQ gather serial.
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"infosleuth/internal/broker"
+	"infosleuth/internal/mrq"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/resource"
+	"infosleuth/internal/transport"
+)
+
+// MRQBenchOptions sizes the fan-out benchmark rig.
+type MRQBenchOptions struct {
+	// Fragments is the number of horizontal fragments (resource agents)
+	// of the benchmarked class; the issue's reference point is 8.
+	Fragments int
+	// RowsPerFragment is each resource's table size.
+	RowsPerFragment int
+	// CallLatency is the simulated per-query latency at each resource
+	// (implemented with the resource model's QueryDelayPerRow).
+	CallLatency time.Duration
+}
+
+func (o *MRQBenchOptions) defaults() {
+	if o.Fragments <= 0 {
+		o.Fragments = 8
+	}
+	if o.RowsPerFragment <= 0 {
+		o.RowsPerFragment = 64
+	}
+	if o.CallLatency <= 0 {
+		o.CallLatency = 4 * time.Millisecond
+	}
+}
+
+// MRQBenchResult is the checked-in BENCH_mrq.json shape.
+type MRQBenchResult struct {
+	Note                 string    `json:"note"`
+	Fragments            int       `json:"fragments"`
+	RowsPerFragment      int       `json:"rows_per_fragment"`
+	SimulatedCallLatency string    `json:"simulated_call_latency"`
+	Serial               BenchStat `json:"serial"`
+	Parallel             BenchStat `json:"parallel"`
+	SpeedupX             float64   `json:"speedup_x"`
+	// Wire bytes are resource reply content bytes per query, measured by
+	// diffing the MRQ fetch counters around a fixed run count.
+	FetchBytesPerOpNoPushdown int64   `json:"fetch_bytes_per_op_no_pushdown"`
+	FetchBytesPerOpPushdown   int64   `json:"fetch_bytes_per_op_pushdown"`
+	PushdownBytesReductionX   float64 `json:"pushdown_bytes_reduction_x"`
+}
+
+// mrqBenchRig wires an in-proc broker, opts.Fragments resource agents
+// holding disjoint horizontal fragments of C2, and MRQ agents in the
+// requested configurations.
+type mrqBenchRig struct {
+	mrqs []*mrq.Agent
+	stop []func()
+}
+
+func (r *mrqBenchRig) Stop() {
+	for i := len(r.stop) - 1; i >= 0; i-- {
+		r.stop[i]()
+	}
+}
+
+func newMRQBenchRig(opts MRQBenchOptions) (*mrqBenchRig, error) {
+	tr := transport.NewInProc()
+	world := BenchWorld()
+	rig := &mrqBenchRig{}
+	b, err := broker.New(broker.Config{Name: "bench-broker", Transport: tr, World: world})
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Start(); err != nil {
+		return nil, err
+	}
+	rig.stop = append(rig.stop, func() { b.Stop() })
+
+	perRow := opts.CallLatency / time.Duration(opts.RowsPerFragment)
+	for f := 0; f < opts.Fragments; f++ {
+		db := relational.NewDatabase()
+		tbl, err := db.Create(relational.GenericSchema("C2"))
+		if err != nil {
+			rig.Stop()
+			return nil, err
+		}
+		for i := 0; i < opts.RowsPerFragment; i++ {
+			tbl.MustInsert(relational.Row{
+				relational.Str(fmt.Sprintf("r%02d-%04d", f, i)),
+				relational.Num(float64((f*opts.RowsPerFragment + i*37) % 1000)),
+				relational.Num(float64(i)), relational.Num(float64(i % 7)), relational.Num(float64(i % 13)),
+			})
+		}
+		ra, err := resource.New(resource.Config{
+			Name: fmt.Sprintf("bench-ra-%02d", f), Transport: tr,
+			KnownBrokers: []string{b.Addr()}, DB: db,
+			QueryDelayPerRow: perRow,
+			Fragment:         ontology.Fragment{Ontology: "generic", Classes: []string{"C2"}},
+		})
+		if err != nil {
+			rig.Stop()
+			return nil, err
+		}
+		if err := ra.Start(); err != nil {
+			rig.Stop()
+			return nil, err
+		}
+		rig.stop = append(rig.stop, func() { ra.Stop() })
+		if _, err := ra.Advertise(context.Background()); err != nil {
+			rig.Stop()
+			return nil, err
+		}
+	}
+
+	for _, cfg := range []struct {
+		name   string
+		fanout int
+		push   bool
+	}{
+		{"bench-mrq-serial", 1, true},
+		{"bench-mrq-parallel", 0, true},
+		{"bench-mrq-nopush", 1, false},
+	} {
+		m, err := mrq.New(mrq.Config{
+			Name: cfg.name, Transport: tr, KnownBrokers: []string{b.Addr()},
+			World: world, Ontology: "generic",
+			PushConstraints: cfg.push, MaxFanout: cfg.fanout,
+		})
+		if err != nil {
+			rig.Stop()
+			return nil, err
+		}
+		if err := m.Start(); err != nil {
+			rig.Stop()
+			return nil, err
+		}
+		rig.mrqs = append(rig.mrqs, m)
+		rig.stop = append(rig.stop, func() { m.Stop() })
+	}
+	return rig, nil
+}
+
+// MRQBench measures serial vs parallel fragment gathering and the wire
+// bytes saved by pushdown.
+func MRQBench(opts MRQBenchOptions) (*MRQBenchResult, error) {
+	opts.defaults()
+	rig, err := newMRQBenchRig(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer rig.Stop()
+	serialAgent, parallelAgent, noPushAgent := rig.mrqs[0], rig.mrqs[1], rig.mrqs[2]
+
+	const wideQuery = "SELECT * FROM C2 ORDER BY id"
+	run := func(a *mrq.Agent, sql string) (BenchStat, error) {
+		var runErr error
+		res := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if _, err := a.Run(context.Background(), sql); err != nil {
+					runErr = err
+					tb.Fatal(err)
+				}
+			}
+		})
+		return stat(res), runErr
+	}
+	serial, err := run(serialAgent, wideQuery)
+	if err != nil {
+		return nil, fmt.Errorf("serial gather: %w", err)
+	}
+	parallel, err := run(parallelAgent, wideQuery)
+	if err != nil {
+		return nil, fmt.Errorf("parallel gather: %w", err)
+	}
+
+	// Bytes on the wire with and without pushdown: a selective
+	// projecting query, counted over a fixed number of runs.
+	const selectiveQuery = "SELECT id, a FROM C2 WHERE a < 250 ORDER BY id"
+	const byteRuns = 3
+	bytesPerOp := func(a *mrq.Agent) (int64, error) {
+		before := mrq.SnapshotFetchStats()
+		for i := 0; i < byteRuns; i++ {
+			if _, err := a.Run(context.Background(), selectiveQuery); err != nil {
+				return 0, err
+			}
+		}
+		after := mrq.SnapshotFetchStats()
+		return (after.Bytes - before.Bytes) / byteRuns, nil
+	}
+	noPushBytes, err := bytesPerOp(noPushAgent)
+	if err != nil {
+		return nil, fmt.Errorf("no-pushdown bytes: %w", err)
+	}
+	pushBytes, err := bytesPerOp(serialAgent)
+	if err != nil {
+		return nil, fmt.Errorf("pushdown bytes: %w", err)
+	}
+
+	res := &MRQBenchResult{
+		Note: "MRQ fan-out benchmarks; the Section 5 artifacts keep the gather serial " +
+			"(community.AddMRQ pins MaxFanout=1) to model the paper's MRQ agent",
+		Fragments:                 opts.Fragments,
+		RowsPerFragment:           opts.RowsPerFragment,
+		SimulatedCallLatency:      opts.CallLatency.String(),
+		Serial:                    serial,
+		Parallel:                  parallel,
+		FetchBytesPerOpNoPushdown: noPushBytes,
+		FetchBytesPerOpPushdown:   pushBytes,
+	}
+	if parallel.NsPerOp > 0 {
+		res.SpeedupX = serial.NsPerOp / parallel.NsPerOp
+	}
+	if pushBytes > 0 {
+		res.PushdownBytesReductionX = float64(noPushBytes) / float64(pushBytes)
+	}
+	return res, nil
+}
+
+// WriteMRQBench runs MRQBench and writes the JSON artifact.
+func WriteMRQBench(path string, opts MRQBenchOptions) (*MRQBenchResult, error) {
+	res, err := MRQBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

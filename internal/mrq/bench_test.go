@@ -1,0 +1,43 @@
+package mrq
+
+import (
+	"fmt"
+	"testing"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/relational"
+)
+
+// benchFragments builds f horizontal fragments of rows each plus one
+// vertical fragment, so the merge exercises dedup, join and zero-fill.
+func benchFragments(f, rows int) []*kqml.SQLResult {
+	out := make([]*kqml.SQLResult, 0, f+1)
+	for i := 0; i < f; i++ {
+		r := &kqml.SQLResult{Columns: []string{"id", "a", "b"}}
+		for j := 0; j < rows; j++ {
+			r.Rows = append(r.Rows, relational.Row{
+				relational.Str(fmt.Sprintf("k%02d-%04d", i, j)),
+				relational.Num(float64(j)), relational.Num(float64(j % 7)),
+			})
+		}
+		out = append(out, r)
+	}
+	vert := &kqml.SQLResult{Columns: []string{"id", "c"}}
+	for j := 0; j < rows; j++ {
+		vert.Rows = append(vert.Rows, relational.Row{
+			relational.Str(fmt.Sprintf("k00-%04d", j)), relational.Num(float64(j * 3)),
+		})
+	}
+	return append(out, vert)
+}
+
+func BenchmarkMergeFragments(b *testing.B) {
+	frags := benchFragments(8, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MergeFragments("C2", "id", frags); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

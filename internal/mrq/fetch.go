@@ -1,0 +1,245 @@
+package mrq
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/telemetry"
+)
+
+// fetchPlan is the per-class pushdown decision, resolved against the
+// broker's matches: which WHERE conjuncts every matched resource can
+// evaluate, and which class columns the outer statement needs.
+type fetchPlan struct {
+	class string
+	key   string
+	ont   *ontology.Ontology
+	onto  string // ontology name, for coverage checks
+	// conds are pushed to every resource. A conjunct is pushed only when
+	// ALL matched advertisements cover its column: with vertical
+	// fragments, a conjunct evaluated by only some fragments would drop
+	// rows that the key-join then rebuilds from the other fragments with
+	// zero-filled cells — cells the local re-filter can wrongly admit.
+	// Uniform filtering keeps every fragment's view of the key set
+	// consistent.
+	conds []sqlparse.Cond
+	// cols is the needed projection including the class key (so
+	// MergeFragments can still join vertical fragments), lowercased; nil
+	// means SELECT *. Each resource's projection is further narrowed to
+	// the columns it advertises.
+	cols []string
+}
+
+// planFetch computes the pushdown plan for one class. With PushConstraints
+// off (or no safe rewrite available) the plan degenerates to the plain
+// SELECT * fetch of the serial implementation.
+func (a *Agent) planFetch(class, key string, stmt *sqlparse.Select, matches []*ontology.Advertisement) fetchPlan {
+	plan := fetchPlan{
+		class: class,
+		key:   key,
+		ont:   a.cfg.World.Ontology(a.cfg.Ontology),
+		onto:  a.cfg.Ontology,
+	}
+	if !a.cfg.PushConstraints || stmt == nil {
+		return plan
+	}
+	pp := stmt.PushPlanFor(class)
+	for _, c := range pp.Conds {
+		pushable := true
+		for _, ad := range matches {
+			if !ad.CoversColumns(plan.onto, class, []string{c.Left.Column}, plan.ont) {
+				pushable = false
+				break
+			}
+		}
+		if pushable {
+			plan.conds = append(plan.conds, c)
+		}
+	}
+	// Projection pushdown needs the class key (vertical joins and the
+	// explicit column order both depend on it) and a reliable column
+	// attribution; a SELECT * statement keeps the resource's own schema
+	// order, so it is never narrowed.
+	if !pp.AllCols && key != "" {
+		keyLC := strings.ToLower(key)
+		hasKey := false
+		for _, c := range pp.Cols {
+			if c == keyLC {
+				hasKey = true
+				break
+			}
+		}
+		cols := pp.Cols
+		if !hasKey {
+			cols = append(append(make([]string, 0, len(pp.Cols)+1), keyLC), pp.Cols...)
+		}
+		plan.cols = cols
+	}
+	return plan
+}
+
+// sqlFor renders the fragment query for one matched resource, narrowing
+// the projection to the columns that resource advertises. projCols and
+// fullCols size the narrowed and advertised column sets for the
+// bytes-saved estimate (both 0 when the projection is not narrowed).
+func (p *fetchPlan) sqlFor(ad *ontology.Advertisement) (sql string, pushed bool, projCols, fullCols int) {
+	cols := p.cols
+	if cols != nil {
+		adCols := ad.AdvertisedColumns(p.onto, p.class, p.ont)
+		if adCols == nil || !adCols[strings.ToLower(p.key)] {
+			cols = nil // cannot keep the join key; fetch everything
+		} else {
+			narrowed := make([]string, 0, len(cols))
+			for _, c := range cols {
+				if adCols[c] {
+					narrowed = append(narrowed, c)
+				}
+			}
+			if len(narrowed) < len(adCols) {
+				projCols, fullCols = len(narrowed), len(adCols)
+			}
+			cols = narrowed
+		}
+	}
+	if cols == nil && len(p.conds) == 0 {
+		return "SELECT * FROM " + p.class, false, 0, 0
+	}
+	return sqlparse.RenderFragmentSelect(p.class, cols, p.conds), true, projCols, fullCols
+}
+
+// fetchFragments gathers one class's fragments from every matched
+// resource with a bounded worker pool. Results come back index-addressed
+// in broker match order (compacted over failures), so arrival order can
+// never change what MergeFragments sees; errors are returned sorted by
+// agent name. MaxFanout = 1 reproduces the serial gather exactly.
+func (a *Agent) fetchFragments(ctx context.Context, class, key string, stmt *sqlparse.Select, matches []*ontology.Advertisement, traceID string) ([]*kqml.SQLResult, []string) {
+	plan := a.planFetch(class, key, stmt, matches)
+	n := len(matches)
+	fanout := a.cfg.MaxFanout
+	if fanout <= 0 {
+		fanout = defaultMaxFanout
+	}
+	if fanout > n {
+		fanout = n
+	}
+
+	results := make([]*kqml.SQLResult, n)
+	errs := make([]string, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < fanout; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				ad := matches[i]
+				if err := ctx.Err(); err != nil {
+					// Cancellation mid-fan-out: pending fetches are
+					// skipped, not issued.
+					errs[i] = fmt.Sprintf("%s: %v", ad.Name, err)
+					mFetchErrors.Inc()
+					continue
+				}
+				sr, err := a.fetchOne(ctx, &plan, ad, traceID)
+				if err != nil {
+					errs[i] = fmt.Sprintf("%s: %v", ad.Name, err)
+					mFetchErrors.Inc()
+					continue
+				}
+				results[i] = sr
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := make([]*kqml.SQLResult, 0, n)
+	for _, r := range results {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	var fetchErrs []string
+	for _, e := range errs {
+		if e != "" {
+			fetchErrs = append(fetchErrs, e)
+		}
+	}
+	sort.Strings(fetchErrs)
+	return out, fetchErrs
+}
+
+// fetchOne fetches one fragment, recording the fan-out metrics and — on a
+// traced conversation — an mrq.fetch span so trace trees show the
+// scatter's shape.
+func (a *Agent) fetchOne(ctx context.Context, plan *fetchPlan, ad *ontology.Advertisement, traceID string) (*kqml.SQLResult, error) {
+	mFanoutInflight.Add(1)
+	mFetchTotal.Inc()
+	start := time.Now()
+	sr, err := a.fetchCall(ctx, plan, ad, traceID)
+	mFanoutInflight.Add(-1)
+	if traceID != "" {
+		span := telemetry.Span{
+			TraceID:        traceID,
+			Agent:          a.cfg.Name,
+			Op:             telemetry.OpMRQFetch,
+			StartUnixNano:  start.UnixNano(),
+			DurationMicros: time.Since(start).Microseconds(),
+		}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		telemetry.RecordSpan(span)
+	}
+	return sr, err
+}
+
+func (a *Agent) fetchCall(ctx context.Context, plan *fetchPlan, ad *ontology.Advertisement, traceID string) (*kqml.SQLResult, error) {
+	sql, pushed, projCols, fullCols := plan.sqlFor(ad)
+	reply, err := a.ask(ctx, ad, sql, traceID)
+	if err == nil && pushed && reply.Performative != kqml.Tell {
+		// The resource rejected the rewritten query — typically a
+		// vertical fragment whose advertisement overstates its columns.
+		// Fall back to the unpushed fetch rather than lose the fragment.
+		mPushdownFallbacks.Inc()
+		pushed, projCols = false, 0
+		reply, err = a.ask(ctx, ad, "SELECT * FROM "+plan.class, traceID)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if reply.Performative != kqml.Tell {
+		return nil, fmt.Errorf("%s", kqml.ReasonOf(reply))
+	}
+	var sr kqml.SQLResult
+	if err := reply.DecodeContent(&sr); err != nil {
+		return nil, err
+	}
+	received := int64(len(reply.Content))
+	mFetchBytes.Add(received)
+	if pushed && projCols > 0 && fullCols > projCols {
+		// The unpushed reply would have carried all advertised columns
+		// at roughly proportional size; credit the difference.
+		mPushdownSavedBytes.Add(received * int64(fullCols-projCols) / int64(projCols))
+	}
+	return &sr, nil
+}
+
+func (a *Agent) ask(ctx context.Context, ad *ontology.Advertisement, sql, traceID string) (*kqml.Message, error) {
+	msg := kqml.New(kqml.AskAll, a.cfg.Name, &kqml.SQLQuery{SQL: sql})
+	msg.Language = ontology.LangSQL2
+	msg.Receiver = ad.Name
+	msg.TraceID = traceID
+	return a.Call(ctx, ad.Address, msg)
+}

@@ -1,0 +1,44 @@
+package mrq
+
+import "infosleuth/internal/telemetry"
+
+// Fan-out metrics: fragment gathering is the dominant cost of the
+// Section 5 VF/CH/FH streams, so the scatter is instrumented end to end —
+// how wide it runs, how often fetches fail, and how many reply bytes
+// pushdown keeps off the wire.
+var (
+	mFanoutInflight = telemetry.Default.Gauge("infosleuth_mrq_fanout_inflight",
+		"Fragment fetches currently in flight across all MRQ fan-outs.")
+	mFetchTotal = telemetry.Default.Counter("infosleuth_mrq_fetch_total",
+		"Fragment fetches attempted against resource agents.")
+	mFetchErrors = telemetry.Default.Counter("infosleuth_mrq_fetch_errors_total",
+		"Fragment fetches that failed (transport error, refusal, undecodable reply, or cancellation).")
+	mFetchBytes = telemetry.Default.Counter("infosleuth_mrq_fetch_bytes_total",
+		"Reply content bytes received from resource agents by fragment fetches.")
+	mPushdownSavedBytes = telemetry.Default.Counter("infosleuth_mrq_pushdown_saved_bytes_total",
+		"Estimated reply bytes avoided by projection pushdown, scaled from the narrowed reply's actual size.")
+	mPushdownFallbacks = telemetry.Default.Counter("infosleuth_mrq_pushdown_fallbacks_total",
+		"Pushed fragment queries a resource rejected, refetched as SELECT *.")
+)
+
+// FetchStats is a point-in-time snapshot of the fan-out counters;
+// benchmarks diff two snapshots to attribute fetches and bytes to a
+// workload.
+type FetchStats struct {
+	Fetches    int64
+	Errors     int64
+	Bytes      int64
+	SavedBytes int64
+	Fallbacks  int64
+}
+
+// SnapshotFetchStats reads the fan-out counters.
+func SnapshotFetchStats() FetchStats {
+	return FetchStats{
+		Fetches:    mFetchTotal.Value(),
+		Errors:     mFetchErrors.Value(),
+		Bytes:      mFetchBytes.Value(),
+		SavedBytes: mPushdownSavedBytes.Value(),
+		Fallbacks:  mPushdownFallbacks.Value(),
+	}
+}

@@ -9,7 +9,9 @@ package mrq
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"infosleuth/internal/agent"
@@ -46,9 +48,19 @@ type Config struct {
 	Specialty []string
 	// PushConstraints, when true, includes the SQL WHERE constraints in
 	// broker queries so resources holding only irrelevant data are not
-	// contacted. On by default via New.
+	// contacted, and rewrites per-resource fragment queries to push
+	// evaluable selections and projections down to the resources (the
+	// TSIMMIS/Garlic wrapper-pushdown idea). On by default via New.
 	PushConstraints bool
+	// MaxFanout bounds how many fragment fetches run concurrently within
+	// one class (the scatter of Figure 7). 0 means min(8, matched
+	// resources); 1 fetches serially in broker match order.
+	MaxFanout int
 }
+
+// defaultMaxFanout is the per-class fetch concurrency when Config.MaxFanout
+// is unset.
+const defaultMaxFanout = 8
 
 // Agent is a multiresource query agent.
 type Agent struct {
@@ -168,14 +180,48 @@ func (a *Agent) run(ctx context.Context, sql string) (*sqlparse.Result, error) {
 		pushed = stmt.WhereConstraints()
 	}
 
-	// Assemble each class's data from the resources serving it, then
-	// evaluate the original statement locally.
-	scratch := relational.NewDatabase()
-	for _, class := range classes {
-		table, err := a.assembleClass(ctx, class, pushed)
+	// Assemble all referenced classes concurrently — one goroutine per
+	// class, first error wins and cancels the rest — then evaluate the
+	// original statement locally over the assembled tables. Tables land
+	// in an index-addressed slice and attach in class order, so the
+	// scratch database is identical to a serial assembly's.
+	tables := make([]*relational.Table, len(classes))
+	if len(classes) == 1 {
+		t, err := a.assembleClass(ctx, classes[0], stmt, pushed)
 		if err != nil {
 			return nil, err
 		}
+		tables[0] = t
+	} else {
+		gctx, cancel := context.WithCancel(ctx)
+		var (
+			wg       sync.WaitGroup
+			once     sync.Once
+			firstErr error
+		)
+		for i, class := range classes {
+			wg.Add(1)
+			go func(i int, class string) {
+				defer wg.Done()
+				t, err := a.assembleClass(gctx, class, stmt, pushed)
+				if err != nil {
+					once.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+				tables[i] = t
+			}(i, class)
+		}
+		wg.Wait()
+		cancel()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	scratch := relational.NewDatabase()
+	for _, table := range tables {
 		if err := scratch.Attach(table); err != nil {
 			return nil, err
 		}
@@ -184,11 +230,12 @@ func (a *Agent) run(ctx context.Context, sql string) (*sqlparse.Result, error) {
 }
 
 // assembleClass locates the resources for one class (the paper's Figure 7
-// broker query), fetches their fragments, and merges them into one table.
-func (a *Agent) assembleClass(ctx context.Context, class string, pushed *constraint.Set) (*relational.Table, error) {
+// broker query), fetches their fragments concurrently, and merges them
+// into one table.
+func (a *Agent) assembleClass(ctx context.Context, class string, stmt *sqlparse.Select, pushed *constraint.Set) (*relational.Table, error) {
 	if traceID := telemetry.TraceIDFrom(ctx); traceID != "" {
 		start := time.Now()
-		table, err := a.assembleClassInner(ctx, class, pushed, traceID)
+		table, err := a.assembleClassInner(ctx, class, stmt, pushed, traceID)
 		span := telemetry.Span{
 			TraceID:        traceID,
 			Agent:          a.cfg.Name,
@@ -202,10 +249,10 @@ func (a *Agent) assembleClass(ctx context.Context, class string, pushed *constra
 		telemetry.RecordSpan(span)
 		return table, err
 	}
-	return a.assembleClassInner(ctx, class, pushed, "")
+	return a.assembleClassInner(ctx, class, stmt, pushed, "")
 }
 
-func (a *Agent) assembleClassInner(ctx context.Context, class string, pushed *constraint.Set, traceID string) (*relational.Table, error) {
+func (a *Agent) assembleClassInner(ctx context.Context, class string, stmt *sqlparse.Select, pushed *constraint.Set, traceID string) (*relational.Table, error) {
 	q := &ontology.Query{
 		Type:            ontology.TypeResource,
 		ContentLanguage: ontology.LangSQL2,
@@ -223,36 +270,17 @@ func (a *Agent) assembleClassInner(ctx context.Context, class string, pushed *co
 		return nil, fmt.Errorf("mrq %s: no resources serve class %s", a.cfg.Name, class)
 	}
 
-	var results []*kqml.SQLResult
-	var fetchErrs []string
-	for _, ad := range br.Matches {
-		msg := kqml.New(kqml.AskAll, a.cfg.Name, &kqml.SQLQuery{SQL: "SELECT * FROM " + class})
-		msg.Language = ontology.LangSQL2
-		msg.Receiver = ad.Name
-		msg.TraceID = traceID
-		reply, err := a.Call(ctx, ad.Address, msg)
-		if err != nil {
-			fetchErrs = append(fetchErrs, fmt.Sprintf("%s: %v", ad.Name, err))
-			continue
-		}
-		if reply.Performative != kqml.Tell {
-			fetchErrs = append(fetchErrs, fmt.Sprintf("%s: %s", ad.Name, kqml.ReasonOf(reply)))
-			continue
-		}
-		var sr kqml.SQLResult
-		if err := reply.DecodeContent(&sr); err != nil {
-			fetchErrs = append(fetchErrs, fmt.Sprintf("%s: %v", ad.Name, err))
-			continue
-		}
-		results = append(results, &sr)
+	key := ""
+	if ont := a.cfg.World.Ontology(a.cfg.Ontology); ont != nil {
+		key = ont.KeyOf(class)
+	}
+	results, fetchErrs := a.fetchFragments(ctx, class, key, stmt, br.Matches, traceID)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mrq %s: assembling class %s: %w", a.cfg.Name, class, err)
 	}
 	if len(results) == 0 {
 		return nil, fmt.Errorf("mrq %s: every resource for class %s failed: %s",
 			a.cfg.Name, class, strings.Join(fetchErrs, "; "))
-	}
-	key := ""
-	if ont := a.cfg.World.Ontology(a.cfg.Ontology); ont != nil {
-		key = ont.KeyOf(class)
 	}
 	return MergeFragments(class, key, results)
 }
@@ -263,34 +291,47 @@ func (a *Agent) assembleClassInner(ctx context.Context, class string, pushed *co
 // column sets are joined on the class key (vertical fragments). Rows whose
 // key appears in only some vertical fragments keep the columns they have;
 // missing cells take the column's zero value.
+//
+// The output is deterministic regardless of result order: column-signature
+// groups merge in sorted-signature order and rows sort by the class key
+// (full row contents when the class has no key), so a parallel gather
+// whose fragments arrive in any order builds the same table.
 func MergeFragments(class, key string, results []*kqml.SQLResult) (*relational.Table, error) {
 	if len(results) == 0 {
 		return nil, fmt.Errorf("mrq: no fragments for class %s", class)
 	}
 	// Group results by column signature.
 	type group struct {
+		sig  string
 		cols []string
 		rows []relational.Row
 	}
+	totalRows := 0
+	for _, r := range results {
+		totalRows += len(r.Rows)
+	}
 	var groups []*group
-	bySig := make(map[string]*group)
+	bySig := make(map[string]*group, len(results))
 	for _, r := range results {
 		sig := strings.ToLower(strings.Join(r.Columns, "\x00"))
 		g, ok := bySig[sig]
 		if !ok {
-			g = &group{cols: r.Columns}
+			g = &group{sig: sig, cols: r.Columns}
 			bySig[sig] = g
 			groups = append(groups, g)
 		}
 		g.rows = append(g.rows, r.Rows...)
 	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].sig < groups[j].sig })
 
-	// Deduplicate within each group (horizontal union semantics).
+	// Deduplicate within each group (horizontal union semantics), reusing
+	// one builder for the row keys.
+	var kb strings.Builder
 	for _, g := range groups {
 		seen := make(map[string]bool, len(g.rows))
-		var dedup []relational.Row
+		dedup := g.rows[:0]
 		for _, row := range g.rows {
-			k := rowKey(row)
+			k := rowKey(&kb, row)
 			if !seen[k] {
 				seen[k] = true
 				dedup = append(dedup, row)
@@ -360,7 +401,13 @@ func MergeFragments(class, key string, results []*kqml.SQLResult) (*relational.T
 		colIdx[strings.ToLower(c)] = i
 	}
 
+	keyIdx := -1
+	if schemaKey != "" {
+		keyIdx = colIdx[strings.ToLower(schemaKey)]
+	}
+
 	if len(groups) == 1 {
+		rows := make([]relational.Row, 0, len(groups[0].rows))
 		for _, row := range groups[0].rows {
 			out := zeroRow(schemaCols)
 			for ci, c := range groups[0].cols {
@@ -368,6 +415,10 @@ func MergeFragments(class, key string, results []*kqml.SQLResult) (*relational.T
 					out[colIdx[strings.ToLower(c)]] = coerce(row[ci], colType[strings.ToLower(c)])
 				}
 			}
+			rows = append(rows, out)
+		}
+		sortRows(rows, keyIdx, &kb)
+		for _, out := range rows {
 			if err := insertLoose(table, out); err != nil {
 				return nil, err
 			}
@@ -377,8 +428,8 @@ func MergeFragments(class, key string, results []*kqml.SQLResult) (*relational.T
 
 	// Vertical join on the key.
 	keyLC := strings.ToLower(key)
-	merged := make(map[string]relational.Row)
-	var order []string
+	merged := make(map[string]relational.Row, totalRows)
+	rows := make([]relational.Row, 0, totalRows)
 	for _, g := range groups {
 		ki := -1
 		for ci, c := range g.cols {
@@ -396,7 +447,7 @@ func MergeFragments(class, key string, results []*kqml.SQLResult) (*relational.T
 			if !ok {
 				out = zeroRow(schemaCols)
 				merged[kv] = out
-				order = append(order, kv)
+				rows = append(rows, out)
 			}
 			for ci, c := range g.cols {
 				if ci < len(row) {
@@ -405,12 +456,28 @@ func MergeFragments(class, key string, results []*kqml.SQLResult) (*relational.T
 			}
 		}
 	}
-	for _, kv := range order {
-		if err := insertLoose(table, merged[kv]); err != nil {
+	sortRows(rows, colIdx[keyLC], &kb)
+	for _, out := range rows {
+		if err := insertLoose(table, out); err != nil {
 			return nil, err
 		}
 	}
 	return table, nil
+}
+
+// sortRows orders merged rows by the class key, breaking ties (or standing
+// in for a missing key) with the full row contents, so fragment arrival
+// order can never change table order.
+func sortRows(rows []relational.Row, keyIdx int, kb *strings.Builder) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if keyIdx >= 0 {
+			if c := rows[i][keyIdx].Compare(rows[j][keyIdx]); c != 0 {
+				return c < 0
+			}
+		}
+		ki := rowKey(kb, rows[i])
+		return ki < rowKey(kb, rows[j])
+	})
 }
 
 func zeroRow(cols []relational.Column) relational.Row {
@@ -448,8 +515,11 @@ func insertLoose(t *relational.Table, row relational.Row) error {
 	return err
 }
 
-func rowKey(r relational.Row) string {
-	var b strings.Builder
+// rowKey renders a row's identity string into the caller's reused builder
+// (the merge path calls this per row; sharing one builder keeps it off the
+// allocation profile).
+func rowKey(b *strings.Builder, r relational.Row) string {
+	b.Reset()
 	for _, v := range r {
 		b.WriteString(v.String())
 		b.WriteByte(0)

@@ -1,0 +1,49 @@
+package ontology
+
+import "strings"
+
+// AdvertisedColumns returns the lowercased slot set the advertisement
+// exposes for queries over class in the named ontology, merging every
+// fragment that can answer such a query — the class itself or, with the
+// ontology's hierarchy, a served subclass (a C2a resource answers C2
+// queries for its instances). Nil means the advertisement does not serve
+// the class at all. MRQ agents consult this before pushing selections or
+// projections down to a resource: a column a resource never advertised
+// cannot be evaluated there.
+func (ad *Advertisement) AdvertisedColumns(ontologyName, class string, o *Ontology) map[string]bool {
+	var out map[string]bool
+	for i := range ad.Content {
+		f := &ad.Content[i]
+		if !strings.EqualFold(f.Ontology, ontologyName) {
+			continue
+		}
+		for _, served := range f.Classes {
+			if !strings.EqualFold(served, class) && (o == nil || !o.IsSubclassOf(served, class)) {
+				continue
+			}
+			if out == nil {
+				out = make(map[string]bool, 8)
+			}
+			for _, s := range f.SlotsFor(served, o) {
+				out[strings.ToLower(s)] = true
+			}
+		}
+	}
+	return out
+}
+
+// CoversColumns reports whether the advertisement exposes every named
+// column (case-insensitively) for queries over class in the named
+// ontology.
+func (ad *Advertisement) CoversColumns(ontologyName, class string, cols []string, o *Ontology) bool {
+	have := ad.AdvertisedColumns(ontologyName, class, o)
+	if have == nil {
+		return false
+	}
+	for _, c := range cols {
+		if !have[strings.ToLower(c)] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+package ontology
+
+import "testing"
+
+func TestAdvertisedColumnsFullClass(t *testing.T) {
+	o := Generic()
+	ad := &Advertisement{Content: []Fragment{{Ontology: "generic", Classes: []string{"C2"}}}}
+	cols := ad.AdvertisedColumns("generic", "C2", o)
+	for _, c := range []string{"id", "a", "b", "c", "d"} {
+		if !cols[c] {
+			t.Errorf("missing advertised column %q", c)
+		}
+	}
+	if !ad.CoversColumns("generic", "C2", []string{"ID", "A"}, o) {
+		t.Errorf("CoversColumns is case-sensitive; want case-insensitive")
+	}
+}
+
+func TestAdvertisedColumnsVerticalRestriction(t *testing.T) {
+	o := Generic()
+	ad := &Advertisement{Content: []Fragment{{
+		Ontology: "generic",
+		Classes:  []string{"C2"},
+		Slots:    map[string][]string{"C2": {"id", "a"}},
+	}}}
+	cols := ad.AdvertisedColumns("generic", "C2", o)
+	if !cols["id"] || !cols["a"] {
+		t.Fatalf("restricted slots missing: %v", cols)
+	}
+	if cols["b"] {
+		t.Errorf("column b advertised despite slot restriction")
+	}
+	if ad.CoversColumns("generic", "C2", []string{"b"}, o) {
+		t.Errorf("CoversColumns(b) = true for a fragment restricted to id,a")
+	}
+}
+
+func TestAdvertisedColumnsSubclassServesSuperclassQuery(t *testing.T) {
+	o := Generic()
+	ad := &Advertisement{Content: []Fragment{{Ontology: "generic", Classes: []string{"C2a"}}}}
+	cols := ad.AdvertisedColumns("generic", "C2", o)
+	if cols == nil {
+		t.Fatalf("a C2a resource answers C2 queries; want non-nil coverage")
+	}
+	if !cols["id"] || !cols["e"] {
+		t.Errorf("subclass coverage missing inherited or own slots: %v", cols)
+	}
+}
+
+func TestAdvertisedColumnsNoService(t *testing.T) {
+	o := Generic()
+	ad := &Advertisement{Content: []Fragment{{Ontology: "generic", Classes: []string{"C1"}}}}
+	if cols := ad.AdvertisedColumns("generic", "C2", o); cols != nil {
+		t.Errorf("coverage for unserved class = %v, want nil", cols)
+	}
+	if ad.CoversColumns("generic", "C2", nil, o) {
+		t.Errorf("CoversColumns = true for a class the advertisement does not serve")
+	}
+	if cols := ad.AdvertisedColumns("healthcare", "C2", o); cols != nil {
+		t.Errorf("coverage across ontologies = %v, want nil", cols)
+	}
+}

@@ -1,0 +1,136 @@
+package sqlparse
+
+import "strings"
+
+// PushPlan describes the part of a statement that the resource agents
+// serving one class can evaluate themselves — the wrapper-pushdown idea of
+// distributed mediators (TSIMMIS, Garlic) applied to the MRQ agent's
+// Figure 7 scatter: single-class WHERE conjuncts (selection pushdown) and
+// the class columns the statement references (projection pushdown).
+type PushPlan struct {
+	// Class is the analyzed class.
+	Class string
+	// Conds are the column-vs-literal conjuncts on Class columns with the
+	// table qualifier stripped, ready to render into a single-class
+	// fragment query. Empty when nothing is pushable (UNION statements
+	// push no conditions: a conjunct from one branch does not constrain
+	// the other branches' reads of the class).
+	Conds []Cond
+	// Cols lists the lowercased Class columns the statement references
+	// anywhere — projection, aggregate arguments, grouping, both sides of
+	// conditions — in first-appearance order. Meaningful only when
+	// AllCols is false.
+	Cols []string
+	// AllCols reports that every column must be fetched: the statement
+	// selects *, or some column reference could not be attributed to a
+	// single table.
+	AllCols bool
+}
+
+// PushPlanFor analyzes the statement for one referenced class. The plan is
+// sound, not complete: a condition or column that cannot be attributed
+// safely is simply left for the MRQ agent's local evaluation, which always
+// re-applies the full statement over the assembled fragments.
+func (s *Select) PushPlanFor(class string) PushPlan {
+	plan := PushPlan{Class: class}
+	classLC := strings.ToLower(class)
+	seen := make(map[string]bool)
+	addCol := func(c string) {
+		lc := strings.ToLower(c)
+		if !seen[lc] {
+			seen[lc] = true
+			plan.Cols = append(plan.Cols, lc)
+		}
+	}
+	unionFree := s.Union == nil
+	for cur := s; cur != nil; cur = cur.Union {
+		alias := make(map[string]string, len(cur.From))
+		refsClass := false
+		for _, tr := range cur.From {
+			alias[strings.ToLower(tr.Binding())] = strings.ToLower(tr.Name)
+			if strings.EqualFold(tr.Name, class) {
+				refsClass = true
+			}
+		}
+		if !refsClass {
+			continue
+		}
+		single := len(cur.From) == 1
+		// owner resolves a column reference to the table it reads, ""
+		// when the reference cannot be attributed.
+		owner := func(c ColRef) string {
+			if c.Table != "" {
+				t := strings.ToLower(c.Table)
+				if real, ok := alias[t]; ok {
+					return real
+				}
+				return t
+			}
+			if single {
+				return strings.ToLower(cur.From[0].Name)
+			}
+			return ""
+		}
+		note := func(c ColRef) {
+			switch owner(c) {
+			case classLC:
+				addCol(c.Column)
+			case "":
+				plan.AllCols = true
+			}
+		}
+		if cur.Star {
+			plan.AllCols = true
+		}
+		for _, c := range cur.Columns {
+			note(c)
+		}
+		for _, a := range cur.Aggs {
+			if !a.Star {
+				note(a.Arg)
+			}
+		}
+		if cur.GroupBy.Column != "" {
+			note(cur.GroupBy)
+		}
+		for _, c := range cur.Where {
+			note(c.Left)
+			if c.RightIsCol {
+				note(c.RightCol)
+				continue
+			}
+			if unionFree && owner(c.Left) == classLC {
+				pc := c
+				pc.Left = ColRef{Column: c.Left.Column}
+				plan.Conds = append(plan.Conds, pc)
+			}
+		}
+	}
+	return plan
+}
+
+// RenderFragmentSelect renders the SQL the MRQ agent sends one resource
+// for a fragment fetch: a single-class SELECT with an optional narrowed
+// projection and pushed-down conjuncts. Empty cols projects *. The output
+// round-trips through Parse, so any agent speaking the SQL 2.0 subset can
+// execute it.
+func RenderFragmentSelect(class string, cols []string, conds []Cond) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(cols) == 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strings.Join(cols, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(class)
+	for i, c := range conds {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *Select {
+	t.Helper()
+	s, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return s
+}
+
+func condStrings(conds []Cond) []string {
+	out := make([]string, len(conds))
+	for i, c := range conds {
+		out[i] = c.String()
+	}
+	return out
+}
+
+func TestPushPlanSingleClass(t *testing.T) {
+	s := mustParse(t, "SELECT id, a FROM C2 WHERE b > 5 AND c = 'x'")
+	p := s.PushPlanFor("C2")
+	if p.AllCols {
+		t.Fatalf("AllCols = true, want false")
+	}
+	if got, want := strings.Join(p.Cols, ","), "id,a,b,c"; got != want {
+		t.Errorf("Cols = %q, want %q", got, want)
+	}
+	if got, want := strings.Join(condStrings(p.Conds), " AND "), "b > 5 AND c = 'x'"; got != want {
+		t.Errorf("Conds = %q, want %q", got, want)
+	}
+}
+
+func TestPushPlanBetweenAndNe(t *testing.T) {
+	s := mustParse(t, "SELECT id FROM C2 WHERE a BETWEEN 1 AND 3 AND b <> 7")
+	p := s.PushPlanFor("C2")
+	if got, want := strings.Join(condStrings(p.Conds), " AND "), "a BETWEEN 1 AND 3 AND b <> 7"; got != want {
+		t.Errorf("Conds = %q, want %q", got, want)
+	}
+}
+
+func TestPushPlanJoinAttribution(t *testing.T) {
+	s := mustParse(t, "SELECT C1.id, x.a FROM C1, C2 x WHERE C1.id = x.id AND x.b > 10")
+	p1 := s.PushPlanFor("C1")
+	if p1.AllCols {
+		t.Fatalf("C1 AllCols = true, want false")
+	}
+	if got, want := strings.Join(p1.Cols, ","), "id"; got != want {
+		t.Errorf("C1 Cols = %q, want %q", got, want)
+	}
+	if len(p1.Conds) != 0 {
+		t.Errorf("C1 Conds = %v, want none (join condition is column-vs-column)", condStrings(p1.Conds))
+	}
+	p2 := s.PushPlanFor("C2")
+	if got, want := strings.Join(p2.Cols, ","), "a,id,b"; got != want {
+		t.Errorf("C2 Cols = %q, want %q", got, want)
+	}
+	if got, want := strings.Join(condStrings(p2.Conds), ","), "b > 10"; got != want {
+		t.Errorf("C2 Conds = %q, want %q (alias-qualified, qualifier stripped)", got, want)
+	}
+}
+
+func TestPushPlanUnqualifiedMultiTableIsConservative(t *testing.T) {
+	s := mustParse(t, "SELECT id FROM C1, C2 WHERE a = 1")
+	for _, class := range []string{"C1", "C2"} {
+		p := s.PushPlanFor(class)
+		if !p.AllCols {
+			t.Errorf("%s: AllCols = false, want true (unqualified refs in a join are unattributable)", class)
+		}
+		if len(p.Conds) != 0 {
+			t.Errorf("%s: Conds = %v, want none", class, condStrings(p.Conds))
+		}
+	}
+}
+
+func TestPushPlanStarNeedsAllColumns(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM C2 WHERE a = 1")
+	p := s.PushPlanFor("C2")
+	if !p.AllCols {
+		t.Fatalf("AllCols = false, want true for SELECT *")
+	}
+	if got, want := strings.Join(condStrings(p.Conds), ","), "a = 1"; got != want {
+		t.Errorf("Conds = %q, want %q (selection still pushable under *)", got, want)
+	}
+}
+
+func TestPushPlanAggregates(t *testing.T) {
+	s := mustParse(t, "SELECT b, COUNT(*), SUM(a) FROM C2 GROUP BY b")
+	p := s.PushPlanFor("C2")
+	if p.AllCols {
+		t.Fatalf("AllCols = true, want false (COUNT(*) needs no specific column)")
+	}
+	if got, want := strings.Join(p.Cols, ","), "b,a"; got != want {
+		t.Errorf("Cols = %q, want %q", got, want)
+	}
+}
+
+func TestPushPlanUnionSkipsConditions(t *testing.T) {
+	s := mustParse(t, "SELECT id FROM C2 WHERE a = 1 UNION SELECT id FROM C2 WHERE b = 2")
+	p := s.PushPlanFor("C2")
+	if len(p.Conds) != 0 {
+		t.Fatalf("Conds = %v, want none (a branch's conjunct does not constrain the other branches)", condStrings(p.Conds))
+	}
+	if got, want := strings.Join(p.Cols, ","), "id,a,b"; got != want {
+		t.Errorf("Cols = %q, want %q (needs unioned over branches)", got, want)
+	}
+}
+
+func TestPushPlanUnreferencedClass(t *testing.T) {
+	s := mustParse(t, "SELECT id FROM C1")
+	p := s.PushPlanFor("C9")
+	if p.AllCols || len(p.Cols) != 0 || len(p.Conds) != 0 {
+		t.Fatalf("plan for unreferenced class = %+v, want empty", p)
+	}
+}
+
+func TestRenderFragmentSelectRoundTrips(t *testing.T) {
+	s := mustParse(t, "SELECT id FROM C2 WHERE a BETWEEN 1 AND 3 AND c = 'x y' AND b <> 2")
+	p := s.PushPlanFor("C2")
+	sql := RenderFragmentSelect("C2", append([]string{"id"}, "a", "b", "c"), p.Conds)
+	want := "SELECT id, a, b, c FROM C2 WHERE a BETWEEN 1 AND 3 AND c = 'x y' AND b <> 2"
+	if sql != want {
+		t.Fatalf("rendered %q, want %q", sql, want)
+	}
+	back := mustParse(t, sql) // any SQL 2.0 agent must be able to parse it
+	if len(back.From) != 1 || back.From[0].Name != "C2" {
+		t.Fatalf("round-trip FROM = %+v", back.From)
+	}
+	if len(back.Where) != 3 {
+		t.Fatalf("round-trip WHERE has %d conds, want 3", len(back.Where))
+	}
+
+	if got, want := RenderFragmentSelect("C2", nil, nil), "SELECT * FROM C2"; got != want {
+		t.Fatalf("empty render = %q, want %q", got, want)
+	}
+}

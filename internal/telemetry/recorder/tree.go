@@ -158,12 +158,14 @@ func opRank(op string) int {
 		return 4
 	case op == telemetry.OpMRQAssemble:
 		return 5
-	case op == telemetry.OpBrokerSearch:
+	case op == telemetry.OpMRQFetch:
 		return 6
-	case op == telemetry.OpResourceQuery:
+	case op == telemetry.OpBrokerSearch:
 		return 7
-	default:
+	case op == telemetry.OpResourceQuery:
 		return 8
+	default:
+		return 9
 	}
 }
 

@@ -58,6 +58,9 @@ const (
 	OpMRQRun = "mrq.run"
 	// OpMRQAssemble is one class's resource discovery + fragment fetch.
 	OpMRQAssemble = "mrq.assemble"
+	// OpMRQFetch is one fragment fetch against one resource agent inside
+	// an MRQ fan-out; the spans under an mrq.assemble show its shape.
+	OpMRQFetch = "mrq.fetch"
 	// OpResourceQuery is a resource agent executing a data query.
 	OpResourceQuery = "resource.query"
 	// OpUserSubmit is a user agent's end-to-end SQL submission.
