@@ -22,6 +22,7 @@ import (
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/relational"
+	"infosleuth/internal/resilience"
 	"infosleuth/internal/sim"
 	"infosleuth/internal/transport"
 )
@@ -306,14 +307,19 @@ func BenchmarkFollowOption(b *testing.B) {
 
 // BenchmarkPooledCall measures one full broker call over TCP with the
 // connection pool on (default) and off (dial-per-call, the pre-pool
-// behavior), reporting actual TCP dials per call.
+// behavior), reporting actual TCP dials per call. The third mode routes
+// the pooled call through a single-attempt resilience policy — the
+// guardrail that keeps the policy wrapper's overhead invisible next to a
+// network round trip.
 func BenchmarkPooledCall(b *testing.B) {
 	for _, mode := range []struct {
 		name    string
 		maxIdle int
+		policy  bool
 	}{
-		{"pooled", 0},
-		{"dial-per-call", -1},
+		{"pooled", 0, false},
+		{"dial-per-call", -1, false},
+		{"pooled+nop-policy", 0, true},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			tr := &transport.TCP{MaxIdleConnsPerHost: mode.maxIdle}
@@ -336,11 +342,15 @@ func BenchmarkPooledCall(b *testing.B) {
 				}
 			}
 			msg := kqml.New(kqml.AskAll, "bench-client", &kqml.BrokerQuery{Query: experiments.BenchQuery()})
+			call := resilience.CallFunc(tr.Call)
+			if mode.policy {
+				call = resilience.Disabled().WrapCall(tr.Call)
+			}
 			before := transport.SnapshotPoolStats()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := tr.Call(context.Background(), br.Addr(), msg); err != nil {
+				if _, err := call(context.Background(), br.Addr(), msg); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -13,6 +13,11 @@
 // /healthz, /readyz (ready once the broker is listening and joined to its
 // configured peers), /traces and /traces/{id} (the conversation flight
 // recorder), and — with -pprof — /debug/pprof.
+//
+// The shared resilience flags (-retry-max-attempts, -retry-base-delay,
+// -retry-max-delay, -retry-budget, -breaker-threshold, -breaker-cooldown)
+// add retries and per-peer circuit breakers to the broker's outgoing calls;
+// their defaults keep every call single-shot.
 package main
 
 import (
@@ -27,10 +32,9 @@ import (
 	"time"
 
 	"infosleuth/internal/broker"
+	"infosleuth/internal/daemon"
 	"infosleuth/internal/ontology"
-	"infosleuth/internal/telemetry"
 	"infosleuth/internal/telemetry/logging"
-	"infosleuth/internal/telemetry/recorder"
 	"infosleuth/internal/transport"
 )
 
@@ -46,41 +50,25 @@ func main() {
 		maxHops     = flag.Int("max-hops", 4, "maximum inter-broker hop count")
 		peerPruning = flag.Bool("peer-pruning", false, "prune peers by advertised specialization")
 		useDatalog  = flag.Bool("datalog", false, "use the LDL-style Datalog matcher instead of the compiled one")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /traces and health probes here (e.g. :9090); empty disables")
-		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the metrics address")
-		logOpts     logging.Options
+		opts        daemon.Options
 	)
-	logOpts.AddFlags(flag.CommandLine)
+	opts.AddFlags(flag.CommandLine)
 	flag.Parse()
-	logger := logging.Setup("brokerd", logOpts)
+	logger := opts.Setup("brokerd")
 
 	// ready flips once the broker is listening and consortium joining has
 	// run; /readyz reports 503 until then.
 	var ready atomic.Bool
-	if *metricsAddr != "" {
-		rec := recorder.New(recorder.Options{})
-		telemetry.SetSpanRecorder(rec)
-		telemetry.Default.EnableRuntimeMetrics()
-		opts := []telemetry.ServeOption{
-			telemetry.WithHandler("/traces", rec.Handler()),
-			telemetry.WithHandler("/traces/", rec.Handler()),
-			telemetry.WithReadiness(func() error {
-				if !ready.Load() {
-					return fmt.Errorf("broker still starting")
-				}
-				return nil
-			}),
+	stopTelemetry, err := opts.ServeTelemetry(logger, func() error {
+		if !ready.Load() {
+			return fmt.Errorf("broker still starting")
 		}
-		if *pprofOn {
-			opts = append(opts, telemetry.WithPprof())
-		}
-		srv, err := telemetry.Serve(*metricsAddr, telemetry.Default, opts...)
-		if err != nil {
-			logging.Fatal(logger, "metrics endpoint failed", "err", err)
-		}
-		defer srv.Close()
-		logger.Info("metrics endpoint up", "url", "http://"+srv.Addr()+"/metrics")
+		return nil
+	})
+	if err != nil {
+		logging.Fatal(logger, "metrics endpoint failed", "err", err)
 	}
+	defer stopTelemetry()
 
 	world := ontology.NewWorld(ontology.Generic(), ontology.Healthcare())
 	cfg := broker.Config{
@@ -92,6 +80,7 @@ func main() {
 		Community:   *community,
 		Consortia:   []string{*consortium},
 		PeerPruning: *peerPruning,
+		CallPolicy:  opts.CallPolicy(),
 	}
 	if *specialize != "" {
 		cfg.Specializations = strings.Split(*specialize, ",")

@@ -104,6 +104,10 @@ func main() {
 	if err := reply.DecodeContent(&br); err != nil {
 		log.Fatalf("isquery: %v", err)
 	}
+	if len(br.Degraded) > 0 {
+		fmt.Printf("WARNING: search degraded — unreachable or circuit-open brokers skipped: %s\n",
+			strings.Join(br.Degraded, ", "))
+	}
 	if len(br.Matches) == 0 {
 		fmt.Println("no matching agents")
 	} else {
@@ -160,12 +164,18 @@ func runSQL(ctx context.Context, brokerAddr, ontoName, sql string, rec *recorder
 		traceID = telemetry.NewTraceID()
 		ctx = telemetry.WithTraceID(ctx, traceID)
 	}
-	res, err := a.Run(ctx, sql)
+	res, status, err := a.RunWithStatus(ctx, sql)
 	if err != nil {
 		log.Fatalf("isquery: %v", err)
 	}
 	fmt.Print(res.String())
 	fmt.Printf("(%d rows)\n", res.Len())
+	if status.Partial {
+		fmt.Println("WARNING: partial result — some fragments were lost with no covering replica:")
+		for _, d := range status.Degraded {
+			fmt.Printf("  class %s: %s (%s)\n", d.Class, strings.Join(d.Agents, ", "), d.Reason)
+		}
+	}
 	if rec != nil {
 		dumpTrace(rec, traceID)
 	}

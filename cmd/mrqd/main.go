@@ -9,6 +9,11 @@
 // With -metrics-addr the daemon also exposes /metrics, /healthz, /readyz
 // (ready while at least one broker holds its advertisement), /traces and
 // — with -pprof — /debug/pprof.
+//
+// The shared resilience flags (-retry-max-attempts, -retry-base-delay,
+// -retry-max-delay, -retry-budget, -breaker-threshold, -breaker-cooldown)
+// add retries and per-peer circuit breakers to the agent's outgoing calls;
+// their defaults keep every call single-shot.
 package main
 
 import (
@@ -21,11 +26,10 @@ import (
 	"syscall"
 	"time"
 
+	"infosleuth/internal/daemon"
 	"infosleuth/internal/mrq"
 	"infosleuth/internal/ontology"
-	"infosleuth/internal/telemetry"
 	"infosleuth/internal/telemetry/logging"
-	"infosleuth/internal/telemetry/recorder"
 	"infosleuth/internal/transport"
 )
 
@@ -38,13 +42,11 @@ func main() {
 		specialty = flag.String("specialty", "", "comma-separated classes this MRQ specializes in (the paper's MRQ2)")
 		fanout    = flag.Int("fanout", 0, "max concurrent fragment fetches per class (0 = min(8, matched resources), 1 = serial)")
 		heartbeat = flag.Duration("heartbeat", 60*time.Second, "broker ping interval (0 disables)")
-		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics, /traces and health probes here (e.g. :9092); empty disables")
-		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the metrics address")
-		logOpts   logging.Options
+		opts      daemon.Options
 	)
-	logOpts.AddFlags(flag.CommandLine)
+	opts.AddFlags(flag.CommandLine)
 	flag.Parse()
-	logger := logging.Setup("mrqd", logOpts)
+	logger := opts.Setup("mrqd")
 
 	cfg := mrq.Config{
 		Name:            *name,
@@ -55,6 +57,7 @@ func main() {
 		Ontology:        *ontoName,
 		PushConstraints: true,
 		MaxFanout:       *fanout,
+		CallPolicy:      opts.CallPolicy(),
 	}
 	if *specialty != "" {
 		cfg.Specialty = strings.Split(*specialty, ",")
@@ -64,30 +67,16 @@ func main() {
 		logging.Fatal(logger, "agent construction failed", "err", err)
 	}
 
-	if *metrics != "" {
-		rec := recorder.New(recorder.Options{})
-		telemetry.SetSpanRecorder(rec)
-		telemetry.Default.EnableRuntimeMetrics()
-		opts := []telemetry.ServeOption{
-			telemetry.WithHandler("/traces", rec.Handler()),
-			telemetry.WithHandler("/traces/", rec.Handler()),
-			telemetry.WithReadiness(func() error {
-				if len(a.ConnectedBrokers()) == 0 {
-					return fmt.Errorf("no connected brokers")
-				}
-				return nil
-			}),
+	stopTelemetry, err := opts.ServeTelemetry(logger, func() error {
+		if len(a.ConnectedBrokers()) == 0 {
+			return fmt.Errorf("no connected brokers")
 		}
-		if *pprofOn {
-			opts = append(opts, telemetry.WithPprof())
-		}
-		srv, err := telemetry.Serve(*metrics, telemetry.Default, opts...)
-		if err != nil {
-			logging.Fatal(logger, "metrics endpoint failed", "err", err)
-		}
-		defer srv.Close()
-		logger.Info("metrics endpoint up", "url", "http://"+srv.Addr()+"/metrics")
+		return nil
+	})
+	if err != nil {
+		logging.Fatal(logger, "metrics endpoint failed", "err", err)
 	}
+	defer stopTelemetry()
 
 	if err := a.Start(); err != nil {
 		logging.Fatal(logger, "agent start failed", "err", err)

@@ -16,6 +16,11 @@
 // domain: patient, diagnosis and hospital_stay classes) or
 // "generic:<class>:<rows>" (one C1..C6 toy class). With -constraints, the
 // data is restricted to the matching rows and the constraint is advertised.
+//
+// The shared resilience flags (-retry-max-attempts, -retry-base-delay,
+// -retry-max-delay, -retry-budget, -breaker-threshold, -breaker-cooldown)
+// add retries and per-peer circuit breakers to the agent's outgoing calls;
+// their defaults keep every call single-shot.
 package main
 
 import (
@@ -30,12 +35,11 @@ import (
 	"time"
 
 	"infosleuth/internal/constraint"
+	"infosleuth/internal/daemon"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/relational"
 	"infosleuth/internal/resource"
-	"infosleuth/internal/telemetry"
 	"infosleuth/internal/telemetry/logging"
-	"infosleuth/internal/telemetry/recorder"
 	"infosleuth/internal/transport"
 )
 
@@ -50,13 +54,11 @@ func main() {
 		respTime    = flag.Float64("response-time", 5, "advertised estimated response time (s)")
 		seed        = flag.Int64("seed", 1, "data generation seed")
 		heartbeat   = flag.Duration("heartbeat", 60*time.Second, "broker ping interval (0 disables)")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /traces and health probes here (e.g. :9091); empty disables")
-		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the metrics address")
-		logOpts     logging.Options
+		opts        daemon.Options
 	)
-	logOpts.AddFlags(flag.CommandLine)
+	opts.AddFlags(flag.CommandLine)
 	flag.Parse()
-	logger := logging.Setup("resourced", logOpts)
+	logger := opts.Setup("resourced")
 
 	db, frag, err := buildData(*data, *seed, *constraints)
 	if err != nil {
@@ -72,37 +74,24 @@ func main() {
 		Fragment:             *frag,
 		World:                ontology.NewWorld(ontology.Generic(), ontology.Healthcare()),
 		EstimatedResponseSec: *respTime,
+		CallPolicy:           opts.CallPolicy(),
 	})
 	if err != nil {
 		logging.Fatal(logger, "agent construction failed", "err", err)
 	}
 
-	if *metricsAddr != "" {
-		rec := recorder.New(recorder.Options{})
-		telemetry.SetSpanRecorder(rec)
-		telemetry.Default.EnableRuntimeMetrics()
-		opts := []telemetry.ServeOption{
-			telemetry.WithHandler("/traces", rec.Handler()),
-			telemetry.WithHandler("/traces/", rec.Handler()),
-			// Ready means registered: an agent with no connected broker
-			// is alive but cannot be found by queries (Section 4.2).
-			telemetry.WithReadiness(func() error {
-				if len(a.ConnectedBrokers()) == 0 {
-					return fmt.Errorf("no connected brokers")
-				}
-				return nil
-			}),
+	// Ready means registered: an agent with no connected broker is alive
+	// but cannot be found by queries (Section 4.2).
+	stopTelemetry, err := opts.ServeTelemetry(logger, func() error {
+		if len(a.ConnectedBrokers()) == 0 {
+			return fmt.Errorf("no connected brokers")
 		}
-		if *pprofOn {
-			opts = append(opts, telemetry.WithPprof())
-		}
-		srv, err := telemetry.Serve(*metricsAddr, telemetry.Default, opts...)
-		if err != nil {
-			logging.Fatal(logger, "metrics endpoint failed", "err", err)
-		}
-		defer srv.Close()
-		logger.Info("metrics endpoint up", "url", "http://"+srv.Addr()+"/metrics")
+		return nil
+	})
+	if err != nil {
+		logging.Fatal(logger, "metrics endpoint failed", "err", err)
 	}
+	defer stopTelemetry()
 
 	if err := a.Start(); err != nil {
 		logging.Fatal(logger, "agent start failed", "err", err)

@@ -13,10 +13,61 @@ import (
 
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
+	"infosleuth/internal/resilience"
 	"infosleuth/internal/stats"
 	"infosleuth/internal/telemetry"
 	"infosleuth/internal/transport"
 )
+
+// Caller issues one outgoing request/reply exchange. It is the seam the
+// base agent makes its calls through: the default implementation is the
+// configured transport, a call policy (see WithCallPolicy) layers
+// retry/backoff and circuit breaking over it, and tests can substitute a
+// fake outright (WithCaller) instead of hand-rolling a transport.
+type Caller interface {
+	Call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error)
+}
+
+// CallerFunc adapts a function to the Caller interface.
+type CallerFunc func(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error)
+
+// Call implements Caller.
+func (f CallerFunc) Call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
+	return f(ctx, addr, msg)
+}
+
+// Option customizes a base agent beyond its Config; pass options to New.
+// All Config fields keep working unchanged — options only layer on top.
+type Option func(*Base)
+
+// WithTransport overrides the transport the agent binds and calls through
+// (equivalent to setting Config.Transport, but composable at call sites
+// that only hold options).
+func WithTransport(t transport.Transport) Option {
+	return func(a *Base) {
+		if t != nil {
+			a.cfg.Transport = t
+		}
+	}
+}
+
+// WithCallPolicy installs a resilience policy on every outgoing call the
+// agent makes — advertising, heartbeat pings, broker queries, and derived
+// agents' calls all retry with backoff and respect per-peer circuit
+// breakers. A nil policy is a no-op (single attempt, the default).
+func WithCallPolicy(p *resilience.Policy) Option {
+	return func(a *Base) { a.policy = p }
+}
+
+// WithCaller replaces the agent's outgoing-call path entirely; the call
+// policy (if any) still wraps it. Intended for tests and fakes.
+func WithCaller(c Caller) Option {
+	return func(a *Base) {
+		if c != nil {
+			a.caller = c
+		}
+	}
+}
 
 // Config configures a base agent.
 type Config struct {
@@ -70,31 +121,49 @@ type Base struct {
 	connected map[string]bool // connected-broker-list
 	dormant   bool
 	rng       *stats.Source
+
+	// caller is the outgoing-call seam (defaults to the transport);
+	// policy, when set, wraps it with retry/backoff and circuit breakers.
+	// Both are fixed at New and read-only afterwards.
+	caller Caller
+	policy *resilience.Policy
+	callFn resilience.CallFunc
 }
 
-// New creates a base agent; call Start to serve, then Advertise.
-func New(cfg Config) (*Base, error) {
+// New creates a base agent; call Start to serve, then Advertise. Options
+// layer call policies, alternate transports, or fake callers over the
+// Config without widening it.
+func New(cfg Config, opts ...Option) (*Base, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("agent: config missing Name")
 	}
-	if cfg.Transport == nil {
-		return nil, fmt.Errorf("agent: config missing Transport")
-	}
-	if cfg.Redundancy <= 0 {
-		cfg.Redundancy = 1
-	}
-	if cfg.CallTimeout == 0 {
-		cfg.CallTimeout = 10 * time.Second
-	}
 	b := &Base{
 		cfg:       cfg,
-		known:     append([]string(nil), cfg.KnownBrokers...),
 		connected: make(map[string]bool),
 	}
-	if cfg.RandomizeBrokerChoice {
-		seed := cfg.RandomSeed
+	for _, opt := range opts {
+		if opt != nil {
+			opt(b)
+		}
+	}
+	if b.cfg.Transport == nil && b.caller == nil {
+		return nil, fmt.Errorf("agent: config missing Transport")
+	}
+	if b.cfg.Redundancy <= 0 {
+		b.cfg.Redundancy = 1
+	}
+	if b.cfg.CallTimeout == 0 {
+		b.cfg.CallTimeout = 10 * time.Second
+	}
+	b.known = append([]string(nil), b.cfg.KnownBrokers...)
+	if b.caller == nil {
+		b.caller = b.cfg.Transport
+	}
+	b.callFn = b.policy.WrapCall(b.caller.Call)
+	if b.cfg.RandomizeBrokerChoice {
+		seed := b.cfg.RandomSeed
 		if seed == 0 {
-			for _, r := range cfg.Name {
+			for _, r := range b.cfg.Name {
 				seed = seed*131 + int64(r)
 			}
 		}
@@ -109,6 +178,9 @@ func (a *Base) Start() error {
 	defer a.lmu.Unlock()
 	if a.listener != nil {
 		return fmt.Errorf("agent %s: already started", a.cfg.Name)
+	}
+	if a.cfg.Transport == nil {
+		return fmt.Errorf("agent %s: no transport to listen on (WithCaller covers outgoing calls only)", a.cfg.Name)
 	}
 	l, err := a.cfg.Transport.Listen(a.cfg.Address, a.dispatch)
 	if err != nil {
@@ -190,11 +262,18 @@ func (a *Base) dispatchInner(msg *kqml.Message) *kqml.Message {
 	return reply
 }
 
+// call sends one outgoing message through the agent's caller under the
+// configured call timeout. The timeout bounds the whole resilient call —
+// with a policy installed, its deadline is sliced across the remaining
+// attempts, so retries fit inside the same budget a single-shot call had.
 func (a *Base) call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
 	cctx, cancel := context.WithTimeout(ctx, a.cfg.CallTimeout)
 	defer cancel()
-	return a.cfg.Transport.Call(cctx, addr, msg)
+	return a.callFn(cctx, addr, msg)
 }
+
+// CallPolicy returns the installed resilience policy (nil when none).
+func (a *Base) CallPolicy() *resilience.Policy { return a.policy }
 
 // advertisement builds the agent's current advertisement.
 func (a *Base) advertisement() *ontology.Advertisement {
@@ -353,23 +432,33 @@ func (a *Base) CheckBrokers(ctx context.Context) int {
 }
 
 // StartHeartbeat runs CheckBrokers on the given interval until the returned
-// stop function is called.
+// stop function is called. Stop is synchronous: it cancels the context an
+// in-flight CheckBrokers runs under and waits for the heartbeat goroutine
+// to exit, so after stop returns no ping can still be mutating the
+// connected-broker-list.
 func (a *Base) StartHeartbeat(interval time.Duration) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {
 			select {
-			case <-done:
+			case <-ctx.Done():
 				return
 			case <-ticker.C:
-				a.CheckBrokers(context.Background())
+				a.CheckBrokers(ctx)
 			}
 		}
 	}()
 	var once sync.Once
-	return func() { once.Do(func() { close(done) }) }
+	return func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}
 }
 
 // QueryBrokers sends a service query to the agent's brokers, returning the

@@ -12,6 +12,7 @@ import (
 
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
+	"infosleuth/internal/resilience"
 	"infosleuth/internal/transport"
 )
 
@@ -85,6 +86,12 @@ type Config struct {
 	MatchCacheSize int
 	// CallTimeout bounds each outgoing call; zero means 10 s.
 	CallTimeout time.Duration
+	// CallPolicy adds retries, backoff, and per-peer circuit breakers to
+	// the broker's outgoing calls (inter-broker forwards, recruit
+	// deliveries, liveness pings). Forwarding also skips peers whose
+	// circuit is open, recording them in BrokerReply.Degraded. Nil keeps
+	// every call single-shot — the Section 5 experiment harness default.
+	CallPolicy *resilience.Policy
 }
 
 // Stats counts broker activity; all fields are updated atomically.
@@ -113,6 +120,9 @@ type Broker struct {
 	matcher Matcher
 	// matcherName labels the match-duration metric ("direct", "datalog").
 	matcherName string
+	// callFn is the transport call wrapped by the call policy (or the
+	// bare transport call when no policy is configured).
+	callFn resilience.CallFunc
 
 	// lmu guards listener: Start/Stop run on the owner's goroutine while
 	// handlers read the bound address concurrently.
@@ -163,6 +173,7 @@ func New(cfg Config) (*Broker, error) {
 		b.matcher = NewCachedMatcher(b.matcher, cfg.MatchCacheSize)
 	}
 	b.matcherName = matcherLabel(b.matcher)
+	b.callFn = cfg.CallPolicy.WrapCall(cfg.Transport.Call)
 	return b, nil
 }
 
@@ -306,7 +317,7 @@ func (b *Broker) removePeer(name string) {
 func (b *Broker) call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
 	cctx, cancel := context.WithTimeout(ctx, b.cfg.CallTimeout)
 	defer cancel()
-	return b.cfg.Transport.Call(cctx, addr, msg)
+	return b.callFn(cctx, addr, msg)
 }
 
 // Handle processes one incoming message; it is the broker's transport
@@ -324,7 +335,7 @@ func (b *Broker) Handle(msg *kqml.Message) *kqml.Message {
 	case kqml.Ping:
 		return b.handlePing(msg)
 	default:
-		return b.sorry(msg, fmt.Sprintf("unsupported performative %q", msg.Performative))
+		return b.sorry(msg, fmt.Sprintf("%s %q", kqml.SorryReasonUnsupportedPerformative, msg.Performative))
 	}
 }
 
@@ -334,7 +345,7 @@ func (b *Broker) Handle(msg *kqml.Message) *kqml.Message {
 func (b *Broker) handleRecruit(msg *kqml.Message) *kqml.Message {
 	var rc kqml.RecruitContent
 	if err := msg.DecodeContent(&rc); err != nil || rc.Query == nil || rc.Embedded == nil {
-		return b.sorry(msg, "malformed recruit")
+		return b.sorry(msg, kqml.SorryReasonMalformedRecruit)
 	}
 	q := rc.Query.Clone()
 	q.Limit = 1
@@ -345,7 +356,7 @@ func (b *Broker) handleRecruit(msg *kqml.Message) *kqml.Message {
 	}
 	if len(reply.Matches) == 0 {
 		mRecruits.With("no_match").Inc()
-		return b.sorry(msg, "no agent provides the requested service")
+		return b.sorry(msg, kqml.SorryReasonNoProvider)
 	}
 	target := reply.Matches[0]
 	fwd := *rc.Embedded
@@ -374,7 +385,7 @@ func (b *Broker) handleAdvertise(msg *kqml.Message) *kqml.Message {
 	var ac kqml.AdvertiseContent
 	if err := msg.DecodeContent(&ac); err != nil || ac.Ad == nil {
 		b.Stats.AdsRejected.Add(1)
-		return b.sorry(msg, "malformed advertisement")
+		return b.sorry(msg, kqml.SorryReasonMalformedAdvertisement)
 	}
 	ad := ac.Ad
 	if err := ad.Validate(); err != nil {
@@ -391,10 +402,10 @@ func (b *Broker) handleAdvertise(msg *kqml.Message) *kqml.Message {
 		// to an interested peer before rejecting it (Section 4.1).
 		if accepted := b.forwardAdvertisement(ad); accepted != "" {
 			b.Stats.AdsForwarded.Add(1)
-			return b.sorry(msg, fmt.Sprintf("outside specialization; accepted by %s", accepted))
+			return b.sorry(msg, fmt.Sprintf("%s; accepted by %s", kqml.SorryReasonOutsideSpecialization, accepted))
 		}
 		b.Stats.AdsRejected.Add(1)
-		return b.sorry(msg, "advertisement outside this broker's specialization")
+		return b.sorry(msg, kqml.SorryReasonOutsideSpecialization+"; no interested peer")
 	}
 	if err := b.repo.Put(ad); err != nil {
 		b.Stats.AdsRejected.Add(1)
@@ -509,13 +520,13 @@ func (b *Broker) handleUnadvertise(msg *kqml.Message) *kqml.Message {
 	b.mu.RUnlock()
 	if isPeer {
 		b.removePeer(name)
-		return b.reply(msg, kqml.Tell, &kqml.SorryContent{Reason: "unadvertised"})
+		return b.reply(msg, kqml.Tell, &kqml.SorryContent{Reason: kqml.SorryReasonUnadvertised})
 	}
 	if !b.repo.Remove(name) {
-		return b.sorry(msg, "not advertised")
+		return b.sorry(msg, kqml.SorryReasonNotAdvertised)
 	}
 	b.recordRepoSize()
-	return b.reply(msg, kqml.Tell, &kqml.SorryContent{Reason: "unadvertised"})
+	return b.reply(msg, kqml.Tell, &kqml.SorryContent{Reason: kqml.SorryReasonUnadvertised})
 }
 
 func (b *Broker) handlePing(msg *kqml.Message) *kqml.Message {
@@ -523,7 +534,7 @@ func (b *Broker) handlePing(msg *kqml.Message) *kqml.Message {
 	mPings.Inc()
 	var pc kqml.PingContent
 	if err := msg.DecodeContent(&pc); err != nil {
-		return b.sorry(msg, "malformed ping")
+		return b.sorry(msg, kqml.SorryReasonMalformedPing)
 	}
 	return b.reply(msg, kqml.Tell, &kqml.PingReply{Known: b.repo.Contains(pc.AgentName)})
 }
@@ -531,7 +542,7 @@ func (b *Broker) handlePing(msg *kqml.Message) *kqml.Message {
 func (b *Broker) handleQuery(msg *kqml.Message) *kqml.Message {
 	var bq kqml.BrokerQuery
 	if err := msg.DecodeContent(&bq); err != nil || bq.Query == nil {
-		return b.sorry(msg, "malformed broker query")
+		return b.sorry(msg, kqml.SorryReasonMalformedBrokerQuery)
 	}
 	b.Stats.QueriesServed.Add(1)
 	mQueries.With(b.cfg.Name).Inc()
@@ -630,6 +641,7 @@ func (b *Broker) searchTraced(ctx context.Context, bq *kqml.BrokerQuery, traceID
 		if q.Limit > 0 && len(reply.Matches) > q.Limit {
 			reply.Matches = reply.Matches[:q.Limit]
 		}
+		reply.Degraded = dedupSorted(reply.Degraded)
 		return reply
 	}
 
@@ -664,6 +676,12 @@ func (b *Broker) searchTraced(ctx context.Context, bq *kqml.BrokerQuery, traceID
 		if b.cfg.PeerPruning && p.ad != nil && p.ad.Broker != nil && prunedPeer(p.ad.Broker, q) {
 			continue
 		}
+		if b.cfg.CallPolicy.BreakerOpen(p.addr) {
+			// The peer's circuit is open: skip it without spending a
+			// call, but tell the requester the search was narrowed.
+			reply.Degraded = append(reply.Degraded, p.name)
+			continue
+		}
 		targets = append(targets, p)
 	}
 	b.mu.RUnlock()
@@ -680,12 +698,14 @@ func (b *Broker) searchTraced(ctx context.Context, bq *kqml.BrokerQuery, traceID
 	if follow == ontology.FollowUntilMatch {
 		// Sequential: stop as soon as the target is met.
 		for _, p := range targets {
-			matches, brokers, spans, err := b.forwardQuery(ctx, p, q, hops-1, bq.Depth, fwdVisited, traceID)
+			br, spans, err := b.forwardQuery(ctx, p, q, hops-1, bq.Depth, fwdVisited, traceID)
 			if err != nil {
+				reply.Degraded = append(reply.Degraded, p.name)
 				continue
 			}
-			reply.Matches = mergeMatches(b.cfg.World, q, reply.Matches, matches)
-			reply.Brokers = append(reply.Brokers, brokers...)
+			reply.Matches = mergeMatches(b.cfg.World, q, reply.Matches, br.Matches)
+			reply.Brokers = append(reply.Brokers, br.Brokers...)
+			reply.Degraded = append(reply.Degraded, br.Degraded...)
 			peerSpans = append(peerSpans, spans...)
 			if len(reply.Matches) >= target {
 				break
@@ -697,9 +717,10 @@ func (b *Broker) searchTraced(ctx context.Context, bq *kqml.BrokerQuery, traceID
 	// FollowAll: fan out concurrently (the paper: "forward the request
 	// simultaneously to all the other brokers that it knows about").
 	type result struct {
-		matches []*ontology.Advertisement
-		brokers []string
-		spans   []kqml.TraceSpan
+		matches  []*ontology.Advertisement
+		brokers  []string
+		degraded []string
+		spans    []kqml.TraceSpan
 	}
 	results := make(chan result, len(targets))
 	var wg sync.WaitGroup
@@ -707,11 +728,12 @@ func (b *Broker) searchTraced(ctx context.Context, bq *kqml.BrokerQuery, traceID
 		wg.Add(1)
 		go func(p peer) {
 			defer wg.Done()
-			matches, brokers, spans, err := b.forwardQuery(ctx, p, q, hops-1, bq.Depth, fwdVisited, traceID)
+			br, spans, err := b.forwardQuery(ctx, p, q, hops-1, bq.Depth, fwdVisited, traceID)
 			if err != nil {
+				results <- result{degraded: []string{p.name}}
 				return
 			}
-			results <- result{matches: matches, brokers: brokers, spans: spans}
+			results <- result{matches: br.Matches, brokers: br.Brokers, degraded: br.Degraded, spans: spans}
 		}(p)
 	}
 	wg.Wait()
@@ -719,9 +741,27 @@ func (b *Broker) searchTraced(ctx context.Context, bq *kqml.BrokerQuery, traceID
 	for r := range results {
 		reply.Matches = mergeMatches(b.cfg.World, q, reply.Matches, r.matches)
 		reply.Brokers = append(reply.Brokers, r.brokers...)
+		reply.Degraded = append(reply.Degraded, r.degraded...)
 		peerSpans = append(peerSpans, r.spans...)
 	}
 	return done(), peerSpans, nil
+}
+
+// dedupSorted sorts and deduplicates a degraded-peer list in place, so the
+// requester sees a stable record regardless of forwarding order or how many
+// paths reported the same peer.
+func dedupSorted(in []string) []string {
+	if len(in) < 2 {
+		return in
+	}
+	sort.Strings(in)
+	out := in[:1]
+	for _, s := range in[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func specializesIn(info *ontology.BrokerInfo, ont string) bool {
@@ -753,7 +793,7 @@ func prunedPeer(info *ontology.BrokerInfo, q *ontology.Query) bool {
 	return false
 }
 
-func (b *Broker) forwardQuery(ctx context.Context, p peer, q *ontology.Query, hopsLeft, depth int, visited []string, traceID string) ([]*ontology.Advertisement, []string, []kqml.TraceSpan, error) {
+func (b *Broker) forwardQuery(ctx context.Context, p peer, q *ontology.Query, hopsLeft, depth int, visited []string, traceID string) (*kqml.BrokerReply, []kqml.TraceSpan, error) {
 	b.Stats.InterBrokerSent.Add(1)
 	mForwards.With(b.cfg.Name).Inc()
 	msg := kqml.New(kqml.AskAll, b.cfg.Name, &kqml.BrokerQuery{
@@ -768,17 +808,17 @@ func (b *Broker) forwardQuery(ctx context.Context, p peer, q *ontology.Query, ho
 	reply, err := b.call(ctx, p.addr, msg)
 	if err != nil {
 		mForwardErrors.With(b.cfg.Name).Inc()
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	if reply.Performative != kqml.Tell {
 		mForwardErrors.With(b.cfg.Name).Inc()
-		return nil, nil, nil, fmt.Errorf("broker %s: peer %s: %s", b.cfg.Name, p.name, kqml.ReasonOf(reply))
+		return nil, nil, fmt.Errorf("broker %s: peer %s: %s", b.cfg.Name, p.name, kqml.ReasonOf(reply))
 	}
 	var br kqml.BrokerReply
 	if err := reply.DecodeContent(&br); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	return br.Matches, br.Brokers, reply.Trace, nil
+	return &br, reply.Trace, nil
 }
 
 // matchLocal runs the matcher over the local repository, charging the

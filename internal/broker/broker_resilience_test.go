@@ -1,0 +1,91 @@
+package broker
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/resilience"
+	"infosleuth/internal/resilience/faulty"
+	"infosleuth/internal/transport"
+)
+
+// TestForwardRecordsDegradedPeerAndSkipsOpenCircuit pins the broker's
+// degradation contract: a peer that fails a forward is reported in
+// BrokerReply.Degraded and trips its circuit breaker, and subsequent
+// searches skip the peer entirely — no transport call — while still
+// reporting the narrowed search.
+func TestForwardRecordsDegradedPeerAndSkipsOpenCircuit(t *testing.T) {
+	tr := transport.NewInProc()
+	ft := faulty.Wrap(tr)
+	policy := resilience.New(resilience.Options{
+		MaxAttempts:      1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Hour,
+	})
+	b1 := newTestBroker(t, ft, "Broker1", func(c *Config) {
+		c.CallPolicy = policy
+		c.CallTimeout = time.Second
+	})
+	b2 := newTestBroker(t, tr, "Broker2")
+	if err := b1.JoinConsortium(context.Background(), b2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	advertiseTo(t, tr, b2.Addr(), resourceAd("RA-remote", "C2"))
+	b2Addr := b2.Addr()
+	b2.Stop()
+
+	q := &ontology.Query{
+		Type:     ontology.TypeResource,
+		Ontology: "generic",
+		Classes:  []string{"C2"},
+		Policy:   ontology.SearchPolicy{HopCount: 1, Follow: ontology.FollowAll},
+	}
+	br := askBroker(t, tr, b1.Addr(), q)
+	if len(br.Matches) != 0 {
+		t.Errorf("matches = %v, want none with the peer down", matchNames(br))
+	}
+	if len(br.Degraded) != 1 || br.Degraded[0] != "Broker2" {
+		t.Fatalf("degraded = %v, want [Broker2]", br.Degraded)
+	}
+	if !policy.BreakerOpen(b2Addr) {
+		t.Fatal("failed forward did not open the peer's circuit")
+	}
+
+	calls := ft.Calls(b2Addr)
+	br = askBroker(t, tr, b1.Addr(), q)
+	if len(br.Degraded) != 1 || br.Degraded[0] != "Broker2" {
+		t.Fatalf("open-circuit search degraded = %v, want [Broker2]", br.Degraded)
+	}
+	if got := ft.Calls(b2Addr); got != calls {
+		t.Errorf("open circuit still called the peer: calls %d -> %d", calls, got)
+	}
+}
+
+// TestHealthySearchReportsNoDegradation keeps the common case clean: with
+// every peer reachable the reply carries no degradation notes, policy or
+// not.
+func TestHealthySearchReportsNoDegradation(t *testing.T) {
+	tr := transport.NewInProc()
+	policy := resilience.New(resilience.Options{MaxAttempts: 2, BreakerThreshold: 3})
+	b1 := newTestBroker(t, tr, "Broker1", func(c *Config) { c.CallPolicy = policy })
+	b2 := newTestBroker(t, tr, "Broker2")
+	if err := b1.JoinConsortium(context.Background(), b2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	advertiseTo(t, tr, b2.Addr(), resourceAd("RA-remote", "C2"))
+
+	br := askBroker(t, tr, b1.Addr(), &ontology.Query{
+		Type:     ontology.TypeResource,
+		Ontology: "generic",
+		Classes:  []string{"C2"},
+		Policy:   ontology.SearchPolicy{HopCount: 1, Follow: ontology.FollowAll},
+	})
+	if len(br.Matches) != 1 {
+		t.Fatalf("matches = %v, want the remote resource", matchNames(br))
+	}
+	if len(br.Degraded) != 0 {
+		t.Errorf("healthy search degraded = %v, want none", br.Degraded)
+	}
+}

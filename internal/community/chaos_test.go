@@ -1,0 +1,166 @@
+package community
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/resilience"
+	"infosleuth/internal/resilience/faulty"
+	"infosleuth/internal/transport"
+)
+
+// TestChaosCommunityNeverFailsTotally is the chaos suite: 100 seeded
+// iterations of a small community — a replicated class served by two
+// identical resources plus an unreplicated class served by one — queried
+// while the resources' transport randomly drops, hangs, and delays calls.
+// The invariant under any fault pattern: the query NEVER fails outright. It
+// either returns the reference answer (replicas absorbed the faults) or an
+// explicitly partial answer with per-class degradation notes. Every
+// iteration is reproducible from its seed.
+//
+// With CHAOS_REPORT set, a degradation summary is written there (the CI
+// chaos job uploads it as an artifact).
+func TestChaosCommunityNeverFailsTotally(t *testing.T) {
+	const (
+		iterations  = 100
+		queriesPer  = 2
+		dropProb    = 0.25
+		hangProb    = 0.02
+		maxDelay    = 2 * time.Millisecond
+		callTimeout = 250 * time.Millisecond
+	)
+	var complete, partial, degradedNotes int
+	statsBefore := resilience.SnapshotStats()
+
+	for it := 0; it < iterations; it++ {
+		seed := int64(it + 1)
+		func() {
+			ft := faulty.Wrap(transport.NewInProc())
+			c, err := New(Config{
+				Brokers:     1,
+				Transport:   ft,
+				CallTimeout: callTimeout,
+				CallPolicy: resilience.New(resilience.Options{
+					MaxAttempts:      2,
+					BaseDelay:        time.Millisecond,
+					MaxDelay:         5 * time.Millisecond,
+					RetryBudget:      -1,
+					BreakerThreshold: 4,
+					BreakerCooldown:  20 * time.Millisecond,
+					Seed:             seed,
+				}),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			ctx := context.Background()
+
+			// Two replicas over the same data and class, plus an
+			// unreplicated holdout serving its own class — its
+			// advertisement must not claim redundancy it doesn't have.
+			faultable := make(map[string]bool, 3)
+			for _, name := range []string{"RA-rep1", "RA-rep2"} {
+				db := relational.NewDatabase()
+				if _, err := relational.GenerateGeneric(db, "C2", 40, seed); err != nil {
+					t.Fatal(err)
+				}
+				ra, err := c.AddResource(ctx, ResourceSpec{
+					Name: name, DB: db,
+					Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C2"}},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				faultable[ra.Addr()] = true
+			}
+			soloDB := relational.NewDatabase()
+			if _, err := relational.GenerateGeneric(soloDB, "C3", 40, seed+1000); err != nil {
+				t.Fatal(err)
+			}
+			solo, err := c.AddResource(ctx, ResourceSpec{
+				Name: "RA-solo", DB: soloDB,
+				Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C3"}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			faultable[solo.Addr()] = true
+			m, err := c.AddMRQ(ctx, "MRQ agent", "generic")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// One query hits the replicated class (faults should mostly be
+			// absorbed as failovers), the other the unreplicated one (a
+			// lost fetch must surface as an explicit partial).
+			queries := []string{"SELECT * FROM C2 ORDER BY id", "SELECT * FROM C3 ORDER BY id"}
+			refs := make([]string, len(queries))
+			for i, q := range queries {
+				ref, refStatus, err := m.RunWithStatus(ctx, q)
+				if err != nil {
+					t.Fatalf("seed %d: healthy reference run failed: %v", seed, err)
+				}
+				if refStatus.Partial {
+					t.Fatalf("seed %d: healthy reference run flagged partial", seed)
+				}
+				refs[i] = ref.String()
+			}
+
+			// Fault only the resource fetches: broker matchmaking stays
+			// reliable, so degradation always comes from lost fragments.
+			ft.Chaos(seed, dropProb, hangProb, maxDelay,
+				func(addr string) bool { return faultable[addr] })
+			for round := 0; round < queriesPer; round++ {
+				for i, q := range queries {
+					res, status, err := m.RunWithStatus(ctx, q)
+					if err != nil {
+						t.Fatalf("seed %d round %d %q: total failure under chaos: %v", seed, round, q, err)
+					}
+					if status.Partial {
+						partial++
+						degradedNotes += len(status.Degraded)
+						if len(status.Degraded) == 0 {
+							t.Fatalf("seed %d round %d %q: partial result without degradation notes", seed, round, q)
+						}
+					} else {
+						complete++
+						if got := res.String(); got != refs[i] {
+							t.Fatalf("seed %d round %d %q: complete result differs from reference:\ngot  %s\nwant %s",
+								seed, round, q, got, refs[i])
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	delta := resilience.SnapshotStats()
+	report := fmt.Sprintf(
+		"chaos suite: %d iterations x %d queries (drop=%.2f hang=%.2f)\n"+
+			"  complete (byte-equal to reference): %d\n"+
+			"  partial (explicitly degraded):      %d\n"+
+			"  degradation notes:                  %d\n"+
+			"  failovers absorbed by replicas:     %d\n"+
+			"  retries issued:                     %d\n"+
+			"  breaker fast-rejects:               %d\n",
+		iterations, queriesPer, dropProb, hangProb,
+		complete, partial, degradedNotes,
+		delta.Failovers-statsBefore.Failovers,
+		delta.Retries-statsBefore.Retries,
+		delta.BreakerRejects-statsBefore.BreakerRejects)
+	t.Log(report)
+	if complete == 0 {
+		t.Error("chaos never produced a complete answer; fault rates are too hot to prove failover")
+	}
+	if path := os.Getenv("CHAOS_REPORT"); path != "" {
+		if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
+			t.Errorf("writing chaos report: %v", err)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"infosleuth/internal/ontagent"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/relational"
+	"infosleuth/internal/resilience"
 	"infosleuth/internal/resource"
 	"infosleuth/internal/transport"
 	"infosleuth/internal/useragent"
@@ -39,6 +40,10 @@ type Config struct {
 	// ResourceQueryDelayPerRow is the default per-row processing cost
 	// applied to resources whose spec sets none.
 	ResourceQueryDelayPerRow time.Duration
+	// CallPolicy adds retries and per-peer circuit breakers to every
+	// agent's and broker's outgoing calls. Nil keeps calls single-shot —
+	// the configuration the Section 5 experiments pin.
+	CallPolicy *resilience.Policy
 }
 
 // Community is a running set of agents.
@@ -74,6 +79,7 @@ func New(cfg Config) (*Community, error) {
 			Transport:   cfg.Transport,
 			World:       cfg.World,
 			CallTimeout: cfg.CallTimeout,
+			CallPolicy:  cfg.CallPolicy,
 			Consortia:   []string{"consortium-1"},
 		}
 		if cfg.BrokerOptions != nil {
@@ -154,6 +160,7 @@ func (c *Community) AddResource(ctx context.Context, spec ResourceSpec) (*resour
 		World:                c.World,
 		EstimatedResponseSec: spec.EstimatedResponseSec,
 		QueryDelayPerRow:     spec.QueryDelayPerRow,
+		CallPolicy:           c.cfg.CallPolicy,
 	})
 	if err != nil {
 		return nil, err
@@ -186,7 +193,8 @@ func (c *Community) AddMRQ(ctx context.Context, name, ontologyName string, speci
 		// The Section 5 harness models the paper's serial gather; keeping
 		// the fan-out at 1 also keeps the reference experiment artifacts
 		// stable (same rule as disabling the broker match cache there).
-		MaxFanout: 1,
+		MaxFanout:  1,
+		CallPolicy: c.cfg.CallPolicy,
 	})
 	if err != nil {
 		return nil, err
@@ -211,6 +219,7 @@ func (c *Community) AddUser(ctx context.Context, name, ontologyName string) (*us
 		CallTimeout:           c.cfg.CallTimeout,
 		RandomizeBrokerChoice: true,
 		Ontology:              ontologyName,
+		CallPolicy:            c.cfg.CallPolicy,
 	})
 	if err != nil {
 		return nil, err
@@ -235,6 +244,7 @@ func (c *Community) AddMonitor(ctx context.Context, name, ontologyName string) (
 		Redundancy:   len(c.Brokers),
 		CallTimeout:  c.cfg.CallTimeout,
 		Ontology:     ontologyName,
+		CallPolicy:   c.cfg.CallPolicy,
 	})
 	if err != nil {
 		return nil, err
@@ -259,6 +269,7 @@ func (c *Community) AddMiner(ctx context.Context, name, ontologyName string) (*m
 		Redundancy:   len(c.Brokers),
 		CallTimeout:  c.cfg.CallTimeout,
 		Ontology:     ontologyName,
+		CallPolicy:   c.cfg.CallPolicy,
 	})
 	if err != nil {
 		return nil, err
@@ -286,6 +297,7 @@ func (c *Community) AddOntologyAgent(ctx context.Context, name string) (*ontagen
 		KnownBrokers: c.BrokerAddrs(),
 		CallTimeout:  c.cfg.CallTimeout,
 		Ontologies:   onts,
+		CallPolicy:   c.cfg.CallPolicy,
 	})
 	if err != nil {
 		return nil, err

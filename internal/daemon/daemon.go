@@ -1,0 +1,127 @@
+// Package daemon consolidates the flag wiring every InfoSleuth daemon
+// repeats: structured logging, the telemetry/health endpoint, and the
+// outgoing-call resilience policy. A daemon embeds one Options, registers
+// its flags before flag.Parse, and afterwards asks for the pieces it needs:
+//
+//	var opts daemon.Options
+//	opts.AddFlags(flag.CommandLine)
+//	flag.Parse()
+//	logger := opts.Setup("brokerd")
+//	stop, err := opts.ServeTelemetry(logger, readiness)
+//	cfg.CallPolicy = opts.CallPolicy()
+//
+// The resilience flags default to the paper-faithful single-shot behavior
+// (one attempt, no breakers), in which case CallPolicy returns nil and the
+// agents behave exactly as before the resilience layer existed.
+package daemon
+
+import (
+	"flag"
+	"log/slog"
+	"time"
+
+	"infosleuth/internal/resilience"
+	"infosleuth/internal/telemetry"
+	"infosleuth/internal/telemetry/logging"
+	"infosleuth/internal/telemetry/recorder"
+)
+
+// Options holds the daemon-wide flag values.
+type Options struct {
+	// MetricsAddr serves Prometheus /metrics, /traces and health probes
+	// when non-empty.
+	MetricsAddr string
+	// Pprof exposes net/http/pprof under /debug/pprof on MetricsAddr.
+	Pprof bool
+
+	// RetryMaxAttempts is the total attempts per outgoing call; <= 1
+	// keeps calls single-shot.
+	RetryMaxAttempts int
+	// RetryBaseDelay is the full-jitter backoff base.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff.
+	RetryMaxDelay time.Duration
+	// RetryBudget caps the retry token bucket; negative disables it.
+	RetryBudget int
+	// BreakerThreshold is the consecutive failures that open a peer's
+	// circuit; 0 disables circuit breaking.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects calls before a
+	// half-open probe.
+	BreakerCooldown time.Duration
+
+	// Log configures structured logging.
+	Log logging.Options
+}
+
+// AddFlags registers every shared daemon flag on fs.
+func (o *Options) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&o.MetricsAddr, "metrics-addr", "",
+		"serve Prometheus /metrics, /traces and health probes here (e.g. :9090); empty disables")
+	fs.BoolVar(&o.Pprof, "pprof", false,
+		"expose net/http/pprof under /debug/pprof on the metrics address")
+	fs.IntVar(&o.RetryMaxAttempts, "retry-max-attempts", 1,
+		"total attempts per outgoing call (1 = single-shot, no retries)")
+	fs.DurationVar(&o.RetryBaseDelay, "retry-base-delay", 25*time.Millisecond,
+		"full-jitter retry backoff base")
+	fs.DurationVar(&o.RetryMaxDelay, "retry-max-delay", 2*time.Second,
+		"retry backoff cap")
+	fs.IntVar(&o.RetryBudget, "retry-budget", 64,
+		"retry token bucket size (successes slowly refill it; negative = unlimited)")
+	fs.IntVar(&o.BreakerThreshold, "breaker-threshold", 0,
+		"consecutive call failures that open a peer's circuit (0 disables breakers)")
+	fs.DurationVar(&o.BreakerCooldown, "breaker-cooldown", 5*time.Second,
+		"how long an open circuit rejects calls before a half-open probe")
+	o.Log.AddFlags(fs)
+}
+
+// Setup builds the daemon's logger from the logging flags.
+func (o *Options) Setup(component string) *slog.Logger {
+	return logging.Setup(component, o.Log)
+}
+
+// CallPolicy builds the resilience policy the flags describe, or nil when
+// both retries and circuit breaking are left off — the single-shot
+// configuration every Section 5 experiment pins.
+func (o *Options) CallPolicy() *resilience.Policy {
+	if o.RetryMaxAttempts <= 1 && o.BreakerThreshold <= 0 {
+		return nil
+	}
+	return resilience.New(resilience.Options{
+		MaxAttempts:      o.RetryMaxAttempts,
+		BaseDelay:        o.RetryBaseDelay,
+		MaxDelay:         o.RetryMaxDelay,
+		RetryBudget:      o.RetryBudget,
+		BreakerThreshold: o.BreakerThreshold,
+		BreakerCooldown:  o.BreakerCooldown,
+	})
+}
+
+// ServeTelemetry starts the metrics/health endpoint when -metrics-addr is
+// set: a conversation flight recorder behind /traces, runtime metrics, the
+// supplied readiness check behind /readyz, and optionally pprof. The
+// returned stop function closes the endpoint (a no-op when disabled).
+func (o *Options) ServeTelemetry(logger *slog.Logger, ready func() error) (func(), error) {
+	if o.MetricsAddr == "" {
+		return func() {}, nil
+	}
+	rec := recorder.New(recorder.Options{})
+	telemetry.SetSpanRecorder(rec)
+	telemetry.Default.EnableRuntimeMetrics()
+	opts := []telemetry.ServeOption{
+		telemetry.WithHandler("/traces", rec.Handler()),
+		telemetry.WithHandler("/traces/", rec.Handler()),
+	}
+	if ready != nil {
+		opts = append(opts, telemetry.WithReadiness(ready))
+	}
+	if o.Pprof {
+		opts = append(opts, telemetry.WithPprof())
+	}
+	srv, err := telemetry.Serve(o.MetricsAddr, telemetry.Default, opts...)
+	if err != nil {
+		return nil, err
+	}
+	logger.Info("metrics endpoint up", "url", "http://"+srv.Addr()+"/metrics")
+	return func() { srv.Close() }, nil
+}

@@ -1,0 +1,48 @@
+package daemon
+
+import (
+	"flag"
+	"io"
+	"log/slog"
+	"testing"
+)
+
+func parse(t *testing.T, args ...string) *Options {
+	t.Helper()
+	var o Options
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	o.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &o
+}
+
+func TestDefaultFlagsYieldNilPolicy(t *testing.T) {
+	if p := parse(t).CallPolicy(); p != nil {
+		t.Errorf("default flags built a policy: %+v", p)
+	}
+}
+
+func TestResilienceFlagsBuildPolicy(t *testing.T) {
+	cases := [][]string{
+		{"-retry-max-attempts", "3"},
+		{"-breaker-threshold", "2"},
+		{"-retry-max-attempts", "3", "-breaker-threshold", "2", "-retry-base-delay", "5ms"},
+	}
+	for _, args := range cases {
+		if parse(t, args...).CallPolicy() == nil {
+			t.Errorf("args %v built no policy", args)
+		}
+	}
+}
+
+func TestServeTelemetryDisabledIsNoOp(t *testing.T) {
+	o := parse(t)
+	stop, err := o.ServeTelemetry(slog.New(slog.NewTextHandler(io.Discard, nil)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must not panic
+}

@@ -360,6 +360,9 @@ func liveRun(streams []Stream, brokers int, specialized bool, opts LiveOptions) 
 	// classes of the streams assigned to it and prunes peers.
 	streamBroker := func(si int) int { return si % brokers }
 	c, err := community.New(community.Config{
+		// CallPolicy stays nil: the Section 5 artifacts measure the
+		// paper's protocol with single-shot calls, so retries, breakers,
+		// and failover must not perturb the regenerated numbers.
 		Brokers:                  brokers,
 		Transport:                tr,
 		ResourceQueryDelayPerRow: opts.RowDelay,

@@ -13,6 +13,7 @@ package kqml
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"infosleuth/internal/constraint"
 	"infosleuth/internal/ontology"
@@ -291,6 +292,9 @@ type BrokerReply struct {
 	// Brokers lists the brokers whose repositories contributed
 	// (diagnostics and the Table 5/6 robustness accounting).
 	Brokers []string `json:"brokers,omitempty"`
+	// Degraded lists peer brokers that were skipped or unreachable during
+	// forwarding, so callers know the match set may be incomplete.
+	Degraded []string `json:"degraded,omitempty"`
 }
 
 // SQLQuery is the payload of an ask-all carrying a data query.
@@ -302,6 +306,23 @@ type SQLQuery struct {
 type SQLResult struct {
 	Columns []string         `json:"columns"`
 	Rows    []relational.Row `json:"rows"`
+	// Partial marks a degraded answer: one or more fragment sources
+	// failed with no covering replica, so rows may be missing. Degraded
+	// says which classes lost data and why. A partial answer is still a
+	// tell — in a dynamic community a flagged subset beats a refusal.
+	Partial  bool               `json:"partial,omitempty"`
+	Degraded []ClassDegradation `json:"degraded,omitempty"`
+}
+
+// ClassDegradation records one ontology class whose fragment data is
+// incomplete in a partial SQLResult.
+type ClassDegradation struct {
+	// Class is the ontology class with missing fragment data.
+	Class string `json:"class"`
+	// Agents names the resource agents that could not be reached.
+	Agents []string `json:"agents,omitempty"`
+	// Reason summarizes the failure ("unreachable", the last error, ...).
+	Reason string `json:"reason,omitempty"`
 }
 
 // PingContent asks a broker whether it still holds the named agent's
@@ -318,6 +339,70 @@ type PingReply struct {
 // SorryContent explains a sorry/error reply.
 type SorryContent struct {
 	Reason string `json:"reason"`
+}
+
+// Well-known sorry/error reasons. Agents build refusals from these
+// constants (possibly with detail appended after the constant prefix, e.g.
+// "outside specialization; accepted by B2"), and callers classify refusals
+// with IsSorry instead of pinning raw strings.
+const (
+	// SorryReasonMalformedAdvertisement rejects an advertise whose content
+	// does not decode.
+	SorryReasonMalformedAdvertisement = "malformed advertisement"
+	// SorryReasonMalformedBrokerQuery rejects a service query whose
+	// content does not decode.
+	SorryReasonMalformedBrokerQuery = "malformed broker query"
+	// SorryReasonMalformedPing rejects a ping whose content does not
+	// decode.
+	SorryReasonMalformedPing = "malformed ping"
+	// SorryReasonMalformedRecruit rejects a recruit whose content does not
+	// decode.
+	SorryReasonMalformedRecruit = "malformed recruit"
+	// SorryReasonMalformedQuery rejects an ask whose content does not
+	// decode (resource agents).
+	SorryReasonMalformedQuery = "malformed query content"
+	// SorryReasonMalformedSQL rejects an ask whose content does not decode
+	// (MRQ agents).
+	SorryReasonMalformedSQL = "malformed SQL query content"
+	// SorryReasonMalformedSubscription rejects a subscribe whose content
+	// does not decode.
+	SorryReasonMalformedSubscription = "malformed subscription"
+	// SorryReasonNotAdvertised answers a ping for an agent the broker does
+	// not know.
+	SorryReasonNotAdvertised = "not advertised"
+	// SorryReasonUnadvertised acknowledges an unadvertise (sent on a tell,
+	// not a sorry — listed here so the string has one home).
+	SorryReasonUnadvertised = "unadvertised"
+	// SorryReasonOutsideSpecialization rejects an advertisement a
+	// specialized broker will not accept; when the broker referred the
+	// agent elsewhere, the accepting broker's name follows the prefix.
+	SorryReasonOutsideSpecialization = "outside specialization"
+	// SorryReasonNoProvider answers a recruit no advertisement satisfies.
+	SorryReasonNoProvider = "no agent provides the requested service"
+	// SorryReasonUnknownSubscription answers an unsubscribe for a
+	// subscription id the resource does not hold.
+	SorryReasonUnknownSubscription = "unknown subscription"
+	// SorryReasonUnsupportedPerformative prefixes refusals of
+	// performatives an agent does not speak.
+	SorryReasonUnsupportedPerformative = "unsupported performative"
+)
+
+// IsSorry reports whether m is a sorry/error refusal whose reason starts
+// with the given well-known reason (empty matches any refusal). Prefix
+// matching lets refusals append detail ("outside specialization; accepted
+// by B2") without breaking classification.
+func IsSorry(m *Message, reason string) bool {
+	if m == nil || (m.Performative != Sorry && m.Performative != Error) {
+		return false
+	}
+	if reason == "" {
+		return true
+	}
+	var sc SorryContent
+	if err := m.DecodeContent(&sc); err != nil {
+		return false
+	}
+	return strings.HasPrefix(sc.Reason, reason)
 }
 
 // ReasonOf extracts the reason from a sorry/error message, or a generic

@@ -1,0 +1,92 @@
+package kqml
+
+import (
+	"strings"
+	"testing"
+
+	"infosleuth/internal/relational"
+)
+
+func TestIsSorry(t *testing.T) {
+	sorry := New(Sorry, "B1", &SorryContent{Reason: SorryReasonNotAdvertised})
+	errMsg := New(Error, "RA", &SorryContent{Reason: SorryReasonMalformedQuery})
+	tell := New(Tell, "B1", &SorryContent{Reason: SorryReasonUnadvertised})
+	detailed := New(Sorry, "B1", &SorryContent{
+		Reason: SorryReasonOutsideSpecialization + "; accepted by B2",
+	})
+
+	cases := []struct {
+		name   string
+		msg    *Message
+		reason string
+		want   bool
+	}{
+		{"exact match", sorry, SorryReasonNotAdvertised, true},
+		{"error performative counts", errMsg, SorryReasonMalformedQuery, true},
+		{"wrong reason", sorry, SorryReasonMalformedPing, false},
+		{"empty reason matches any refusal", sorry, "", true},
+		{"tell is never sorry", tell, "", false},
+		{"prefix match with detail", detailed, SorryReasonOutsideSpecialization, true},
+		{"nil message", nil, "", false},
+	}
+	for _, tc := range cases {
+		if got := IsSorry(tc.msg, tc.reason); got != tc.want {
+			t.Errorf("%s: IsSorry = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestIsSorryUndecodableContent(t *testing.T) {
+	m := New(Sorry, "B1", "just a string, not a SorryContent")
+	if IsSorry(m, SorryReasonNotAdvertised) {
+		t.Error("undecodable content matched a specific reason")
+	}
+	if !IsSorry(m, "") {
+		t.Error("undecodable content should still match the any-refusal form")
+	}
+}
+
+func TestPartialSQLResultRoundTrip(t *testing.T) {
+	res := &SQLResult{
+		Columns: []string{"id", "a"},
+		Rows:    []relational.Row{},
+		Partial: true,
+		Degraded: []ClassDegradation{
+			{Class: "C2", Agents: []string{"DB2 resource agent"}, Reason: "unreachable"},
+		},
+	}
+	m := New(Tell, "MRQ agent", res)
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SQLResult
+	if err := m2.DecodeContent(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Partial {
+		t.Error("Partial flag lost in round trip")
+	}
+	if len(out.Degraded) != 1 || out.Degraded[0].Class != "C2" ||
+		len(out.Degraded[0].Agents) != 1 || out.Degraded[0].Reason != "unreachable" {
+		t.Errorf("degradation notes lost: %+v", out.Degraded)
+	}
+}
+
+func TestCompleteSQLResultOmitsPartialFields(t *testing.T) {
+	res := &SQLResult{Columns: []string{"id"}, Rows: []relational.Row{}}
+	m := New(Tell, "MRQ agent", res)
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"partial", "degraded"} {
+		if strings.Contains(string(data), `"`+field+`"`) {
+			t.Errorf("complete result serialized %q field: %s", field, data)
+		}
+	}
+}

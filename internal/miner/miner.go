@@ -26,6 +26,7 @@ import (
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/relational"
+	"infosleuth/internal/resilience"
 	"infosleuth/internal/sqlparse"
 	"infosleuth/internal/stats"
 	"infosleuth/internal/transport"
@@ -94,6 +95,9 @@ type Config struct {
 	KnownBrokers []string
 	Redundancy   int
 	CallTimeout  time.Duration
+	// CallPolicy, when set, retries outgoing calls with backoff; nil
+	// calls once.
+	CallPolicy *resilience.Policy
 
 	// Ontology names the domain mined.
 	Ontology string
@@ -117,7 +121,7 @@ func New(cfg Config) (*Agent, error) {
 		KnownBrokers: cfg.KnownBrokers,
 		Redundancy:   cfg.Redundancy,
 		CallTimeout:  cfg.CallTimeout,
-	})
+	}, agent.WithCallPolicy(cfg.CallPolicy))
 	if err != nil {
 		return nil, err
 	}

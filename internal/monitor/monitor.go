@@ -15,6 +15,7 @@ import (
 	"infosleuth/internal/agent"
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
+	"infosleuth/internal/resilience"
 	"infosleuth/internal/transport"
 )
 
@@ -26,6 +27,9 @@ type Config struct {
 	KnownBrokers []string
 	Redundancy   int
 	CallTimeout  time.Duration
+	// CallPolicy, when set, retries outgoing calls with backoff; nil
+	// calls once.
+	CallPolicy *resilience.Policy
 
 	// Ontology names the domain the monitor watches.
 	Ontology string
@@ -72,7 +76,7 @@ func New(cfg Config) (*Agent, error) {
 		KnownBrokers: cfg.KnownBrokers,
 		Redundancy:   cfg.Redundancy,
 		CallTimeout:  cfg.CallTimeout,
-	})
+	}, agent.WithCallPolicy(cfg.CallPolicy))
 	if err != nil {
 		return nil, err
 	}

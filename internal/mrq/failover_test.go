@@ -1,0 +1,207 @@
+package mrq
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"infosleuth/internal/broker"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/resilience"
+	"infosleuth/internal/resilience/faulty"
+	"infosleuth/internal/resource"
+	"infosleuth/internal/transport"
+)
+
+// newFaultyRig mirrors newRig but routes the MRQ agent's outgoing calls
+// through a scriptable fault-injection transport, so individual fragment
+// fetches can be killed mid-query deterministically. Resources and the
+// broker stay on the inner transport and are never faulted.
+func newFaultyRig(t *testing.T) (*rig, *faulty.Transport) {
+	t.Helper()
+	tr := transport.NewInProc()
+	world := ontology.NewWorld(ontology.Generic())
+	b, err := broker.New(broker.Config{Name: "Broker1", Transport: tr, World: world})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Stop() })
+
+	ft := faulty.Wrap(tr)
+	m, err := New(Config{
+		Name: "MRQ agent", Transport: ft, KnownBrokers: []string{b.Addr()},
+		World: world, Ontology: "generic", PushConstraints: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Stop() })
+	if _, err := m.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{tr: tr, broker: b, mrq: m}, ft
+}
+
+// TestFailoverRecoversByteIdenticalResult is the redundant-advertisement
+// proof: two resources advertise the same unconstrained class with the same
+// rows, one dies mid-query, and the answer must be byte-identical to the
+// healthy-community answer — complete, not partial, recovered through the
+// replica and counted as a failover. Scripted faults make the scenario
+// fully deterministic, so it runs twice to pin that down.
+func TestFailoverRecoversByteIdenticalResult(t *testing.T) {
+	r, ft := newFaultyRig(t)
+	primary := r.addResource(t, "RA-primary", "C2", "r-", 3)
+	r.addResource(t, "RA-replica", "C2", "r-", 3) // identical data
+
+	const q = "SELECT * FROM C2 ORDER BY id"
+	ref, refStatus, err := r.mrq.RunWithStatus(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refStatus.Partial || ref.Len() != 3 {
+		t.Fatalf("reference run: partial=%v rows=%d, want complete 3", refStatus.Partial, ref.Len())
+	}
+
+	for round := 0; round < 2; round++ {
+		ft.Script(primary.Addr(), faulty.Drop()) // next fetch to the primary dies mid-query
+		before := resilience.SnapshotStats()
+		res, status, err := r.mrq.RunWithStatus(context.Background(), q)
+		if err != nil {
+			t.Fatalf("round %d: failover run errored: %v", round, err)
+		}
+		if status.Partial || len(status.Degraded) != 0 {
+			t.Fatalf("round %d: recovered answer flagged degraded: %+v", round, status)
+		}
+		if !reflect.DeepEqual(res, ref) || fmt.Sprint(res) != fmt.Sprint(ref) {
+			t.Fatalf("round %d: failover answer differs from reference:\ngot  %v\nwant %v", round, res, ref)
+		}
+		after := resilience.SnapshotStats()
+		if d := after.Failovers - before.Failovers; d != 1 {
+			t.Errorf("round %d: failovers delta = %d, want 1", round, d)
+		}
+		if d := after.PartialResults - before.PartialResults; d != 0 {
+			t.Errorf("round %d: partial results delta = %d, want 0", round, d)
+		}
+		if ft.Faults(primary.Addr()) != round+1 {
+			t.Fatalf("round %d: scripted fault not consumed", round)
+		}
+	}
+}
+
+// TestNoCoveringReplicaYieldsPartial is the no-redundancy proof: two
+// resources hold disjoint declared ranges of the class, the low-range one
+// dies mid-query, and the survivor's range does not cover it — so the
+// answer carries the surviving rows plus an explicit per-class degradation
+// note instead of silently passing as complete.
+func TestNoCoveringReplicaYieldsPartial(t *testing.T) {
+	r, ft := newFaultyRig(t)
+	low := addRangedResource(t, r, "LowRA", "lo-", 0, 99)
+	addRangedResource(t, r, "HighRA", "hi-", 1000, 1099)
+
+	ft.Script(low.Addr(), faulty.Drop())
+	before := resilience.SnapshotStats()
+	res, status, err := r.mrq.RunWithStatus(context.Background(), "SELECT * FROM C2 ORDER BY id")
+	if err != nil {
+		t.Fatalf("degraded query should not error: %v", err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("rows = %d, want the survivor's 3", res.Len())
+	}
+	for _, row := range res.Rows {
+		if !strings.HasPrefix(row[0].Text(), "hi-") {
+			t.Errorf("row %v from the wrong resource", row)
+		}
+	}
+	if !status.Partial {
+		t.Fatal("uncovered fragment loss not flagged partial")
+	}
+	if len(status.Degraded) != 1 || status.Degraded[0].Class != "C2" {
+		t.Fatalf("degradation notes = %+v, want one for C2", status.Degraded)
+	}
+	if got := status.Degraded[0].Agents; len(got) != 1 || got[0] != "LowRA" {
+		t.Errorf("degraded agents = %v, want [LowRA]", got)
+	}
+	after := resilience.SnapshotStats()
+	if d := after.PartialResults - before.PartialResults; d != 1 {
+		t.Errorf("partial results delta = %d, want 1", d)
+	}
+	if d := after.Failovers - before.Failovers; d != 0 {
+		t.Errorf("failovers delta = %d, want 0 (disjoint ranges are not replicas)", d)
+	}
+}
+
+// TestPartialFlagTravelsOverKQML pins the wire contract: the handler
+// serializes the partial flag and degradation notes into the SQLResult so
+// remote callers see the same degradation story as in-process ones.
+func TestPartialFlagTravelsOverKQML(t *testing.T) {
+	r, ft := newFaultyRig(t)
+	low := addRangedResource(t, r, "LowRA", "lo-", 0, 99)
+	addRangedResource(t, r, "HighRA", "hi-", 1000, 1099)
+	ft.Script(low.Addr(), faulty.Drop())
+
+	msg := kqml.New(kqml.AskAll, "user", &kqml.SQLQuery{SQL: "SELECT * FROM C2"})
+	msg.Language = ontology.LangSQL2
+	reply, err := r.tr.Call(context.Background(), r.mrq.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Tell {
+		t.Fatalf("reply = %s: %s", reply.Performative, kqml.ReasonOf(reply))
+	}
+	var sr kqml.SQLResult
+	if err := reply.DecodeContent(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Partial {
+		t.Error("Partial flag lost on the wire")
+	}
+	if len(sr.Degraded) != 1 || sr.Degraded[0].Class != "C2" {
+		t.Errorf("degradation notes on the wire = %+v", sr.Degraded)
+	}
+}
+
+// addRangedResource adds a resource over C2 whose advertisement declares a
+// closed range on a, holding three rows inside that range.
+func addRangedResource(t *testing.T, r *rig, name, prefix string, lo, hi float64) *resource.Agent {
+	t.Helper()
+	db := relational.NewDatabase()
+	tbl, err := db.Create(relational.GenericSchema("C2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tbl.MustInsert(relational.Row{
+			relational.Str(prefix + string(rune('a'+i))),
+			relational.Num(lo + float64(i)), relational.Num(0), relational.Num(0), relational.Num(0),
+		})
+	}
+	ra, err := resource.New(resource.Config{
+		Name: name, Transport: r.tr, KnownBrokers: []string{r.broker.Addr()},
+		DB: db,
+		Fragment: ontology.Fragment{
+			Ontology: "generic", Classes: []string{"C2"},
+			Constraints: mustParse(t, "C2.a between "+trim(lo)+" and "+trim(hi)),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ra.Stop() })
+	if _, err := ra.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return ra
+}

@@ -11,6 +11,7 @@ import (
 
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
+	"infosleuth/internal/resilience"
 	"infosleuth/internal/sqlparse"
 	"infosleuth/internal/telemetry"
 )
@@ -115,12 +116,28 @@ func (p *fetchPlan) sqlFor(ad *ontology.Advertisement) (sql string, pushed bool,
 	return sqlparse.RenderFragmentSelect(p.class, cols, p.conds), true, projCols, fullCols
 }
 
+// fetchFailure is one resource whose fragment fetch failed with no
+// succeeded redundant advertisement covering its columns.
+type fetchFailure struct {
+	// Agent names the failed resource agent.
+	Agent string
+	// Err is the fetch error.
+	Err string
+}
+
 // fetchFragments gathers one class's fragments from every matched
 // resource with a bounded worker pool. Results come back index-addressed
 // in broker match order (compacted over failures), so arrival order can
-// never change what MergeFragments sees; errors are returned sorted by
-// agent name. MaxFanout = 1 reproduces the serial gather exactly.
-func (a *Agent) fetchFragments(ctx context.Context, class, key string, stmt *sqlparse.Select, matches []*ontology.Advertisement, traceID string) ([]*kqml.SQLResult, []string) {
+// never change what MergeFragments sees. MaxFanout = 1 reproduces the
+// serial gather exactly.
+//
+// Failed fetches go through a failover pass before being reported: a
+// failure whose advertised columns are fully covered by a succeeded
+// advertisement is absorbed — Section 4.2.1's redundant advertisements
+// doing their job, since the replica's rows are already in the result set
+// and MergeFragments deduplicates the union. Only uncovered failures come
+// back, sorted by agent name.
+func (a *Agent) fetchFragments(ctx context.Context, class, key string, stmt *sqlparse.Select, matches []*ontology.Advertisement, traceID string) ([]*kqml.SQLResult, []fetchFailure) {
 	plan := a.planFetch(class, key, stmt, matches)
 	n := len(matches)
 	fanout := a.cfg.MaxFanout
@@ -148,13 +165,13 @@ func (a *Agent) fetchFragments(ctx context.Context, class, key string, stmt *sql
 				if err := ctx.Err(); err != nil {
 					// Cancellation mid-fan-out: pending fetches are
 					// skipped, not issued.
-					errs[i] = fmt.Sprintf("%s: %v", ad.Name, err)
+					errs[i] = err.Error()
 					mFetchErrors.Inc()
 					continue
 				}
 				sr, err := a.fetchOne(ctx, &plan, ad, traceID)
 				if err != nil {
-					errs[i] = fmt.Sprintf("%s: %v", ad.Name, err)
+					errs[i] = err.Error()
 					mFetchErrors.Inc()
 					continue
 				}
@@ -165,19 +182,99 @@ func (a *Agent) fetchFragments(ctx context.Context, class, key string, stmt *sql
 	wg.Wait()
 
 	out := make([]*kqml.SQLResult, 0, n)
-	for _, r := range results {
+	var okAds []*ontology.Advertisement
+	for i, r := range results {
 		if r != nil {
 			out = append(out, r)
+			okAds = append(okAds, matches[i])
 		}
 	}
-	var fetchErrs []string
-	for _, e := range errs {
-		if e != "" {
-			fetchErrs = append(fetchErrs, e)
+	var lost []fetchFailure
+	for i, e := range errs {
+		if e == "" {
+			continue
+		}
+		if plan.coveredByReplica(matches[i], okAds) {
+			resilience.RecordFailover()
+			if traceID != "" {
+				telemetry.RecordSpan(telemetry.Span{
+					TraceID:       traceID,
+					Agent:         matches[i].Name,
+					Op:            telemetry.OpFailover,
+					StartUnixNano: time.Now().UnixNano(),
+					Err:           e,
+				})
+			}
+			continue
+		}
+		lost = append(lost, fetchFailure{Agent: matches[i].Name, Err: e})
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].Agent < lost[j].Agent })
+	return out, lost
+}
+
+// coveredByReplica reports whether some succeeded advertisement subsumes
+// the failed one for the plan's class: it exposes every column the failed
+// advertisement advertised AND declares a data region covering every region
+// the failed advertisement declared. Under the community's advertised
+// semantics that makes the two redundant — losing the failed fetch loses no
+// declared data, because the covering replica's rows are already in the
+// merge set and MergeFragments deduplicates the union.
+func (p *fetchPlan) coveredByReplica(failed *ontology.Advertisement, ok []*ontology.Advertisement) bool {
+	cols := failed.AdvertisedColumns(p.onto, p.class, p.ont)
+	if cols == nil {
+		return false
+	}
+	want := make([]string, 0, len(cols))
+	for c := range cols {
+		want = append(want, c)
+	}
+	for _, ad := range ok {
+		if ad.CoversColumns(p.onto, p.class, want, p.ont) && p.constraintsCovered(failed, ad) {
+			return true
 		}
 	}
-	sort.Strings(fetchErrs)
-	return out, fetchErrs
+	return false
+}
+
+// constraintsCovered reports whether every data region the failed
+// advertisement declares for the plan's class is covered by some region the
+// replica declares. Two unconstrained advertisements over the same class
+// both claim all instances and so cover each other; a fragment constrained
+// to a range is only covered by a replica whose range subsumes it.
+func (p *fetchPlan) constraintsCovered(failed, replica *ontology.Advertisement) bool {
+	for _, f := range p.servingFragments(failed) {
+		covered := false
+		for _, g := range p.servingFragments(replica) {
+			if g.Constraints.Covers(f.Constraints) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// servingFragments returns the advertisement's fragments that can answer
+// queries over the plan's class — directly or through a served subclass.
+func (p *fetchPlan) servingFragments(ad *ontology.Advertisement) []*ontology.Fragment {
+	var out []*ontology.Fragment
+	for i := range ad.Content {
+		f := &ad.Content[i]
+		if !strings.EqualFold(f.Ontology, p.onto) {
+			continue
+		}
+		for _, served := range f.Classes {
+			if strings.EqualFold(served, p.class) || (p.ont != nil && p.ont.IsSubclassOf(served, p.class)) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // fetchOne fetches one fragment, recording the fan-out metrics and — on a

@@ -19,6 +19,7 @@ import (
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/relational"
+	"infosleuth/internal/resilience"
 	"infosleuth/internal/sqlparse"
 	"infosleuth/internal/telemetry"
 	"infosleuth/internal/transport"
@@ -35,6 +36,10 @@ type Config struct {
 	// RandomizeBrokerChoice spreads broker queries uniformly over
 	// connected brokers (the paper's query-agent behavior).
 	RandomizeBrokerChoice bool
+	// CallPolicy, when set, retries outgoing calls with backoff and
+	// skips peers whose circuit is open; nil calls once (the
+	// paper-faithful default).
+	CallPolicy *resilience.Policy
 
 	// World supplies the domain ontologies (class keys for fragment
 	// assembly); required.
@@ -85,7 +90,7 @@ func New(cfg Config) (*Agent, error) {
 		CallTimeout:  cfg.CallTimeout,
 
 		RandomizeBrokerChoice: cfg.RandomizeBrokerChoice,
-	})
+	}, agent.WithCallPolicy(cfg.CallPolicy))
 	if err != nil {
 		return nil, err
 	}
@@ -126,15 +131,20 @@ func (a *Agent) handle(msg *kqml.Message) *kqml.Message {
 	case kqml.AskAll, kqml.AskOne:
 		var sq kqml.SQLQuery
 		if err := msg.DecodeContent(&sq); err != nil {
-			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: "malformed SQL query content"})
+			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: kqml.SorryReasonMalformedSQL})
 		}
 		// The incoming trace ID flows through the context so every broker
 		// query and resource fetch this run issues joins the conversation.
-		res, err := a.Run(telemetry.WithTraceID(context.Background(), msg.TraceID), sq.SQL)
+		res, status, err := a.RunWithStatus(telemetry.WithTraceID(context.Background(), msg.TraceID), sq.SQL)
 		if err != nil {
 			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: err.Error()})
 		}
-		return a.Reply(msg, kqml.Tell, &kqml.SQLResult{Columns: res.Columns, Rows: res.Rows})
+		out := &kqml.SQLResult{Columns: res.Columns, Rows: res.Rows}
+		if status.Partial {
+			out.Partial = true
+			out.Degraded = status.Degraded
+		}
+		return a.Reply(msg, kqml.Tell, out)
 	default:
 		return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{
 			Reason: fmt.Sprintf("MRQ agent does not handle %s", msg.Performative),
@@ -142,16 +152,37 @@ func (a *Agent) handle(msg *kqml.Message) *kqml.Message {
 	}
 }
 
+// Status reports how complete a multiresource answer is: a query whose
+// fragment sources all answered (directly or through a covering replica)
+// is complete; one that lost fragment data is partial, with one
+// degradation note per affected class.
+type Status struct {
+	// Partial is true when rows may be missing.
+	Partial bool
+	// Degraded lists the affected classes, in statement class order.
+	Degraded []kqml.ClassDegradation
+}
+
 // Run processes one multiresource SQL query end to end. A trace ID on the
 // context (telemetry.WithTraceID) makes the run and everything under it —
-// broker queries, resource fetches — record conversation spans.
+// broker queries, resource fetches — record conversation spans. Partial
+// answers are returned without comment; use RunWithStatus to see them.
 func (a *Agent) Run(ctx context.Context, sql string) (*sqlparse.Result, error) {
+	res, _, err := a.RunWithStatus(ctx, sql)
+	return res, err
+}
+
+// RunWithStatus is Run plus the degradation report: when resource agents
+// die mid-query and no redundant advertisement covers the loss, the answer
+// still comes back, flagged partial with per-class notes, rather than as a
+// refusal.
+func (a *Agent) RunWithStatus(ctx context.Context, sql string) (*sqlparse.Result, *Status, error) {
 	traceID := telemetry.TraceIDFrom(ctx)
 	if traceID == "" {
 		return a.run(ctx, sql)
 	}
 	start := time.Now()
-	res, err := a.run(ctx, sql)
+	res, status, err := a.run(ctx, sql)
 	span := telemetry.Span{
 		TraceID:        traceID,
 		Agent:          a.cfg.Name,
@@ -163,17 +194,17 @@ func (a *Agent) Run(ctx context.Context, sql string) (*sqlparse.Result, error) {
 		span.Err = err.Error()
 	}
 	telemetry.RecordSpan(span)
-	return res, err
+	return res, status, err
 }
 
-func (a *Agent) run(ctx context.Context, sql string) (*sqlparse.Result, error) {
+func (a *Agent) run(ctx context.Context, sql string) (*sqlparse.Result, *Status, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	classes := stmt.Tables()
 	if len(classes) == 0 {
-		return nil, fmt.Errorf("mrq %s: query references no classes", a.cfg.Name)
+		return nil, nil, fmt.Errorf("mrq %s: query references no classes", a.cfg.Name)
 	}
 	var pushed *constraint.Set
 	if a.cfg.PushConstraints {
@@ -182,16 +213,18 @@ func (a *Agent) run(ctx context.Context, sql string) (*sqlparse.Result, error) {
 
 	// Assemble all referenced classes concurrently — one goroutine per
 	// class, first error wins and cancels the rest — then evaluate the
-	// original statement locally over the assembled tables. Tables land
-	// in an index-addressed slice and attach in class order, so the
-	// scratch database is identical to a serial assembly's.
+	// original statement locally over the assembled tables. Tables and
+	// degradation notes land in index-addressed slices and attach in
+	// class order, so the scratch database and the status report are
+	// identical to a serial assembly's.
 	tables := make([]*relational.Table, len(classes))
+	notes := make([]*kqml.ClassDegradation, len(classes))
 	if len(classes) == 1 {
-		t, err := a.assembleClass(ctx, classes[0], stmt, pushed)
+		t, note, err := a.assembleClass(ctx, classes[0], stmt, pushed)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		tables[0] = t
+		tables[0], notes[0] = t, note
 	} else {
 		gctx, cancel := context.WithCancel(ctx)
 		var (
@@ -203,7 +236,7 @@ func (a *Agent) run(ctx context.Context, sql string) (*sqlparse.Result, error) {
 			wg.Add(1)
 			go func(i int, class string) {
 				defer wg.Done()
-				t, err := a.assembleClass(gctx, class, stmt, pushed)
+				t, note, err := a.assembleClass(gctx, class, stmt, pushed)
 				if err != nil {
 					once.Do(func() {
 						firstErr = err
@@ -211,31 +244,47 @@ func (a *Agent) run(ctx context.Context, sql string) (*sqlparse.Result, error) {
 					})
 					return
 				}
-				tables[i] = t
+				tables[i], notes[i] = t, note
 			}(i, class)
 		}
 		wg.Wait()
 		cancel()
 		if firstErr != nil {
-			return nil, firstErr
+			return nil, nil, firstErr
 		}
 	}
 	scratch := relational.NewDatabase()
 	for _, table := range tables {
 		if err := scratch.Attach(table); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return sqlparse.Execute(scratch, stmt)
+	status := &Status{}
+	for _, note := range notes {
+		if note != nil {
+			status.Partial = true
+			status.Degraded = append(status.Degraded, *note)
+		}
+	}
+	if status.Partial {
+		resilience.RecordPartialResult()
+	}
+	res, err := sqlparse.Execute(scratch, stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, status, nil
 }
 
 // assembleClass locates the resources for one class (the paper's Figure 7
 // broker query), fetches their fragments concurrently, and merges them
-// into one table.
-func (a *Agent) assembleClass(ctx context.Context, class string, stmt *sqlparse.Select, pushed *constraint.Set) (*relational.Table, error) {
+// into one table. The degradation note is non-nil when fragment data was
+// lost with no covering replica (the table may then be incomplete, or —
+// when every resource failed — empty).
+func (a *Agent) assembleClass(ctx context.Context, class string, stmt *sqlparse.Select, pushed *constraint.Set) (*relational.Table, *kqml.ClassDegradation, error) {
 	if traceID := telemetry.TraceIDFrom(ctx); traceID != "" {
 		start := time.Now()
-		table, err := a.assembleClassInner(ctx, class, stmt, pushed, traceID)
+		table, note, err := a.assembleClassInner(ctx, class, stmt, pushed, traceID)
 		span := telemetry.Span{
 			TraceID:        traceID,
 			Agent:          a.cfg.Name,
@@ -247,12 +296,12 @@ func (a *Agent) assembleClass(ctx context.Context, class string, stmt *sqlparse.
 			span.Err = err.Error()
 		}
 		telemetry.RecordSpan(span)
-		return table, err
+		return table, note, err
 	}
 	return a.assembleClassInner(ctx, class, stmt, pushed, "")
 }
 
-func (a *Agent) assembleClassInner(ctx context.Context, class string, stmt *sqlparse.Select, pushed *constraint.Set, traceID string) (*relational.Table, error) {
+func (a *Agent) assembleClassInner(ctx context.Context, class string, stmt *sqlparse.Select, pushed *constraint.Set, traceID string) (*relational.Table, *kqml.ClassDegradation, error) {
 	q := &ontology.Query{
 		Type:            ontology.TypeResource,
 		ContentLanguage: ontology.LangSQL2,
@@ -264,25 +313,63 @@ func (a *Agent) assembleClassInner(ctx context.Context, class string, stmt *sqlp
 	}
 	br, err := a.QueryBrokers(ctx, q)
 	if err != nil {
-		return nil, fmt.Errorf("mrq %s: locating resources for class %s: %w", a.cfg.Name, class, err)
+		return nil, nil, fmt.Errorf("mrq %s: locating resources for class %s: %w", a.cfg.Name, class, err)
 	}
 	if len(br.Matches) == 0 {
-		return nil, fmt.Errorf("mrq %s: no resources serve class %s", a.cfg.Name, class)
+		return nil, nil, fmt.Errorf("mrq %s: no resources serve class %s", a.cfg.Name, class)
 	}
 
 	key := ""
 	if ont := a.cfg.World.Ontology(a.cfg.Ontology); ont != nil {
 		key = ont.KeyOf(class)
 	}
-	results, fetchErrs := a.fetchFragments(ctx, class, key, stmt, br.Matches, traceID)
+	results, lost := a.fetchFragments(ctx, class, key, stmt, br.Matches, traceID)
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("mrq %s: assembling class %s: %w", a.cfg.Name, class, err)
+		return nil, nil, fmt.Errorf("mrq %s: assembling class %s: %w", a.cfg.Name, class, err)
+	}
+	var note *kqml.ClassDegradation
+	if len(lost) > 0 {
+		note = &kqml.ClassDegradation{Class: class}
+		var reasons []string
+		for _, f := range lost {
+			note.Agents = append(note.Agents, f.Agent)
+			reasons = append(reasons, f.Agent+": "+f.Err)
+		}
+		note.Reason = strings.Join(reasons, "; ")
 	}
 	if len(results) == 0 {
-		return nil, fmt.Errorf("mrq %s: every resource for class %s failed: %s",
-			a.cfg.Name, class, strings.Join(fetchErrs, "; "))
+		// Every resource for the class failed with no covering replica.
+		// Degrade to an empty fragment table flagged per class rather
+		// than refuse the whole query — unless the ontology cannot even
+		// supply a schema, where a refusal is all that's left.
+		t, terr := a.emptyTable(class, key)
+		if terr != nil {
+			return nil, nil, fmt.Errorf("mrq %s: every resource for class %s failed: %s",
+				a.cfg.Name, class, note.Reason)
+		}
+		return t, note, nil
 	}
-	return MergeFragments(class, key, results)
+	t, err := MergeFragments(class, key, results)
+	return t, note, err
+}
+
+// emptyTable builds an empty table for a class from its ontology schema
+// (string-typed columns) — the stand-in fragment when every resource for
+// the class is unreachable.
+func (a *Agent) emptyTable(class, key string) (*relational.Table, error) {
+	ont := a.cfg.World.Ontology(a.cfg.Ontology)
+	if ont == nil {
+		return nil, fmt.Errorf("mrq %s: no ontology %q for empty fragment", a.cfg.Name, a.cfg.Ontology)
+	}
+	slots := ont.SlotsOf(class)
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("mrq %s: class %s has no ontology slots", a.cfg.Name, class)
+	}
+	cols := make([]relational.Column, 0, len(slots))
+	for _, s := range slots {
+		cols = append(cols, relational.Column{Name: s, Type: relational.TypeString})
+	}
+	return relational.NewTable(relational.Schema{Name: class, Columns: cols, Key: key})
 }
 
 // MergeFragments combines per-resource results for one class into a single

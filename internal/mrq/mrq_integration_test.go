@@ -173,8 +173,23 @@ func TestRunAllResourcesDead(t *testing.T) {
 	r := newRig(t)
 	ra := r.addResource(t, "RA1", "C2", "x-", 3)
 	ra.Stop()
-	if _, err := r.mrq.Run(context.Background(), "SELECT * FROM C2"); err == nil {
-		t.Error("all resources dead should fail")
+	// Every resource dead degrades to an empty, explicitly partial answer
+	// rather than a refusal.
+	res, status, err := r.mrq.RunWithStatus(context.Background(), "SELECT * FROM C2")
+	if err != nil {
+		t.Fatalf("all-dead query should degrade, not fail: %v", err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("rows = %d, want empty", res.Len())
+	}
+	if !status.Partial {
+		t.Fatal("all-dead answer not flagged partial")
+	}
+	if len(status.Degraded) != 1 || status.Degraded[0].Class != "C2" {
+		t.Fatalf("degradation notes = %+v, want one for C2", status.Degraded)
+	}
+	if got := status.Degraded[0].Agents; len(got) != 1 || got[0] != "RA1" {
+		t.Errorf("degraded agents = %v, want [RA1]", got)
 	}
 }
 

@@ -249,22 +249,35 @@ func TestRunCancellationMidFanout(t *testing.T) {
 	}
 }
 
-func TestFetchErrorsSortedByAgentName(t *testing.T) {
+func TestFetchFailuresSortedByAgentName(t *testing.T) {
 	r := newRig(t)
-	// Advertised in reverse-alphabetical order; the aggregated error must
+	// Advertised in reverse-alphabetical order; the degradation note must
 	// still list them sorted by name.
 	for _, name := range []string{"zz-dead", "mm-dead", "aa-dead"} {
 		dead := r.addResource(t, name, "C2", name+"-", 1)
 		dead.Stop()
 	}
-	_, err := r.mrq.Run(context.Background(), "SELECT * FROM C2")
-	if err == nil {
-		t.Fatal("all resources dead should fail")
+	_, status, err := r.mrq.RunWithStatus(context.Background(), "SELECT * FROM C2")
+	if err != nil {
+		t.Fatalf("all-dead query should degrade, not fail: %v", err)
 	}
-	msg := err.Error()
+	if !status.Partial || len(status.Degraded) != 1 {
+		t.Fatalf("status = %+v, want one degraded class", status)
+	}
+	want := []string{"aa-dead", "mm-dead", "zz-dead"}
+	got := status.Degraded[0].Agents
+	if len(got) != len(want) {
+		t.Fatalf("degraded agents = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("degraded agents not sorted: %v", got)
+		}
+	}
+	msg := status.Degraded[0].Reason
 	ia, im, iz := strings.Index(msg, "aa-dead:"), strings.Index(msg, "mm-dead:"), strings.Index(msg, "zz-dead:")
 	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
-		t.Fatalf("error not sorted by agent name: %s", msg)
+		t.Fatalf("reason not sorted by agent name: %s", msg)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"infosleuth/internal/agent"
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
+	"infosleuth/internal/resilience"
 	"infosleuth/internal/transport"
 )
 
@@ -24,6 +25,9 @@ type Config struct {
 	KnownBrokers []string
 	Redundancy   int
 	CallTimeout  time.Duration
+	// CallPolicy, when set, retries outgoing calls with backoff; nil
+	// calls once.
+	CallPolicy *resilience.Policy
 
 	// Ontologies are the domain models served; required.
 	Ontologies []*ontology.Ontology
@@ -47,7 +51,7 @@ func New(cfg Config) (*Agent, error) {
 		KnownBrokers: cfg.KnownBrokers,
 		Redundancy:   cfg.Redundancy,
 		CallTimeout:  cfg.CallTimeout,
-	})
+	}, agent.WithCallPolicy(cfg.CallPolicy))
 	if err != nil {
 		return nil, err
 	}

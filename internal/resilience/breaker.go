@@ -1,0 +1,132 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker state.
+type State int
+
+// Breaker states.
+const (
+	// StateClosed lets calls through, counting consecutive failures.
+	StateClosed State = iota
+	// StateOpen rejects calls until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen lets exactly one probe through; its outcome decides
+	// whether the circuit closes again or re-opens.
+	StateHalfOpen
+)
+
+// String renders the state for logs and metric labels.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// Breaker is one peer's circuit breaker: it trips open after a configured
+// run of consecutive failures, rejects calls for a cooldown, then admits a
+// single half-open probe whose outcome closes or re-opens the circuit —
+// the client-side mirror of the broker's Section 4.2.2 liveness pings. All
+// methods are safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    State
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a call may proceed, transitioning an open circuit
+// to half-open (and claiming the probe slot) once the cooldown has elapsed.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.setState(StateHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// OnSuccess records a successful call: a half-open probe (or any success)
+// closes the circuit and clears the failure run.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	if b.state != StateClosed {
+		b.setState(StateClosed)
+	}
+}
+
+// OnFailure records a failed call: a failed half-open probe re-opens the
+// circuit immediately; in the closed state the consecutive-failure run
+// grows and trips the circuit at the threshold.
+func (b *Breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		b.probing = false
+		b.openedAt = b.now()
+		b.setState(StateOpen)
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = b.now()
+			b.setState(StateOpen)
+		}
+	default: // already open (a straggler finishing after the trip)
+	}
+}
+
+// Snapshot returns the current state without side effects.
+func (b *Breaker) Snapshot() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// probeDue reports whether an open circuit's cooldown has elapsed (a probe
+// would be admitted); used by BreakerOpen to avoid consuming the probe slot
+// on a pure inspection.
+func (b *Breaker) probeDue() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == StateOpen && b.now().Sub(b.openedAt) >= b.cooldown
+}
+
+// setState transitions and counts; callers hold b.mu.
+func (b *Breaker) setState(s State) {
+	b.state = s
+	mBreakerState.With(s.String()).Inc()
+}

@@ -1,0 +1,192 @@
+// Package faulty is a deterministic fault-injection transport for
+// resilience tests: it wraps any transport.Transport and applies a
+// per-peer script of faults — drop (peer unreachable), delay, custom
+// error, or hang (block until the caller gives up) — to outgoing calls,
+// one scripted step per call, passing cleanly once the script is
+// exhausted. A seeded chaos mode scripts faults randomly but
+// reproducibly.
+//
+// Listening is always passed through untouched: the faults model the
+// *network and remote process*, not the local agent.
+package faulty
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/stats"
+	"infosleuth/internal/transport"
+)
+
+// Step is one scripted fault applied to a single call.
+type Step struct {
+	// Wait delays the call before acting (Pass and Fail steps) — the
+	// slow-peer case.
+	Wait time.Duration
+	// Err, when non-nil, fails the call with this error after Wait.
+	Err error
+	// HangStep blocks until the call's context is done, then returns its
+	// error — the hung-remote case.
+	HangStep bool
+}
+
+// Pass is a step that lets the call through untouched.
+func Pass() Step { return Step{} }
+
+// Drop fails one call as if the peer were unreachable.
+func Drop() Step { return Step{Err: fmt.Errorf("%w (injected)", transport.ErrUnreachable)} }
+
+// Fail fails one call with a custom error.
+func Fail(err error) Step { return Step{Err: err} }
+
+// Delay lets one call through after sleeping d.
+func Delay(d time.Duration) Step { return Step{Wait: d} }
+
+// Hang blocks one call until its context is done.
+func Hang() Step { return Step{HangStep: true} }
+
+// Transport wraps an inner transport with scripted faults. The zero value
+// is not usable; create one with Wrap. It is safe for concurrent use.
+type Transport struct {
+	inner transport.Transport
+
+	mu      sync.Mutex
+	scripts map[string][]Step
+	calls   map[string]int
+	faults  map[string]int
+	chaos   *chaos
+}
+
+// chaos is the seeded random fault generator.
+type chaos struct {
+	rng      *stats.Source
+	dropProb float64
+	hangProb float64
+	maxDelay time.Duration
+	match    func(addr string) bool
+}
+
+// Wrap returns a fault-injecting view of inner.
+func Wrap(inner transport.Transport) *Transport {
+	return &Transport{
+		inner:   inner,
+		scripts: make(map[string][]Step),
+		calls:   make(map[string]int),
+		faults:  make(map[string]int),
+	}
+}
+
+// Script appends steps to the peer's fault script; each outgoing call to
+// addr consumes one step in order, and calls beyond the script pass
+// through.
+func (t *Transport) Script(addr string, steps ...Step) {
+	t.mu.Lock()
+	t.scripts[addr] = append(t.scripts[addr], steps...)
+	t.mu.Unlock()
+}
+
+// Chaos switches the transport into seeded random-fault mode for peers
+// matching match (nil matches every peer): each call draws from the seeded
+// source — dropProb of failing as unreachable, hangProb of hanging, and
+// otherwise a uniform delay in [0, maxDelay). Explicit scripts still take
+// precedence. The same seed and call sequence reproduces the same faults.
+func (t *Transport) Chaos(seed int64, dropProb, hangProb float64, maxDelay time.Duration, match func(addr string) bool) {
+	t.mu.Lock()
+	t.chaos = &chaos{
+		rng:      stats.NewSource(seed),
+		dropProb: dropProb,
+		hangProb: hangProb,
+		maxDelay: maxDelay,
+		match:    match,
+	}
+	t.mu.Unlock()
+}
+
+// Reset clears all scripts, chaos mode, and counters.
+func (t *Transport) Reset() {
+	t.mu.Lock()
+	t.scripts = make(map[string][]Step)
+	t.calls = make(map[string]int)
+	t.faults = make(map[string]int)
+	t.chaos = nil
+	t.mu.Unlock()
+}
+
+// Calls returns how many calls were issued to addr (faulted ones
+// included).
+func (t *Transport) Calls(addr string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls[addr]
+}
+
+// Faults returns how many calls to addr were faulted (dropped, failed,
+// hung, or delayed).
+func (t *Transport) Faults(addr string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.faults[addr]
+}
+
+// Listen passes through to the inner transport.
+func (t *Transport) Listen(addr string, h transport.Handler) (transport.Listener, error) {
+	return t.inner.Listen(addr, h)
+}
+
+// next pops the peer's next scripted step, falling back to chaos mode.
+func (t *Transport) next(addr string) Step {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.calls[addr]++
+	if s := t.scripts[addr]; len(s) > 0 {
+		step := s[0]
+		t.scripts[addr] = s[1:]
+		if step != (Step{}) {
+			t.faults[addr]++
+		}
+		return step
+	}
+	if c := t.chaos; c != nil && (c.match == nil || c.match(addr)) {
+		switch f := c.rng.Float64(); {
+		case f < c.dropProb:
+			t.faults[addr]++
+			return Drop()
+		case f < c.dropProb+c.hangProb:
+			t.faults[addr]++
+			return Hang()
+		case c.maxDelay > 0:
+			d := time.Duration(c.rng.Float64() * float64(c.maxDelay))
+			if d > 0 {
+				t.faults[addr]++
+			}
+			return Delay(d)
+		}
+	}
+	return Step{}
+}
+
+// Call applies the peer's next scripted fault, then (for passing steps)
+// delegates to the inner transport.
+func (t *Transport) Call(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
+	step := t.next(addr)
+	if step.HangStep {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if step.Wait > 0 {
+		timer := time.NewTimer(step.Wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+	}
+	if step.Err != nil {
+		return nil, step.Err
+	}
+	return t.inner.Call(ctx, addr, msg)
+}

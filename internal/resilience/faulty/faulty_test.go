@@ -1,0 +1,173 @@
+package faulty
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/transport"
+)
+
+// echoListener starts an in-proc peer at addr that echoes a tell reply.
+func echoListener(t *testing.T, inner transport.Transport, addr string) {
+	t.Helper()
+	l, err := inner.Listen(addr, func(msg *kqml.Message) *kqml.Message {
+		return &kqml.Message{Performative: kqml.Tell, Sender: addr, InReplyTo: msg.ReplyWith}
+	})
+	if err != nil {
+		t.Fatalf("Listen(%s): %v", addr, err)
+	}
+	t.Cleanup(func() { l.Close() })
+}
+
+func TestScriptedFaultsInOrder(t *testing.T) {
+	inner := transport.NewInProc()
+	echoListener(t, inner, "inproc://peer")
+	ft := Wrap(inner)
+	custom := errors.New("scripted failure")
+	ft.Script("inproc://peer", Drop(), Fail(custom), Pass())
+
+	ctx := context.Background()
+	msg := &kqml.Message{Performative: kqml.AskAll, ReplyWith: "q1"}
+
+	if _, err := ft.Call(ctx, "inproc://peer", msg); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("step 1 err = %v, want ErrUnreachable", err)
+	}
+	if _, err := ft.Call(ctx, "inproc://peer", msg); !errors.Is(err, custom) {
+		t.Fatalf("step 2 err = %v, want scripted error", err)
+	}
+	reply, err := ft.Call(ctx, "inproc://peer", msg)
+	if err != nil || reply == nil || reply.Performative != kqml.Tell {
+		t.Fatalf("step 3 reply = %v, err = %v; want tell", reply, err)
+	}
+	// Script exhausted: further calls pass through.
+	if _, err := ft.Call(ctx, "inproc://peer", msg); err != nil {
+		t.Fatalf("post-script call: %v", err)
+	}
+	if got := ft.Calls("inproc://peer"); got != 4 {
+		t.Errorf("Calls = %d, want 4", got)
+	}
+	if got := ft.Faults("inproc://peer"); got != 2 {
+		t.Errorf("Faults = %d, want 2", got)
+	}
+}
+
+func TestScriptsArePerPeer(t *testing.T) {
+	inner := transport.NewInProc()
+	echoListener(t, inner, "inproc://a")
+	echoListener(t, inner, "inproc://b")
+	ft := Wrap(inner)
+	ft.Script("inproc://a", Drop())
+
+	if _, err := ft.Call(context.Background(), "inproc://b", &kqml.Message{Performative: kqml.Ping}); err != nil {
+		t.Fatalf("unscripted peer faulted: %v", err)
+	}
+	if _, err := ft.Call(context.Background(), "inproc://a", &kqml.Message{Performative: kqml.Ping}); err == nil {
+		t.Fatal("scripted peer passed")
+	}
+}
+
+func TestHangBlocksUntilContextDone(t *testing.T) {
+	inner := transport.NewInProc()
+	echoListener(t, inner, "inproc://peer")
+	ft := Wrap(inner)
+	ft.Script("inproc://peer", Hang())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ft.Call(ctx, "inproc://peer", &kqml.Message{Performative: kqml.Ping})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("hang returned after %v, before the deadline", elapsed)
+	}
+}
+
+func TestDelayWaitsThenPasses(t *testing.T) {
+	inner := transport.NewInProc()
+	echoListener(t, inner, "inproc://peer")
+	ft := Wrap(inner)
+	ft.Script("inproc://peer", Delay(20*time.Millisecond))
+
+	start := time.Now()
+	reply, err := ft.Call(context.Background(), "inproc://peer", &kqml.Message{Performative: kqml.Ping})
+	if err != nil || reply == nil {
+		t.Fatalf("delayed call: reply=%v err=%v", reply, err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("delayed call returned after %v, want >= 20ms", elapsed)
+	}
+	// A delayed call is abandoned when the context expires first.
+	ft.Script("inproc://peer", Delay(time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := ft.Call(ctx, "inproc://peer", &kqml.Message{Performative: kqml.Ping}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("long delay err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestChaosDeterministicBySeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		inner := transport.NewInProc()
+		echoListener(t, inner, "inproc://peer")
+		ft := Wrap(inner)
+		ft.Chaos(seed, 0.5, 0, 0, nil)
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			_, err := ft.Call(context.Background(), "inproc://peer", &kqml.Message{Performative: kqml.Ping})
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged across identical seeds", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical chaos outcomes")
+	}
+}
+
+func TestChaosMatchScopesFaults(t *testing.T) {
+	inner := transport.NewInProc()
+	echoListener(t, inner, "inproc://res-1")
+	echoListener(t, inner, "inproc://broker")
+	ft := Wrap(inner)
+	ft.Chaos(1, 1.0, 0, 0, func(addr string) bool { return addr == "inproc://res-1" })
+
+	if _, err := ft.Call(context.Background(), "inproc://broker", &kqml.Message{Performative: kqml.Ping}); err != nil {
+		t.Fatalf("unmatched peer faulted: %v", err)
+	}
+	if _, err := ft.Call(context.Background(), "inproc://res-1", &kqml.Message{Performative: kqml.Ping}); err == nil {
+		t.Fatal("matched peer passed despite dropProb=1")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	inner := transport.NewInProc()
+	echoListener(t, inner, "inproc://peer")
+	ft := Wrap(inner)
+	ft.Script("inproc://peer", Drop())
+	ft.Chaos(1, 1.0, 0, 0, nil)
+	ft.Reset()
+
+	if _, err := ft.Call(context.Background(), "inproc://peer", &kqml.Message{Performative: kqml.Ping}); err != nil {
+		t.Fatalf("post-reset call faulted: %v", err)
+	}
+	if ft.Calls("inproc://peer") != 1 || ft.Faults("inproc://peer") != 0 {
+		t.Errorf("post-reset counters: calls=%d faults=%d", ft.Calls("inproc://peer"), ft.Faults("inproc://peer"))
+	}
+}

@@ -1,0 +1,47 @@
+package resilience
+
+import "infosleuth/internal/telemetry"
+
+// Resilience metrics. The retry and breaker counters are recorded by the
+// policy itself; the failover and partial-result counters are owned here
+// but recorded by the MRQ assembly path (RecordFailover /
+// RecordPartialResult), so one metric family covers the whole degradation
+// story regardless of which layer absorbed the fault.
+var (
+	mRetries = telemetry.Default.Counter("infosleuth_resilience_retries_total",
+		"Retry attempts issued after a failed call (first attempts are not counted).")
+	mBreakerState = telemetry.Default.CounterVec("infosleuth_resilience_breaker_state_total",
+		"Circuit breaker state transitions, by state entered.", "state")
+	mBreakerRejects = telemetry.Default.Counter("infosleuth_resilience_breaker_rejects_total",
+		"Calls rejected without touching the transport because the peer's circuit was open.")
+	mFailovers = telemetry.Default.Counter("infosleuth_resilience_failovers_total",
+		"Fragment fetches recovered through a redundant advertisement after the primary resource failed.")
+	mPartials = telemetry.Default.Counter("infosleuth_resilience_partial_results_total",
+		"Multiresource queries answered with a partial result (one or more fragments lost with no covering replica).")
+)
+
+// RecordFailover counts one fragment recovered via a redundant
+// advertisement.
+func RecordFailover() { mFailovers.Inc() }
+
+// RecordPartialResult counts one query answered partially.
+func RecordPartialResult() { mPartials.Inc() }
+
+// Stats is a point-in-time snapshot of the resilience counters; tests and
+// benchmarks diff two snapshots.
+type Stats struct {
+	Retries        int64
+	BreakerRejects int64
+	Failovers      int64
+	PartialResults int64
+}
+
+// SnapshotStats reads the resilience counters.
+func SnapshotStats() Stats {
+	return Stats{
+		Retries:        mRetries.Value(),
+		BreakerRejects: mBreakerRejects.Value(),
+		Failovers:      mFailovers.Value(),
+		PartialResults: mPartials.Value(),
+	}
+}

@@ -1,0 +1,403 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"infosleuth/internal/kqml"
+)
+
+// fakeClock is an injectable time source tests advance by hand.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// noSleep records requested backoff delays without actually sleeping.
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+}
+
+var errBoom = errors.New("boom")
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	p := New(Options{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 1})
+	ceilings := []time.Duration{
+		10 * time.Millisecond, // retry 1
+		20 * time.Millisecond, // retry 2
+		40 * time.Millisecond, // retry 3
+		80 * time.Millisecond, // retry 4 (capped)
+		80 * time.Millisecond, // retry 5 (capped)
+		80 * time.Millisecond, // retry 62 shifts past MaxDelay; also capped
+	}
+	for i, ceil := range ceilings {
+		retry := i + 1
+		if retry == len(ceilings) {
+			retry = 62 // provoke the shift-overflow guard
+		}
+		for trial := 0; trial < 100; trial++ {
+			d := p.backoff(retry)
+			if d < 0 || d >= ceil {
+				t.Fatalf("backoff(%d) = %v, want in [0, %v)", retry, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffDeterministicBySeed(t *testing.T) {
+	a := New(Options{Seed: 42})
+	b := New(Options{Seed: 42})
+	for i := 1; i <= 10; i++ {
+		if da, db := a.backoff(i), b.backoff(i); da != db {
+			t.Fatalf("retry %d: seeds diverged: %v vs %v", i, da, db)
+		}
+	}
+	c := New(Options{Seed: 43})
+	same := true
+	for i := 1; i <= 10; i++ {
+		if a.backoff(i) != c.backoff(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical backoff sequences")
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var delays []time.Duration
+	p := New(Options{MaxAttempts: 5, Seed: 1, sleep: noSleep(&delays)})
+	attempts := 0
+	err := p.Do(context.Background(), "peer", func(ctx context.Context) error {
+		attempts++
+		if attempts < 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	if len(delays) != 2 {
+		t.Errorf("backoff sleeps = %d, want 2", len(delays))
+	}
+}
+
+func TestDoStopsAtMaxAttempts(t *testing.T) {
+	var delays []time.Duration
+	p := New(Options{MaxAttempts: 3, Seed: 1, sleep: noSleep(&delays)})
+	attempts := 0
+	err := p.Do(context.Background(), "peer", func(ctx context.Context) error {
+		attempts++
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("Do err = %v, want errBoom", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestDoNonRetryableStopsImmediately(t *testing.T) {
+	p := New(Options{MaxAttempts: 5, Seed: 1,
+		Retryable: func(error) bool { return false }})
+	attempts := 0
+	err := p.Do(context.Background(), "peer", func(ctx context.Context) error {
+		attempts++
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) || attempts != 1 {
+		t.Fatalf("err = %v, attempts = %d; want errBoom after 1 attempt", err, attempts)
+	}
+}
+
+func TestDoCanceledContextNotRetried(t *testing.T) {
+	p := New(Options{MaxAttempts: 5, Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	err := p.Do(ctx, "peer", func(ctx context.Context) error {
+		attempts++
+		cancel()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) || attempts != 1 {
+		t.Fatalf("err = %v, attempts = %d; want context.Canceled after 1 attempt", err, attempts)
+	}
+}
+
+func TestNilPolicyRunsOnce(t *testing.T) {
+	var p *Policy
+	attempts := 0
+	err := p.Do(context.Background(), "peer", func(ctx context.Context) error {
+		attempts++
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) || attempts != 1 {
+		t.Fatalf("nil policy: err = %v, attempts = %d", err, attempts)
+	}
+	if p.Breaker("peer") != nil || p.BreakerOpen("peer") || p.BudgetRemaining() != -1 {
+		t.Error("nil policy accessors should be inert")
+	}
+}
+
+func TestDisabledPolicyRunsOnce(t *testing.T) {
+	p := Disabled()
+	attempts := 0
+	err := p.Do(context.Background(), "peer", func(ctx context.Context) error {
+		attempts++
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) || attempts != 1 {
+		t.Fatalf("disabled policy: err = %v, attempts = %d", err, attempts)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	var delays []time.Duration
+	p := New(Options{MaxAttempts: 2, RetryBudget: 1, Seed: 1, sleep: noSleep(&delays)})
+	fail := func(ctx context.Context) error { return errBoom }
+
+	// First call spends the only token on its retry.
+	if err := p.Do(context.Background(), "peer", fail); !errors.Is(err, errBoom) {
+		t.Fatalf("first call err = %v", err)
+	}
+	if got := p.BudgetRemaining(); got != 0 {
+		t.Fatalf("budget after first call = %d, want 0", got)
+	}
+	// Second call cannot afford a retry.
+	err := p.Do(context.Background(), "peer", fail)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("second call err = %v, want ErrBudgetExhausted", err)
+	}
+	if !errors.Is(err, errBoom) {
+		t.Errorf("budget error should wrap the attempt error, got %v", err)
+	}
+}
+
+func TestRetryBudgetRefillsOnSuccess(t *testing.T) {
+	p := New(Options{MaxAttempts: 2, RetryBudget: 2, BudgetRefill: 0.5, Seed: 1,
+		sleep: func(ctx context.Context, d time.Duration) error { return nil }})
+	fail := func(ctx context.Context) error { return errBoom }
+	ok := func(ctx context.Context) error { return nil }
+
+	p.Do(context.Background(), "peer", fail) // spend 1
+	p.Do(context.Background(), "peer", fail) // spend 1 -> 0 tokens
+	if got := p.BudgetRemaining(); got != 0 {
+		t.Fatalf("budget = %d, want 0", got)
+	}
+	p.Do(context.Background(), "peer", ok)
+	p.Do(context.Background(), "peer", ok) // two successes * 0.5 = 1 token
+	if got := p.BudgetRemaining(); got != 1 {
+		t.Fatalf("budget after refill = %d, want 1", got)
+	}
+	// Refill caps at RetryBudget.
+	for i := 0; i < 10; i++ {
+		p.Do(context.Background(), "peer", ok)
+	}
+	if got := p.BudgetRemaining(); got != 2 {
+		t.Fatalf("budget after many successes = %d, want cap 2", got)
+	}
+}
+
+func TestBreakerFSM(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreaker(3, time.Second, clock.Now)
+
+	if b.Snapshot() != StateClosed {
+		t.Fatal("new breaker not closed")
+	}
+	b.OnFailure()
+	b.OnFailure()
+	if b.Snapshot() != StateClosed {
+		t.Fatal("breaker tripped below threshold")
+	}
+	b.OnFailure() // third consecutive failure trips it
+	if b.Snapshot() != StateOpen {
+		t.Fatal("breaker did not open at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker rejected the probe")
+	}
+	if b.Snapshot() != StateHalfOpen {
+		t.Fatal("breaker not half-open after probe admission")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Failed probe re-opens immediately.
+	b.OnFailure()
+	if b.Snapshot() != StateOpen || b.Allow() {
+		t.Fatal("failed probe did not re-open the circuit")
+	}
+
+	// Successful probe closes and resets the failure run.
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.OnSuccess()
+	if b.Snapshot() != StateClosed {
+		t.Fatal("successful probe did not close the circuit")
+	}
+	b.OnFailure()
+	b.OnFailure()
+	if b.Snapshot() != StateClosed {
+		t.Fatal("failure run not reset by success")
+	}
+}
+
+func TestDoBreakerRejectsAndProbes(t *testing.T) {
+	clock := newFakeClock()
+	var delays []time.Duration
+	p := New(Options{
+		MaxAttempts: 1, BreakerThreshold: 2, BreakerCooldown: time.Second,
+		Seed: 1, now: clock.Now, sleep: noSleep(&delays),
+	})
+	fail := func(ctx context.Context) error { return errBoom }
+	attempts := 0
+	counted := func(ctx context.Context) error { attempts++; return nil }
+
+	p.Do(context.Background(), "peer", fail)
+	p.Do(context.Background(), "peer", fail) // trips the breaker
+	err := p.Do(context.Background(), "peer", counted)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if attempts != 0 {
+		t.Fatal("open breaker still invoked the op")
+	}
+	if !p.BreakerOpen("peer") {
+		t.Fatal("BreakerOpen = false while open inside cooldown")
+	}
+	// Other peers are unaffected.
+	if err := p.Do(context.Background(), "other", counted); err != nil || attempts != 1 {
+		t.Fatalf("independent peer blocked: err=%v attempts=%d", err, attempts)
+	}
+
+	// After the cooldown the policy reports probe-due, admits one call, and
+	// a success closes the circuit.
+	clock.Advance(time.Second)
+	if p.BreakerOpen("peer") {
+		t.Fatal("BreakerOpen = true once a probe is due")
+	}
+	if err := p.Do(context.Background(), "peer", counted); err != nil {
+		t.Fatalf("probe call: %v", err)
+	}
+	if p.Breaker("peer").Snapshot() != StateClosed {
+		t.Fatal("successful probe did not close the circuit")
+	}
+}
+
+func TestDeadlineSlicedAcrossAttempts(t *testing.T) {
+	p := New(Options{MaxAttempts: 2, Seed: 1,
+		sleep: func(ctx context.Context, d time.Duration) error { return nil }})
+	total := 200 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), total)
+	defer cancel()
+
+	var slices []time.Duration
+	start := time.Now()
+	p.Do(ctx, "peer", func(actx context.Context) error {
+		dl, ok := actx.Deadline()
+		if !ok {
+			t.Fatal("attempt context lost its deadline")
+		}
+		slices = append(slices, dl.Sub(start))
+		return errBoom
+	})
+	if len(slices) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(slices))
+	}
+	// First attempt gets about half the budget; the last attempt gets the
+	// whole remainder. Generous slack absorbs scheduler noise.
+	if slices[0] > total/2+50*time.Millisecond {
+		t.Errorf("first attempt slice %v exceeds half the %v budget", slices[0], total)
+	}
+	if slices[1] <= slices[0] {
+		t.Errorf("final attempt deadline %v not later than first slice %v", slices[1], slices[0])
+	}
+}
+
+func TestWrapCallRetriesTransportErrors(t *testing.T) {
+	var delays []time.Duration
+	p := New(Options{MaxAttempts: 3, Seed: 1, sleep: noSleep(&delays)})
+	calls := 0
+	want := &kqml.Message{Performative: kqml.Tell, Sender: "peer"}
+	next := func(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
+		calls++
+		if calls < 3 {
+			return nil, errBoom
+		}
+		return want, nil
+	}
+	reply, err := p.WrapCall(next)(context.Background(), "peer", &kqml.Message{Performative: kqml.AskAll})
+	if err != nil {
+		t.Fatalf("WrapCall: %v", err)
+	}
+	if reply != want || calls != 3 {
+		t.Fatalf("reply = %v after %d calls, want scripted reply after 3", reply, calls)
+	}
+}
+
+func TestWrapCallSorryIsSuccess(t *testing.T) {
+	p := New(Options{MaxAttempts: 3, BreakerThreshold: 1, Seed: 1})
+	calls := 0
+	sorry := &kqml.Message{Performative: kqml.Sorry, Sender: "peer"}
+	next := func(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
+		calls++
+		return sorry, nil
+	}
+	reply, err := p.WrapCall(next)(context.Background(), "peer", &kqml.Message{Performative: kqml.AskAll})
+	if err != nil || reply != sorry {
+		t.Fatalf("sorry reply: err=%v reply=%v", err, reply)
+	}
+	if calls != 1 {
+		t.Errorf("sorry reply retried: %d calls", calls)
+	}
+	if p.BreakerOpen("peer") {
+		t.Error("sorry reply tripped the breaker")
+	}
+}
+
+func TestWrapCallNilPolicyPassthrough(t *testing.T) {
+	var p *Policy
+	next := func(ctx context.Context, addr string, msg *kqml.Message) (*kqml.Message, error) {
+		return nil, errBoom
+	}
+	wrapped := p.WrapCall(next)
+	if _, err := wrapped(context.Background(), "peer", nil); !errors.Is(err, errBoom) {
+		t.Fatalf("nil policy wrap err = %v", err)
+	}
+}

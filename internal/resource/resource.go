@@ -17,6 +17,7 @@ import (
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/oql"
 	"infosleuth/internal/relational"
+	"infosleuth/internal/resilience"
 	"infosleuth/internal/sqlparse"
 	"infosleuth/internal/transport"
 )
@@ -32,6 +33,9 @@ type Config struct {
 	KnownBrokers []string
 	Redundancy   int
 	CallTimeout  time.Duration
+	// CallPolicy, when set, retries outgoing calls (advertising,
+	// heartbeat pings, update pushes) with backoff; nil calls once.
+	CallPolicy *resilience.Policy
 
 	// DB is the repository the agent proxies; required.
 	DB *relational.Database
@@ -93,7 +97,7 @@ func New(cfg Config) (*Agent, error) {
 		KnownBrokers: cfg.KnownBrokers,
 		Redundancy:   cfg.Redundancy,
 		CallTimeout:  cfg.CallTimeout,
-	})
+	}, agent.WithCallPolicy(cfg.CallPolicy))
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +145,7 @@ func (a *Agent) handle(msg *kqml.Message) *kqml.Message {
 		if err := msg.DecodeContent(&sc); err == nil && a.unsubscribe(sc.Reason) {
 			return a.Reply(msg, kqml.Tell, &kqml.SorryContent{Reason: "unsubscribed"})
 		}
-		return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{Reason: "unknown subscription"})
+		return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{Reason: kqml.SorryReasonUnknownSubscription})
 	default:
 		return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{
 			Reason: fmt.Sprintf("resource agent does not handle %s", msg.Performative),
@@ -166,7 +170,7 @@ func (a *Agent) InsertRow(ctx context.Context, class string, row relational.Row)
 func (a *Agent) handleQuery(msg *kqml.Message) *kqml.Message {
 	var sq kqml.SQLQuery
 	if err := msg.DecodeContent(&sq); err != nil {
-		return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: "malformed query content"})
+		return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: kqml.SorryReasonMalformedQuery})
 	}
 	lang := msg.Language
 	if lang == "" {

@@ -40,7 +40,7 @@ func (a *Agent) subs() *subscriptions {
 func (a *Agent) handleSubscribe(msg *kqml.Message) *kqml.Message {
 	var sc kqml.SubscribeContent
 	if err := msg.DecodeContent(&sc); err != nil || sc.SQL == "" || sc.SubscriberAddress == "" {
-		return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: "malformed subscription"})
+		return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: kqml.SorryReasonMalformedSubscription})
 	}
 	res, err := a.Run(sc.SQL)
 	if err != nil {

@@ -63,6 +63,12 @@ const (
 	OpMRQFetch = "mrq.fetch"
 	// OpResourceQuery is a resource agent executing a data query.
 	OpResourceQuery = "resource.query"
+	// OpRetryAttempt marks a resilience-policy retry: the span's agent is
+	// the peer being retried and its error notes the attempt number.
+	OpRetryAttempt = "retry.attempt"
+	// OpFailover marks an MRQ fragment recovered through a redundant
+	// advertisement after its primary resource failed.
+	OpFailover = "failover"
 	// OpUserSubmit is a user agent's end-to-end SQL submission.
 	OpUserSubmit = "useragent.submit"
 	// OpTraceDropped mirrors kqml.OpTraceDropped: a marker standing in

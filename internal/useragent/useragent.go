@@ -12,6 +12,7 @@ import (
 	"infosleuth/internal/agent"
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
+	"infosleuth/internal/resilience"
 	"infosleuth/internal/sqlparse"
 	"infosleuth/internal/telemetry"
 	"infosleuth/internal/transport"
@@ -28,6 +29,9 @@ type Config struct {
 	// RandomizeBrokerChoice spreads broker queries uniformly over
 	// connected brokers (the paper's query-agent behavior).
 	RandomizeBrokerChoice bool
+	// CallPolicy, when set, retries outgoing calls with backoff and
+	// skips peers whose circuit is open; nil calls once.
+	CallPolicy *resilience.Policy
 
 	// Ontology optionally narrows MRQ lookup to specialists in the
 	// query's classes (the paper's MRQ2 preference). Empty skips the
@@ -52,7 +56,7 @@ func New(cfg Config) (*Agent, error) {
 		CallTimeout:  cfg.CallTimeout,
 
 		RandomizeBrokerChoice: cfg.RandomizeBrokerChoice,
-	})
+	}, agent.WithCallPolicy(cfg.CallPolicy))
 	if err != nil {
 		return nil, err
 	}
