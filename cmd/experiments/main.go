@@ -38,6 +38,8 @@ func main() {
 		benchAds    = flag.Int("bench-ads", 400, "repository size for the match-cache benchmark")
 		mrqBenchOut = flag.String("mrq-bench-out", "BENCH_mrq.json", "output path for the MRQ fan-out bench artifact")
 		tracesOut   = flag.String("traces-out", "TRACES.txt", "output path for the traces artifact")
+		explainOut  = flag.String("explain-out", "EXPLAIN.txt", "output path for the explain artifact")
+		metricsOut  = flag.String("metrics-out", "METRICS.md", "output path for the metrics catalog")
 	)
 	flag.Parse()
 
@@ -167,6 +169,28 @@ func main() {
 			log.Fatalf("traces: %v", err)
 		}
 		fmt.Printf("wrote %s\n", *tracesOut)
+	}
+	// The explain artifact exercises the decision-provenance layer end to
+	// end (match, forward, pushdown, fetch, failover); explicit-only, like
+	// traces.
+	if want["explain"] {
+		art, err := experiments.ExplainDemo()
+		if err != nil {
+			log.Fatalf("explain: %v", err)
+		}
+		fmt.Print(art.Text)
+		if err := os.WriteFile(*explainOut, []byte(art.Text), 0o644); err != nil {
+			log.Fatalf("explain: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *explainOut)
+	}
+	// The metrics catalog documents every registered metric family; CI
+	// regenerates it and fails on drift.
+	if want["metrics"] {
+		if err := os.WriteFile(*metricsOut, []byte(experiments.MetricsCatalog()), 0o644); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
 	}
 	if sel("table5") || sel("table6") || all {
 		cells := experiments.RobustnessGrid(simOpts)

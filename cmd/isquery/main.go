@@ -14,14 +14,20 @@
 //
 // With -trace-dump, the conversation's spans are assembled into a trace
 // tree (the same rendering a daemon serves at /traces/{id}) and printed
-// after the result.
+// after the result. With -explain, the decision provenance — which
+// advertisements matched and why, what was pushed down, what failed over —
+// is printed as the same explain report a daemon serves at
+// /traces/{id}/explain. With -fail-on-partial, a partial answer (fragments
+// lost with no covering replica) exits with code 3 instead of 0, so
+// scripts can tell a complete answer from a degraded one.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strings"
 	"time"
 
@@ -30,40 +36,63 @@ import (
 	"infosleuth/internal/mrq"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/telemetry"
+	"infosleuth/internal/telemetry/provenance"
 	"infosleuth/internal/telemetry/recorder"
 	"infosleuth/internal/transport"
 )
 
+// exitPartial is the exit code for a partial answer under -fail-on-partial:
+// distinct from 1 (hard failure) and 2 (usage error) so callers can react
+// to "answered, but incomplete" specifically.
+const exitPartial = 3
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("isquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		brokerAddr  = flag.String("broker", "tcp://127.0.0.1:4356", "broker address")
-		agentType   = flag.String("type", "", "required agent type (resource, query, user, broker)")
-		language    = flag.String("language", "", "required content language (e.g. \"SQL 2.0\")")
-		ontoName    = flag.String("ontology", "", "required ontology (e.g. healthcare)")
-		classes     = flag.String("classes", "", "comma-separated required classes")
-		caps        = flag.String("capabilities", "", "comma-separated required capabilities")
-		constraints = flag.String("constraints", "", "data constraints")
-		limit       = flag.Int("limit", 0, "max recommendations (0 = all)")
-		hops        = flag.Int("hops", 1, "inter-broker hop count")
-		sql         = flag.String("sql", "", "run this SQL query across matching resources instead of listing agents")
-		timeout     = flag.Duration("timeout", 30*time.Second, "overall timeout")
-		trace       = flag.Bool("trace", false, "trace the conversation and print one span per hop")
-		traceDump   = flag.Bool("trace-dump", false, "trace the conversation and print the assembled trace tree")
+		brokerAddr    = fs.String("broker", "tcp://127.0.0.1:4356", "broker address")
+		agentType     = fs.String("type", "", "required agent type (resource, query, user, broker)")
+		language      = fs.String("language", "", "required content language (e.g. \"SQL 2.0\")")
+		ontoName      = fs.String("ontology", "", "required ontology (e.g. healthcare)")
+		classes       = fs.String("classes", "", "comma-separated required classes")
+		caps          = fs.String("capabilities", "", "comma-separated required capabilities")
+		constraints   = fs.String("constraints", "", "data constraints")
+		limit         = fs.Int("limit", 0, "max recommendations (0 = all)")
+		hops          = fs.Int("hops", 1, "inter-broker hop count")
+		sql           = fs.String("sql", "", "run this SQL query across matching resources instead of listing agents")
+		timeout       = fs.Duration("timeout", 30*time.Second, "overall timeout")
+		trace         = fs.Bool("trace", false, "trace the conversation and print one span per hop")
+		traceDump     = fs.Bool("trace-dump", false, "trace the conversation and print the assembled trace tree")
+		explain       = fs.Bool("explain", false, "trace the conversation and print the decision-provenance explain report")
+		failOnPartial = fs.Bool("fail-on-partial", false,
+			fmt.Sprintf("exit with code %d when the answer is partial (fragments lost with no covering replica)", exitPartial))
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
 	var rec *recorder.Recorder
-	if *traceDump {
+	if *traceDump || *explain {
 		rec = recorder.New(recorder.Options{})
 		telemetry.SetSpanRecorder(rec)
+		provenance.SetRecorder(rec)
+		defer telemetry.SetSpanRecorder(nil)
+		defer provenance.SetRecorder(nil)
 	}
 
+	opts := outputOptions{
+		stdout: stdout, stderr: stderr,
+		rec: rec, trace: *trace, traceDump: *traceDump, explain: *explain,
+	}
 	if *sql != "" {
-		runSQL(ctx, *brokerAddr, *ontoName, *sql, rec)
-		return
+		return runSQL(ctx, *brokerAddr, *ontoName, *sql, *failOnPartial, opts)
 	}
 
 	q := &ontology.Query{
@@ -82,7 +111,8 @@ func main() {
 	if *constraints != "" {
 		cs, err := constraint.Parse(*constraints)
 		if err != nil {
-			log.Fatalf("isquery: %v", err)
+			fmt.Fprintf(stderr, "isquery: %v\n", err)
+			return 1
 		}
 		q.Constraints = cs
 	}
@@ -90,56 +120,79 @@ func main() {
 	tr := &transport.TCP{}
 	msg := kqml.New(kqml.AskAll, "isquery", &kqml.BrokerQuery{Query: q})
 	msg.Ontology = kqml.ServiceOntology
-	if *trace || *traceDump {
+	if *trace || *traceDump || *explain {
 		msg.TraceID = telemetry.NewTraceID()
 	}
 	reply, err := tr.Call(ctx, *brokerAddr, msg)
 	if err != nil {
-		log.Fatalf("isquery: %v", err)
+		fmt.Fprintf(stderr, "isquery: %v\n", err)
+		return 1
 	}
 	if reply.Performative != kqml.Tell {
-		log.Fatalf("isquery: broker: %s", kqml.ReasonOf(reply))
+		fmt.Fprintf(stderr, "isquery: broker: %s\n", kqml.ReasonOf(reply))
+		return 1
 	}
 	var br kqml.BrokerReply
 	if err := reply.DecodeContent(&br); err != nil {
-		log.Fatalf("isquery: %v", err)
+		fmt.Fprintf(stderr, "isquery: %v\n", err)
+		return 1
 	}
 	if len(br.Degraded) > 0 {
-		fmt.Printf("WARNING: search degraded — unreachable or circuit-open brokers skipped: %s\n",
+		fmt.Fprintf(stdout, "WARNING: search degraded — unreachable or circuit-open brokers skipped: %s\n",
 			strings.Join(br.Degraded, ", "))
 	}
 	if len(br.Matches) == 0 {
-		fmt.Println("no matching agents")
+		fmt.Fprintln(stdout, "no matching agents")
 	} else {
-		fmt.Printf("%d matching agent(s) (brokers consulted: %s):\n", len(br.Matches), strings.Join(br.Brokers, ", "))
+		fmt.Fprintf(stdout, "%d matching agent(s) (brokers consulted: %s):\n", len(br.Matches), strings.Join(br.Brokers, ", "))
 		for _, ad := range br.Matches {
-			fmt.Printf("  %-28s %-9s %s\n", ad.Name, ad.Type, ad.Address)
+			fmt.Fprintf(stdout, "  %-28s %-9s %s\n", ad.Name, ad.Type, ad.Address)
 			for _, f := range ad.Content {
-				fmt.Printf("    serves %s\n", f.String())
+				fmt.Fprintf(stdout, "    serves %s\n", f.String())
 			}
 		}
 	}
 	if *trace {
-		fmt.Printf("trace %s (%d spans):\n", reply.TraceID, len(reply.Trace))
+		fmt.Fprintf(stdout, "trace %s (%d spans):\n", reply.TraceID, len(reply.Trace))
 		for _, s := range reply.Trace {
-			fmt.Printf("  hop %d  %-20s %-20s %d µs\n", s.Hop, s.Agent, s.Op, s.DurationMicros)
+			fmt.Fprintf(stdout, "  hop %d  %-20s %-20s %d µs\n", s.Hop, s.Agent, s.Op, s.DurationMicros)
 		}
 	}
-	if rec != nil {
-		dumpTrace(rec, msg.TraceID)
-	}
+	opts.dump(msg.TraceID)
+	return 0
 }
 
-func dumpTrace(rec *recorder.Recorder, traceID string) {
-	tree, ok := rec.Trace(traceID)
-	if !ok {
-		fmt.Printf("trace %s: no spans recorded\n", traceID)
+// outputOptions bundles the post-result reporting knobs.
+type outputOptions struct {
+	stdout, stderr io.Writer
+	rec            *recorder.Recorder
+	trace          bool
+	traceDump      bool
+	explain        bool
+}
+
+// dump prints the trace tree and/or explain report for one conversation.
+func (o outputOptions) dump(traceID string) {
+	if o.rec == nil {
 		return
 	}
-	fmt.Print(tree.Format())
+	if o.traceDump {
+		if tree, ok := o.rec.Trace(traceID); ok {
+			fmt.Fprint(o.stdout, tree.Format())
+		} else {
+			fmt.Fprintf(o.stdout, "trace %s: no spans recorded\n", traceID)
+		}
+	}
+	if o.explain {
+		if ex, ok := o.rec.Explain(traceID); ok {
+			fmt.Fprint(o.stdout, ex.Format())
+		} else {
+			fmt.Fprintf(o.stdout, "trace %s: no decisions recorded\n", traceID)
+		}
+	}
 }
 
-func runSQL(ctx context.Context, brokerAddr, ontoName, sql string, rec *recorder.Recorder) {
+func runSQL(ctx context.Context, brokerAddr, ontoName, sql string, failOnPartial bool, opts outputOptions) int {
 	if ontoName == "" {
 		ontoName = "healthcare"
 	}
@@ -153,30 +206,35 @@ func runSQL(ctx context.Context, brokerAddr, ontoName, sql string, rec *recorder
 		PushConstraints: true,
 	})
 	if err != nil {
-		log.Fatalf("isquery: %v", err)
+		fmt.Fprintf(opts.stderr, "isquery: %v\n", err)
+		return 1
 	}
 	if err := a.Start(); err != nil {
-		log.Fatalf("isquery: %v", err)
+		fmt.Fprintf(opts.stderr, "isquery: %v\n", err)
+		return 1
 	}
 	defer a.Stop()
 	traceID := ""
-	if rec != nil {
+	if opts.rec != nil {
 		traceID = telemetry.NewTraceID()
 		ctx = telemetry.WithTraceID(ctx, traceID)
 	}
 	res, status, err := a.RunWithStatus(ctx, sql)
 	if err != nil {
-		log.Fatalf("isquery: %v", err)
+		fmt.Fprintf(opts.stderr, "isquery: %v\n", err)
+		return 1
 	}
-	fmt.Print(res.String())
-	fmt.Printf("(%d rows)\n", res.Len())
+	fmt.Fprint(opts.stdout, res.String())
+	fmt.Fprintf(opts.stdout, "(%d rows)\n", res.Len())
 	if status.Partial {
-		fmt.Println("WARNING: partial result — some fragments were lost with no covering replica:")
+		fmt.Fprintln(opts.stdout, "WARNING: partial result — some fragments were lost with no covering replica:")
 		for _, d := range status.Degraded {
-			fmt.Printf("  class %s: %s (%s)\n", d.Class, strings.Join(d.Agents, ", "), d.Reason)
+			fmt.Fprintf(opts.stdout, "  class %s: %s (%s)\n", d.Class, strings.Join(d.Agents, ", "), d.Reason)
 		}
 	}
-	if rec != nil {
-		dumpTrace(rec, traceID)
+	opts.dump(traceID)
+	if status.Partial && failOnPartial {
+		return exitPartial
 	}
+	return 0
 }

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"infosleuth/internal/broker"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+	"infosleuth/internal/resource"
+	"infosleuth/internal/transport"
+)
+
+// newTCPCommunity starts a broker and one resource agent over loopback
+// TCP — the transport isquery actually uses — with n rows of generic C2
+// data, and returns the broker address plus the resource agent so tests
+// can kill it.
+func newTCPCommunity(t *testing.T, n int) (string, *resource.Agent) {
+	t.Helper()
+	tr := &transport.TCP{}
+	world := ontology.NewWorld(ontology.Generic(), ontology.Healthcare())
+	b, err := broker.New(broker.Config{
+		Name: "Broker1", Address: "tcp://127.0.0.1:0", Transport: tr, World: world,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Stop() })
+
+	db := relational.NewDatabase()
+	tbl, err := db.Create(relational.GenericSchema("C2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tbl.MustInsert(relational.Row{
+			relational.Str("r-" + string(rune('a'+i))),
+			relational.Num(float64(i * 100)), relational.Num(0), relational.Num(0), relational.Num(0),
+		})
+	}
+	ra, err := resource.New(resource.Config{
+		Name: "RA1", Address: "tcp://127.0.0.1:0", Transport: tr,
+		KnownBrokers: []string{b.Addr()},
+		DB:           db,
+		Fragment:     ontology.Fragment{Ontology: "generic", Classes: []string{"C2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ra.Stop() })
+	if _, err := ra.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return b.Addr(), ra
+}
+
+// TestRunSQLComplete pins the happy path: a complete answer exits 0, with
+// or without -fail-on-partial.
+func TestRunSQLComplete(t *testing.T) {
+	brokerAddr, _ := newTCPCommunity(t, 3)
+	var out, errs bytes.Buffer
+	code := run([]string{"-broker", brokerAddr, "-ontology", "generic",
+		"-fail-on-partial", "-sql", "SELECT * FROM C2"}, &out, &errs)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errs.String())
+	}
+	if !strings.Contains(out.String(), "(3 rows)") {
+		t.Errorf("stdout missing row count:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "partial") {
+		t.Errorf("complete answer flagged partial:\n%s", out.String())
+	}
+}
+
+// TestRunSQLFailOnPartial is the satellite's contract: a partial answer
+// (the only resource serving the class died, no covering replica) exits 0
+// by default but with the distinct exitPartial code under -fail-on-partial,
+// so scripts can tell "answered, but incomplete" from success and from
+// hard failure.
+func TestRunSQLFailOnPartial(t *testing.T) {
+	brokerAddr, ra := newTCPCommunity(t, 3)
+	ra.Stop() // advertisement survives in the broker; every fetch now fails
+
+	var out, errs bytes.Buffer
+	code := run([]string{"-broker", brokerAddr, "-ontology", "generic",
+		"-sql", "SELECT * FROM C2"}, &out, &errs)
+	if code != 0 {
+		t.Fatalf("without -fail-on-partial: exit code = %d, want 0\nstderr:\n%s", code, errs.String())
+	}
+	if !strings.Contains(out.String(), "partial result") {
+		t.Errorf("stdout missing partial warning:\n%s", out.String())
+	}
+
+	out.Reset()
+	errs.Reset()
+	code = run([]string{"-broker", brokerAddr, "-ontology", "generic",
+		"-fail-on-partial", "-sql", "SELECT * FROM C2"}, &out, &errs)
+	if code != exitPartial {
+		t.Fatalf("with -fail-on-partial: exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, exitPartial, out.String(), errs.String())
+	}
+	if !strings.Contains(out.String(), "partial result") {
+		t.Errorf("stdout missing partial warning:\n%s", out.String())
+	}
+}
+
+// TestRunSQLExplain smoke-tests -explain end to end over TCP: the report
+// must surface the broker's match decision and the per-fragment fetch.
+func TestRunSQLExplain(t *testing.T) {
+	brokerAddr, _ := newTCPCommunity(t, 3)
+	var out, errs bytes.Buffer
+	code := run([]string{"-broker", brokerAddr, "-ontology", "generic",
+		"-explain", "-sql", "SELECT * FROM C2"}, &out, &errs)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, errs.String())
+	}
+	got := out.String()
+	for _, want := range []string{"explain trace", "matchmaking", "accept RA1", "fetch", "RA1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("explain output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunBrokerListingExplain covers the agent-locating path (-type) with
+// -explain: match decisions arrive on the reply envelope and are mirrored
+// into the local recorder by the transport bridge.
+func TestRunBrokerListingExplain(t *testing.T) {
+	brokerAddr, _ := newTCPCommunity(t, 1)
+	var out, errs bytes.Buffer
+	code := run([]string{"-broker", brokerAddr, "-ontology", "generic",
+		"-type", "resource", "-explain"}, &out, &errs)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, errs.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "matching agent(s)") {
+		t.Errorf("stdout missing listing:\n%s", got)
+	}
+	for _, want := range []string{"explain trace", "accept RA1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("explain output missing %q:\n%s", want, got)
+		}
+	}
+}

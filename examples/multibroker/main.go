@@ -110,6 +110,13 @@ func main() {
 			fmt.Println("\nflight-recorder tree for a full data query:")
 			fmt.Print(tree.Format())
 		}
+		// The recorder also holds the decision provenance for the same
+		// trace: why each advertisement matched, what was pushed down,
+		// what was fetched from where.
+		if ex, ok := rec.Explain(traceID); ok {
+			fmt.Println("\nexplain report for the same query:")
+			fmt.Print(ex.Format())
+		}
 	}
 
 	// Broker1 dies without warning.

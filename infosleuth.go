@@ -51,6 +51,7 @@ import (
 	"infosleuth/internal/sim"
 	"infosleuth/internal/sqlparse"
 	"infosleuth/internal/telemetry"
+	"infosleuth/internal/telemetry/provenance"
 	"infosleuth/internal/telemetry/recorder"
 	"infosleuth/internal/transport"
 	"infosleuth/internal/useragent"
@@ -241,6 +242,11 @@ type (
 	// TraceTree is a trace assembled into parent/child structure, as
 	// served at /traces/{id} and rendered by its Format method.
 	TraceTree = recorder.Tree
+	// ExplainReport is a trace's decision provenance — matchmaking,
+	// forwarding, pushdown, fetch and failover events — grouped for
+	// "why did I get this result?" reporting, as served at
+	// /traces/{id}/explain and rendered by its Format method.
+	ExplainReport = recorder.Explain
 )
 
 // ServeMetrics exposes the process-wide telemetry registry at addr
@@ -251,12 +257,14 @@ func ServeMetrics(addr string) (*MetricsServer, error) {
 
 // InstallFlightRecorder creates a flight recorder with default bounds and
 // installs it process-wide: every traced conversation from then on records
-// its spans into it. Use UserAgent.SubmitTraced (or
-// telemetry.WithTraceID on a context) to start a traced conversation, then
-// read the assembled tree with the recorder's Trace method.
+// its spans and decision-provenance events into it. Use
+// UserAgent.SubmitTraced (or telemetry.WithTraceID on a context) to start
+// a traced conversation, then read the assembled tree with the recorder's
+// Trace method or the full decision report with its Explain method.
 func InstallFlightRecorder() *FlightRecorder {
 	rec := recorder.New(recorder.Options{})
 	telemetry.SetSpanRecorder(rec)
+	provenance.SetRecorder(rec)
 	return rec
 }
 

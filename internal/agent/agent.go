@@ -16,6 +16,7 @@ import (
 	"infosleuth/internal/resilience"
 	"infosleuth/internal/stats"
 	"infosleuth/internal/telemetry"
+	"infosleuth/internal/telemetry/provenance"
 	"infosleuth/internal/transport"
 )
 
@@ -522,6 +523,10 @@ func (a *Base) queryBrokersInner(ctx context.Context, q *ontology.Query, traceID
 		if err := reply.DecodeContent(&br); err != nil {
 			return nil, nil, err
 		}
+		// Fold the broker's decision events (match accept/reject,
+		// forwarding) into the requester's collector, if one is active,
+		// so a relaying agent propagates them on its own reply.
+		provenance.CollectReply(ctx, reply)
 		return &br, reply.Trace, nil
 	}
 	connected := a.ConnectedBrokers()

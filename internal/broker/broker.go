@@ -13,6 +13,8 @@ import (
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/resilience"
+	"infosleuth/internal/stats"
+	"infosleuth/internal/telemetry/provenance"
 	"infosleuth/internal/transport"
 )
 
@@ -547,9 +549,18 @@ func (b *Broker) handleQuery(msg *kqml.Message) *kqml.Message {
 	b.Stats.QueriesServed.Add(1)
 	mQueries.With(b.cfg.Name).Inc()
 	start := time.Now()
-	reply, peerSpans, err := b.searchTraced(context.Background(), &bq, msg.TraceID)
+	// A traced query gathers the decisions made on its behalf (match
+	// accept/reject, forwarding) so they ride the reply envelope back
+	// toward the originator alongside the trace spans.
+	ctx := context.Background()
+	var col *provenance.Collector
+	if msg.TraceID != "" {
+		ctx, col = provenance.WithCollector(ctx)
+	}
+	reply, peerSpans, err := b.searchTraced(ctx, &bq, msg.TraceID)
 	if err != nil {
 		out := b.sorry(msg, err.Error())
+		out.Provenance = kqml.AppendProv(nil, col.Events()...)
 		span := kqml.TraceSpan{
 			Agent:          b.cfg.Name,
 			Op:             kqml.OpBrokerSearch,
@@ -570,8 +581,11 @@ func (b *Broker) handleQuery(msg *kqml.Message) *kqml.Message {
 	// The reply carries the peers' spans first, then this broker's own,
 	// so the originator reads the trace innermost-hop-first with its
 	// entry broker last. AppendSpans keeps a deep forwarding fan-out from
-	// bloating the frame past the envelope span cap.
+	// bloating the frame past the envelope span cap; AppendProv applies
+	// the same cap to the gathered decision events (the collector holds
+	// this broker's own decisions plus those folded in from peer replies).
 	out.Trace = kqml.AppendSpans(nil, peerSpans...)
+	out.Provenance = kqml.AppendProv(nil, col.Events()...)
 	span := kqml.TraceSpan{
 		Agent:          b.cfg.Name,
 		Op:             kqml.OpBrokerSearch,
@@ -628,11 +642,26 @@ func (b *Broker) searchTraced(ctx context.Context, bq *kqml.BrokerQuery, traceID
 		follow = policy.Follow
 	}
 
+	// em is nil unless this search is traced and someone is listening
+	// (flight recorder or reply collector); every provenance step below
+	// hides behind that nil check.
+	em := provenance.For(ctx, traceID)
+	var cacheHit bool
+	var cacheGen uint64
+	if em != nil {
+		cacheGen = b.repo.Generation()
+		if cm, ok := b.matcher.(*CachedMatcher); ok {
+			cacheHit, cacheGen = cm.Peek(b.repo, q)
+		}
+	}
 	local, err := b.matchLocal(q)
 	if err != nil {
 		return nil, nil, err
 	}
 	b.Stats.LocalMatches.Add(int64(len(local)))
+	if em != nil {
+		b.emitMatchProvenance(em, q, cacheHit, cacheGen)
+	}
 
 	reply := &kqml.BrokerReply{Matches: local, Brokers: []string{b.cfg.Name}}
 	var peerSpans []kqml.TraceSpan
@@ -674,12 +703,14 @@ func (b *Broker) searchTraced(ctx context.Context, bq *kqml.BrokerQuery, traceID
 			continue
 		}
 		if b.cfg.PeerPruning && p.ad != nil && p.ad.Broker != nil && prunedPeer(p.ad.Broker, q) {
+			b.forwardSkip(em, p.name, "pruned: specialization cannot match")
 			continue
 		}
 		if b.cfg.CallPolicy.BreakerOpen(p.addr) {
 			// The peer's circuit is open: skip it without spending a
 			// call, but tell the requester the search was narrowed.
 			reply.Degraded = append(reply.Degraded, p.name)
+			b.forwardSkip(em, p.name, "breaker open")
 			continue
 		}
 		targets = append(targets, p)
@@ -701,8 +732,10 @@ func (b *Broker) searchTraced(ctx context.Context, bq *kqml.BrokerQuery, traceID
 			br, spans, err := b.forwardQuery(ctx, p, q, hops-1, bq.Depth, fwdVisited, traceID)
 			if err != nil {
 				reply.Degraded = append(reply.Degraded, p.name)
+				b.forwardOutcome(em, p.name, 0, err)
 				continue
 			}
+			b.forwardOutcome(em, p.name, len(br.Matches), nil)
 			reply.Matches = mergeMatches(b.cfg.World, q, reply.Matches, br.Matches)
 			reply.Brokers = append(reply.Brokers, br.Brokers...)
 			reply.Degraded = append(reply.Degraded, br.Degraded...)
@@ -730,9 +763,11 @@ func (b *Broker) searchTraced(ctx context.Context, bq *kqml.BrokerQuery, traceID
 			defer wg.Done()
 			br, spans, err := b.forwardQuery(ctx, p, q, hops-1, bq.Depth, fwdVisited, traceID)
 			if err != nil {
+				b.forwardOutcome(em, p.name, 0, err)
 				results <- result{degraded: []string{p.name}}
 				return
 			}
+			b.forwardOutcome(em, p.name, len(br.Matches), nil)
 			results <- result{matches: br.Matches, brokers: br.Brokers, degraded: br.Degraded, spans: spans}
 		}(p)
 	}
@@ -805,7 +840,9 @@ func (b *Broker) forwardQuery(ctx context.Context, p peer, q *ontology.Query, ho
 	})
 	msg.Ontology = kqml.ServiceOntology
 	msg.TraceID = traceID
+	start := time.Now()
 	reply, err := b.call(ctx, p.addr, msg)
+	stats.Queries.Observe(p.name, strings.Join(q.Classes, ","), time.Since(start), 0, err != nil)
 	if err != nil {
 		mForwardErrors.With(b.cfg.Name).Inc()
 		return nil, nil, err
@@ -818,6 +855,11 @@ func (b *Broker) forwardQuery(ctx context.Context, p peer, q *ontology.Query, ho
 	if err := reply.DecodeContent(&br); err != nil {
 		return nil, nil, err
 	}
+	// The peer's reply carries its own subtree's decision events; fold
+	// them into this search's collector so they propagate transitively
+	// (the transport bridge already mirrored them into the local
+	// recorder).
+	provenance.CollectReply(ctx, reply)
 	return &br, reply.Trace, nil
 }
 

@@ -192,6 +192,24 @@ func (m *CachedMatcher) Match(repo *Repository, q *ontology.Query) ([]*ontology.
 // Len reports the resident cached query count.
 func (m *CachedMatcher) Len() int { return m.cache.len() }
 
+// Peek reports whether the query is currently memoized at the
+// repository's generation, without serving from the cache: no LRU
+// movement, no invalidation, no hit/miss accounting. Decision provenance
+// uses it to label match events with the cache outcome the subsequent
+// Match call will see.
+func (m *CachedMatcher) Peek(repo *Repository, q *ontology.Query) (hit bool, gen uint64) {
+	gen = repo.Generation()
+	key := canonicalQuery(q)
+	c := m.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false, gen
+	}
+	return el.Value.(*matchCacheEntry).gen == gen, gen
+}
+
 // canonicalQuery serializes the match-relevant fields of a query into a
 // deterministic cache key. Two queries that must produce the same match
 // result produce the same key: conjunctive requirement lists are sorted

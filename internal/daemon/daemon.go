@@ -21,8 +21,10 @@ import (
 	"time"
 
 	"infosleuth/internal/resilience"
+	"infosleuth/internal/stats"
 	"infosleuth/internal/telemetry"
 	"infosleuth/internal/telemetry/logging"
+	"infosleuth/internal/telemetry/provenance"
 	"infosleuth/internal/telemetry/recorder"
 )
 
@@ -98,19 +100,23 @@ func (o *Options) CallPolicy() *resilience.Policy {
 }
 
 // ServeTelemetry starts the metrics/health endpoint when -metrics-addr is
-// set: a conversation flight recorder behind /traces, runtime metrics, the
-// supplied readiness check behind /readyz, and optionally pprof. The
-// returned stop function closes the endpoint (a no-op when disabled).
+// set: a conversation flight recorder behind /traces (with explain reports
+// at /traces/{id}/explain), decision provenance recording, rolling
+// per-peer query statistics behind /stats, runtime metrics, the supplied
+// readiness check behind /readyz, and optionally pprof. The returned stop
+// function closes the endpoint (a no-op when disabled).
 func (o *Options) ServeTelemetry(logger *slog.Logger, ready func() error) (func(), error) {
 	if o.MetricsAddr == "" {
 		return func() {}, nil
 	}
 	rec := recorder.New(recorder.Options{})
 	telemetry.SetSpanRecorder(rec)
+	provenance.SetRecorder(rec)
 	telemetry.Default.EnableRuntimeMetrics()
 	opts := []telemetry.ServeOption{
 		telemetry.WithHandler("/traces", rec.Handler()),
 		telemetry.WithHandler("/traces/", rec.Handler()),
+		telemetry.WithHandler("/stats", stats.Queries.Handler()),
 	}
 	if ready != nil {
 		opts = append(opts, telemetry.WithReadiness(ready))

@@ -82,6 +82,10 @@ type Message struct {
 	// Trace accumulates one span per hop the conversation took; replies
 	// carry the spans gathered so far back toward the originator.
 	Trace []TraceSpan `json:"trace,omitempty"`
+	// Provenance accumulates decision events ("why" records: match
+	// accept/reject, pushdown plans, failovers, forwards) the same way
+	// Trace accumulates spans; see ProvEvent and AppendProv.
+	Provenance []ProvEvent `json:"provenance,omitempty"`
 	// Content is the typed payload, JSON-encoded.
 	Content json.RawMessage `json:"content,omitempty"`
 }

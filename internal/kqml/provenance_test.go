@@ -1,0 +1,80 @@
+package kqml
+
+import (
+	"fmt"
+	"testing"
+)
+
+func provN(n int) []ProvEvent {
+	out := make([]ProvEvent, n)
+	for i := range out {
+		out[i] = ProvEvent{Kind: ProvForward, Agent: fmt.Sprintf("B%d", i),
+			Forward: &ForwardDecision{Peer: fmt.Sprintf("P%d", i)}}
+	}
+	return out
+}
+
+func TestAppendProvFastPath(t *testing.T) {
+	dst := provN(3)
+	out := AppendProv(dst, provN(2)...)
+	if len(out) != 5 {
+		t.Fatalf("got %d events, want 5", len(out))
+	}
+	for _, e := range out {
+		if e.Kind == ProvDropped {
+			t.Fatalf("unexpected marker in uncapped append")
+		}
+	}
+	if AppendProv(nil) != nil {
+		t.Fatalf("empty append should stay nil")
+	}
+}
+
+func TestAppendProvCapKeepsNewest(t *testing.T) {
+	out := AppendProv(provN(MaxProvEvents), provN(10)...)
+	if len(out) != MaxProvEvents {
+		t.Fatalf("got %d events, want %d", len(out), MaxProvEvents)
+	}
+	if out[0].Kind != ProvDropped {
+		t.Fatalf("first event should be the dropped marker, got %q", out[0].Kind)
+	}
+	if want := MaxProvEvents + 10 - (MaxProvEvents - 1); out[0].Dropped != want {
+		t.Fatalf("marker dropped=%d, want %d", out[0].Dropped, want)
+	}
+	// Newest survive: the last appended event must still be present.
+	last := out[len(out)-1]
+	if last.Forward == nil || last.Forward.Peer != "P9" {
+		t.Fatalf("newest event lost: tail is %+v", last)
+	}
+}
+
+func TestAppendProvCoalescesMarkers(t *testing.T) {
+	dst := append([]ProvEvent{{Kind: ProvDropped, Dropped: 7}}, provN(2)...)
+	more := append([]ProvEvent{{Kind: ProvDropped, Dropped: 3}}, provN(2)...)
+	out := AppendProv(dst, more...)
+	markers := 0
+	for _, e := range out {
+		if e.Kind == ProvDropped {
+			markers++
+			if e.Dropped != 10 {
+				t.Fatalf("marker dropped=%d, want 10", e.Dropped)
+			}
+		}
+	}
+	if markers != 1 {
+		t.Fatalf("got %d markers, want 1", markers)
+	}
+	if out[0].Kind != ProvDropped {
+		t.Fatalf("marker should lead the list")
+	}
+}
+
+func TestAppendProvExactCap(t *testing.T) {
+	out := AppendProv(nil, provN(MaxProvEvents)...)
+	if len(out) != MaxProvEvents {
+		t.Fatalf("got %d events, want %d", len(out), MaxProvEvents)
+	}
+	if out[0].Kind == ProvDropped {
+		t.Fatalf("exact cap should not drop")
+	}
+}

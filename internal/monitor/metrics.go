@@ -1,0 +1,10 @@
+package monitor
+
+import "infosleuth/internal/telemetry"
+
+var (
+	mNotifications = telemetry.Default.Counter("infosleuth_monitor_notifications_total",
+		"Update notifications received from resource agents for standing queries.")
+	mStandingQueries = telemetry.Default.Counter("infosleuth_monitor_standing_queries_total",
+		"Standing queries registered with resource agents via subscribe conversations.")
+)

@@ -111,6 +111,7 @@ func (a *Agent) handle(msg *kqml.Message) *kqml.Message {
 			Result:         uc.Result,
 		})
 		a.mu.Unlock()
+		mNotifications.Inc()
 		return a.Reply(msg, kqml.Tell, &kqml.SorryContent{Reason: "noted"})
 	default:
 		return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{
@@ -157,6 +158,7 @@ func (a *Agent) Watch(ctx context.Context, q *ontology.Query, sql string) (int, 
 		a.mu.Lock()
 		a.watches = append(a.watches, watch{resource: ad.Name, addr: ad.Address, subID: ack.ID})
 		a.mu.Unlock()
+		mStandingQueries.Inc()
 		count++
 	}
 	if count == 0 {

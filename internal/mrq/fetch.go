@@ -13,7 +13,9 @@ import (
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/resilience"
 	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/stats"
 	"infosleuth/internal/telemetry"
+	"infosleuth/internal/telemetry/provenance"
 )
 
 // fetchPlan is the per-class pushdown decision, resolved against the
@@ -37,6 +39,10 @@ type fetchPlan struct {
 	// means SELECT *. Each resource's projection is further narrowed to
 	// the columns it advertises.
 	cols []string
+	// blocked records, for decision provenance, each conjunct that could
+	// not be pushed and why ("price > 10: column price not covered by
+	// R2"). Populated only while planning; never affects execution.
+	blocked []string
 }
 
 // planFetch computes the pushdown plan for one class. With PushConstraints
@@ -58,6 +64,8 @@ func (a *Agent) planFetch(class, key string, stmt *sqlparse.Select, matches []*o
 		for _, ad := range matches {
 			if !ad.CoversColumns(plan.onto, class, []string{c.Left.Column}, plan.ont) {
 				pushable = false
+				plan.blocked = append(plan.blocked,
+					fmt.Sprintf("%s: column %s not covered by %s", c, c.Left.Column, ad.Name))
 				break
 			}
 		}
@@ -139,6 +147,17 @@ type fetchFailure struct {
 // back, sorted by agent name.
 func (a *Agent) fetchFragments(ctx context.Context, class, key string, stmt *sqlparse.Select, matches []*ontology.Advertisement, traceID string) ([]*kqml.SQLResult, []fetchFailure) {
 	plan := a.planFetch(class, key, stmt, matches)
+	em := provenance.For(ctx, traceID)
+	if em != nil {
+		pd := &kqml.PushdownDecision{Class: class, Blocked: plan.blocked, Columns: plan.cols}
+		for _, c := range plan.conds {
+			pd.Pushed = append(pd.Pushed, c.String())
+		}
+		if !a.cfg.PushConstraints {
+			pd.Fallback = "constraint pushdown disabled"
+		}
+		em.Emit(kqml.ProvEvent{Kind: kqml.ProvPushdown, Agent: a.cfg.Name, Pushdown: pd})
+	}
 	n := len(matches)
 	fanout := a.cfg.MaxFanout
 	if fanout <= 0 {
@@ -194,7 +213,7 @@ func (a *Agent) fetchFragments(ctx context.Context, class, key string, stmt *sql
 		if e == "" {
 			continue
 		}
-		if plan.coveredByReplica(matches[i], okAds) {
+		if replica := plan.coveringReplica(matches[i], okAds); replica != nil {
 			resilience.RecordFailover()
 			if traceID != "" {
 				telemetry.RecordSpan(telemetry.Span{
@@ -205,7 +224,15 @@ func (a *Agent) fetchFragments(ctx context.Context, class, key string, stmt *sql
 					Err:           e,
 				})
 			}
+			if em != nil {
+				em.Emit(kqml.ProvEvent{Kind: kqml.ProvFailover, Agent: a.cfg.Name,
+					Failover: &kqml.FailoverDecision{Class: class, Lost: matches[i].Name, CoveredBy: replica.Name, Note: e}})
+			}
 			continue
+		}
+		if em != nil {
+			em.Emit(kqml.ProvEvent{Kind: kqml.ProvFailover, Agent: a.cfg.Name,
+				Failover: &kqml.FailoverDecision{Class: class, Lost: matches[i].Name, Note: e}})
 		}
 		lost = append(lost, fetchFailure{Agent: matches[i].Name, Err: e})
 	}
@@ -213,17 +240,17 @@ func (a *Agent) fetchFragments(ctx context.Context, class, key string, stmt *sql
 	return out, lost
 }
 
-// coveredByReplica reports whether some succeeded advertisement subsumes
-// the failed one for the plan's class: it exposes every column the failed
+// coveringReplica returns a succeeded advertisement that subsumes the
+// failed one for the plan's class — it exposes every column the failed
 // advertisement advertised AND declares a data region covering every region
-// the failed advertisement declared. Under the community's advertised
-// semantics that makes the two redundant — losing the failed fetch loses no
-// declared data, because the covering replica's rows are already in the
-// merge set and MergeFragments deduplicates the union.
-func (p *fetchPlan) coveredByReplica(failed *ontology.Advertisement, ok []*ontology.Advertisement) bool {
+// the failed advertisement declared — or nil. Under the community's
+// advertised semantics a covering replica makes the two redundant — losing
+// the failed fetch loses no declared data, because the replica's rows are
+// already in the merge set and MergeFragments deduplicates the union.
+func (p *fetchPlan) coveringReplica(failed *ontology.Advertisement, ok []*ontology.Advertisement) *ontology.Advertisement {
 	cols := failed.AdvertisedColumns(p.onto, p.class, p.ont)
 	if cols == nil {
-		return false
+		return nil
 	}
 	want := make([]string, 0, len(cols))
 	for c := range cols {
@@ -231,10 +258,10 @@ func (p *fetchPlan) coveredByReplica(failed *ontology.Advertisement, ok []*ontol
 	}
 	for _, ad := range ok {
 		if ad.CoversColumns(p.onto, p.class, want, p.ont) && p.constraintsCovered(failed, ad) {
-			return true
+			return ad
 		}
 	}
-	return false
+	return nil
 }
 
 // constraintsCovered reports whether every data region the failed
@@ -304,6 +331,8 @@ func (a *Agent) fetchOne(ctx context.Context, plan *fetchPlan, ad *ontology.Adve
 
 func (a *Agent) fetchCall(ctx context.Context, plan *fetchPlan, ad *ontology.Advertisement, traceID string) (*kqml.SQLResult, error) {
 	sql, pushed, projCols, fullCols := plan.sqlFor(ad)
+	start := time.Now()
+	fallback := false
 	reply, err := a.ask(ctx, ad, sql, traceID)
 	if err == nil && pushed && reply.Performative != kqml.Tell {
 		// The resource rejected the rewritten query — typically a
@@ -311,11 +340,38 @@ func (a *Agent) fetchCall(ctx context.Context, plan *fetchPlan, ad *ontology.Adv
 		// Fall back to the unpushed fetch rather than lose the fragment.
 		mPushdownFallbacks.Inc()
 		pushed, projCols = false, 0
+		fallback = true
 		reply, err = a.ask(ctx, ad, "SELECT * FROM "+plan.class, traceID)
+	}
+	received := int64(0)
+	if err == nil && reply != nil {
+		received = int64(len(reply.Content))
+	}
+	latency := time.Since(start)
+	stats.Queries.Observe(ad.Name, plan.class, latency, received, err != nil)
+	if em := provenance.For(ctx, traceID); em != nil {
+		fr := &kqml.FetchReport{
+			Resource:      ad.Name,
+			Class:         plan.class,
+			SQL:           sql,
+			Pushed:        pushed,
+			Fallback:      fallback,
+			Bytes:         received,
+			LatencyMicros: latency.Microseconds(),
+		}
+		if err != nil {
+			fr.Err = err.Error()
+		} else if reply != nil && reply.Performative != kqml.Tell {
+			fr.Err = kqml.ReasonOf(reply)
+		}
+		em.Emit(kqml.ProvEvent{Kind: kqml.ProvFetch, Agent: a.cfg.Name, Fetch: fr})
 	}
 	if err != nil {
 		return nil, err
 	}
+	// Fold the resource's own decision events (pushdown rejections) into
+	// this request's collector so they ride the MRQ's reply too.
+	provenance.CollectReply(ctx, reply)
 	if reply.Performative != kqml.Tell {
 		return nil, fmt.Errorf("%s", kqml.ReasonOf(reply))
 	}
@@ -323,7 +379,6 @@ func (a *Agent) fetchCall(ctx context.Context, plan *fetchPlan, ad *ontology.Adv
 	if err := reply.DecodeContent(&sr); err != nil {
 		return nil, err
 	}
-	received := int64(len(reply.Content))
 	mFetchBytes.Add(received)
 	if pushed && projCols > 0 && fullCols > projCols {
 		// The unpushed reply would have carried all advertised columns

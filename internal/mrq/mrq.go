@@ -22,6 +22,7 @@ import (
 	"infosleuth/internal/resilience"
 	"infosleuth/internal/sqlparse"
 	"infosleuth/internal/telemetry"
+	"infosleuth/internal/telemetry/provenance"
 	"infosleuth/internal/transport"
 )
 
@@ -134,17 +135,29 @@ func (a *Agent) handle(msg *kqml.Message) *kqml.Message {
 			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: kqml.SorryReasonMalformedSQL})
 		}
 		// The incoming trace ID flows through the context so every broker
-		// query and resource fetch this run issues joins the conversation.
-		res, status, err := a.RunWithStatus(telemetry.WithTraceID(context.Background(), msg.TraceID), sq.SQL)
+		// query and resource fetch this run issues joins the conversation;
+		// a traced run also gathers the decisions made along the way
+		// (pushdown plans, failovers, plus whatever brokers and resources
+		// reported on their replies) to ride back on this reply.
+		ctx := telemetry.WithTraceID(context.Background(), msg.TraceID)
+		var col *provenance.Collector
+		if msg.TraceID != "" {
+			ctx, col = provenance.WithCollector(ctx)
+		}
+		res, status, err := a.RunWithStatus(ctx, sq.SQL)
 		if err != nil {
-			return a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: err.Error()})
+			reply := a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: err.Error()})
+			reply.Provenance = kqml.AppendProv(nil, col.Events()...)
+			return reply
 		}
 		out := &kqml.SQLResult{Columns: res.Columns, Rows: res.Rows}
 		if status.Partial {
 			out.Partial = true
 			out.Degraded = status.Degraded
 		}
-		return a.Reply(msg, kqml.Tell, out)
+		reply := a.Reply(msg, kqml.Tell, out)
+		reply.Provenance = kqml.AppendProv(nil, col.Events()...)
+		return reply
 	default:
 		return a.Reply(msg, kqml.Sorry, &kqml.SorryContent{
 			Reason: fmt.Sprintf("MRQ agent does not handle %s", msg.Performative),

@@ -19,6 +19,7 @@ import (
 	"infosleuth/internal/relational"
 	"infosleuth/internal/resilience"
 	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/telemetry/provenance"
 	"infosleuth/internal/transport"
 )
 
@@ -181,6 +182,17 @@ func (a *Agent) handleQuery(msg *kqml.Message) *kqml.Message {
 	var reply *kqml.Message
 	if err != nil {
 		reply = a.Reply(msg, kqml.Error, &kqml.SorryContent{Reason: err.Error()})
+		if msg.TraceID != "" {
+			// Surface the rejection as a pushdown decision on the reply
+			// envelope so the requester's explain report can say which
+			// resource refused the statement and why (capability beyond
+			// advertisement, unserved class, unsupported language, parse
+			// error). Error path only — accepted queries stay untouched.
+			ev := kqml.ProvEvent{Kind: kqml.ProvPushdown, Agent: a.cfg.Name,
+				Pushdown: &kqml.PushdownDecision{Class: queriedClass(sq.SQL), Fallback: err.Error()}}
+			reply.Provenance = kqml.AppendProv(reply.Provenance, ev)
+			provenance.Record(msg.TraceID, ev)
+		}
 	} else {
 		reply = a.Reply(msg, kqml.Tell, &kqml.SQLResult{Columns: res.Columns, Rows: res.Rows})
 	}
@@ -254,6 +266,19 @@ func (a *Agent) RunIn(language, query string) (*sqlparse.Result, error) {
 		time.Sleep(time.Duration(a.cfg.DB.TotalRows()) * d)
 	}
 	return sqlparse.Execute(a.cfg.DB, stmt)
+}
+
+// queriedClass best-effort extracts the first table a statement names, for
+// labeling rejection provenance; returns "" when the statement won't parse.
+func queriedClass(sql string) string {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return ""
+	}
+	if tables := stmt.Tables(); len(tables) > 0 {
+		return tables[0]
+	}
+	return ""
 }
 
 // servedSubclassOf finds a served class that is a subclass of the request.

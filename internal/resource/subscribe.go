@@ -4,10 +4,19 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/telemetry"
 )
+
+// mSubscriptionEvals counts standing-query re-evaluations after data
+// changes, whether or not the answer changed — the cost side of the
+// subscribe conversation, next to the monitor agent's notification
+// counters.
+var mSubscriptionEvals = telemetry.Default.Counter("infosleuth_monitor_eval_total",
+	"Standing-query re-evaluations performed by resource agents after data changes.")
 
 // subscription is one standing query registered by a subscriber.
 type subscription struct {
@@ -101,9 +110,25 @@ func (a *Agent) NotifyChanged(ctx context.Context) int {
 	}
 	s.mu.Unlock()
 
+	traceID := telemetry.TraceIDFrom(ctx)
 	sent := 0
 	for _, sub := range subs {
+		start := time.Now()
 		res, err := a.Run(sub.sql)
+		mSubscriptionEvals.Inc()
+		if traceID != "" {
+			span := telemetry.Span{
+				TraceID:        traceID,
+				Agent:          a.Name(),
+				Op:             telemetry.OpSubscribeEval,
+				StartUnixNano:  start.UnixNano(),
+				DurationMicros: time.Since(start).Microseconds(),
+			}
+			if err != nil {
+				span.Err = err.Error()
+			}
+			telemetry.RecordSpan(span)
+		}
 		if err != nil {
 			continue
 		}

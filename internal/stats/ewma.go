@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file grows the stats package beyond the experiment variates: a
+// rolling per-peer/per-class aggregator fed by the live query paths (MRQ
+// fragment fetches, inter-broker forwards). It is the input surface a
+// cost-based fan-out planner consumes — "how fast, how big, how reliable
+// has this peer been for this ontology class lately" — and is exposed at
+// /stats on every daemon's metrics endpoint.
+
+// EWMAAlpha is the smoothing factor: each observation contributes 20%,
+// history 80% — roughly the last ~10 observations dominate.
+const EWMAAlpha = 0.2
+
+// MaxQueryStatsKeys bounds the (peer, class) key space; past the bound
+// new pairs collapse into the "_other" peer so a churning community
+// cannot grow the map without bound.
+const MaxQueryStatsKeys = 1024
+
+type peerClassKey struct {
+	Peer  string
+	Class string
+}
+
+type ewmaCell struct {
+	count         int64
+	errors        int64
+	latencyMicros float64 // EWMA
+	bytes         float64 // EWMA
+	errorRate     float64 // EWMA of the 0/1 error indicator
+	lastUpdate    time.Time
+}
+
+// PeerClassStats is one (peer, class) row of a QueryStats snapshot.
+type PeerClassStats struct {
+	Peer  string `json:"peer"`
+	Class string `json:"class,omitempty"`
+	// Count and Errors are lifetime totals for the pair.
+	Count  int64 `json:"count"`
+	Errors int64 `json:"errors,omitempty"`
+	// EWMALatencyMicros, EWMABytes and EWMAErrorRate are the rolling
+	// averages (alpha = EWMAAlpha).
+	EWMALatencyMicros float64 `json:"ewma_us"`
+	EWMABytes         float64 `json:"ewma_bytes,omitempty"`
+	EWMAErrorRate     float64 `json:"ewma_error_rate,omitempty"`
+	// LastUpdateUnix is when the pair last observed a call.
+	LastUpdateUnix int64 `json:"last_update_unix,omitempty"`
+}
+
+// QueryStats is a bounded rolling aggregator of per-peer/per-class call
+// outcomes. The zero value is not usable; create one with NewQueryStats.
+// It is safe for concurrent use and cheap enough to feed always-on.
+type QueryStats struct {
+	mu    sync.Mutex
+	cells map[peerClassKey]*ewmaCell
+	now   func() time.Time
+}
+
+// NewQueryStats returns an empty aggregator.
+func NewQueryStats() *QueryStats {
+	return &QueryStats{cells: make(map[peerClassKey]*ewmaCell), now: time.Now}
+}
+
+// Queries is the process-wide aggregator the live query paths feed.
+var Queries = NewQueryStats()
+
+// Observe records one call outcome against a (peer, class) pair. Class
+// may be empty (broker forwards for un-classed queries). bytes <= 0
+// leaves the byte average untouched (calls that carry no payload size).
+func (qs *QueryStats) Observe(peer, class string, latency time.Duration, bytes int64, failed bool) {
+	if peer == "" {
+		return
+	}
+	key := peerClassKey{Peer: peer, Class: class}
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	c, ok := qs.cells[key]
+	if !ok {
+		if len(qs.cells) >= MaxQueryStatsKeys {
+			key = peerClassKey{Peer: "_other", Class: ""}
+			if c = qs.cells[key]; c == nil {
+				c = &ewmaCell{}
+				qs.cells[key] = c
+			}
+		} else {
+			c = &ewmaCell{}
+			qs.cells[key] = c
+		}
+	}
+	c.count++
+	errInd := 0.0
+	if failed {
+		c.errors++
+		errInd = 1.0
+	}
+	lat := float64(latency.Microseconds())
+	if c.count == 1 {
+		c.latencyMicros = lat
+		c.errorRate = errInd
+		if bytes > 0 {
+			c.bytes = float64(bytes)
+		}
+	} else {
+		c.latencyMicros += EWMAAlpha * (lat - c.latencyMicros)
+		c.errorRate += EWMAAlpha * (errInd - c.errorRate)
+		if bytes > 0 {
+			c.bytes += EWMAAlpha * (float64(bytes) - c.bytes)
+		}
+	}
+	c.lastUpdate = qs.now()
+}
+
+// Snapshot returns every (peer, class) row, sorted by peer then class.
+func (qs *QueryStats) Snapshot() []PeerClassStats {
+	qs.mu.Lock()
+	out := make([]PeerClassStats, 0, len(qs.cells))
+	for k, c := range qs.cells {
+		out = append(out, PeerClassStats{
+			Peer:              k.Peer,
+			Class:             k.Class,
+			Count:             c.count,
+			Errors:            c.errors,
+			EWMALatencyMicros: c.latencyMicros,
+			EWMABytes:         c.bytes,
+			EWMAErrorRate:     c.errorRate,
+			LastUpdateUnix:    c.lastUpdate.Unix(),
+		})
+	}
+	qs.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Peer != out[j].Peer {
+			return out[i].Peer < out[j].Peer
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// Handler serves the snapshot as JSON (mounted at /stats on daemons).
+func (qs *QueryStats) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		rows := qs.Snapshot()
+		if rows == nil {
+			rows = []PeerClassStats{}
+		}
+		_ = enc.Encode(rows)
+	})
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestQueryStatsObserve(t *testing.T) {
+	qs := NewQueryStats()
+	qs.Observe("R1", "C1", 100*time.Microsecond, 1000, false)
+	qs.Observe("R1", "C1", 200*time.Microsecond, 2000, true)
+	qs.Observe("R2", "C1", 50*time.Microsecond, 0, false)
+
+	rows := qs.Snapshot()
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	r1 := rows[0]
+	if r1.Peer != "R1" || r1.Count != 2 || r1.Errors != 1 {
+		t.Fatalf("R1 row: %+v", r1)
+	}
+	// First obs seeds the EWMA, second moves it by alpha.
+	wantLat := 100 + EWMAAlpha*(200-100)
+	if math.Abs(r1.EWMALatencyMicros-wantLat) > 1e-9 {
+		t.Fatalf("EWMA latency %v, want %v", r1.EWMALatencyMicros, wantLat)
+	}
+	wantRate := 0 + EWMAAlpha*(1-0)
+	if math.Abs(r1.EWMAErrorRate-wantRate) > 1e-9 {
+		t.Fatalf("EWMA error rate %v, want %v", r1.EWMAErrorRate, wantRate)
+	}
+	// bytes <= 0 must not drag the byte average down.
+	if rows[1].EWMABytes != 0 {
+		t.Fatalf("R2 bytes EWMA %v, want 0 (no payload observed)", rows[1].EWMABytes)
+	}
+}
+
+func TestQueryStatsBoundedKeys(t *testing.T) {
+	qs := NewQueryStats()
+	for i := 0; i < MaxQueryStatsKeys+10; i++ {
+		qs.Observe(fmt.Sprintf("peer-%d", i), "C1", time.Millisecond, 10, false)
+	}
+	rows := qs.Snapshot()
+	if len(rows) > MaxQueryStatsKeys+1 {
+		t.Fatalf("key space grew past bound: %d rows", len(rows))
+	}
+	found := false
+	for _, r := range rows {
+		if r.Peer == "_other" {
+			found = true
+			if r.Count != 10 {
+				t.Fatalf("_other count %d, want 10", r.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("overflow rows did not collapse into _other")
+	}
+}
+
+func TestQueryStatsHandler(t *testing.T) {
+	qs := NewQueryStats()
+	qs.Observe("B2", "", 3*time.Millisecond, 0, false)
+	rec := httptest.NewRecorder()
+	qs.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var rows []PeerClassStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Peer != "B2" {
+		t.Fatalf("rows: %+v", rows)
+	}
+}

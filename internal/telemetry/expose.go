@@ -250,3 +250,25 @@ func (r *Registry) SortedNames() []string {
 	sort.Strings(names)
 	return names
 }
+
+// MetricInfo describes one registered metric family: its name, help text,
+// type ("counter", "gauge" or "histogram"), and label dimension (empty for
+// unlabeled metrics).
+type MetricInfo struct {
+	Name  string `json:"name"`
+	Help  string `json:"help"`
+	Type  string `json:"type"`
+	Label string `json:"label,omitempty"`
+}
+
+// Metrics returns every registered metric family's metadata, sorted by
+// name — the source of truth behind the generated METRICS.md catalog.
+func (r *Registry) Metrics() []MetricInfo {
+	fams := r.snapshotFamilies()
+	out := make([]MetricInfo, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, MetricInfo{Name: f.name, Help: f.help, Type: f.kind.String(), Label: f.label})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,176 @@
+// Package provenance routes decision-provenance events (kqml.ProvEvent)
+// from the agents that make decisions to the process-local flight
+// recorder and onto KQML reply envelopes.
+//
+// It mirrors the span plumbing in package telemetry: a process-wide
+// recorder installed with SetRecorder receives every event recorded under
+// a trace ID, and a per-request Collector carried on the context gathers
+// the events one handler produced so they can be attached to the reply
+// envelope (kqml.AppendProv) and ride back toward the originator.
+//
+// Everything is off by default: with no recorder installed and no
+// collector on the context, Emitter construction returns nil and
+// producers skip all event-building work, so untraced conversations and
+// the Section 5 experiment harness pay nothing.
+package provenance
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"infosleuth/internal/kqml"
+)
+
+// Recorder receives decision events for storage, keyed by trace ID. The
+// flight recorder (telemetry/recorder) implements it.
+type Recorder interface {
+	RecordProv(traceID string, ev kqml.ProvEvent)
+}
+
+type recorderBox struct{ r Recorder }
+
+var activeRecorder atomic.Pointer[recorderBox]
+
+// SetRecorder installs the process-wide provenance recorder and returns
+// the previous one (nil uninstalls).
+func SetRecorder(r Recorder) Recorder {
+	var newBox *recorderBox
+	if r != nil {
+		newBox = &recorderBox{r: r}
+	}
+	old := activeRecorder.Swap(newBox)
+	if old == nil {
+		return nil
+	}
+	return old.r
+}
+
+// Active reports whether a process-wide recorder is installed.
+func Active() bool { return activeRecorder.Load() != nil }
+
+// Record delivers one event to the installed recorder, if any. Events
+// without a trace ID are dropped: provenance only exists for traced
+// conversations.
+func Record(traceID string, ev kqml.ProvEvent) {
+	if traceID == "" {
+		return
+	}
+	if box := activeRecorder.Load(); box != nil {
+		box.r.RecordProv(traceID, ev)
+	}
+}
+
+// RecordEnvelope mirrors events carried on a reply envelope into the
+// installed recorder (the transport layer calls it on every traced
+// reply; the recorder deduplicates double delivery).
+func RecordEnvelope(traceID string, events ...kqml.ProvEvent) {
+	if traceID == "" || len(events) == 0 {
+		return
+	}
+	box := activeRecorder.Load()
+	if box == nil {
+		return
+	}
+	for _, ev := range events {
+		box.r.RecordProv(traceID, ev)
+	}
+}
+
+// Collector gathers the events one request handler produced so the
+// handler can attach them to its reply envelope. It is safe for
+// concurrent use (MRQ fan-out workers record from goroutines).
+type Collector struct {
+	mu     sync.Mutex
+	events []kqml.ProvEvent
+}
+
+// Add appends events to the collector, enforcing the envelope cap so a
+// runaway producer cannot bloat the eventual reply.
+func (c *Collector) Add(events ...kqml.ProvEvent) {
+	if c == nil || len(events) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.events = kqml.AppendProv(c.events, events...)
+	c.mu.Unlock()
+}
+
+// Events returns the collected events (the internal slice; callers
+// attach it to exactly one reply).
+func (c *Collector) Events() []kqml.ProvEvent {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events
+}
+
+type collectorKey struct{}
+
+// WithCollector returns a context carrying a fresh Collector, and the
+// collector itself. Handlers install one per traced request; producers
+// down the call chain find it via For.
+func WithCollector(ctx context.Context) (context.Context, *Collector) {
+	c := &Collector{}
+	return context.WithValue(ctx, collectorKey{}, c), c
+}
+
+// CollectorFrom returns the context's collector, or nil.
+func CollectorFrom(ctx context.Context) *Collector {
+	c, _ := ctx.Value(collectorKey{}).(*Collector)
+	return c
+}
+
+// Emitter is a producer's handle for one traced request: it fans each
+// event out to the process recorder and the request's collector. A nil
+// Emitter is inert, so call sites read:
+//
+//	if em := provenance.For(ctx, traceID); em != nil {
+//	    em.Emit(kqml.ProvEvent{...})
+//	}
+//
+// keeping all event-building work behind the nil check.
+type Emitter struct {
+	traceID   string
+	collector *Collector
+	global    bool
+}
+
+// For returns an Emitter when the conversation is traced and someone is
+// listening (a process recorder, a context collector, or both); nil
+// otherwise.
+func For(ctx context.Context, traceID string) *Emitter {
+	if traceID == "" {
+		return nil
+	}
+	c := CollectorFrom(ctx)
+	g := Active()
+	if c == nil && !g {
+		return nil
+	}
+	return &Emitter{traceID: traceID, collector: c, global: g}
+}
+
+// Emit delivers one event to the recorder and/or collector.
+func (e *Emitter) Emit(ev kqml.ProvEvent) {
+	if e == nil {
+		return
+	}
+	if e.global {
+		Record(e.traceID, ev)
+	}
+	e.collector.Add(ev)
+}
+
+// CollectReply folds the provenance a reply envelope carried into the
+// context's collector, so a relaying agent (broker forwarding, MRQ
+// fan-out) propagates its callees' decisions on its own reply. The
+// process recorder already saw these events via the transport bridge.
+func CollectReply(ctx context.Context, reply *kqml.Message) {
+	if reply == nil || len(reply.Provenance) == 0 {
+		return
+	}
+	CollectorFrom(ctx).Add(reply.Provenance...)
+}

@@ -1,0 +1,93 @@
+package provenance
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"infosleuth/internal/kqml"
+)
+
+type capture struct {
+	mu     sync.Mutex
+	events map[string][]kqml.ProvEvent
+}
+
+func (c *capture) RecordProv(traceID string, ev kqml.ProvEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.events == nil {
+		c.events = make(map[string][]kqml.ProvEvent)
+	}
+	c.events[traceID] = append(c.events[traceID], ev)
+}
+
+func TestForGating(t *testing.T) {
+	prev := SetRecorder(nil)
+	defer SetRecorder(prev)
+
+	if em := For(context.Background(), "t1"); em != nil {
+		t.Fatalf("no recorder, no collector: For should be nil")
+	}
+	cap := &capture{}
+	SetRecorder(cap)
+	if em := For(context.Background(), ""); em != nil {
+		t.Fatalf("untraced: For should be nil even with a recorder")
+	}
+	if em := For(context.Background(), "t1"); em == nil {
+		t.Fatalf("recorder installed: For should be non-nil")
+	}
+	SetRecorder(nil)
+	ctx, _ := WithCollector(context.Background())
+	if em := For(ctx, "t1"); em == nil {
+		t.Fatalf("collector on ctx: For should be non-nil without a recorder")
+	}
+}
+
+func TestEmitFansOut(t *testing.T) {
+	cap := &capture{}
+	prev := SetRecorder(cap)
+	defer SetRecorder(prev)
+
+	ctx, col := WithCollector(context.Background())
+	em := For(ctx, "t9")
+	em.Emit(kqml.ProvEvent{Kind: kqml.ProvForward, Agent: "B1",
+		Forward: &kqml.ForwardDecision{Peer: "B2"}})
+
+	if got := len(cap.events["t9"]); got != 1 {
+		t.Fatalf("recorder got %d events, want 1", got)
+	}
+	if got := len(col.Events()); got != 1 {
+		t.Fatalf("collector got %d events, want 1", got)
+	}
+}
+
+func TestCollectReply(t *testing.T) {
+	prev := SetRecorder(nil)
+	defer SetRecorder(prev)
+
+	ctx, col := WithCollector(context.Background())
+	reply := &kqml.Message{Provenance: []kqml.ProvEvent{
+		{Kind: kqml.ProvMatch, Agent: "B2", Match: &kqml.MatchDecision{Ad: "R1", Accepted: true}},
+	}}
+	CollectReply(ctx, reply)
+	if got := len(col.Events()); got != 1 {
+		t.Fatalf("collector got %d events, want 1", got)
+	}
+	// No collector: must not panic.
+	CollectReply(context.Background(), reply)
+}
+
+func TestCollectorCaps(t *testing.T) {
+	col := &Collector{}
+	for i := 0; i < kqml.MaxProvEvents+20; i++ {
+		col.Add(kqml.ProvEvent{Kind: kqml.ProvFetch, Fetch: &kqml.FetchReport{Resource: "R"}})
+	}
+	evs := col.Events()
+	if len(evs) != kqml.MaxProvEvents {
+		t.Fatalf("collector holds %d events, want cap %d", len(evs), kqml.MaxProvEvents)
+	}
+	if evs[0].Kind != kqml.ProvDropped {
+		t.Fatalf("capped collector should lead with a dropped marker")
+	}
+}

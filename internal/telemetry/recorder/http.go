@@ -10,12 +10,17 @@ import (
 // Handler serves the recorder over HTTP, meant to be mounted on the
 // metrics endpoint at both /traces and /traces/ (see telemetry.WithHandler):
 //
-//	/traces          JSON array of trace summaries, most recent first
-//	/traces?limit=N  at most N summaries
-//	/traces/{id}     the assembled tree for one trace (404 if unknown)
+//	/traces              JSON array of trace summaries, most recent first
+//	/traces?limit=N      at most N summaries
+//	/traces/{id}         the assembled tree for one trace (404 if unknown)
+//	/traces/{id}/explain the decision-provenance explain report
 func (r *Recorder) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		id := strings.Trim(strings.TrimPrefix(req.URL.Path, "/traces"), "/")
+		explain := false
+		if rest, ok := strings.CutSuffix(id, "/explain"); ok {
+			id, explain = rest, true
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -34,6 +39,15 @@ func (r *Recorder) Handler() http.Handler {
 				sums = []Summary{}
 			}
 			_ = enc.Encode(sums)
+			return
+		}
+		if explain {
+			ex, ok := r.Explain(id)
+			if !ok {
+				http.Error(w, "unknown trace", http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(ex)
 			return
 		}
 		tree, ok := r.Trace(id)

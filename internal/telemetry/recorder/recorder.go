@@ -21,11 +21,13 @@
 package recorder
 
 import (
+	"encoding/json"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"infosleuth/internal/kqml"
 	"infosleuth/internal/telemetry"
 )
 
@@ -34,6 +36,7 @@ const (
 	DefaultSpanCapacity     = 4096
 	DefaultMaxTraces        = 256
 	DefaultMaxSpansPerTrace = 512
+	DefaultMaxProvPerTrace  = 256
 	DefaultMaxTraceAge      = 10 * time.Minute
 )
 
@@ -51,6 +54,9 @@ type Options struct {
 	// cannot monopolize the store); further spans are counted as dropped
 	// on that trace. Zero means DefaultMaxSpansPerTrace.
 	MaxSpansPerTrace int
+	// MaxProvPerTrace bounds one trace's stored provenance events the
+	// same way. Zero means DefaultMaxProvPerTrace.
+	MaxProvPerTrace int
 	// MaxTraceAge evicts traces not updated for this long. Zero means
 	// DefaultMaxTraceAge.
 	MaxTraceAge time.Duration
@@ -65,6 +71,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSpansPerTrace <= 0 {
 		o.MaxSpansPerTrace = DefaultMaxSpansPerTrace
+	}
+	if o.MaxProvPerTrace <= 0 {
+		o.MaxProvPerTrace = DefaultMaxProvPerTrace
 	}
 	if o.MaxTraceAge <= 0 {
 		o.MaxTraceAge = DefaultMaxTraceAge
@@ -96,6 +105,14 @@ type trace struct {
 	dropped    int64 // envelope-marker drops + per-trace overflow
 	errors     int
 	lastUpdate time.Time
+
+	// Decision provenance for the trace: events recorded locally and
+	// mirrored from reply envelopes, deduplicated by content (provSeen
+	// keys are the events' JSON encodings — unlike spans there is no
+	// natural identity tuple).
+	prov        []kqml.ProvEvent
+	provSeen    map[string]struct{}
+	provDropped int64
 }
 
 // Recorder is a bounded flight recorder; create one with New. It is safe
@@ -175,6 +192,48 @@ func (r *Recorder) RecordSpan(s telemetry.Span) {
 	}
 }
 
+// RecordProv implements provenance.Recorder: the decision event joins its
+// trace's provenance store. Like spans, the same event can arrive twice —
+// recorded locally by the deciding agent and mirrored from the reply
+// envelope it rode back on — so events are deduplicated by content (their
+// JSON encoding; a decision has no timing tuple to key on). Envelope
+// ProvDropped markers are accounted, not stored.
+func (r *Recorder) RecordProv(traceID string, ev kqml.ProvEvent) {
+	if traceID == "" {
+		return
+	}
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.traces[traceID]
+	if !ok {
+		r.evictLocked(now)
+		t = &trace{id: traceID, seen: make(map[spanKey]struct{})}
+		r.traces[traceID] = t
+	}
+	t.lastUpdate = now
+	if ev.Kind == kqml.ProvDropped {
+		t.provDropped += int64(ev.Dropped)
+		return
+	}
+	key, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	if t.provSeen == nil {
+		t.provSeen = make(map[string]struct{})
+	}
+	if _, dup := t.provSeen[string(key)]; dup {
+		return
+	}
+	if len(t.prov) >= r.opts.MaxProvPerTrace {
+		t.provDropped++
+		return
+	}
+	t.provSeen[string(key)] = struct{}{}
+	t.prov = append(t.prov, ev)
+}
+
 // evictLocked drops aged-out traces, then the least recently updated ones
 // until a new trace fits under MaxTraces. Called with r.mu held.
 func (r *Recorder) evictLocked(now time.Time) {
@@ -237,6 +296,10 @@ type Summary struct {
 	Errors int `json:"errors,omitempty"`
 	// Dropped counts spans lost to envelope caps or per-trace bounds.
 	Dropped int64 `json:"dropped,omitempty"`
+	// Prov counts stored decision-provenance events; ProvDropped counts
+	// events lost to envelope caps or per-trace bounds.
+	Prov        int   `json:"prov,omitempty"`
+	ProvDropped int64 `json:"prov_dropped,omitempty"`
 	// StartUnixNano is the earliest span start; DurationMicros spans from
 	// it to the latest span end.
 	StartUnixNano  int64 `json:"start,omitempty"`
@@ -244,7 +307,8 @@ type Summary struct {
 }
 
 func (t *trace) summary() Summary {
-	s := Summary{ID: t.id, Spans: len(t.spans), Errors: t.errors, Dropped: t.dropped}
+	s := Summary{ID: t.id, Spans: len(t.spans), Errors: t.errors, Dropped: t.dropped,
+		Prov: len(t.prov), ProvDropped: t.provDropped}
 	agents := make(map[string]struct{})
 	var minStart, maxEnd int64
 	for _, sp := range t.spans {

@@ -71,6 +71,9 @@ const (
 	OpFailover = "failover"
 	// OpUserSubmit is a user agent's end-to-end SQL submission.
 	OpUserSubmit = "useragent.submit"
+	// OpSubscribeEval is a resource agent re-evaluating one standing
+	// query after a data change (the subscribe conversation's push side).
+	OpSubscribeEval = "subscribe.eval"
 	// OpTraceDropped mirrors kqml.OpTraceDropped: a marker standing in
 	// for spans evicted from a capped envelope trace.
 	OpTraceDropped = "trace.dropped"

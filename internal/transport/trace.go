@@ -5,6 +5,7 @@ import (
 
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/telemetry"
+	"infosleuth/internal/telemetry/provenance"
 )
 
 // This file is the bridge between KQML conversation tracing and the
@@ -39,9 +40,16 @@ func RecordTraceSpans(traceID string, spans ...kqml.TraceSpan) {
 }
 
 // recordCallTrace emits the client-side rpc.call span for a traced call
-// and ingests whatever spans the reply envelope carried back.
+// and ingests whatever spans and provenance events the reply envelope
+// carried back.
 func recordCallTrace(msg, reply *kqml.Message, start time.Time, err error) {
-	if msg == nil || msg.TraceID == "" || !telemetry.SpanRecorderActive() {
+	if msg == nil || msg.TraceID == "" {
+		return
+	}
+	if err == nil && reply != nil && reply.TraceID == msg.TraceID && provenance.Active() {
+		provenance.RecordEnvelope(reply.TraceID, reply.Provenance...)
+	}
+	if !telemetry.SpanRecorderActive() {
 		return
 	}
 	span := telemetry.Span{
