@@ -156,6 +156,10 @@ func main() {
 			res.Serial.NsPerOp, res.Parallel.NsPerOp, res.SpeedupX)
 		fmt.Printf("  wire bytes/query: %d without pushdown, %d with (%.1fx reduction)\n",
 			res.FetchBytesPerOpNoPushdown, res.FetchBytesPerOpPushdown, res.PushdownBytesReductionX)
+		fmt.Printf("  semi-join bytes/query: %d full, %d planned (%.1fx reduction)\n",
+			res.SemiJoin.FetchBytesPerOpFull, res.SemiJoin.FetchBytesPerOpPlanned, res.SemiJoin.ReductionX)
+		fmt.Printf("  aggregate bytes/query: %d full, %d planned (%.1fx reduction)\n",
+			res.Aggregate.FetchBytesPerOpFull, res.Aggregate.FetchBytesPerOpPlanned, res.Aggregate.ReductionX)
 	}
 	// The traces artifact exercises this implementation's flight recorder,
 	// so like bench it only runs when asked for explicitly.

@@ -64,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		limit         = fs.Int("limit", 0, "max recommendations (0 = all)")
 		hops          = fs.Int("hops", 1, "inter-broker hop count")
 		sql           = fs.String("sql", "", "run this SQL query across matching resources instead of listing agents")
+		planOnly      = fs.Bool("plan", false, "with -sql: print the federated query plan (fan-out order, pushdowns, rewrites) without executing")
+		planner       = fs.Bool("planner", false, "with -sql: enable the federated query planner (semi-join reduction, aggregate pushdown, cost-ordered fan-out)")
 		timeout       = fs.Duration("timeout", 30*time.Second, "overall timeout")
 		trace         = fs.Bool("trace", false, "trace the conversation and print one span per hop")
 		traceDump     = fs.Bool("trace-dump", false, "trace the conversation and print the assembled trace tree")
@@ -73,6 +75,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *planOnly {
+		if *sql == "" {
+			fmt.Fprintln(stderr, "isquery: -plan requires -sql")
+			return 2
+		}
+		// The plan is reported through the decision-provenance machinery;
+		// -plan implies the explain rendering.
+		*explain = true
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -92,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rec: rec, trace: *trace, traceDump: *traceDump, explain: *explain,
 	}
 	if *sql != "" {
-		return runSQL(ctx, *brokerAddr, *ontoName, *sql, *failOnPartial, opts)
+		return runSQL(ctx, *brokerAddr, *ontoName, *sql, *failOnPartial, *planner || *planOnly, *planOnly, opts)
 	}
 
 	q := &ontology.Query{
@@ -192,7 +203,7 @@ func (o outputOptions) dump(traceID string) {
 	}
 }
 
-func runSQL(ctx context.Context, brokerAddr, ontoName, sql string, failOnPartial bool, opts outputOptions) int {
+func runSQL(ctx context.Context, brokerAddr, ontoName, sql string, failOnPartial, planner, planOnly bool, opts outputOptions) int {
 	if ontoName == "" {
 		ontoName = "healthcare"
 	}
@@ -204,6 +215,7 @@ func runSQL(ctx context.Context, brokerAddr, ontoName, sql string, failOnPartial
 		World:           ontology.NewWorld(ontology.Generic(), ontology.Healthcare()),
 		Ontology:        ontoName,
 		PushConstraints: true,
+		Planner:         planner,
 	})
 	if err != nil {
 		fmt.Fprintf(opts.stderr, "isquery: %v\n", err)
@@ -218,6 +230,15 @@ func runSQL(ctx context.Context, brokerAddr, ontoName, sql string, failOnPartial
 	if opts.rec != nil {
 		traceID = telemetry.NewTraceID()
 		ctx = telemetry.WithTraceID(ctx, traceID)
+	}
+	if planOnly {
+		if err := a.Plan(ctx, sql); err != nil {
+			fmt.Fprintf(opts.stderr, "isquery: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(opts.stdout, "plan only — no fragments fetched")
+		opts.dump(traceID)
+		return 0
 	}
 	res, status, err := a.RunWithStatus(ctx, sql)
 	if err != nil {

@@ -41,6 +41,8 @@ func main() {
 		ontoName  = flag.String("ontology", "healthcare", "domain ontology served")
 		specialty = flag.String("specialty", "", "comma-separated classes this MRQ specializes in (the paper's MRQ2)")
 		fanout    = flag.Int("fanout", 0, "max concurrent fragment fetches per class (0 = min(8, matched resources), 1 = serial)")
+		planner   = flag.Bool("planner", true, "enable the federated query planner (semi-join reduction, aggregate pushdown, cost-ordered fan-out)")
+		maxKeys   = flag.Int("semijoin-max-keys", mrq.DefaultSemiJoinMaxKeys, "max build-side join keys a semi-join may push; larger key sets fall back to the full fetch")
 		heartbeat = flag.Duration("heartbeat", 60*time.Second, "broker ping interval (0 disables)")
 		opts      daemon.Options
 	)
@@ -58,6 +60,8 @@ func main() {
 		PushConstraints: true,
 		MaxFanout:       *fanout,
 		CallPolicy:      opts.CallPolicy(),
+		Planner:         *planner,
+		SemiJoinMaxKeys: *maxKeys,
 	}
 	if *specialty != "" {
 		cfg.Specialty = strings.Split(*specialty, ",")

@@ -193,6 +193,9 @@ func (c *Community) AddMRQ(ctx context.Context, name, ontologyName string, speci
 		// The Section 5 harness models the paper's serial gather; keeping
 		// the fan-out at 1 also keeps the reference experiment artifacts
 		// stable (same rule as disabling the broker match cache there).
+		// Planner stays off (zero value) for the same reason: the
+		// paper-faithful path must fetch every fragment as-is, with no
+		// semi-join or aggregate rewrites.
 		MaxFanout:  1,
 		CallPolicy: c.cfg.CallPolicy,
 	})

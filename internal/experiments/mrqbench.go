@@ -15,12 +15,18 @@ import (
 	"time"
 
 	"infosleuth/internal/broker"
+	"infosleuth/internal/constraint"
 	"infosleuth/internal/mrq"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/relational"
 	"infosleuth/internal/resource"
 	"infosleuth/internal/transport"
 )
+
+// benchC1Rows is the semi-join build side's size: small enough that its
+// advertised row estimate always loses to C2's, so the planner pushes
+// C1's join keys to the C2 fragments.
+const benchC1Rows = 8
 
 // MRQBenchOptions sizes the fan-out benchmark rig.
 type MRQBenchOptions struct {
@@ -60,6 +66,21 @@ type MRQBenchResult struct {
 	FetchBytesPerOpNoPushdown int64   `json:"fetch_bytes_per_op_no_pushdown"`
 	FetchBytesPerOpPushdown   int64   `json:"fetch_bytes_per_op_pushdown"`
 	PushdownBytesReductionX   float64 `json:"pushdown_bytes_reduction_x"`
+	// Planner rewrites: wire bytes with and without the federated planner
+	// on a cross-class join (semi-join reduction) and an aggregate query
+	// (partial-aggregate pushdown). "Full" is the PR4 path — parallel
+	// gather with constraint/projection pushdown but no planner.
+	SemiJoin  MRQRewriteBench `json:"semi_join"`
+	Aggregate MRQRewriteBench `json:"aggregate"`
+}
+
+// MRQRewriteBench compares one planner rewrite against the full-fragment
+// path on reply bytes per query.
+type MRQRewriteBench struct {
+	Query                  string  `json:"query"`
+	FetchBytesPerOpFull    int64   `json:"fetch_bytes_per_op_full"`
+	FetchBytesPerOpPlanned int64   `json:"fetch_bytes_per_op_planned"`
+	ReductionX             float64 `json:"reduction_x"`
 }
 
 // mrqBenchRig wires an in-proc broker, opts.Fragments resource agents
@@ -89,6 +110,21 @@ func newMRQBenchRig(opts MRQBenchOptions) (*mrqBenchRig, error) {
 	}
 	rig.stop = append(rig.stop, func() { b.Stop() })
 
+	addResource := func(cfg resource.Config) error {
+		cfg.Transport = tr
+		cfg.KnownBrokers = []string{b.Addr()}
+		ra, err := resource.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := ra.Start(); err != nil {
+			return err
+		}
+		rig.stop = append(rig.stop, func() { ra.Stop() })
+		_, err = ra.Advertise(context.Background())
+		return err
+	}
+
 	perRow := opts.CallLatency / time.Duration(opts.RowsPerFragment)
 	for f := 0; f < opts.Fragments; f++ {
 		db := relational.NewDatabase()
@@ -104,40 +140,92 @@ func newMRQBenchRig(opts MRQBenchOptions) (*mrqBenchRig, error) {
 				relational.Num(float64(i)), relational.Num(float64(i % 7)), relational.Num(float64(i % 13)),
 			})
 		}
-		ra, err := resource.New(resource.Config{
-			Name: fmt.Sprintf("bench-ra-%02d", f), Transport: tr,
-			KnownBrokers: []string{b.Addr()}, DB: db,
+		if err := addResource(resource.Config{
+			Name: fmt.Sprintf("bench-ra-%02d", f), DB: db,
 			QueryDelayPerRow: perRow,
 			Fragment:         ontology.Fragment{Ontology: "generic", Classes: []string{"C2"}},
-		})
+		}); err != nil {
+			rig.Stop()
+			return nil, err
+		}
+	}
+
+	// C1: one small resource whose b values hit only a slice of C2's —
+	// the semi-join build side. Its advertised row estimate (8) against
+	// C2's sizes the rewrite.
+	{
+		db := relational.NewDatabase()
+		tbl, err := db.Create(relational.GenericSchema("C1"))
 		if err != nil {
 			rig.Stop()
 			return nil, err
 		}
-		if err := ra.Start(); err != nil {
+		step := opts.RowsPerFragment / benchC1Rows
+		if step < 1 {
+			step = 1
+		}
+		for j := 0; j < benchC1Rows; j++ {
+			tbl.MustInsert(relational.Row{
+				relational.Str(fmt.Sprintf("k%04d", j)),
+				relational.Num(float64(j)), relational.Num(float64(j * step)),
+				relational.Num(float64(j % 3)), relational.Num(float64(j % 5)),
+			})
+		}
+		if err := addResource(resource.Config{
+			Name: "bench-ra-c1", DB: db,
+			Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C1"}},
+		}); err != nil {
 			rig.Stop()
 			return nil, err
 		}
-		rig.stop = append(rig.stop, func() { ra.Stop() })
-		if _, err := ra.Advertise(context.Background()); err != nil {
+	}
+
+	// C3: disjoint horizontal fragments advertising range constraints and
+	// the aggregation capability — the partial-aggregate pushdown target.
+	for f := 0; f < opts.Fragments; f++ {
+		db := relational.NewDatabase()
+		tbl, err := db.Create(relational.GenericSchema("C3"))
+		if err != nil {
+			rig.Stop()
+			return nil, err
+		}
+		for i := 0; i < opts.RowsPerFragment; i++ {
+			tbl.MustInsert(relational.Row{
+				relational.Str(fmt.Sprintf("g%02d-%04d", f, i)),
+				relational.Num(float64(f*1000 + i)),
+				relational.Num(float64(i)), relational.Num(float64(i % 13)), relational.Num(float64(i % 7)),
+			})
+		}
+		if err := addResource(resource.Config{
+			Name: fmt.Sprintf("bench-ra-c3-%02d", f), DB: db,
+			QueryDelayPerRow: perRow,
+			Capabilities:     []string{ontology.CapRelationalQueryProcessing, ontology.CapAggregation},
+			Fragment: ontology.Fragment{
+				Ontology: "generic", Classes: []string{"C3"},
+				Constraints: constraint.MustParse(fmt.Sprintf("C3.a between %d and %d", f*1000, f*1000+999)),
+			},
+		}); err != nil {
 			rig.Stop()
 			return nil, err
 		}
 	}
 
 	for _, cfg := range []struct {
-		name   string
-		fanout int
-		push   bool
+		name    string
+		fanout  int
+		push    bool
+		planner bool
 	}{
-		{"bench-mrq-serial", 1, true},
-		{"bench-mrq-parallel", 0, true},
-		{"bench-mrq-nopush", 1, false},
+		{"bench-mrq-serial", 1, true, false},
+		{"bench-mrq-parallel", 0, true, false},
+		{"bench-mrq-nopush", 1, false, false},
+		{"bench-mrq-planned", 0, true, true},
 	} {
 		m, err := mrq.New(mrq.Config{
 			Name: cfg.name, Transport: tr, KnownBrokers: []string{b.Addr()},
 			World: world, Ontology: "generic",
 			PushConstraints: cfg.push, MaxFanout: cfg.fanout,
+			Planner: cfg.planner,
 		})
 		if err != nil {
 			rig.Stop()
@@ -191,23 +279,59 @@ func MRQBench(opts MRQBenchOptions) (*MRQBenchResult, error) {
 	// projecting query, counted over a fixed number of runs.
 	const selectiveQuery = "SELECT id, a FROM C2 WHERE a < 250 ORDER BY id"
 	const byteRuns = 3
-	bytesPerOp := func(a *mrq.Agent) (int64, error) {
+	bytesPerOp := func(a *mrq.Agent, sql string) (int64, string, error) {
+		var last string
 		before := mrq.SnapshotFetchStats()
 		for i := 0; i < byteRuns; i++ {
-			if _, err := a.Run(context.Background(), selectiveQuery); err != nil {
-				return 0, err
+			res, err := a.Run(context.Background(), sql)
+			if err != nil {
+				return 0, "", err
 			}
+			last = res.String()
 		}
 		after := mrq.SnapshotFetchStats()
-		return (after.Bytes - before.Bytes) / byteRuns, nil
+		return (after.Bytes - before.Bytes) / byteRuns, last, nil
 	}
-	noPushBytes, err := bytesPerOp(noPushAgent)
+	noPushBytes, _, err := bytesPerOp(noPushAgent, selectiveQuery)
 	if err != nil {
 		return nil, fmt.Errorf("no-pushdown bytes: %w", err)
 	}
-	pushBytes, err := bytesPerOp(serialAgent)
+	pushBytes, _, err := bytesPerOp(serialAgent, selectiveQuery)
 	if err != nil {
 		return nil, fmt.Errorf("pushdown bytes: %w", err)
+	}
+
+	// Planner rewrites vs the full-fragment path. Each comparison also
+	// checks the differential: the planned answer must be byte-identical
+	// to the unplanned one.
+	plannedAgent := rig.mrqs[3]
+	const joinQuery = "SELECT C1.id, C2.a FROM C1, C2 WHERE C1.b = C2.b ORDER BY id"
+	const aggQuery = "SELECT COUNT(*), SUM(a), MIN(a), MAX(a), AVG(c) FROM C3"
+	rewrite := func(sql string) (MRQRewriteBench, error) {
+		full, fullOut, err := bytesPerOp(parallelAgent, sql)
+		if err != nil {
+			return MRQRewriteBench{}, fmt.Errorf("full path: %w", err)
+		}
+		planned, plannedOut, err := bytesPerOp(plannedAgent, sql)
+		if err != nil {
+			return MRQRewriteBench{}, fmt.Errorf("planned path: %w", err)
+		}
+		if fullOut != plannedOut {
+			return MRQRewriteBench{}, fmt.Errorf("differential failed: planned answer differs from full-path answer for %q", sql)
+		}
+		r := MRQRewriteBench{Query: sql, FetchBytesPerOpFull: full, FetchBytesPerOpPlanned: planned}
+		if planned > 0 {
+			r.ReductionX = float64(full) / float64(planned)
+		}
+		return r, nil
+	}
+	semiJoin, err := rewrite(joinQuery)
+	if err != nil {
+		return nil, fmt.Errorf("semi-join rig: %w", err)
+	}
+	aggregate, err := rewrite(aggQuery)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate rig: %w", err)
 	}
 
 	res := &MRQBenchResult{
@@ -220,6 +344,8 @@ func MRQBench(opts MRQBenchOptions) (*MRQBenchResult, error) {
 		Parallel:                  parallel,
 		FetchBytesPerOpNoPushdown: noPushBytes,
 		FetchBytesPerOpPushdown:   pushBytes,
+		SemiJoin:                  semiJoin,
+		Aggregate:                 aggregate,
 	}
 	if parallel.NsPerOp > 0 {
 		res.SpeedupX = serial.NsPerOp / parallel.NsPerOp

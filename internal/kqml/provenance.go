@@ -28,6 +28,10 @@ const (
 	// ProvForward records an inter-broker forwarding decision for one
 	// peer.
 	ProvForward = "forward"
+	// ProvPlan records an MRQ federated-planner decision: the cost-ranked
+	// fragment fan-out order for a class, a semi-join rewrite, or an
+	// aggregate pushdown (with its fallback reason when abandoned).
+	ProvPlan = "plan"
 	// ProvDropped marks a synthetic event standing in for events evicted
 	// from an envelope to respect MaxProvEvents; its Dropped field carries
 	// how many were folded away.
@@ -47,6 +51,7 @@ type ProvEvent struct {
 	Fetch    *FetchReport      `json:"fetch,omitempty"`
 	Failover *FailoverDecision `json:"failover,omitempty"`
 	Forward  *ForwardDecision  `json:"forward,omitempty"`
+	Plan     *PlanDecision     `json:"plan,omitempty"`
 
 	// Dropped is only set on ProvDropped markers: how many events were
 	// evicted from this envelope to respect MaxProvEvents.
@@ -138,6 +143,34 @@ type FailoverDecision struct {
 	// Note carries the failure ("connection refused") or the degradation
 	// note recorded on the partial result.
 	Note string `json:"note,omitempty"`
+}
+
+// PlanDecision records one MRQ federated-planner decision for a class:
+// the cost-ranked fan-out order, a semi-join rewrite (build/probe sides
+// and how many keys were pushed), or an aggregate pushdown (which partial
+// aggregates went to the fragments). Fallback explains why a rewrite was
+// planned but abandoned.
+type PlanDecision struct {
+	// Class is the ontology class the decision covers.
+	Class string `json:"class"`
+	// Order is the cost-ranked fragment fan-out order (resource names,
+	// cheapest first); empty when no stats signal reordered the match set.
+	Order []string `json:"order,omitempty"`
+	// CostsMicros are the modeled per-resource costs aligned with Order.
+	CostsMicros []int64 `json:"costs_us,omitempty"`
+	// SemiJoin marks a semi-join rewrite; Build/Probe name the sides and
+	// JoinColumn the probe-side column the key set was pushed on.
+	SemiJoin   bool   `json:"semi_join,omitempty"`
+	Build      string `json:"build,omitempty"`
+	Probe      string `json:"probe,omitempty"`
+	JoinColumn string `json:"join_column,omitempty"`
+	// Keys is how many distinct build-side keys were pushed.
+	Keys int `json:"keys,omitempty"`
+	// Aggregates lists the partial aggregates pushed to the fragments.
+	Aggregates []string `json:"aggregates,omitempty"`
+	// Fallback is why a planned rewrite was abandoned ("key set exceeds
+	// cap", "fragments overlap"), empty when the rewrite stood.
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // ForwardDecision records one inter-broker forwarding decision: a peer

@@ -1,0 +1,149 @@
+package mrq
+
+import (
+	"sort"
+
+	"infosleuth/internal/constraint"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/stats"
+)
+
+// The planner's cost model. Each candidate resource gets a scalar cost in
+// microseconds:
+//
+//	cost = (latency + selectivity · bytes / costBytesPerMicro)
+//	       · (1 + costErrWeight · errorRate)  [+ breaker penalty]
+//
+// latency and bytes come from the per-peer/per-class EWMAs the live fetch
+// path feeds (falling back to the per-peer aggregate, then the advertised
+// response-time property); selectivity is a coarse estimate of how much of
+// the fragment the pushed constraints admit, from the advertised
+// constraint regions; error-prone peers are inflated and open-circuit
+// peers pushed to the back. Advertised row estimates are deliberately NOT
+// a cost signal — they size semi-joins, but a community where every
+// resource advertises them would otherwise never take the no-signal fast
+// path.
+const (
+	// costBytesPerMicro converts expected reply bytes into latency-
+	// equivalent microseconds (~100 MB/s effective transfer+parse rate).
+	costBytesPerMicro = 100.0
+	// costErrWeight inflates the cost of error-prone peers: a peer
+	// failing every call costs 5x its healthy self.
+	costErrWeight = 4.0
+	// costBreakerPenaltyMicros pushes open-circuit peers behind every
+	// healthy candidate without excluding them (the breaker's half-open
+	// probe still needs a caller).
+	costBreakerPenaltyMicros = int64(1e9)
+	// costDefaultLatencyMicros stands in for a candidate with no signal
+	// at all while others have one.
+	costDefaultLatencyMicros = 1000.0
+)
+
+// plannerStats resolves the stats source the cost model consults.
+func (a *Agent) plannerStats() *stats.QueryStats {
+	if a.cfg.PlannerStats != nil {
+		return a.cfg.PlannerStats
+	}
+	return stats.Queries
+}
+
+// hasCostSignal reports whether any candidate carries a signal worth
+// reordering on: observed stats, an advertised response time, or an open
+// circuit. With no signal the broker's match order is kept unchanged.
+func (a *Agent) hasCostSignal(class string, matches []*ontology.Advertisement) bool {
+	qs := a.plannerStats()
+	for _, ad := range matches {
+		if ad.Properties.EstimatedResponseSec > 0 {
+			return true
+		}
+		if _, ok := qs.Peek(ad.Name, class); ok {
+			return true
+		}
+		if _, ok := qs.Peek(ad.Name, ""); ok {
+			return true
+		}
+		if a.cfg.CallPolicy != nil && a.cfg.CallPolicy.BreakerOpen(ad.Address) {
+			return true
+		}
+	}
+	return false
+}
+
+// orderMatches cost-ranks one class's match set, cheapest first. The sort
+// is stable over the broker's order, so equal costs (and fixed stats)
+// always produce the same fan-out. When no candidate has any signal the
+// match set is returned unchanged with nil costs — a zero-allocation fast
+// path, since most communities have no stats at first query.
+func (a *Agent) orderMatches(class string, pushed *constraint.Set, matches []*ontology.Advertisement) ([]*ontology.Advertisement, []int64) {
+	if len(matches) < 2 || !a.hasCostSignal(class, matches) {
+		return matches, nil
+	}
+	costs := make([]int64, len(matches))
+	for i, ad := range matches {
+		costs[i] = a.costOf(class, pushed, ad)
+	}
+	idx := make([]int, len(matches))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return costs[idx[i]] < costs[idx[j]] })
+	ordered := make([]*ontology.Advertisement, len(matches))
+	orderedCosts := make([]int64, len(matches))
+	for o, i := range idx {
+		ordered[o] = matches[i]
+		orderedCosts[o] = costs[i]
+	}
+	return ordered, orderedCosts
+}
+
+// costOf models one candidate's expected fetch cost in microseconds.
+func (a *Agent) costOf(class string, pushed *constraint.Set, ad *ontology.Advertisement) int64 {
+	qs := a.plannerStats()
+	lat, bytes, errRate := costDefaultLatencyMicros, 0.0, 0.0
+	if pcs, ok := qs.Peek(ad.Name, class); ok && pcs.Count > 0 {
+		lat, bytes, errRate = pcs.EWMALatencyMicros, pcs.EWMABytes, pcs.EWMAErrorRate
+	} else if pcs, ok := qs.Peek(ad.Name, ""); ok && pcs.Count > 0 {
+		lat, bytes, errRate = pcs.EWMALatencyMicros, pcs.EWMABytes, pcs.EWMAErrorRate
+	} else if ad.Properties.EstimatedResponseSec > 0 {
+		lat = ad.Properties.EstimatedResponseSec * 1e6
+	}
+	cost := lat + a.selectivityOf(class, pushed, ad)*bytes/costBytesPerMicro
+	cost *= 1 + costErrWeight*errRate
+	c := int64(cost)
+	if a.cfg.CallPolicy != nil && a.cfg.CallPolicy.BreakerOpen(ad.Address) {
+		c += costBreakerPenaltyMicros
+	}
+	return c
+}
+
+// selectivityOf coarsely estimates the fraction of a candidate's fragment
+// the pushed query constraints admit, from the advertised constraint
+// regions: 1.0 when the query covers (or doesn't constrain) the fragment's
+// region, 0.5 on partial overlap, near zero when the regions are disjoint
+// (the broker normally filters those out, but an unconstrained broker
+// query can still match them). Multiple serving fragments take the widest.
+func (a *Agent) selectivityOf(class string, pushed *constraint.Set, ad *ontology.Advertisement) float64 {
+	if pushed.Len() == 0 {
+		return 1
+	}
+	ont := a.cfg.World.Ontology(a.cfg.Ontology)
+	sel := 0.0
+	found := false
+	for _, f := range servingFragments(ad, a.cfg.Ontology, class, ont) {
+		found = true
+		s := 0.5
+		switch {
+		case !pushed.Overlaps(f.Constraints):
+			s = 0.05
+		case pushed.Covers(f.Constraints):
+			s = 1.0
+		}
+		if s > sel {
+			sel = s
+		}
+	}
+	if !found {
+		return 1
+	}
+	return sel
+}

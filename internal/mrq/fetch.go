@@ -145,8 +145,13 @@ type fetchFailure struct {
 // doing their job, since the replica's rows are already in the result set
 // and MergeFragments deduplicates the union. Only uncovered failures come
 // back, sorted by agent name.
-func (a *Agent) fetchFragments(ctx context.Context, class, key string, stmt *sqlparse.Select, matches []*ontology.Advertisement, traceID string) ([]*kqml.SQLResult, []fetchFailure) {
+func (a *Agent) fetchFragments(ctx context.Context, class, key string, stmt *sqlparse.Select, matches []*ontology.Advertisement, extra []sqlparse.Cond, traceID string) ([]*kqml.SQLResult, []fetchFailure) {
 	plan := a.planFetch(class, key, stmt, matches)
+	// extra conds come from the planner (a semi-join's IN constraint on
+	// the probe side); they are always sound to push — a row they filter
+	// could never survive the local join — so they bypass the uniform
+	// coverage check above.
+	plan.conds = append(plan.conds, extra...)
 	em := provenance.For(ctx, traceID)
 	if em != nil {
 		pd := &kqml.PushdownDecision{Class: class, Blocked: plan.blocked, Columns: plan.cols}
@@ -288,14 +293,22 @@ func (p *fetchPlan) constraintsCovered(failed, replica *ontology.Advertisement) 
 // servingFragments returns the advertisement's fragments that can answer
 // queries over the plan's class — directly or through a served subclass.
 func (p *fetchPlan) servingFragments(ad *ontology.Advertisement) []*ontology.Fragment {
+	return servingFragments(ad, p.onto, p.class, p.ont)
+}
+
+// servingFragments returns an advertisement's fragments that can answer
+// queries over a class — directly or through a served subclass. Shared by
+// the failover coverage check and the planner (aggregate-disjointness and
+// selectivity estimates).
+func servingFragments(ad *ontology.Advertisement, onto, class string, ont *ontology.Ontology) []*ontology.Fragment {
 	var out []*ontology.Fragment
 	for i := range ad.Content {
 		f := &ad.Content[i]
-		if !strings.EqualFold(f.Ontology, p.onto) {
+		if !strings.EqualFold(f.Ontology, onto) {
 			continue
 		}
 		for _, served := range f.Classes {
-			if strings.EqualFold(served, p.class) || (p.ont != nil && p.ont.IsSubclassOf(served, p.class)) {
+			if strings.EqualFold(served, class) || (ont != nil && ont.IsSubclassOf(served, class)) {
 				out = append(out, f)
 				break
 			}

@@ -21,6 +21,19 @@ var (
 		"Pushed fragment queries a resource rejected, refetched as SELECT *.")
 )
 
+// Planner metrics: how often the federated planner's rewrites fire and how
+// often they fall back to the full-fragment path.
+var (
+	mPlanSemiJoins = telemetry.Default.Counter("infosleuth_mrq_plan_semijoins_total",
+		"Semi-join reductions applied: build-side join keys pushed as an IN constraint to the probe side.")
+	mPlanAggPushdowns = telemetry.Default.Counter("infosleuth_mrq_plan_aggregate_pushdowns_total",
+		"Aggregate queries answered by merging per-fragment partial aggregates at the MRQ.")
+	mPlanFallbacks = telemetry.Default.Counter("infosleuth_mrq_plan_fallbacks_total",
+		"Planned rewrites abandoned at execution time, refetched over the full-fragment path.")
+	mPlanKeyOverflows = telemetry.Default.Counter("infosleuth_mrq_plan_key_overflows_total",
+		"Semi-join key sets that exceeded the configured cap, forcing the full probe fetch.")
+)
+
 // FetchStats is a point-in-time snapshot of the fan-out counters;
 // benchmarks diff two snapshots to attribute fetches and bytes to a
 // workload.
@@ -40,5 +53,23 @@ func SnapshotFetchStats() FetchStats {
 		Bytes:      mFetchBytes.Value(),
 		SavedBytes: mPushdownSavedBytes.Value(),
 		Fallbacks:  mPushdownFallbacks.Value(),
+	}
+}
+
+// PlanStats is a point-in-time snapshot of the planner counters.
+type PlanStats struct {
+	SemiJoins    int64
+	AggPushdowns int64
+	Fallbacks    int64
+	KeyOverflows int64
+}
+
+// SnapshotPlanStats reads the planner counters.
+func SnapshotPlanStats() PlanStats {
+	return PlanStats{
+		SemiJoins:    mPlanSemiJoins.Value(),
+		AggPushdowns: mPlanAggPushdowns.Value(),
+		Fallbacks:    mPlanFallbacks.Value(),
+		KeyOverflows: mPlanKeyOverflows.Value(),
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"infosleuth/internal/relational"
 	"infosleuth/internal/resilience"
 	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/stats"
 	"infosleuth/internal/telemetry"
 	"infosleuth/internal/telemetry/provenance"
 	"infosleuth/internal/transport"
@@ -62,11 +63,29 @@ type Config struct {
 	// one class (the scatter of Figure 7). 0 means min(8, matched
 	// resources); 1 fetches serially in broker match order.
 	MaxFanout int
+	// Planner enables the federated query planner: semi-join reduction
+	// for cross-class joins, partial-aggregate pushdown, and cost-based
+	// ordering of the fragment fan-out. Off by default — the
+	// paper-faithful Section 5 path (community.AddMRQ) must never plan.
+	Planner bool
+	// SemiJoinMaxKeys caps how many distinct build-side join keys the
+	// planner pushes as an IN constraint; a larger key set falls back to
+	// the full-fragment fetch. 0 means DefaultSemiJoinMaxKeys.
+	SemiJoinMaxKeys int
+	// PlannerStats overrides the per-peer/per-class EWMA stats source the
+	// cost model consults (tests); nil uses the process-wide
+	// stats.Queries aggregator that live fetches feed.
+	PlannerStats *stats.QueryStats
 }
 
 // defaultMaxFanout is the per-class fetch concurrency when Config.MaxFanout
 // is unset.
 const defaultMaxFanout = 8
+
+// DefaultSemiJoinMaxKeys is the semi-join key cap when
+// Config.SemiJoinMaxKeys is unset: past this many distinct build-side
+// keys, the IN rewrite costs more to ship and parse than it saves.
+const DefaultSemiJoinMaxKeys = 1024
 
 // Agent is a multiresource query agent.
 type Agent struct {
@@ -223,6 +242,9 @@ func (a *Agent) run(ctx context.Context, sql string) (*sqlparse.Result, *Status,
 	if a.cfg.PushConstraints {
 		pushed = stmt.WhereConstraints()
 	}
+	if a.cfg.Planner {
+		return a.runPlanned(ctx, stmt, classes, pushed)
+	}
 
 	// Assemble all referenced classes concurrently — one goroutine per
 	// class, first error wins and cancels the rest — then evaluate the
@@ -266,6 +288,13 @@ func (a *Agent) run(ctx context.Context, sql string) (*sqlparse.Result, *Status,
 			return nil, nil, firstErr
 		}
 	}
+	return a.finish(stmt, tables, notes)
+}
+
+// finish attaches the assembled class tables to a scratch database, folds
+// the degradation notes into a status, and evaluates the original
+// statement locally — the shared tail of the planned and unplanned paths.
+func (a *Agent) finish(stmt *sqlparse.Select, tables []*relational.Table, notes []*kqml.ClassDegradation) (*sqlparse.Result, *Status, error) {
 	scratch := relational.NewDatabase()
 	for _, table := range tables {
 		if err := scratch.Attach(table); err != nil {
@@ -315,6 +344,16 @@ func (a *Agent) assembleClass(ctx context.Context, class string, stmt *sqlparse.
 }
 
 func (a *Agent) assembleClassInner(ctx context.Context, class string, stmt *sqlparse.Select, pushed *constraint.Set, traceID string) (*relational.Table, *kqml.ClassDegradation, error) {
+	matches, err := a.locateClass(ctx, class, pushed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a.assembleFromMatches(ctx, class, stmt, matches, nil, traceID)
+}
+
+// locateClass runs the Figure 7 broker query for one class and returns the
+// matched resource advertisements, in broker match order.
+func (a *Agent) locateClass(ctx context.Context, class string, pushed *constraint.Set) ([]*ontology.Advertisement, error) {
 	q := &ontology.Query{
 		Type:            ontology.TypeResource,
 		ContentLanguage: ontology.LangSQL2,
@@ -326,17 +365,46 @@ func (a *Agent) assembleClassInner(ctx context.Context, class string, stmt *sqlp
 	}
 	br, err := a.QueryBrokers(ctx, q)
 	if err != nil {
-		return nil, nil, fmt.Errorf("mrq %s: locating resources for class %s: %w", a.cfg.Name, class, err)
+		return nil, fmt.Errorf("mrq %s: locating resources for class %s: %w", a.cfg.Name, class, err)
 	}
 	if len(br.Matches) == 0 {
-		return nil, nil, fmt.Errorf("mrq %s: no resources serve class %s", a.cfg.Name, class)
+		return nil, fmt.Errorf("mrq %s: no resources serve class %s", a.cfg.Name, class)
 	}
+	return br.Matches, nil
+}
 
+// assembleLocated is assembleClass for pre-located matches: the planner
+// already ran the broker query (inside the mrq.plan span), so only the
+// fetch and merge run under the mrq.assemble span. extra conds (a
+// semi-join's IN constraint) are appended to every fragment query.
+func (a *Agent) assembleLocated(ctx context.Context, class string, stmt *sqlparse.Select, matches []*ontology.Advertisement, extra []sqlparse.Cond, traceID string) (*relational.Table, *kqml.ClassDegradation, error) {
+	if traceID == "" {
+		return a.assembleFromMatches(ctx, class, stmt, matches, extra, traceID)
+	}
+	start := time.Now()
+	table, note, err := a.assembleFromMatches(ctx, class, stmt, matches, extra, traceID)
+	span := telemetry.Span{
+		TraceID:        traceID,
+		Agent:          a.cfg.Name,
+		Op:             telemetry.OpMRQAssemble,
+		StartUnixNano:  start.UnixNano(),
+		DurationMicros: time.Since(start).Microseconds(),
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	telemetry.RecordSpan(span)
+	return table, note, err
+}
+
+// assembleFromMatches fetches and merges one class's fragments from an
+// already-located match set.
+func (a *Agent) assembleFromMatches(ctx context.Context, class string, stmt *sqlparse.Select, matches []*ontology.Advertisement, extra []sqlparse.Cond, traceID string) (*relational.Table, *kqml.ClassDegradation, error) {
 	key := ""
 	if ont := a.cfg.World.Ontology(a.cfg.Ontology); ont != nil {
 		key = ont.KeyOf(class)
 	}
-	results, lost := a.fetchFragments(ctx, class, key, stmt, br.Matches, traceID)
+	results, lost := a.fetchFragments(ctx, class, key, stmt, matches, extra, traceID)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, fmt.Errorf("mrq %s: assembling class %s: %w", a.cfg.Name, class, err)
 	}

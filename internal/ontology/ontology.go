@@ -291,6 +291,10 @@ type Properties struct {
 	// ThroughputQPS is the advertised processing throughput; 0 means
 	// unadvertised.
 	ThroughputQPS float64
+	// EstimatedRows is the advertised total row count across the agent's
+	// served class fragments — a sizing hint the MRQ's federated planner
+	// uses to pick the build side of a semi-join. 0 means unadvertised.
+	EstimatedRows int64
 }
 
 // BrokerInfo is the multibroker service-ontology extension of Figure 13,

@@ -112,6 +112,14 @@ func (a *Agent) buildAd(addr string) *ontology.Advertisement {
 	frag := a.cfg.Fragment
 	frag.Classes = append([]string(nil), a.cfg.Fragment.Classes...)
 	frag.Constraints = a.cfg.Fragment.Constraints.Clone()
+	var rows int64
+	if a.cfg.DB != nil {
+		for _, class := range frag.Classes {
+			if t, ok := a.cfg.DB.Table(class); ok {
+				rows += int64(t.Len())
+			}
+		}
+	}
 	return &ontology.Advertisement{
 		Name:             a.cfg.Name,
 		Address:          addr,
@@ -123,6 +131,7 @@ func (a *Agent) buildAd(addr string) *ontology.Advertisement {
 		Content:          []ontology.Fragment{frag},
 		Properties: ontology.Properties{
 			EstimatedResponseSec: a.cfg.EstimatedResponseSec,
+			EstimatedRows:        rows,
 		},
 	}
 }

@@ -79,12 +79,24 @@ type Cond struct {
 	// HighVal the high bound, Op is ignored.
 	Between bool
 	HighVal constraint.Value
+	// In marks an IN condition; InVals lists the admitted values and Op
+	// is ignored. The MRQ's semi-join reduction synthesizes these to push
+	// a build side's join keys down to the probe side's fragments.
+	In     bool
+	InVals []constraint.Value
 }
 
 // String renders the condition.
 func (c Cond) String() string {
 	if c.Between {
 		return fmt.Sprintf("%s BETWEEN %s AND %s", c.Left, c.RightVal, c.HighVal)
+	}
+	if c.In {
+		parts := make([]string, len(c.InVals))
+		for i, v := range c.InVals {
+			parts[i] = v.String()
+		}
+		return fmt.Sprintf("%s IN (%s)", c.Left, strings.Join(parts, ", "))
 	}
 	if c.RightIsCol {
 		return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.RightCol)
@@ -245,6 +257,13 @@ func (s *Select) WhereConstraints() *constraint.Set {
 				if c.RightVal.Kind() == constraint.KindNumber && c.HighVal.Kind() == constraint.KindNumber {
 					set.Add(constraint.Atom{Field: field,
 						Interval: constraint.NewRange(c.RightVal.Number(), c.HighVal.Number())})
+				}
+				continue
+			}
+			if c.In {
+				if len(c.InVals) > 0 {
+					set.Add(constraint.Atom{Field: field,
+						Allowed: append([]constraint.Value(nil), c.InVals...)})
 				}
 				continue
 			}

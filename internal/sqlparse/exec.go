@@ -113,19 +113,29 @@ func Execute(db *relational.Database, stmt *Select) (*Result, error) {
 		out.Rows = dedup
 	}
 	if stmt.OrderBy != "" {
-		i := out.ColIndex(stmt.OrderBy)
-		if i < 0 {
-			return nil, fmt.Errorf("sql: ORDER BY column %q not in result", stmt.OrderBy)
+		if err := out.Sort(stmt.OrderBy, stmt.OrderDesc); err != nil {
+			return nil, err
 		}
-		sort.SliceStable(out.Rows, func(a, b int) bool {
-			cmp := out.Rows[a][i].Compare(out.Rows[b][i])
-			if stmt.OrderDesc {
-				return cmp > 0
-			}
-			return cmp < 0
-		})
 	}
 	return out, nil
+}
+
+// Sort orders the result rows by one output column (stable), ascending or
+// descending — the ORDER BY step, exposed so the MRQ can re-apply ordering
+// after merging partial aggregates computed at the fragments.
+func (r *Result) Sort(col string, desc bool) error {
+	i := r.ColIndex(col)
+	if i < 0 {
+		return fmt.Errorf("sql: ORDER BY column %q not in result", col)
+	}
+	sort.SliceStable(r.Rows, func(a, b int) bool {
+		cmp := r.Rows[a][i].Compare(r.Rows[b][i])
+		if desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	})
+	return nil
 }
 
 func rowKey(r relational.Row) string {
@@ -231,6 +241,14 @@ func executeBranch(db *relational.Database, sel *Select) (*Result, error) {
 			}
 			x := left.Number()
 			return x >= pc.cond.RightVal.Number() && x <= pc.cond.HighVal.Number()
+		}
+		if pc.cond.In {
+			for _, v := range pc.cond.InVals {
+				if left.Kind() == v.Kind() && left.Compare(v) == 0 {
+					return true
+				}
+			}
+			return false
 		}
 		var right constraint.Value
 		if pc.rightIdx >= 0 {

@@ -1,0 +1,65 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"infosleuth/internal/constraint"
+)
+
+func TestInListFilters(t *testing.T) {
+	db := testDB(t)
+	res := run(t, db, "SELECT patient_id FROM patient WHERE patient_id IN ('P1', 'P3') ORDER BY patient_id")
+	if res.Len() != 2 || res.Rows[0][0].Text() != "P1" || res.Rows[1][0].Text() != "P3" {
+		t.Errorf("IN rows = %v", res.Rows)
+	}
+	res = run(t, db, "SELECT patient_id FROM patient WHERE patient_age IN (44, 30) ORDER BY patient_id")
+	if res.Len() != 2 {
+		t.Errorf("numeric IN rows = %v", res.Rows)
+	}
+	// Type-mismatched members never match.
+	res = run(t, db, "SELECT patient_id FROM patient WHERE patient_age IN ('44')")
+	if res.Len() != 0 {
+		t.Errorf("string member matched numeric column: %v", res.Rows)
+	}
+}
+
+func TestInListRoundTrips(t *testing.T) {
+	stmt, err := Parse("SELECT id FROM T WHERE v IN (1, 2, 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := stmt.Where[0].String()
+	if rendered != "v IN (1, 2, 3)" {
+		t.Errorf("rendered = %q", rendered)
+	}
+	if _, err := Parse("SELECT id FROM T WHERE " + rendered); err != nil {
+		t.Errorf("rendered IN does not reparse: %v", err)
+	}
+}
+
+func TestInListParseErrors(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT id FROM T WHERE v IN 1",
+		"SELECT id FROM T WHERE v IN ()",
+		"SELECT id FROM T WHERE v IN (1, 2",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded", sql)
+		}
+	}
+}
+
+func TestInListWhereConstraints(t *testing.T) {
+	stmt, err := Parse("SELECT id FROM T WHERE v IN (1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := stmt.WhereConstraints()
+	a, ok := cs.Atom("t.v")
+	if !ok {
+		t.Fatalf("no constraint atom for t.v: %v", cs)
+	}
+	if len(a.Allowed) != 2 || !a.Allowed[0].Equal(constraint.Num(1)) {
+		t.Errorf("allowed values = %v", a.Allowed)
+	}
+}

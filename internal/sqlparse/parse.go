@@ -17,6 +17,7 @@ import (
 //	tables  := tabref { "," tabref } { "JOIN" tabref "ON" cond }
 //	conds   := cond { "AND" cond }
 //	cond    := colref op operand | colref "BETWEEN" literal "AND" literal
+//	         | colref "IN" "(" literal { "," literal } ")"
 //	op      := "=" | "<>" | "!=" | "<" | "<=" | ">" | ">="
 //	colref  := ident [ "." ident ]
 //	tabref  := ident [ ident ]           -- optional alias
@@ -202,7 +203,7 @@ func (p *sqlParser) ident() (string, error) {
 var sqlReserved = map[string]bool{
 	"select": true, "from": true, "where": true, "and": true, "union": true,
 	"join": true, "on": true, "order": true, "by": true, "between": true, "group": true,
-	"desc": true, "asc": true,
+	"desc": true, "asc": true, "in": true,
 }
 
 func (p *sqlParser) selectStmt() (*Select, error) {
@@ -385,6 +386,26 @@ func (p *sqlParser) cond() (Cond, error) {
 			return Cond{}, err
 		}
 		return Cond{Left: left, Between: true, RightVal: lo, HighVal: hi}, nil
+	}
+	if p.acceptKw("IN") {
+		if !p.acceptSym("(") {
+			return Cond{}, fmt.Errorf("expected '(' after IN, got %q", p.peekText())
+		}
+		c := Cond{Left: left, In: true}
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return Cond{}, fmt.Errorf("in IN list: %w", err)
+			}
+			c.InVals = append(c.InVals, v)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if !p.acceptSym(")") {
+			return Cond{}, fmt.Errorf("expected ')' closing IN list, got %q", p.peekText())
+		}
+		return c, nil
 	}
 	if p.eof() || p.toks[p.pos].kind != sqlSymbol {
 		return Cond{}, fmt.Errorf("expected a comparison operator after %s, got %q", left, p.peekText())

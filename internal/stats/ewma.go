@@ -117,6 +117,31 @@ func (qs *QueryStats) Observe(peer, class string, latency time.Duration, bytes i
 	c.lastUpdate = qs.now()
 }
 
+// Peek returns the current row for one (peer, class) pair without
+// snapshotting the whole table. It allocates nothing beyond the returned
+// value, so the MRQ planner's cost model can consult it per candidate on
+// the fan-out hot path. The second result is false when the pair has never
+// observed a call.
+func (qs *QueryStats) Peek(peer, class string) (PeerClassStats, bool) {
+	key := peerClassKey{Peer: peer, Class: class}
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	c, ok := qs.cells[key]
+	if !ok {
+		return PeerClassStats{}, false
+	}
+	return PeerClassStats{
+		Peer:              key.Peer,
+		Class:             key.Class,
+		Count:             c.count,
+		Errors:            c.errors,
+		EWMALatencyMicros: c.latencyMicros,
+		EWMABytes:         c.bytes,
+		EWMAErrorRate:     c.errorRate,
+		LastUpdateUnix:    c.lastUpdate.Unix(),
+	}, true
+}
+
 // Snapshot returns every (peer, class) row, sorted by peer then class.
 func (qs *QueryStats) Snapshot() []PeerClassStats {
 	qs.mu.Lock()

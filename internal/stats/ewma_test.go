@@ -61,6 +61,89 @@ func TestQueryStatsBoundedKeys(t *testing.T) {
 	}
 }
 
+// TestQueryStatsSnapshotOrdering pins the snapshot's sort: by peer, then
+// class, regardless of observation order. Consumers (the /stats endpoint,
+// the planner's explain output) rely on this determinism.
+func TestQueryStatsSnapshotOrdering(t *testing.T) {
+	qs := NewQueryStats()
+	qs.Observe("zeta", "C2", time.Millisecond, 1, false)
+	qs.Observe("alpha", "C9", time.Millisecond, 1, false)
+	qs.Observe("zeta", "C1", time.Millisecond, 1, false)
+	qs.Observe("alpha", "", time.Millisecond, 1, false)
+	qs.Observe("mid", "C5", time.Millisecond, 1, false)
+
+	want := []struct{ peer, class string }{
+		{"alpha", ""}, {"alpha", "C9"}, {"mid", "C5"}, {"zeta", "C1"}, {"zeta", "C2"},
+	}
+	for run := 0; run < 3; run++ {
+		rows := qs.Snapshot()
+		if len(rows) != len(want) {
+			t.Fatalf("got %d rows, want %d", len(rows), len(want))
+		}
+		for i, w := range want {
+			if rows[i].Peer != w.peer || rows[i].Class != w.class {
+				t.Fatalf("run %d row %d = (%s, %s), want (%s, %s)",
+					run, i, rows[i].Peer, rows[i].Class, w.peer, w.class)
+			}
+		}
+	}
+}
+
+// TestQueryStatsCollapseAtExactBound pins the collapse boundary: the
+// 1024th distinct pair is still tracked individually, the 1025th lands in
+// _other — and an already-tracked pair keeps updating in place even when
+// the table is full.
+func TestQueryStatsCollapseAtExactBound(t *testing.T) {
+	qs := NewQueryStats()
+	for i := 0; i < MaxQueryStatsKeys; i++ {
+		qs.Observe(fmt.Sprintf("peer-%04d", i), "C1", time.Millisecond, 10, false)
+	}
+	if _, ok := qs.Peek("_other", ""); ok {
+		t.Fatalf("_other exists at exactly %d keys", MaxQueryStatsKeys)
+	}
+	if _, ok := qs.Peek(fmt.Sprintf("peer-%04d", MaxQueryStatsKeys-1), "C1"); !ok {
+		t.Fatal("boundary pair not tracked individually")
+	}
+	// One past the bound collapses.
+	qs.Observe("one-too-many", "C1", time.Millisecond, 10, false)
+	if _, ok := qs.Peek("one-too-many", "C1"); ok {
+		t.Fatal("over-bound pair tracked individually")
+	}
+	other, ok := qs.Peek("_other", "")
+	if !ok || other.Count != 1 {
+		t.Fatalf("_other = %+v %v, want count 1", other, ok)
+	}
+	// Existing pairs still update in place, not via _other.
+	qs.Observe("peer-0000", "C1", time.Millisecond, 10, false)
+	pcs, _ := qs.Peek("peer-0000", "C1")
+	if pcs.Count != 2 {
+		t.Fatalf("tracked pair count = %d, want 2", pcs.Count)
+	}
+	other, _ = qs.Peek("_other", "")
+	if other.Count != 1 {
+		t.Fatalf("_other absorbed a tracked pair's update: %+v", other)
+	}
+}
+
+func TestQueryStatsPeek(t *testing.T) {
+	qs := NewQueryStats()
+	if _, ok := qs.Peek("R1", "C1"); ok {
+		t.Fatal("Peek hit on an empty aggregator")
+	}
+	qs.Observe("R1", "C1", 100*time.Microsecond, 1000, false)
+	pcs, ok := qs.Peek("R1", "C1")
+	if !ok || pcs.Peer != "R1" || pcs.Class != "C1" || pcs.Count != 1 {
+		t.Fatalf("Peek = %+v %v", pcs, ok)
+	}
+	if pcs.EWMALatencyMicros != 100 || pcs.EWMABytes != 1000 {
+		t.Fatalf("Peek EWMAs = %+v", pcs)
+	}
+	// Class mismatch is a miss, not a fallback.
+	if _, ok := qs.Peek("R1", ""); ok {
+		t.Fatal("Peek fell back across classes")
+	}
+}
+
 func TestQueryStatsHandler(t *testing.T) {
 	qs := NewQueryStats()
 	qs.Observe("B2", "", 3*time.Millisecond, 0, false)

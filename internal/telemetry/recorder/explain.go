@@ -15,6 +15,7 @@ type Explain struct {
 	Summary   Summary          `json:"summary"`
 	Matches   []kqml.ProvEvent `json:"matches,omitempty"`
 	Forwards  []kqml.ProvEvent `json:"forwards,omitempty"`
+	Plans     []kqml.ProvEvent `json:"plans,omitempty"`
 	Pushdowns []kqml.ProvEvent `json:"pushdowns,omitempty"`
 	Fetches   []kqml.ProvEvent `json:"fetches,omitempty"`
 	Failovers []kqml.ProvEvent `json:"failovers,omitempty"`
@@ -44,6 +45,8 @@ func (r *Recorder) Explain(id string) (*Explain, bool) {
 			ex.Matches = append(ex.Matches, ev)
 		case kqml.ProvForward:
 			ex.Forwards = append(ex.Forwards, ev)
+		case kqml.ProvPlan:
+			ex.Plans = append(ex.Plans, ev)
 		case kqml.ProvPushdown:
 			ex.Pushdowns = append(ex.Pushdowns, ev)
 		case kqml.ProvFetch:
@@ -61,7 +64,7 @@ func (r *Recorder) Explain(id string) (*Explain, bool) {
 func (e *Explain) Format() string {
 	var b strings.Builder
 	s := e.Summary
-	decisions := len(e.Matches) + len(e.Forwards) + len(e.Pushdowns) + len(e.Fetches) + len(e.Failovers)
+	decisions := len(e.Matches) + len(e.Forwards) + len(e.Plans) + len(e.Pushdowns) + len(e.Fetches) + len(e.Failovers)
 	fmt.Fprintf(&b, "explain trace %s: %d decisions, %d spans, %d agents, %d µs",
 		s.ID, decisions, s.Spans, s.Agents, s.DurationMicros)
 	if s.Errors > 0 {
@@ -84,6 +87,7 @@ func (e *Explain) Format() string {
 	}
 	add("matchmaking", matchLines(e.Matches))
 	add("forwarding", forwardLines(e.Forwards))
+	add("plan", planLines(e.Plans))
 	add("pushdown", pushdownLines(e.Pushdowns))
 	add("fetch", fetchLines(e.Fetches))
 	add("failover", failoverLines(e.Failovers))
@@ -171,6 +175,52 @@ func forwardLines(events []kqml.ProvEvent) []string {
 			line += fmt.Sprintf(": %d match(es)", f.Matches)
 		}
 		out = append(out, line)
+	}
+	return out
+}
+
+func planLines(events []kqml.ProvEvent) []string {
+	var out []string
+	for _, ev := range events {
+		p := ev.Plan
+		if p == nil {
+			continue
+		}
+		line := p.Class
+		if ev.Agent != "" {
+			line = fmt.Sprintf("%s @ %s", p.Class, ev.Agent)
+		}
+		var parts []string
+		switch {
+		case p.SemiJoin:
+			// Keys is 0 on plan-only reports: the count is unknown until
+			// the build side is actually fetched.
+			sj := fmt.Sprintf("semi-join: build %s, push %s IN keys to %s", p.Build, p.JoinColumn, p.Probe)
+			if p.Keys > 0 {
+				sj = fmt.Sprintf("semi-join: build %s, push %s IN (%d keys) to %s", p.Build, p.JoinColumn, p.Keys, p.Probe)
+			}
+			parts = append(parts, sj)
+		case len(p.Aggregates) > 0:
+			parts = append(parts, "push aggregates ["+strings.Join(p.Aggregates, " ")+"]")
+		}
+		if len(p.Order) > 0 {
+			if len(p.CostsMicros) == len(p.Order) {
+				ranked := make([]string, len(p.Order))
+				for i, name := range p.Order {
+					ranked[i] = fmt.Sprintf("%s(%dµs)", name, p.CostsMicros[i])
+				}
+				parts = append(parts, "fetch order ["+strings.Join(ranked, " ")+"]")
+			} else {
+				parts = append(parts, "fetch order ["+strings.Join(p.Order, " ")+"] (no stats signal; broker order kept)")
+			}
+		}
+		if p.Fallback != "" {
+			parts = append(parts, "fallback: "+p.Fallback)
+		}
+		if len(parts) == 0 {
+			parts = append(parts, "no rewrite")
+		}
+		out = append(out, line+": "+strings.Join(parts, "; "))
 	}
 	return out
 }

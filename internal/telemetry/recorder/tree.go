@@ -156,16 +156,18 @@ func opRank(op string) int {
 		return 3
 	case op == telemetry.OpMRQRun:
 		return 4
-	case op == telemetry.OpMRQAssemble:
+	case op == telemetry.OpMRQPlan:
 		return 5
-	case op == telemetry.OpMRQFetch:
+	case op == telemetry.OpMRQAssemble:
 		return 6
-	case op == telemetry.OpBrokerSearch:
+	case op == telemetry.OpMRQFetch:
 		return 7
-	case op == telemetry.OpResourceQuery:
+	case op == telemetry.OpBrokerSearch:
 		return 8
-	default:
+	case op == telemetry.OpResourceQuery:
 		return 9
+	default:
+		return 10
 	}
 }
 

@@ -56,6 +56,9 @@ const (
 	OpQueryBrokers = "query.brokers"
 	// OpMRQRun is one end-to-end multiresource query in an MRQ agent.
 	OpMRQRun = "mrq.run"
+	// OpMRQPlan is the federated planner building a query plan before
+	// fan-out (cost ranking, semi-join and aggregate-pushdown decisions).
+	OpMRQPlan = "mrq.plan"
 	// OpMRQAssemble is one class's resource discovery + fragment fetch.
 	OpMRQAssemble = "mrq.assemble"
 	// OpMRQFetch is one fragment fetch against one resource agent inside
