@@ -108,6 +108,17 @@ func main() {
 	}
 	ready.Store(true)
 
+	// The broker's fleet monitor bootstraps through the broker itself: it
+	// advertises there like any member and polls whatever the repository
+	// (plus consortium forwarding) reveals.
+	_, stopFleet, err := opts.StartFleet(logger, daemon.FleetConfig{
+		Owner: *name, Transport: &transport.TCP{}, KnownBrokers: []string{b.Addr()},
+	})
+	if err != nil {
+		logging.Fatal(logger, "fleet monitor failed", "err", err)
+	}
+	defer stopFleet()
+
 	stopPing := make(chan struct{})
 	if *pingEvery > 0 {
 		go func() {

@@ -40,6 +40,8 @@ func main() {
 		tracesOut   = flag.String("traces-out", "TRACES.txt", "output path for the traces artifact")
 		explainOut  = flag.String("explain-out", "EXPLAIN.txt", "output path for the explain artifact")
 		metricsOut  = flag.String("metrics-out", "METRICS.md", "output path for the metrics catalog")
+		fleetOut    = flag.String("fleet-out", "FLEET.txt", "output path for the fleet artifact's dashboard + SLO burn table")
+		slowlogOut  = flag.String("slowlog-out", "SLOWLOG.txt", "output path for the fleet artifact's slow-query log")
 	)
 	flag.Parse()
 
@@ -187,6 +189,22 @@ func main() {
 			log.Fatalf("explain: %v", err)
 		}
 		fmt.Printf("wrote %s\n", *explainOut)
+	}
+	// The fleet artifact stages the observability demo (fleet dashboard,
+	// SLO burn, tail-sampled slowlog); explicit-only, like traces.
+	if want["fleet"] {
+		art, err := experiments.Fleet()
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		fmt.Print(art.Text)
+		if err := os.WriteFile(*fleetOut, []byte(art.Text), 0o644); err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		if err := os.WriteFile(*slowlogOut, []byte(art.SlowText), 0o644); err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		fmt.Printf("wrote %s and %s (%d pinned traces)\n", *fleetOut, *slowlogOut, art.Pinned)
 	}
 	// The metrics catalog documents every registered metric family; CI
 	// regenerates it and fails on drift.

@@ -20,6 +20,16 @@
 // /traces/{id}/explain. With -fail-on-partial, a partial answer (fragments
 // lost with no covering replica) exits with code 3 instead of 0, so
 // scripts can tell a complete answer from a degraded one.
+//
+// Observability views:
+//
+//	isquery -broker tcp://127.0.0.1:4356 -fleet
+//	isquery -slowlog -metrics-url http://127.0.0.1:9090
+//
+// -fleet polls every community member for its telemetry snapshot and
+// prints the fleet dashboard; -slowlog fetches a daemon's tail-sampled
+// slow-query log. An unreachable bootstrap broker exits with code 4 and
+// prints the address that failed.
 package main
 
 import (
@@ -27,11 +37,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"infosleuth/internal/constraint"
+	"infosleuth/internal/fleet"
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/mrq"
 	"infosleuth/internal/ontology"
@@ -45,6 +57,11 @@ import (
 // distinct from 1 (hard failure) and 2 (usage error) so callers can react
 // to "answered, but incomplete" specifically.
 const exitPartial = 3
+
+// exitUnreachable is the exit code when the bootstrap broker cannot be
+// reached at all: distinct from 1 (the community answered but something
+// failed) so scripts can tell "wrong/missing broker" from a query error.
+const exitUnreachable = 4
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -72,6 +89,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		explain       = fs.Bool("explain", false, "trace the conversation and print the decision-provenance explain report")
 		failOnPartial = fs.Bool("fail-on-partial", false,
 			fmt.Sprintf("exit with code %d when the answer is partial (fragments lost with no covering replica)", exitPartial))
+		fleetView  = fs.Bool("fleet", false, "poll every community member for a telemetry snapshot and print the fleet dashboard")
+		slowlog    = fs.Bool("slowlog", false, "fetch and print a daemon's slow-query log (needs -metrics-url)")
+		metricsURL = fs.String("metrics-url", "", "a daemon's metrics endpoint, e.g. http://127.0.0.1:9090 (for -slowlog)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,6 +108,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	if *slowlog {
+		return runSlowlog(ctx, *metricsURL, stdout, stderr)
+	}
+	// Everything below talks to the bootstrap broker; probe it first so an
+	// unreachable broker fails fast with its address and a distinct code.
+	if err := pingBroker(ctx, *brokerAddr); err != nil {
+		fmt.Fprintf(stderr, "isquery: broker at %s unreachable: %v\n", *brokerAddr, err)
+		return exitUnreachable
+	}
+	if *fleetView {
+		return runFleet(ctx, *brokerAddr, stdout, stderr)
+	}
 
 	var rec *recorder.Recorder
 	if *traceDump || *explain {
@@ -257,5 +290,67 @@ func runSQL(ctx context.Context, brokerAddr, ontoName, sql string, failOnPartial
 	if status.Partial && failOnPartial {
 		return exitPartial
 	}
+	return 0
+}
+
+// pingBroker checks the bootstrap broker answers at all.
+func pingBroker(ctx context.Context, addr string) error {
+	tr := &transport.TCP{}
+	msg := kqml.New(kqml.Ping, "isquery", &kqml.PingContent{AgentName: "isquery"})
+	_, err := tr.Call(ctx, addr, msg)
+	return err
+}
+
+// runFleet spins up a transient fleet monitor (like runSQL's transient
+// MRQ agent), discovers the community through the broker, polls every
+// member once, and prints the dashboard.
+func runFleet(ctx context.Context, brokerAddr string, stdout, stderr io.Writer) int {
+	fa, err := fleet.New(fleet.Config{
+		Name:         "isquery-fleet",
+		Address:      "tcp://127.0.0.1:0",
+		Transport:    &transport.TCP{},
+		KnownBrokers: []string{brokerAddr},
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "isquery: %v\n", err)
+		return 1
+	}
+	if err := fa.Start(); err != nil {
+		fmt.Fprintf(stderr, "isquery: %v\n", err)
+		return 1
+	}
+	defer fa.Stop()
+	if err := fa.Discover(ctx); err != nil {
+		fmt.Fprintf(stderr, "isquery: %v\n", err)
+		return 1
+	}
+	fa.PollOnce(ctx)
+	fmt.Fprint(stdout, fa.Dashboard())
+	return 0
+}
+
+// runSlowlog fetches a daemon's /slowlog text rendering.
+func runSlowlog(ctx context.Context, metricsURL string, stdout, stderr io.Writer) int {
+	if metricsURL == "" {
+		fmt.Fprintln(stderr, "isquery: -slowlog requires -metrics-url (a daemon's metrics endpoint)")
+		return 2
+	}
+	url := strings.TrimRight(metricsURL, "/") + "/slowlog?format=text"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "isquery: %v\n", err)
+		return 2
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintf(stderr, "isquery: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "isquery: %s: %s\n", url, resp.Status)
+		return 1
+	}
+	_, _ = io.Copy(stdout, resp.Body)
 	return 0
 }

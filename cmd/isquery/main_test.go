@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -109,6 +112,74 @@ func TestRunSQLFailOnPartial(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "partial result") {
 		t.Errorf("stdout missing partial warning:\n%s", out.String())
+	}
+}
+
+// TestRunUnreachableBroker pins the bootstrap-probe contract: a broker
+// nobody listens on exits with the distinct exitUnreachable code and the
+// failing address lands on stderr, before any query work is attempted.
+func TestRunUnreachableBroker(t *testing.T) {
+	const dead = "tcp://127.0.0.1:1"
+	for _, args := range [][]string{
+		{"-broker", dead, "-timeout", "5s", "-type", "resource"},
+		{"-broker", dead, "-timeout", "5s", "-ontology", "generic", "-sql", "SELECT * FROM C2"},
+		{"-broker", dead, "-timeout", "5s", "-fleet"},
+	} {
+		var out, errs bytes.Buffer
+		code := run(args, &out, &errs)
+		if code != exitUnreachable {
+			t.Fatalf("%v: exit code = %d, want %d\nstderr:\n%s", args, code, exitUnreachable, errs.String())
+		}
+		if !strings.Contains(errs.String(), dead) || !strings.Contains(errs.String(), "unreachable") {
+			t.Errorf("%v: stderr does not name the failing broker:\n%s", args, errs.String())
+		}
+	}
+}
+
+// TestRunFleetDashboard smoke-tests `isquery -fleet` over TCP: the
+// transient monitor discovers the community through the broker and the
+// dashboard lists every member as live.
+func TestRunFleetDashboard(t *testing.T) {
+	brokerAddr, _ := newTCPCommunity(t, 2)
+	var out, errs bytes.Buffer
+	code := run([]string{"-broker", brokerAddr, "-fleet"}, &out, &errs)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, errs.String())
+	}
+	got := out.String()
+	for _, want := range []string{"watched by isquery-fleet", "Broker1", "RA1", "LIVE"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "DOWN") {
+		t.Errorf("healthy community shows DOWN members:\n%s", got)
+	}
+}
+
+// TestRunSlowlog covers the -slowlog view: a usage error without
+// -metrics-url, and a fetch of the daemon's text rendering with one.
+func TestRunSlowlog(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-slowlog"}, &out, &errs); code != 2 {
+		t.Fatalf("-slowlog without -metrics-url: exit code = %d, want 2", code)
+	}
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/slowlog" || r.URL.Query().Get("format") != "text" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "slowlog: 1 pinned trace(s)")
+	}))
+	defer srv.Close()
+	out.Reset()
+	errs.Reset()
+	if code := run([]string{"-slowlog", "-metrics-url", srv.URL}, &out, &errs); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, errs.String())
+	}
+	if !strings.Contains(out.String(), "slowlog: 1 pinned trace(s)") {
+		t.Errorf("slowlog output:\n%s", out.String())
 	}
 }
 

@@ -94,6 +94,14 @@ func main() {
 	}
 	logger.Info("advertised", "brokers", n)
 
+	_, stopFleet, err := opts.StartFleet(logger, daemon.FleetConfig{
+		Owner: *name, Transport: &transport.TCP{}, KnownBrokers: cfg.KnownBrokers,
+	})
+	if err != nil {
+		logging.Fatal(logger, "fleet monitor failed", "err", err)
+	}
+	defer stopFleet()
+
 	var stop func()
 	if *heartbeat > 0 {
 		stop = a.StartHeartbeat(*heartbeat)

@@ -105,6 +105,14 @@ func main() {
 	}
 	logger.Info("advertised", "brokers", n, "connected", a.ConnectedBrokers())
 
+	_, stopFleet, err := opts.StartFleet(logger, daemon.FleetConfig{
+		Owner: *name, Transport: &transport.TCP{}, KnownBrokers: strings.Split(*brokers, ","),
+	})
+	if err != nil {
+		logging.Fatal(logger, "fleet monitor failed", "err", err)
+	}
+	defer stopFleet()
+
 	var stop func()
 	if *heartbeat > 0 {
 		stop = a.StartHeartbeat(*heartbeat)

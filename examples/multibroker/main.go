@@ -136,6 +136,23 @@ func main() {
 
 	query("after failover")
 
+	// A fleet monitor watches the community the same way any agent finds
+	// anything: it discovers members through the brokers and polls each
+	// one's monitor-snapshot conversation. The dead Broker1 is still
+	// advertised in its peers' repositories, so it shows up DOWN rather
+	// than silently vanishing — this dashboard is what a daemon serves at
+	// /fleet (and `isquery -fleet` prints).
+	fa, err := c.AddFleet(ctx, "fleet monitor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fa.Discover(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fa.PollOnce(ctx)
+	fmt.Println("\nfleet dashboard after the crash:")
+	fmt.Print(fa.Dashboard())
+
 	// The surviving brokers' repositories still cover every resource
 	// thanks to redundancy 2.
 	total := 0

@@ -40,6 +40,7 @@ import (
 	"infosleuth/internal/community"
 	"infosleuth/internal/constraint"
 	"infosleuth/internal/experiments"
+	"infosleuth/internal/fleet"
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/miner"
 	"infosleuth/internal/monitor"
@@ -247,6 +248,13 @@ type (
 	// "why did I get this result?" reporting, as served at
 	// /traces/{id}/explain and rendered by its Format method.
 	ExplainReport = recorder.Explain
+	// FleetAgent is the community-watching monitor agent: it discovers
+	// members through the brokers, polls each one's monitor-snapshot
+	// conversation, and renders the fleet dashboard served at /fleet.
+	// Add one to a community with Community.AddFleet.
+	FleetAgent = fleet.Agent
+	// FleetMemberStatus is one member's row in the fleet view.
+	FleetMemberStatus = fleet.MemberStatus
 )
 
 // ServeMetrics exposes the process-wide telemetry registry at addr

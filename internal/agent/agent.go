@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"infosleuth/internal/kqml"
+	"infosleuth/internal/monitorsnap"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/resilience"
 	"infosleuth/internal/stats"
@@ -232,7 +233,7 @@ func (a *Base) Dormant() bool {
 func (a *Base) dispatch(msg *kqml.Message) *kqml.Message {
 	start := time.Now()
 	reply := a.dispatchInner(msg)
-	d := observeDispatch(string(msg.Performative), start)
+	d := observeDispatch(string(msg.Performative), start, msg.TraceID)
 	if msg.TraceID != "" {
 		span := kqml.TraceSpan{
 			Agent:          a.cfg.Name,
@@ -249,6 +250,19 @@ func (a *Base) dispatch(msg *kqml.Message) *kqml.Message {
 func (a *Base) dispatchInner(msg *kqml.Message) *kqml.Message {
 	if msg.Performative == kqml.Ping {
 		reply := kqml.New(kqml.Tell, a.cfg.Name, &kqml.PingReply{Known: true})
+		reply.Receiver = msg.Sender
+		reply.InReplyTo = msg.ReplyWith
+		return reply
+	}
+	// The monitor-snapshot conversation is answered by the base runtime
+	// itself, like ping: every agent in the community is observable
+	// without its owner writing a handler.
+	if (msg.Performative == kqml.AskAll || msg.Performative == kqml.AskOne) && msg.Ontology == kqml.MonitorOntology {
+		snap := monitorsnap.Build(a.cfg.Name, a.policy)
+		snap.AgentType = string(a.advertisementType())
+		snap.Dormant = a.Dormant()
+		reply := kqml.New(kqml.Tell, a.cfg.Name, snap)
+		reply.Ontology = kqml.MonitorOntology
 		reply.Receiver = msg.Sender
 		reply.InReplyTo = msg.ReplyWith
 		return reply
@@ -287,6 +301,14 @@ func (a *Base) advertisement() *ontology.Advertisement {
 		Type:          ontology.TypeUser,
 		CommLanguages: []string{ontology.LangKQML},
 	}
+}
+
+// advertisementType returns the agent type the agent would advertise as.
+func (a *Base) advertisementType() ontology.AgentType {
+	if ad := a.advertisement(); ad != nil {
+		return ad.Type
+	}
+	return ontology.TypeUser
 }
 
 // AddKnownBroker appends a broker address to the known-broker-list ("during

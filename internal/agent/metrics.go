@@ -19,10 +19,12 @@ var (
 		"Service queries issued to brokers by a base agent, by outcome.", "outcome")
 )
 
-// observeDispatch records one handled message.
-func observeDispatch(performative string, start time.Time) time.Duration {
+// observeDispatch records one handled message. A traced dispatch feeds
+// the latency histogram's exemplar, so a p99 spike on the dashboard
+// carries the trace ID of the conversation that caused it.
+func observeDispatch(performative string, start time.Time, traceID string) time.Duration {
 	d := time.Since(start)
 	mDispatched.With(performative).Inc()
-	mDispatchSeconds.With(performative).Observe(d.Seconds())
+	mDispatchSeconds.With(performative).ObserveWithExemplar(d.Seconds(), traceID)
 	return d
 }

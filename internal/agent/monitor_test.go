@@ -1,0 +1,83 @@
+package agent
+
+import (
+	"context"
+	"testing"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/transport"
+)
+
+// askSnapshot sends one monitor-snapshot ask-one from `from` to addr and
+// decodes the reply.
+func askSnapshot(t *testing.T, from *Base, addr string) *kqml.MonitorSnapshot {
+	t.Helper()
+	msg := kqml.New(kqml.AskOne, from.Name(), &kqml.MonitorSnapshotRequest{Version: kqml.MonitorSnapshotVersion})
+	msg.Ontology = kqml.MonitorOntology
+	reply, err := from.Call(context.Background(), addr, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Tell || reply.Ontology != kqml.MonitorOntology {
+		t.Fatalf("reply %s/%s, want tell in the monitor ontology", reply.Performative, reply.Ontology)
+	}
+	var snap kqml.MonitorSnapshot
+	if err := reply.DecodeContent(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return &snap
+}
+
+// TestMonitorSnapshotConversation exercises the base runtime's built-in
+// answer: any agent is observable without its owner writing a handler.
+func TestMonitorSnapshotConversation(t *testing.T) {
+	tr := transport.NewInProc()
+	b := startBroker(t, tr, "B1")
+	target := newAgent(t, tr, "RA", 1, b.Addr())
+	if _, err := target.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	watcher := newAgent(t, tr, "watcher", 1, b.Addr())
+
+	snap := askSnapshot(t, watcher, target.Addr())
+	if snap.Version != kqml.MonitorSnapshotVersion {
+		t.Fatalf("snapshot version %d, want %d", snap.Version, kqml.MonitorSnapshotVersion)
+	}
+	if snap.Agent != "RA" || snap.AgentType != string(ontology.TypeResource) {
+		t.Fatalf("snapshot identifies %s/%s, want RA/resource", snap.Agent, snap.AgentType)
+	}
+	if snap.Dormant {
+		t.Fatal("connected agent reports dormant")
+	}
+	if snap.RepoSize != 0 {
+		t.Fatalf("non-broker snapshot carries repo size %d", snap.RepoSize)
+	}
+	if snap.UnixNano == 0 || snap.UptimeSec < 0 {
+		t.Fatalf("snapshot timestamps %d/%v", snap.UnixNano, snap.UptimeSec)
+	}
+	// The process registry is exported: the agent runtime's own counters
+	// must be present (this very conversation increments dispatch counters).
+	if len(snap.Counters) == 0 {
+		t.Fatal("snapshot exports no counters")
+	}
+}
+
+// TestMonitorSnapshotFromBroker checks the broker's handler adds the
+// broker-only field: its advertisement repository size.
+func TestMonitorSnapshotFromBroker(t *testing.T) {
+	tr := transport.NewInProc()
+	b := startBroker(t, tr, "B1")
+	a := newAgent(t, tr, "RA", 1, b.Addr())
+	if _, err := a.Advertise(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := askSnapshot(t, a, b.Addr())
+	if snap.Agent != "B1" || snap.AgentType != string(ontology.TypeBroker) {
+		t.Fatalf("snapshot identifies %s/%s, want B1/broker", snap.Agent, snap.AgentType)
+	}
+	if snap.RepoSize != 1 {
+		t.Fatalf("broker repo size %d, want the 1 advertised resource", snap.RepoSize)
+	}
+}

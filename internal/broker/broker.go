@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"infosleuth/internal/kqml"
+	"infosleuth/internal/monitorsnap"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/resilience"
 	"infosleuth/internal/stats"
@@ -331,6 +332,9 @@ func (b *Broker) Handle(msg *kqml.Message) *kqml.Message {
 	case kqml.Unadvertise:
 		return b.handleUnadvertise(msg)
 	case kqml.AskAll, kqml.AskOne:
+		if msg.Ontology == kqml.MonitorOntology {
+			return b.handleMonitorSnapshot(msg)
+		}
 		return b.handleQuery(msg)
 	case kqml.Recruit:
 		return b.handleRecruit(msg)
@@ -529,6 +533,18 @@ func (b *Broker) handleUnadvertise(msg *kqml.Message) *kqml.Message {
 	}
 	b.recordRepoSize()
 	return b.reply(msg, kqml.Tell, &kqml.SorryContent{Reason: kqml.SorryReasonUnadvertised})
+}
+
+// handleMonitorSnapshot answers the monitor-snapshot conversation the way
+// agent.Base does for non-broker agents, adding the broker-only field:
+// the advertisement repository's size.
+func (b *Broker) handleMonitorSnapshot(msg *kqml.Message) *kqml.Message {
+	snap := monitorsnap.Build(b.cfg.Name, b.cfg.CallPolicy)
+	snap.AgentType = string(ontology.TypeBroker)
+	snap.RepoSize = b.repo.LenNonBroker()
+	out := b.reply(msg, kqml.Tell, snap)
+	out.Ontology = kqml.MonitorOntology
+	return out
 }
 
 func (b *Broker) handlePing(msg *kqml.Message) *kqml.Message {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"infosleuth/internal/broker"
+	"infosleuth/internal/fleet"
 	"infosleuth/internal/miner"
 	"infosleuth/internal/monitor"
 	"infosleuth/internal/mrq"
@@ -57,6 +58,7 @@ type Community struct {
 	Monitors       []*monitor.Agent
 	OntologyAgents []*ontagent.Agent
 	Miners         []*miner.Agent
+	Fleet          []*fleet.Agent
 
 	cfg Config
 }
@@ -287,6 +289,33 @@ func (c *Community) AddMiner(ctx context.Context, name, ontologyName string) (*m
 	return a, nil
 }
 
+// AddFleet creates, starts and advertises a fleet monitor agent: the
+// telemetry watcher of the observability layer, distinct from the
+// paper's subscription monitor (AddMonitor). It does not poll on its
+// own — callers drive Discover/PollOnce (or StartPolling) explicitly,
+// which also keeps the Section 5 experiments free of background polls.
+func (c *Community) AddFleet(ctx context.Context, name string) (*fleet.Agent, error) {
+	a, err := fleet.New(fleet.Config{
+		Name:         name,
+		Transport:    c.Transport,
+		KnownBrokers: c.BrokerAddrs(),
+		Redundancy:   len(c.Brokers),
+		CallTimeout:  c.cfg.CallTimeout,
+		CallPolicy:   c.cfg.CallPolicy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Start(); err != nil {
+		return nil, err
+	}
+	if _, err := a.Advertise(ctx); err != nil {
+		return nil, fmt.Errorf("community: advertising %s: %w", name, err)
+	}
+	c.Fleet = append(c.Fleet, a)
+	return a, nil
+}
+
 // AddOntologyAgent creates, starts and advertises an ontology agent
 // serving the community's world ontologies.
 func (c *Community) AddOntologyAgent(ctx context.Context, name string) (*ontagent.Agent, error) {
@@ -317,6 +346,9 @@ func (c *Community) AddOntologyAgent(ctx context.Context, name string) (*ontagen
 
 // Close stops every agent and broker.
 func (c *Community) Close() {
+	for _, a := range c.Fleet {
+		a.Stop()
+	}
 	for _, a := range c.Miners {
 		a.Stop()
 	}

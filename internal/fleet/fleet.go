@@ -1,0 +1,475 @@
+// Package fleet implements the InfoSleuth monitor agent: a community
+// member that watches the rest of the community. The paper (Section 2.4)
+// describes monitor agents that track the operation of the agent
+// community; here the monitor discovers members through the broker —
+// the same matchmaking every other agent uses — and polls each one over
+// KQML with the infosleuth-monitor-ontology conversation, collecting the
+// versioned telemetry snapshot every agent.Base (and broker) answers
+// with: counters, gauges, histogram quantiles with exemplars, circuit
+// breaker states, and EWMA query statistics.
+//
+// The aggregated view is a bounded per-member time series served as
+// /fleet from any daemon running a fleet agent (JSON, plus a
+// box-drawing text dashboard under ?format=text) and rendered one-shot
+// by `isquery -fleet`.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"infosleuth/internal/agent"
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/resilience"
+	"infosleuth/internal/stats"
+	"infosleuth/internal/telemetry"
+	"infosleuth/internal/transport"
+)
+
+// DefaultHistory is how many poll samples the monitor keeps per member.
+const DefaultHistory = 64
+
+// DefaultPollInterval is the polling cadence when the config names none.
+const DefaultPollInterval = 5 * time.Second
+
+var (
+	mMembers = telemetry.Default.Gauge("infosleuth_fleet_members",
+		"Community members the fleet monitor is currently tracking.")
+	mPolls = telemetry.Default.CounterVec("infosleuth_fleet_polls_total",
+		"Monitor-snapshot polls issued by the fleet agent, by result.", "result")
+	mMemberUp = telemetry.Default.GaugeVec("infosleuth_fleet_member_up",
+		"Whether the member answered its latest monitor-snapshot poll (1/0).", "agent")
+	mMemberP95 = telemetry.Default.GaugeVec("infosleuth_fleet_member_p95_seconds",
+		"Member's worst dispatch p95 from its latest snapshot, in seconds.", "agent")
+	mMemberErrRate = telemetry.Default.GaugeVec("infosleuth_fleet_member_error_rate",
+		"Member's aggregate query error rate from its latest snapshot.", "agent")
+	mOpenBreakers = telemetry.Default.Gauge("infosleuth_fleet_open_breakers",
+		"Circuit breakers not in the closed state across all polled members.")
+)
+
+// Config configures a fleet monitor agent.
+type Config struct {
+	// Name, Address, Transport, KnownBrokers, Redundancy, CallTimeout are
+	// the base agent knobs (the monitor is an ordinary community member).
+	Name         string
+	Address      string
+	Transport    transport.Transport
+	KnownBrokers []string
+	Redundancy   int
+	CallTimeout  time.Duration
+	// CallPolicy, when set, retries polls with backoff and skips members
+	// whose circuit is open; nil calls once.
+	CallPolicy *resilience.Policy
+
+	// PollInterval is the polling cadence (DefaultPollInterval when zero).
+	// Each cycle's delay is jittered ±10% so a fleet of monitors does not
+	// synchronize against the community.
+	PollInterval time.Duration
+	// History bounds the per-member sample ring (DefaultHistory when zero).
+	History int
+	// Seed seeds the poll jitter; 0 derives one from the agent name.
+	Seed int64
+}
+
+// sample is one poll observation in a member's bounded time series.
+type sample struct {
+	At         int64   `json:"at"`
+	Up         bool    `json:"up"`
+	P95Seconds float64 `json:"p95_seconds,omitempty"`
+	ErrorRate  float64 `json:"error_rate,omitempty"`
+}
+
+// member is the monitor's record of one community agent.
+type member struct {
+	name    string
+	typ     string
+	address string
+
+	polls    int64
+	failures int64
+	lastSeen time.Time
+	lastErr  string
+	snap     *kqml.MonitorSnapshot
+
+	ring   []sample
+	head   int
+	filled bool
+}
+
+// Agent is the fleet monitor. Create with New, then Start/Advertise like
+// any agent; Discover and StartPolling drive the watching side.
+type Agent struct {
+	*agent.Base
+	cfg Config
+
+	mu      sync.Mutex
+	members map[string]*member // keyed by agent name
+	rng     *stats.Source
+}
+
+// New creates a fleet monitor agent.
+func New(cfg Config) (*Agent, error) {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = DefaultPollInterval
+	}
+	if cfg.History <= 0 {
+		cfg.History = DefaultHistory
+	}
+	base, err := agent.New(agent.Config{
+		Name:         cfg.Name,
+		Address:      cfg.Address,
+		Transport:    cfg.Transport,
+		KnownBrokers: cfg.KnownBrokers,
+		Redundancy:   cfg.Redundancy,
+		CallTimeout:  cfg.CallTimeout,
+	}, agent.WithCallPolicy(cfg.CallPolicy))
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		for _, c := range cfg.Name {
+			seed = seed*31 + int64(c)
+		}
+	}
+	a := &Agent{Base: base, cfg: cfg, members: make(map[string]*member), rng: stats.NewSource(seed)}
+	base.AdBuilder = a.buildAd
+	return a, nil
+}
+
+func (a *Agent) buildAd(addr string) *ontology.Advertisement {
+	return &ontology.Advertisement{
+		Name:          a.cfg.Name,
+		Address:       addr,
+		Type:          ontology.TypeMonitor,
+		CommLanguages: []string{ontology.LangKQML},
+		Conversations: []string{ontology.ConvAskAll},
+	}
+}
+
+// Discover refreshes the member list from the brokers: an unrestricted
+// service query (every zero field is a "?variable") returns the whole
+// community, and the monitor's connected brokers are folded in by
+// address so the matchmakers themselves get watched too. Members that
+// disappeared from the repository are kept — their liveness row goes
+// dark rather than silently vanishing — until Forget removes them.
+func (a *Agent) Discover(ctx context.Context) error {
+	q := &ontology.Query{Policy: ontology.SearchPolicy{HopCount: 2, Follow: ontology.FollowAll}}
+	br, err := a.QueryBrokers(ctx, q)
+	if err != nil {
+		return fmt.Errorf("fleet %s: discovering community: %w", a.Name(), err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, ad := range br.Matches {
+		if ad.Name == a.cfg.Name {
+			continue // the watcher does not watch itself
+		}
+		a.upsertLocked(ad.Name, string(ad.Type), ad.Address)
+	}
+	// Brokers the monitor is connected to — or merely knows about, as a
+	// transient `isquery -fleet` monitor that never advertises does — may
+	// not advertise into their own repositories; track them by address and
+	// let the first snapshot name them.
+	for _, addr := range append(a.ConnectedBrokers(), a.cfg.KnownBrokers...) {
+		if addr != "" && a.memberAtLocked(addr) == nil {
+			a.upsertLocked("broker@"+addr, string(ontology.TypeBroker), addr)
+		}
+	}
+	mMembers.Set(float64(len(a.members)))
+	return nil
+}
+
+// upsertLocked records or refreshes a member; a.mu must be held.
+func (a *Agent) upsertLocked(name, typ, addr string) *member {
+	m, ok := a.members[name]
+	if !ok {
+		m = &member{name: name, ring: make([]sample, a.cfg.History)}
+		a.members[name] = m
+	}
+	if typ != "" {
+		m.typ = typ
+	}
+	if addr != "" {
+		m.address = addr
+	}
+	return m
+}
+
+// memberAtLocked finds the member tracked at an address; a.mu must be held.
+func (a *Agent) memberAtLocked(addr string) *member {
+	for _, m := range a.members {
+		if m.address == addr {
+			return m
+		}
+	}
+	return nil
+}
+
+// Forget drops a member from the monitor's view.
+func (a *Agent) Forget(name string) {
+	a.mu.Lock()
+	delete(a.members, name)
+	mMembers.Set(float64(len(a.members)))
+	a.mu.Unlock()
+}
+
+// PollOnce polls every tracked member for a monitor snapshot and updates
+// the per-member time series and the infosleuth_fleet_* gauges.
+func (a *Agent) PollOnce(ctx context.Context) {
+	a.mu.Lock()
+	targets := make([]*member, 0, len(a.members))
+	for _, m := range a.members {
+		targets = append(targets, m)
+	}
+	a.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
+
+	openBreakers := 0
+	for _, m := range targets {
+		snap, err := a.poll(ctx, m)
+		a.mu.Lock()
+		m.polls++
+		s := sample{At: time.Now().UnixNano()}
+		if err != nil {
+			m.failures++
+			m.lastErr = err.Error()
+			mPolls.With("error").Inc()
+			mMemberUp.With(m.name).Set(0)
+		} else {
+			s.Up = true
+			s.P95Seconds = snap.DispatchP95Seconds()
+			s.ErrorRate = snap.AggregateErrorRate()
+			m.lastSeen = time.Now()
+			m.lastErr = ""
+			m.snap = snap
+			if snap.Agent != "" && snap.Agent != m.name {
+				// An address-only broker entry introduces itself: re-key the
+				// record under its real name.
+				delete(a.members, m.name)
+				m.name = snap.Agent
+				a.members[m.name] = m
+			}
+			if snap.AgentType != "" {
+				m.typ = snap.AgentType
+			}
+			openBreakers += len(snap.OpenBreakers())
+			mPolls.With("ok").Inc()
+			mMemberUp.With(m.name).Set(1)
+			mMemberP95.With(m.name).Set(s.P95Seconds)
+			mMemberErrRate.With(m.name).Set(s.ErrorRate)
+		}
+		m.ring[m.head] = s
+		m.head++
+		if m.head == len(m.ring) {
+			m.head, m.filled = 0, true
+		}
+		a.mu.Unlock()
+	}
+	mOpenBreakers.Set(float64(openBreakers))
+}
+
+// poll asks one member for its snapshot over the monitor ontology.
+func (a *Agent) poll(ctx context.Context, m *member) (*kqml.MonitorSnapshot, error) {
+	msg := kqml.New(kqml.AskOne, a.cfg.Name, &kqml.MonitorSnapshotRequest{Version: kqml.MonitorSnapshotVersion})
+	msg.Ontology = kqml.MonitorOntology
+	msg.Receiver = m.name
+	reply, err := a.Call(ctx, m.address, msg)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Performative != kqml.Tell {
+		return nil, fmt.Errorf("fleet %s: %s: %s", a.Name(), m.name, kqml.ReasonOf(reply))
+	}
+	var snap kqml.MonitorSnapshot
+	if err := reply.DecodeContent(&snap); err != nil {
+		return nil, err
+	}
+	if snap.Version != kqml.MonitorSnapshotVersion {
+		return nil, fmt.Errorf("fleet %s: %s speaks snapshot v%d, want v%d",
+			a.Name(), m.name, snap.Version, kqml.MonitorSnapshotVersion)
+	}
+	return &snap, nil
+}
+
+// StartPolling discovers and polls the community until the returned stop
+// function is called. Each cycle's delay is the configured interval
+// jittered ±10%; stop is synchronous like agent.StartHeartbeat's.
+func (a *Agent) StartPolling() (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		timer := time.NewTimer(a.jitter())
+		defer timer.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-timer.C:
+				_ = a.Discover(ctx)
+				a.PollOnce(ctx)
+				timer.Reset(a.jitter())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}
+}
+
+// jitter returns the next poll delay: the interval ±10%.
+func (a *Agent) jitter() time.Duration {
+	a.mu.Lock()
+	f := 0.9 + 0.2*a.rng.Float64()
+	a.mu.Unlock()
+	return time.Duration(float64(a.cfg.PollInterval) * f)
+}
+
+// MemberStatus is one member's aggregated view, the unit of the /fleet
+// JSON exposition.
+type MemberStatus struct {
+	Name    string `json:"name"`
+	Type    string `json:"type,omitempty"`
+	Address string `json:"address,omitempty"`
+	// Live reports whether the latest poll succeeded.
+	Live     bool   `json:"live"`
+	Polls    int64  `json:"polls"`
+	Failures int64  `json:"failures,omitempty"`
+	LastSeen int64  `json:"last_seen,omitempty"`
+	LastErr  string `json:"last_error,omitempty"`
+	// Latest snapshot-derived health.
+	Dormant      bool     `json:"dormant,omitempty"`
+	UptimeSec    float64  `json:"uptime_sec,omitempty"`
+	RepoSize     int      `json:"repo_size,omitempty"`
+	P95Seconds   float64  `json:"p95_seconds,omitempty"`
+	ErrorRate    float64  `json:"error_rate,omitempty"`
+	OpenBreakers []string `json:"open_breakers,omitempty"`
+	// History is the bounded poll time series, oldest first.
+	History []sample `json:"history,omitempty"`
+}
+
+// Snapshot returns the fleet view, sorted by member name.
+func (a *Agent) Snapshot() []MemberStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]MemberStatus, 0, len(a.members))
+	for _, m := range a.members {
+		st := MemberStatus{
+			Name:     m.name,
+			Type:     m.typ,
+			Address:  m.address,
+			Polls:    m.polls,
+			Failures: m.failures,
+			LastErr:  m.lastErr,
+		}
+		if !m.lastSeen.IsZero() {
+			st.LastSeen = m.lastSeen.UnixNano()
+		}
+		n := m.head
+		start := 0
+		if m.filled {
+			n = len(m.ring)
+			start = m.head
+		}
+		for i := 0; i < n; i++ {
+			st.History = append(st.History, m.ring[(start+i)%len(m.ring)])
+		}
+		if len(st.History) > 0 {
+			st.Live = st.History[len(st.History)-1].Up
+		}
+		if m.snap != nil {
+			st.Dormant = m.snap.Dormant
+			st.UptimeSec = m.snap.UptimeSec
+			st.RepoSize = m.snap.RepoSize
+			st.P95Seconds = m.snap.DispatchP95Seconds()
+			st.ErrorRate = m.snap.AggregateErrorRate()
+			st.OpenBreakers = m.snap.OpenBreakers()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Dashboard renders the fleet as a box-drawing table — the /fleet
+// ?format=text view and the `isquery -fleet` output.
+func (a *Agent) Dashboard() string {
+	return FormatDashboard(a.Name(), a.Snapshot())
+}
+
+// FormatDashboard renders a fleet snapshot as text.
+func FormatDashboard(monitor string, members []MemberStatus) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d member(s) watched by %s\n", len(members), monitor)
+	for i, m := range members {
+		branch, childPrefix := "├─ ", "│  "
+		if i == len(members)-1 {
+			branch, childPrefix = "└─ ", "   "
+		}
+		live := "LIVE"
+		if !m.Live {
+			live = "DOWN"
+		}
+		if m.Dormant {
+			live = "DORMANT"
+		}
+		fmt.Fprintf(&b, "%s%s (%s): %s\n", branch, m.Name, m.Type, live)
+		var lines []string
+		lines = append(lines, fmt.Sprintf("polls %d (%d failed)", m.Polls, m.Failures))
+		if m.Live {
+			lines = append(lines,
+				fmt.Sprintf("dispatch p95 %.3fms, error rate %.2f%%", m.P95Seconds*1000, m.ErrorRate*100))
+		}
+		if m.RepoSize > 0 {
+			lines = append(lines, fmt.Sprintf("repository: %d advertisement(s)", m.RepoSize))
+		}
+		if len(m.OpenBreakers) > 0 {
+			lines = append(lines, "breakers: "+strings.Join(m.OpenBreakers, ", "))
+		}
+		if m.LastErr != "" {
+			lines = append(lines, "last error: "+m.LastErr)
+		}
+		for j, l := range lines {
+			inner := "├─ "
+			if j == len(lines)-1 {
+				inner = "└─ "
+			}
+			b.WriteString(childPrefix + inner + l + "\n")
+		}
+	}
+	return b.String()
+}
+
+// Handler serves the fleet view, meant to be mounted at /fleet:
+//
+//	/fleet              JSON array of member statuses
+//	/fleet?format=text  the dashboard above
+func (a *Agent) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, a.Dashboard())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		members := a.Snapshot()
+		if members == nil {
+			members = []MemberStatus{}
+		}
+		_ = enc.Encode(members)
+	})
+}

@@ -1,0 +1,251 @@
+package fleet_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"infosleuth/internal/community"
+	"infosleuth/internal/fleet"
+	"infosleuth/internal/ontology"
+	"infosleuth/internal/relational"
+)
+
+// buildCommunity wires brokers + one resource + an MRQ + a user on an
+// in-process transport.
+func buildCommunity(t *testing.T, brokers int) *community.Community {
+	t.Helper()
+	ctx := context.Background()
+	c, err := community.New(community.Config{Brokers: brokers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	db := relational.NewDatabase()
+	if _, err := relational.GenerateGeneric(db, "C2", 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddResource(ctx, community.ResourceSpec{
+		Name: "RA", DB: db,
+		Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C2"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddMRQ(ctx, "MRQ agent", "generic"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddUser(ctx, "user agent", "generic"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func memberNames(members []fleet.MemberStatus) []string {
+	var out []string
+	for _, m := range members {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+func TestFleetDiscoverPollDashboard(t *testing.T) {
+	ctx := context.Background()
+	c := buildCommunity(t, 2)
+	fa, err := c.AddFleet(ctx, "fleet monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Discover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fa.PollOnce(ctx)
+
+	members := fa.Snapshot()
+	want := map[string]bool{
+		"Broker1": false, "Broker2": false, "RA": false, "MRQ agent": false, "user agent": false,
+	}
+	for _, m := range members {
+		if _, ok := want[m.Name]; ok {
+			want[m.Name] = true
+		}
+		if m.Name == "fleet monitor" {
+			t.Fatal("the monitor is watching itself")
+		}
+		if !m.Live {
+			t.Errorf("member %s not live after a poll (last error: %s)", m.Name, m.LastErr)
+		}
+		if m.Polls != 1 {
+			t.Errorf("member %s polls = %d, want 1", m.Name, m.Polls)
+		}
+		if len(m.History) != 1 || !m.History[0].Up {
+			t.Errorf("member %s history %+v, want one up sample", m.Name, m.History)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("member %s not discovered (got %v)", name, memberNames(members))
+		}
+	}
+
+	dash := fa.Dashboard()
+	if !strings.Contains(dash, "watched by fleet monitor") {
+		t.Fatalf("dashboard header:\n%s", dash)
+	}
+	for name := range want {
+		if !strings.Contains(dash, name) {
+			t.Fatalf("dashboard missing %s:\n%s", name, dash)
+		}
+	}
+	if strings.Contains(dash, "DOWN") {
+		t.Fatalf("healthy fleet renders DOWN:\n%s", dash)
+	}
+}
+
+func TestFleetBrokerPlaceholderRekeyed(t *testing.T) {
+	// With a single broker there is no peer advertisement to name it: the
+	// monitor tracks it by address and the first snapshot introduces it.
+	ctx := context.Background()
+	c := buildCommunity(t, 1)
+	fa, err := c.AddFleet(ctx, "fleet monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Discover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	placeholder := false
+	for _, m := range fa.Snapshot() {
+		if strings.HasPrefix(m.Name, "broker@") {
+			placeholder = true
+		}
+	}
+	if !placeholder {
+		t.Fatalf("no broker placeholder after discovery: %v", memberNames(fa.Snapshot()))
+	}
+	fa.PollOnce(ctx)
+	var broker1 bool
+	for _, m := range fa.Snapshot() {
+		if strings.HasPrefix(m.Name, "broker@") {
+			t.Fatalf("placeholder %s survived a successful poll", m.Name)
+		}
+		if m.Name == "Broker1" {
+			broker1 = true
+			if !m.Live || m.Type != string(ontology.TypeBroker) {
+				t.Fatalf("re-keyed broker %+v", m)
+			}
+		}
+	}
+	if !broker1 {
+		t.Fatalf("broker not re-keyed to its real name: %v", memberNames(fa.Snapshot()))
+	}
+}
+
+func TestFleetMarksDeadMemberDown(t *testing.T) {
+	ctx := context.Background()
+	c := buildCommunity(t, 1)
+	fa, err := c.AddFleet(ctx, "fleet monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Discover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fa.PollOnce(ctx)
+	c.Resources[0].Stop()
+	fa.PollOnce(ctx)
+
+	var ra *fleet.MemberStatus
+	for _, m := range fa.Snapshot() {
+		if m.Name == "RA" {
+			m := m
+			ra = &m
+		}
+	}
+	if ra == nil {
+		t.Fatalf("RA not tracked: %v", memberNames(fa.Snapshot()))
+	}
+	if ra.Live {
+		t.Fatal("stopped resource still reported live")
+	}
+	if ra.Failures != 1 || ra.Polls != 2 || ra.LastErr == "" {
+		t.Fatalf("dead member bookkeeping %+v", ra)
+	}
+	if dash := fa.Dashboard(); !strings.Contains(dash, "RA (resource): DOWN") {
+		t.Fatalf("dashboard does not flag the dead resource:\n%s", dash)
+	}
+
+	fa.Forget("RA")
+	for _, m := range fa.Snapshot() {
+		if m.Name == "RA" {
+			t.Fatal("RA still tracked after Forget")
+		}
+	}
+}
+
+func TestFleetHistoryRingBounded(t *testing.T) {
+	ctx := context.Background()
+	c := buildCommunity(t, 1)
+	fa, err := fleet.New(fleet.Config{
+		Name:         "bounded monitor",
+		Transport:    c.Transport,
+		KnownBrokers: c.BrokerAddrs(),
+		History:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Stop()
+	if err := fa.Discover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		fa.PollOnce(ctx)
+	}
+	for _, m := range fa.Snapshot() {
+		if m.Polls != 5 {
+			t.Errorf("member %s polls = %d, want 5", m.Name, m.Polls)
+		}
+		if len(m.History) != 3 {
+			t.Errorf("member %s history length %d, want ring bound 3", m.Name, len(m.History))
+		}
+	}
+}
+
+func TestFleetHandler(t *testing.T) {
+	ctx := context.Background()
+	c := buildCommunity(t, 1)
+	fa, err := c.AddFleet(ctx, "fleet monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Discover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fa.PollOnce(ctx)
+
+	rr := httptest.NewRecorder()
+	fa.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/fleet", nil))
+	var members []fleet.MemberStatus
+	if err := json.Unmarshal(rr.Body.Bytes(), &members); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(members) == 0 {
+		t.Fatal("JSON exposition empty after discovery")
+	}
+	for _, m := range members {
+		if !m.Live {
+			t.Errorf("JSON member %s not live", m.Name)
+		}
+	}
+
+	rr = httptest.NewRecorder()
+	fa.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/fleet?format=text", nil))
+	if !strings.Contains(rr.Body.String(), "watched by fleet monitor") {
+		t.Fatalf("text exposition:\n%s", rr.Body.String())
+	}
+}

@@ -1,0 +1,139 @@
+package kqml
+
+// The monitor-snapshot conversation: the paper's monitor agents "watch the
+// agent community itself" (Section 2), and this file gives that
+// conversation a wire form. A monitor agent sends an ask-all whose
+// Ontology field is MonitorOntology; every agent (base runtime and broker
+// alike) answers with a tell carrying a MonitorSnapshot — a versioned,
+// self-describing export of its local telemetry registry, breaker states
+// and rolling query statistics. Like the rest of this package the payload
+// types are plain data: building a snapshot from the live registries is
+// the agent layer's job (see monitorsnap.Build).
+
+// MonitorOntology marks content belonging to the monitor-snapshot
+// conversation, the way ServiceOntology marks service-layer content.
+const MonitorOntology = "infosleuth-monitor-ontology"
+
+// MonitorSnapshotVersion is the current snapshot schema version; consumers
+// reject snapshots from a future schema rather than misread them.
+const MonitorSnapshotVersion = 1
+
+// MonitorSnapshotRequest is the (empty, versioned) payload of a
+// monitor-snapshot ask-all.
+type MonitorSnapshotRequest struct {
+	// Version is the highest snapshot version the requester understands.
+	Version int `json:"version"`
+}
+
+// MonitorHistogram is one histogram series in a snapshot: the quantile
+// summary plus the exemplar trace (when the histogram holds one).
+type MonitorHistogram struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	// ExemplarTraceID links the series' most recent p99-class observation
+	// to a conversation trace (see the histogram exemplar support).
+	ExemplarTraceID string  `json:"exemplar_trace_id,omitempty"`
+	ExemplarValue   float64 `json:"exemplar_value,omitempty"`
+}
+
+// MonitorBreaker is one peer circuit breaker's state in a snapshot.
+type MonitorBreaker struct {
+	Peer  string `json:"peer"`
+	State string `json:"state"`
+}
+
+// MonitorQueryStat is one (peer, class) row of the agent's rolling EWMA
+// query statistics.
+type MonitorQueryStat struct {
+	Peer              string  `json:"peer"`
+	Class             string  `json:"class,omitempty"`
+	Count             int64   `json:"count"`
+	Errors            int64   `json:"errors,omitempty"`
+	EWMALatencyMicros float64 `json:"ewma_us"`
+	EWMAErrorRate     float64 `json:"ewma_error_rate,omitempty"`
+}
+
+// MonitorSnapshot is the tell payload answering a monitor-snapshot
+// ask-all: one agent's registry, exported.
+type MonitorSnapshot struct {
+	// Version is the snapshot schema version (MonitorSnapshotVersion).
+	Version int `json:"version"`
+	// Agent names the answering agent; AgentType is its advertised type
+	// ("broker", "resource", ...), best effort.
+	Agent     string `json:"agent"`
+	AgentType string `json:"agent_type,omitempty"`
+	// UnixNano is when the snapshot was taken; UptimeSec is how long the
+	// process has been up.
+	UnixNano  int64   `json:"unix_nano"`
+	UptimeSec float64 `json:"uptime_sec"`
+	// Dormant mirrors the base agent's dormancy state (Section 4.2.2);
+	// always false for brokers.
+	Dormant bool `json:"dormant,omitempty"`
+	// RepoSize is the broker's non-broker advertisement count; 0 for
+	// non-broker agents.
+	RepoSize int `json:"repo_size,omitempty"`
+	// Counters and Gauges export the process registry:
+	// metric name -> label value -> value (unlabeled series use "").
+	Counters map[string]map[string]int64   `json:"counters,omitempty"`
+	Gauges   map[string]map[string]float64 `json:"gauges,omitempty"`
+	// Histograms export quantile summaries the same way.
+	Histograms map[string]map[string]MonitorHistogram `json:"histograms,omitempty"`
+	// Breakers lists the agent's per-peer circuit states (resilience
+	// policy installed and breaking enabled only).
+	Breakers []MonitorBreaker `json:"breakers,omitempty"`
+	// QueryStats exports the rolling per-peer/per-class EWMA rows.
+	QueryStats []MonitorQueryStat `json:"query_stats,omitempty"`
+}
+
+// AggregateErrorRate folds the snapshot's query-stat rows into a single
+// lifetime error fraction (0 when the agent has made no calls) — the
+// number the fleet dashboard's ERR column shows.
+func (s *MonitorSnapshot) AggregateErrorRate() float64 {
+	if s == nil {
+		return 0
+	}
+	var count, errs int64
+	for _, row := range s.QueryStats {
+		count += row.Count
+		errs += row.Errors
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(errs) / float64(count)
+}
+
+// DispatchP95Seconds returns the worst p95 across the agent's dispatch
+// latency histogram series, 0 when absent — the fleet dashboard's P95
+// column.
+func (s *MonitorSnapshot) DispatchP95Seconds() float64 {
+	if s == nil {
+		return 0
+	}
+	var worst float64
+	for _, series := range s.Histograms["infosleuth_agent_dispatch_seconds"] {
+		if series.P95 > worst {
+			worst = series.P95
+		}
+	}
+	return worst
+}
+
+// OpenBreakers returns the peers whose circuit is not closed.
+func (s *MonitorSnapshot) OpenBreakers() []string {
+	if s == nil {
+		return nil
+	}
+	var out []string
+	for _, b := range s.Breakers {
+		if b.State != "closed" {
+			out = append(out, b.Peer+":"+b.State)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package kqml
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMonitorSnapshotHelpers(t *testing.T) {
+	// Nil receivers are safe: the fleet agent calls these on possibly
+	// absent snapshots.
+	var nilSnap *MonitorSnapshot
+	if nilSnap.AggregateErrorRate() != 0 || nilSnap.DispatchP95Seconds() != 0 || nilSnap.OpenBreakers() != nil {
+		t.Fatal("nil snapshot helpers must return zero values")
+	}
+
+	s := &MonitorSnapshot{
+		Histograms: map[string]map[string]MonitorHistogram{
+			"infosleuth_agent_dispatch_seconds": {
+				"tell":    {P95: 0.002},
+				"ask-all": {P95: 0.010},
+			},
+			"other_seconds": {"": {P95: 99}},
+		},
+		Breakers: []MonitorBreaker{
+			{Peer: "RA1", State: "closed"},
+			{Peer: "RA2", State: "open"},
+			{Peer: "RA3", State: "half-open"},
+		},
+		QueryStats: []MonitorQueryStat{
+			{Peer: "RA1", Class: "C1", Count: 90, Errors: 9},
+			{Peer: "RA2", Class: "C2", Count: 10, Errors: 1},
+		},
+	}
+	if got := s.AggregateErrorRate(); got != 0.1 {
+		t.Fatalf("aggregate error rate %v, want 0.1", got)
+	}
+	// Worst p95 across the dispatch series only — other histograms do not
+	// leak in.
+	if got := s.DispatchP95Seconds(); got != 0.010 {
+		t.Fatalf("dispatch p95 %v, want 0.010", got)
+	}
+	if got := s.OpenBreakers(); !reflect.DeepEqual(got, []string{"RA2:open", "RA3:half-open"}) {
+		t.Fatalf("open breakers %v", got)
+	}
+
+	// No calls made yet: rate is zero, not NaN.
+	empty := &MonitorSnapshot{}
+	if got := empty.AggregateErrorRate(); got != 0 {
+		t.Fatalf("empty snapshot error rate %v", got)
+	}
+}
+
+func TestMonitorSnapshotRoundTrip(t *testing.T) {
+	snap := &MonitorSnapshot{
+		Version:   MonitorSnapshotVersion,
+		Agent:     "RA",
+		AgentType: "resource",
+		UnixNano:  42,
+		UptimeSec: 1.5,
+		Counters:  map[string]map[string]int64{"infosleuth_x_total": {"": 3}},
+		Gauges:    map[string]map[string]float64{"infosleuth_y": {"lbl": 2.5}},
+		Histograms: map[string]map[string]MonitorHistogram{
+			"infosleuth_z_seconds": {"": {Count: 7, P99: 0.5, ExemplarTraceID: "t1", ExemplarValue: 0.49}},
+		},
+	}
+	msg := New(Tell, "RA", snap)
+	msg.Ontology = MonitorOntology
+	var got MonitorSnapshot
+	if err := msg.DecodeContent(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, snap) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, snap)
+	}
+}

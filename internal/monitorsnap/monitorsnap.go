@@ -1,0 +1,76 @@
+// Package monitorsnap assembles the telemetry snapshot every agent
+// answers the infosleuth-monitor-ontology conversation with. It sits
+// below both the base agent runtime and the broker (which does not embed
+// the base runtime), so each can reply to a monitor-snapshot ask without
+// depending on the other.
+package monitorsnap
+
+import (
+	"time"
+
+	"infosleuth/internal/kqml"
+	"infosleuth/internal/resilience"
+	"infosleuth/internal/stats"
+	"infosleuth/internal/telemetry"
+)
+
+// processStart anchors the snapshot's uptime figure. Agents share one
+// process-wide registry, so they share one uptime too.
+var processStart = time.Now()
+
+// Build assembles the monitor-snapshot payload for the named agent from
+// the process-wide registries: every counter, gauge and histogram series
+// in telemetry.Default, the rolling per-peer query statistics, and —
+// when a resilience policy is installed — its per-peer circuit states.
+func Build(name string, policy *resilience.Policy) *kqml.MonitorSnapshot {
+	snap := &kqml.MonitorSnapshot{
+		Version:   kqml.MonitorSnapshotVersion,
+		Agent:     name,
+		UnixNano:  time.Now().UnixNano(),
+		UptimeSec: time.Since(processStart).Seconds(),
+	}
+	for fam, series := range telemetry.Default.Snapshot() {
+		for label, v := range series {
+			switch val := v.(type) {
+			case int64:
+				if snap.Counters == nil {
+					snap.Counters = make(map[string]map[string]int64)
+				}
+				if snap.Counters[fam] == nil {
+					snap.Counters[fam] = make(map[string]int64)
+				}
+				snap.Counters[fam][label] = val
+			case float64:
+				if snap.Gauges == nil {
+					snap.Gauges = make(map[string]map[string]float64)
+				}
+				if snap.Gauges[fam] == nil {
+					snap.Gauges[fam] = make(map[string]float64)
+				}
+				snap.Gauges[fam][label] = val
+			case telemetry.HistogramSnapshot:
+				if snap.Histograms == nil {
+					snap.Histograms = make(map[string]map[string]kqml.MonitorHistogram)
+				}
+				if snap.Histograms[fam] == nil {
+					snap.Histograms[fam] = make(map[string]kqml.MonitorHistogram)
+				}
+				snap.Histograms[fam][label] = kqml.MonitorHistogram{
+					Count: val.Count, Sum: val.Sum, Min: val.Min, Max: val.Max,
+					P50: val.P50, P95: val.P95, P99: val.P99,
+					ExemplarTraceID: val.ExemplarTraceID, ExemplarValue: val.ExemplarValue,
+				}
+			}
+		}
+	}
+	for _, bs := range policy.BreakerStates() {
+		snap.Breakers = append(snap.Breakers, kqml.MonitorBreaker{Peer: bs.Peer, State: bs.State})
+	}
+	for _, row := range stats.Queries.Snapshot() {
+		snap.QueryStats = append(snap.QueryStats, kqml.MonitorQueryStat{
+			Peer: row.Peer, Class: row.Class, Count: row.Count, Errors: row.Errors,
+			EWMALatencyMicros: row.EWMALatencyMicros, EWMAErrorRate: row.EWMAErrorRate,
+		})
+	}
+	return snap
+}

@@ -210,22 +210,44 @@ func (a *Agent) Run(ctx context.Context, sql string) (*sqlparse.Result, error) {
 // refusal.
 func (a *Agent) RunWithStatus(ctx context.Context, sql string) (*sqlparse.Result, *Status, error) {
 	traceID := telemetry.TraceIDFrom(ctx)
-	if traceID == "" {
+	if traceID == "" && telemetry.SpanRecorderActive() {
+		// Always-on tail sampling: with a flight recorder installed every
+		// run records spans under a minted trace ID, so a run that turns
+		// out slow (or partial) can be pinned into the slowlog with its
+		// full tree. Processes without a recorder — the Section 5
+		// experiment harness — skip this and stay untraced.
+		traceID = telemetry.NewTraceID()
+		ctx = telemetry.WithTraceID(ctx, traceID)
+	}
+	observe := telemetry.RootObserverActive()
+	if traceID == "" && !observe {
 		return a.run(ctx, sql)
 	}
 	start := time.Now()
 	res, status, err := a.run(ctx, sql)
-	span := telemetry.Span{
-		TraceID:        traceID,
-		Agent:          a.cfg.Name,
-		Op:             telemetry.OpMRQRun,
-		StartUnixNano:  start.UnixNano(),
-		DurationMicros: time.Since(start).Microseconds(),
+	dur := time.Since(start)
+	if traceID != "" {
+		span := telemetry.Span{
+			TraceID:        traceID,
+			Agent:          a.cfg.Name,
+			Op:             telemetry.OpMRQRun,
+			StartUnixNano:  start.UnixNano(),
+			DurationMicros: dur.Microseconds(),
+		}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		telemetry.RecordSpan(span)
 	}
-	if err != nil {
-		span.Err = err.Error()
+	if observe {
+		telemetry.ObserveRoot(telemetry.RootOutcome{
+			Op:             telemetry.OpMRQRun,
+			TraceID:        traceID,
+			DurationMicros: dur.Microseconds(),
+			Err:            err != nil,
+			Degraded:       status != nil && status.Partial,
+		})
 	}
-	telemetry.RecordSpan(span)
 	return res, status, err
 }
 

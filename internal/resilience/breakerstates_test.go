@@ -1,0 +1,50 @@
+package resilience
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestBreakerStates(t *testing.T) {
+	// Nil policy and breaking-disabled policy both export no states.
+	var nilPolicy *Policy
+	if got := nilPolicy.BreakerStates(); got != nil {
+		t.Fatalf("nil policy states %v", got)
+	}
+	if got := New(Options{MaxAttempts: 1, Seed: 1}).BreakerStates(); got != nil {
+		t.Fatalf("breaking-disabled policy states %v", got)
+	}
+
+	clock := newFakeClock()
+	var delays []time.Duration
+	p := New(Options{
+		MaxAttempts: 1, BreakerThreshold: 2, BreakerCooldown: time.Second,
+		Seed: 1, now: clock.Now, sleep: noSleep(&delays),
+	})
+	fail := func(ctx context.Context) error { return errBoom }
+	ok := func(ctx context.Context) error { return nil }
+
+	// zebra succeeds, alpha trips: the export is sorted by peer and shows
+	// one circuit per state.
+	p.Do(context.Background(), "zebra", ok)
+	p.Do(context.Background(), "alpha", fail)
+	p.Do(context.Background(), "alpha", fail)
+
+	want := []BreakerState{{Peer: "alpha", State: "open"}, {Peer: "zebra", State: "closed"}}
+	if got := p.BreakerStates(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("states %v, want %v", got, want)
+	}
+
+	// After the cooldown a successful probe closes alpha again.
+	clock.Advance(2 * time.Second)
+	if err := p.Do(context.Background(), "alpha", ok); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.BreakerStates() {
+		if s.State != "closed" {
+			t.Fatalf("peer %s still %s after recovery", s.Peer, s.State)
+		}
+	}
+}

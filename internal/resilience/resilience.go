@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -182,6 +183,37 @@ func (p *Policy) BreakerOpen(peer string) bool {
 		return b.Snapshot() == StateOpen && !b.probeDue()
 	}
 	return false
+}
+
+// BreakerState is one peer's circuit state in a policy snapshot (see
+// BreakerStates); the fleet monitor-snapshot conversation carries these.
+type BreakerState struct {
+	Peer  string `json:"peer"`
+	State string `json:"state"`
+}
+
+// BreakerStates returns every known peer's circuit state, sorted by peer;
+// nil when the policy is nil or circuit breaking is disabled.
+func (p *Policy) BreakerStates() []BreakerState {
+	if p == nil || p.opt.BreakerThreshold <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	peers := make([]string, 0, len(p.breaker))
+	for peer := range p.breaker {
+		peers = append(peers, peer)
+	}
+	breakers := make([]*Breaker, 0, len(peers))
+	sort.Strings(peers)
+	for _, peer := range peers {
+		breakers = append(breakers, p.breaker[peer])
+	}
+	p.mu.Unlock()
+	out := make([]BreakerState, len(peers))
+	for i, peer := range peers {
+		out[i] = BreakerState{Peer: peer, State: breakers[i].Snapshot().String()}
+	}
+	return out
 }
 
 // BudgetRemaining returns the retry tokens left (whole tokens); -1 when the

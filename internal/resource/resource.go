@@ -19,6 +19,7 @@ import (
 	"infosleuth/internal/relational"
 	"infosleuth/internal/resilience"
 	"infosleuth/internal/sqlparse"
+	"infosleuth/internal/telemetry"
 	"infosleuth/internal/telemetry/provenance"
 	"infosleuth/internal/transport"
 )
@@ -217,6 +218,17 @@ func (a *Agent) handleQuery(msg *kqml.Message) *kqml.Message {
 		}
 		kqml.PropagateTrace(msg, reply, span)
 		transport.RecordTraceSpans(msg.TraceID, span)
+	}
+	if telemetry.RootObserverActive() {
+		// Feed the tail sampler / SLO tracker on the serving side too: a
+		// resource that slows down pins traces in its *own* slowlog even
+		// when the requester's threshold hasn't caught up yet.
+		telemetry.ObserveRoot(telemetry.RootOutcome{
+			Op:             kqml.OpResourceQuery,
+			TraceID:        msg.TraceID,
+			DurationMicros: time.Since(start).Microseconds(),
+			Err:            err != nil,
+		})
 	}
 	return reply
 }

@@ -1,0 +1,300 @@
+// Package slo tracks service-level objectives over the root operations
+// the telemetry layer observes: per-operation latency targets with error
+// budgets, evaluated as multi-window burn rates. An operation's burn rate
+// is the fraction of recent roots that violated the objective (failed,
+// degraded, or slower than the latency target) divided by the allowed
+// error budget — burn 1.0 means the budget is being spent exactly as
+// fast as it accrues, burn 10 means ten times too fast. Two windows (a
+// short one that reacts and a long one that confirms) follow the
+// standard multi-window burn-rate alerting shape.
+//
+// A Tracker implements telemetry.RootObserver, so installing it next to
+// the flight recorder (see daemon.ServeTelemetry) feeds it every root
+// outcome, traced or not. Daemons expose it at /slo and publish
+// infosleuth_slo_* gauges that the fleet agent aggregates.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"infosleuth/internal/telemetry"
+)
+
+// bucketSeconds is the tracking granularity: outcomes are counted into
+// ten-second buckets, and windows are sums over recent buckets.
+const bucketSeconds = 10
+
+// Windows are the burn-rate evaluation windows, short first.
+var Windows = []time.Duration{5 * time.Minute, time.Hour}
+
+// DefaultErrorBudget is the violating fraction an objective allows when
+// the spec does not name one: 1%.
+const DefaultErrorBudget = 0.01
+
+var (
+	mBurnRate = telemetry.Default.GaugeVec("infosleuth_slo_burn_rate",
+		"SLO burn rate (violating fraction / error budget), by op/window.", "slo")
+	mBadFraction = telemetry.Default.GaugeVec("infosleuth_slo_bad_fraction",
+		"Fraction of root operations violating their SLO, by op/window.", "slo")
+	mTargetSeconds = telemetry.Default.GaugeVec("infosleuth_slo_target_seconds",
+		"Configured SLO latency target in seconds, by op.", "op")
+	mErrorBudget = telemetry.Default.GaugeVec("infosleuth_slo_error_budget",
+		"Configured SLO error budget (allowed violating fraction), by op.", "op")
+)
+
+// Objective is one operation's service-level objective.
+type Objective struct {
+	// Op is the root operation (telemetry.OpMRQRun, ...).
+	Op string `json:"op"`
+	// LatencyTarget is the per-root latency bound; a root slower than it
+	// violates the objective even when it succeeds.
+	LatencyTarget time.Duration `json:"latency_target_ns"`
+	// ErrorBudget is the violating fraction the objective tolerates
+	// (DefaultErrorBudget when zero).
+	ErrorBudget float64 `json:"error_budget"`
+}
+
+// ParseObjectives parses the -slo flag format: comma-separated
+// "op=latency[:budget]" clauses, e.g.
+//
+//	mrq.run=250ms,resource.query=100ms:0.05
+//
+// declares a 250 ms target with the default 1% budget for MRQ runs and a
+// 100 ms target with a 5% budget for resource queries. An empty spec
+// returns nil (no objectives).
+func ParseObjectives(spec string) ([]Objective, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []Objective
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		op, rest, ok := strings.Cut(clause, "=")
+		if !ok || op == "" {
+			return nil, fmt.Errorf("slo: bad clause %q (want op=latency[:budget])", clause)
+		}
+		latencyStr, budgetStr, hasBudget := strings.Cut(rest, ":")
+		target, err := time.ParseDuration(latencyStr)
+		if err != nil || target <= 0 {
+			return nil, fmt.Errorf("slo: bad latency target in %q", clause)
+		}
+		obj := Objective{Op: strings.TrimSpace(op), LatencyTarget: target, ErrorBudget: DefaultErrorBudget}
+		if hasBudget {
+			if _, err := fmt.Sscanf(budgetStr, "%f", &obj.ErrorBudget); err != nil || obj.ErrorBudget <= 0 || obj.ErrorBudget > 1 {
+				return nil, fmt.Errorf("slo: bad error budget in %q (want a fraction in (0,1])", clause)
+			}
+		}
+		out = append(out, obj)
+	}
+	return out, nil
+}
+
+// bucket is one ten-second counting slot; start is the bucket epoch
+// (unix seconds / bucketSeconds), so a stale slot is recognized and
+// reset when the ring wraps around to it.
+type bucket struct {
+	start int64
+	total int64
+	bad   int64
+}
+
+// opWindow is one objective's counting ring, long enough to cover the
+// longest window.
+type opWindow struct {
+	obj     Objective
+	buckets []bucket
+}
+
+// Tracker counts root outcomes against declared objectives and computes
+// multi-window burn rates. Create one with NewTracker; it is safe for
+// concurrent use.
+type Tracker struct {
+	mu  sync.Mutex
+	ops map[string]*opWindow
+
+	publishOnce sync.Once
+
+	// now is swappable for tests.
+	now func() time.Time
+}
+
+// NewTracker returns a tracker for the given objectives. Outcomes for
+// operations without an objective are ignored.
+func NewTracker(objs []Objective) *Tracker {
+	n := int(Windows[len(Windows)-1]/time.Second)/bucketSeconds + 1
+	t := &Tracker{ops: make(map[string]*opWindow), now: time.Now}
+	for _, o := range objs {
+		if o.ErrorBudget <= 0 {
+			o.ErrorBudget = DefaultErrorBudget
+		}
+		t.ops[o.Op] = &opWindow{obj: o, buckets: make([]bucket, n)}
+	}
+	return t
+}
+
+// Objectives returns the declared objectives, sorted by op.
+func (t *Tracker) Objectives() []Objective {
+	t.mu.Lock()
+	out := make([]Objective, 0, len(t.ops))
+	for _, ow := range t.ops {
+		out = append(out, ow.obj)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
+}
+
+// ObserveRoot implements telemetry.RootObserver: the outcome is counted
+// against its operation's objective — bad when it failed, came back
+// degraded, or took longer than the latency target.
+func (t *Tracker) ObserveRoot(o telemetry.RootOutcome) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ow, ok := t.ops[o.Op]
+	if !ok {
+		return
+	}
+	epoch := t.now().Unix() / bucketSeconds
+	b := &ow.buckets[int(epoch)%len(ow.buckets)]
+	if b.start != epoch {
+		*b = bucket{start: epoch}
+	}
+	b.total++
+	if o.Err || o.Degraded || time.Duration(o.DurationMicros)*time.Microsecond > ow.obj.LatencyTarget {
+		b.bad++
+	}
+}
+
+// BurnRow is one (objective, window) burn-rate evaluation.
+type BurnRow struct {
+	Op            string  `json:"op"`
+	Window        string  `json:"window"`
+	Total         int64   `json:"total"`
+	Bad           int64   `json:"bad"`
+	BadFraction   float64 `json:"bad_fraction"`
+	BurnRate      float64 `json:"burn_rate"`
+	TargetSeconds float64 `json:"target_seconds"`
+	ErrorBudget   float64 `json:"error_budget"`
+}
+
+// Burn evaluates every objective over every window, sorted by op then
+// window (short window first).
+func (t *Tracker) Burn() []BurnRow {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	nowEpoch := t.now().Unix() / bucketSeconds
+	ops := make([]string, 0, len(t.ops))
+	for op := range t.ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	var out []BurnRow
+	for _, op := range ops {
+		ow := t.ops[op]
+		for _, w := range Windows {
+			minEpoch := nowEpoch - int64(w/time.Second)/bucketSeconds
+			row := BurnRow{
+				Op:            op,
+				Window:        w.String(),
+				TargetSeconds: ow.obj.LatencyTarget.Seconds(),
+				ErrorBudget:   ow.obj.ErrorBudget,
+			}
+			for _, b := range ow.buckets {
+				if b.start > minEpoch && b.start <= nowEpoch {
+					row.Total += b.total
+					row.Bad += b.bad
+				}
+			}
+			if row.Total > 0 {
+				row.BadFraction = float64(row.Bad) / float64(row.Total)
+				row.BurnRate = row.BadFraction / ow.obj.ErrorBudget
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// sloKey labels one (op, window) gauge series: "mrq.run/5m0s".
+func sloKey(op, window string) string { return op + "/" + window }
+
+// Publish registers an exposition hook on the registry that refreshes the
+// infosleuth_slo_* gauges from the tracker on every scrape, and sets the
+// static target/budget gauges now. Call it once per process on the
+// tracker the daemon installs (tests with private trackers skip it).
+func (t *Tracker) Publish(r *telemetry.Registry) {
+	t.publishOnce.Do(func() {
+		for _, o := range t.Objectives() {
+			mTargetSeconds.With(o.Op).Set(o.LatencyTarget.Seconds())
+			mErrorBudget.With(o.Op).Set(o.ErrorBudget)
+		}
+		r.OnCollect(func() {
+			for _, row := range t.Burn() {
+				mBurnRate.With(sloKey(row.Op, row.Window)).Set(row.BurnRate)
+				mBadFraction.With(sloKey(row.Op, row.Window)).Set(row.BadFraction)
+			}
+		})
+	})
+}
+
+// Format renders the burn table as text — the /slo?format=text view and
+// the FLEET.txt artifact's SLO section.
+func (t *Tracker) Format() string {
+	var b strings.Builder
+	objs := t.Objectives()
+	fmt.Fprintf(&b, "slo: %d objective(s)\n", len(objs))
+	rows := t.Burn()
+	for i, o := range objs {
+		branch, childPrefix := "├─ ", "│  "
+		if i == len(objs)-1 {
+			branch, childPrefix = "└─ ", "   "
+		}
+		fmt.Fprintf(&b, "%s%s: target %s, budget %.1f%%\n", branch, o.Op, o.LatencyTarget, o.ErrorBudget*100)
+		var mine []BurnRow
+		for _, row := range rows {
+			if row.Op == o.Op {
+				mine = append(mine, row)
+			}
+		}
+		for j, row := range mine {
+			inner := "├─ "
+			if j == len(mine)-1 {
+				inner = "└─ "
+			}
+			fmt.Fprintf(&b, "%s%s%s: %d/%d bad (%.1f%%) → burn %.1fx\n",
+				childPrefix, inner, row.Window, row.Bad, row.Total, row.BadFraction*100, row.BurnRate)
+		}
+	}
+	return b.String()
+}
+
+// Handler serves the tracker, meant to be mounted at /slo:
+//
+//	/slo              JSON {objectives, burn}
+//	/slo?format=text  the text rendering above
+func (t *Tracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, t.Format())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Objectives []Objective `json:"objectives"`
+			Burn       []BurnRow   `json:"burn"`
+		}{Objectives: t.Objectives(), Burn: t.Burn()})
+	})
+}

@@ -1,0 +1,149 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"infosleuth/internal/telemetry"
+)
+
+func TestParseObjectives(t *testing.T) {
+	objs, err := ParseObjectives("mrq.run=250ms, resource.query=100ms:0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("parsed %d objectives, want 2", len(objs))
+	}
+	if objs[0].Op != "mrq.run" || objs[0].LatencyTarget != 250*time.Millisecond || objs[0].ErrorBudget != DefaultErrorBudget {
+		t.Fatalf("first objective %+v", objs[0])
+	}
+	if objs[1].Op != "resource.query" || objs[1].ErrorBudget != 0.05 {
+		t.Fatalf("second objective %+v", objs[1])
+	}
+	if got, err := ParseObjectives(""); err != nil || got != nil {
+		t.Fatalf("empty spec: %v, %v", got, err)
+	}
+	for _, bad := range []string{"nop", "x=notaduration", "x=10ms:2", "x=10ms:0", "=10ms"} {
+		if _, err := ParseObjectives(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// at returns a Tracker whose clock is controllable.
+func at(objs []Objective) (*Tracker, *time.Time) {
+	tr := NewTracker(objs)
+	now := time.Unix(1_000_000, 0)
+	tr.now = func() time.Time { return now }
+	return tr, &now
+}
+
+func TestTrackerBurnWindows(t *testing.T) {
+	tr, now := at([]Objective{{Op: "mrq.run", LatencyTarget: 10 * time.Millisecond, ErrorBudget: 0.1}})
+
+	// 90 good roots and 10 bad ones (too slow / failed / degraded).
+	for i := 0; i < 90; i++ {
+		tr.ObserveRoot(telemetry.RootOutcome{Op: "mrq.run", DurationMicros: 1000})
+	}
+	for i := 0; i < 5; i++ {
+		tr.ObserveRoot(telemetry.RootOutcome{Op: "mrq.run", DurationMicros: 50_000})
+	}
+	for i := 0; i < 3; i++ {
+		tr.ObserveRoot(telemetry.RootOutcome{Op: "mrq.run", DurationMicros: 1000, Err: true})
+	}
+	for i := 0; i < 2; i++ {
+		tr.ObserveRoot(telemetry.RootOutcome{Op: "mrq.run", DurationMicros: 1000, Degraded: true})
+	}
+	// An op without an objective is ignored.
+	tr.ObserveRoot(telemetry.RootOutcome{Op: "unknown.op", DurationMicros: 1, Err: true})
+
+	rows := tr.Burn()
+	if len(rows) != len(Windows) {
+		t.Fatalf("%d burn rows, want %d", len(rows), len(Windows))
+	}
+	for _, row := range rows {
+		if row.Total != 100 || row.Bad != 10 {
+			t.Fatalf("window %s counted %d/%d, want 10/100", row.Window, row.Bad, row.Total)
+		}
+		if row.BadFraction != 0.1 {
+			t.Fatalf("window %s bad fraction %v, want 0.1", row.Window, row.BadFraction)
+		}
+		// 10% violating on a 10% budget: burn exactly 1.0.
+		if row.BurnRate != 1.0 {
+			t.Fatalf("window %s burn %v, want 1.0", row.Window, row.BurnRate)
+		}
+	}
+
+	// Step past the short window: the 5m row forgets, the 1h row remembers.
+	*now = now.Add(6 * time.Minute)
+	rows = tr.Burn()
+	if rows[0].Total != 0 {
+		t.Fatalf("5m window still holds %d after 6 minutes", rows[0].Total)
+	}
+	if rows[1].Total != 100 || rows[1].Bad != 10 {
+		t.Fatalf("1h window holds %d/%d after 6 minutes, want 10/100", rows[1].Bad, rows[1].Total)
+	}
+
+	// Step past the long window too: everything forgotten.
+	*now = now.Add(time.Hour)
+	rows = tr.Burn()
+	if rows[1].Total != 0 {
+		t.Fatalf("1h window still holds %d after an hour", rows[1].Total)
+	}
+}
+
+func TestTrackerBucketReuseAfterWrap(t *testing.T) {
+	tr, now := at([]Objective{{Op: "op", LatencyTarget: time.Second, ErrorBudget: 0.5}})
+	tr.ObserveRoot(telemetry.RootOutcome{Op: "op", Err: true, DurationMicros: 1})
+	// The ring covers the longest window; an observation one full ring
+	// later lands in the same slot and must reset it, not accumulate.
+	ringSpan := time.Duration(len(tr.ops["op"].buckets)*bucketSeconds) * time.Second
+	*now = now.Add(ringSpan)
+	tr.ObserveRoot(telemetry.RootOutcome{Op: "op", DurationMicros: 1})
+	rows := tr.Burn()
+	if rows[0].Total != 1 || rows[0].Bad != 0 {
+		t.Fatalf("wrapped bucket counted %d/%d, want 0/1", rows[0].Bad, rows[0].Total)
+	}
+}
+
+func TestTrackerFormatAndHandler(t *testing.T) {
+	tr, _ := at([]Objective{{Op: "mrq.run", LatencyTarget: 25 * time.Millisecond, ErrorBudget: 0.01}})
+	for i := 0; i < 10; i++ {
+		tr.ObserveRoot(telemetry.RootOutcome{Op: "mrq.run", DurationMicros: 1000})
+	}
+	tr.ObserveRoot(telemetry.RootOutcome{Op: "mrq.run", DurationMicros: 100_000})
+
+	text := tr.Format()
+	if !strings.Contains(text, "mrq.run: target 25ms, budget 1.0%") {
+		t.Fatalf("format missing objective line:\n%s", text)
+	}
+	if !strings.Contains(text, "burn") {
+		t.Fatalf("format missing burn column:\n%s", text)
+	}
+
+	rr := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/slo", nil))
+	var out struct {
+		Objectives []Objective `json:"objectives"`
+		Burn       []BurnRow   `json:"burn"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(out.Objectives) != 1 || len(out.Burn) != len(Windows) {
+		t.Fatalf("JSON: %d objectives, %d burn rows", len(out.Objectives), len(out.Burn))
+	}
+	if out.Burn[0].BurnRate <= 0 {
+		t.Fatalf("burn rate %v, want > 0 after a violating root", out.Burn[0].BurnRate)
+	}
+
+	rr = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/slo?format=text", nil))
+	if !strings.Contains(rr.Body.String(), "slo: 1 objective(s)") {
+		t.Fatalf("text handler:\n%s", rr.Body.String())
+	}
+}

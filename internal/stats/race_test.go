@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueryStatsConcurrent hammers one aggregator from writers (Observe),
+// point readers (Peek) and full-table readers (Snapshot, Handler) at
+// once. It exists for the race detector: `go test -race` must stay clean
+// while EWMA updates overlap with snapshotting, which is exactly what a
+// live daemon does when /stats is scraped mid-query-burst.
+func TestQueryStatsConcurrent(t *testing.T) {
+	qs := NewQueryStats()
+	peers := []string{"RA1", "RA2", "Broker1"}
+	classes := []string{"C1", "C2", ""}
+
+	const writers, iters = 8, 500
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < writers; g++ {
+		writeWG.Add(1)
+		go func(g int) {
+			defer writeWG.Done()
+			for i := 0; i < iters; i++ {
+				qs.Observe(peers[i%len(peers)], classes[(g+i)%len(classes)],
+					time.Duration(100+i)*time.Microsecond, int64(i%512), i%7 == 0)
+			}
+		}(g)
+	}
+
+	// Readers of every flavor run until the writers are done.
+	for g := 0; g < 3; g++ {
+		readWG.Add(1)
+		go func(g int) {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch g {
+				case 0:
+					qs.Snapshot()
+				case 1:
+					qs.Peek("RA1", "C1")
+				default:
+					rr := httptest.NewRecorder()
+					qs.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/stats", nil))
+					_, _ = io.Copy(io.Discard, rr.Result().Body)
+				}
+			}
+		}(g)
+	}
+
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	// Totals must be exact whatever the interleaving.
+	var count, errors int64
+	for _, row := range qs.Snapshot() {
+		count += row.Count
+		errors += row.Errors
+		if row.EWMALatencyMicros <= 0 {
+			t.Errorf("row %s/%s has non-positive EWMA latency", row.Peer, row.Class)
+		}
+	}
+	if count != writers*iters {
+		t.Fatalf("lifetime count %d, want %d", count, writers*iters)
+	}
+	if errors == 0 {
+		t.Fatal("no errors recorded despite failing observations")
+	}
+}

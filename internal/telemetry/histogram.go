@@ -25,12 +25,28 @@ type Histogram struct {
 	sum    float64
 	min    float64
 	max    float64
+
+	// Exemplar support: a streaming p99 estimate picks out p99-class
+	// observations, and the most recent one that carried a trace ID is
+	// remembered, so a latency spike in a dashboard links straight to a
+	// slowlog trace.
+	p99        p99Est
+	exemplarID string
+	exemplarV  float64
 }
 
 func newHistogram() *Histogram { return &Histogram{} }
 
 // Observe records one sample (by convention: seconds for durations).
 func (h *Histogram) Observe(v float64) {
+	h.ObserveWithExemplar(v, "")
+}
+
+// ObserveWithExemplar records a sample and, when traceID is non-empty and
+// the sample reaches the histogram's rolling p99 estimate, remembers the
+// (value, trace ID) pair as the series exemplar. Like Observe it does not
+// allocate, so traced hot paths can feed exemplars unconditionally.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
 	h.mu.Lock()
 	h.window[h.next] = v
 	h.next = (h.next + 1) % windowSize
@@ -45,6 +61,13 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	threshold := h.p99.est
+	warm := h.p99.warm()
+	h.p99.observe(v)
+	if traceID != "" && (!warm || v >= threshold) {
+		h.exemplarID = traceID
+		h.exemplarV = v
+	}
 	h.mu.Unlock()
 }
 
@@ -60,6 +83,11 @@ type HistogramSnapshot struct {
 	P50 float64 `json:"p50"`
 	P95 float64 `json:"p95"`
 	P99 float64 `json:"p99"`
+	// ExemplarTraceID and ExemplarValue link the most recent p99-class
+	// observation that carried a trace ID (see ObserveWithExemplar);
+	// empty/zero when no traced observation has reached the estimate.
+	ExemplarTraceID string  `json:"exemplar_trace_id,omitempty"`
+	ExemplarValue   float64 `json:"exemplar_value,omitempty"`
 }
 
 // Mean returns the lifetime mean, or 0 with no observations.
@@ -78,7 +106,8 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	n := h.filled
 	samples := make([]float64, n)
 	copy(samples, h.window[:n])
-	snap := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	snap := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		ExemplarTraceID: h.exemplarID, ExemplarValue: h.exemplarV}
 	h.mu.Unlock()
 	if n == 0 {
 		return snap

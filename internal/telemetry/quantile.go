@@ -1,0 +1,65 @@
+package telemetry
+
+// p99Est is a streaming quantile estimator (stochastic approximation in
+// the Robbins-Monro family): each observation nudges the estimate up by
+// q·step when it lands above, down by (1-q)·step when it lands below, so
+// the estimate is stationary where a fraction q of observations fall
+// below it. The step adapts to the data scale through an EWMA of the
+// absolute deviation, so the estimator needs no prior knowledge of the
+// value range and tracks regime changes (a resource that suddenly slows
+// pulls the threshold up within a few hundred observations).
+//
+// The struct is NOT safe for concurrent use: Histogram folds one under
+// its own mutex, and the tail sampler wraps one per operation the same
+// way. All state is two floats and a counter — observing is a handful of
+// arithmetic ops, no allocation, no sorting.
+type p99Est struct {
+	q     float64 // target quantile, e.g. 0.99
+	est   float64 // current quantile estimate
+	scale float64 // EWMA of |v - est|, the adaptive step base
+	n     int64   // observations seen
+}
+
+// estWarmup is how many observations the estimator wants before its
+// estimate should be trusted (consumers gate "over threshold" decisions
+// on it; the estimate itself converges earlier for stable inputs).
+const estWarmup = 64
+
+// observe feeds one sample and returns the updated estimate. The zero
+// value targets p99: embedders (Histogram, the tail sampler) use the
+// struct uninitialized, so the quantile defaults here rather than in a
+// constructor.
+func (e *p99Est) observe(v float64) float64 {
+	if e.q == 0 {
+		e.q = 0.99
+	}
+	e.n++
+	if e.n == 1 {
+		e.est = v
+		e.scale = v * 0.5
+		if e.scale < 0 {
+			e.scale = -e.scale
+		}
+		return e.est
+	}
+	dev := v - e.est
+	if dev < 0 {
+		dev = -dev
+	}
+	// The deviation EWMA sets the step size: 1/16th of the typical spread
+	// per sample balances convergence speed against estimate jitter.
+	e.scale += 0.05 * (dev - e.scale)
+	step := e.scale / 16
+	if step <= 0 {
+		step = 1e-12
+	}
+	if v > e.est {
+		e.est += step * e.q
+	} else {
+		e.est -= step * (1 - e.q)
+	}
+	return e.est
+}
+
+// warm reports whether the estimator has seen enough samples to trust.
+func (e *p99Est) warm() bool { return e.n >= estWarmup }

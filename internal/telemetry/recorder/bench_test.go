@@ -43,6 +43,48 @@ func BenchmarkInstrumentedCallWithRecorder(b *testing.B) {
 	}
 }
 
+// BenchmarkTailSampleDecision measures the tail-sampling decision on the
+// untraced hot path: an outcome with no trace ID feeds the per-op
+// quantile estimator and returns without pinning anything. This is the
+// cost every root operation pays once the recorder is installed, so it is
+// pinned in CI at 0 allocs/op (and must stay well under 1 µs).
+//
+//	go test -bench=TailSampleDecision -benchmem ./internal/telemetry/recorder
+func BenchmarkTailSampleDecision(b *testing.B) {
+	rec := New(Options{})
+	prev := telemetry.SetRootObserver(rec)
+	defer func() { telemetry.SetRootObserver(prev) }()
+	// First observation allocates the op's sampler; keep it out of the
+	// measured loop like a live daemon's steady state.
+	telemetry.ObserveRoot(telemetry.RootOutcome{Op: "bench.op", DurationMicros: 100})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		telemetry.ObserveRoot(telemetry.RootOutcome{Op: "bench.op", DurationMicros: int64(100 + i%16)})
+	}
+}
+
+// TestTailSampleDecisionOverhead asserts the acceptance bound directly,
+// mirroring TestRecorderOverhead: the untraced sampling decision must
+// average well under 1 µs.
+func TestTailSampleDecisionOverhead(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing test (skipped under -short and -race)")
+	}
+	rec := New(Options{})
+	prev := telemetry.SetRootObserver(rec)
+	defer func() { telemetry.SetRootObserver(prev) }()
+	const n = 200000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		telemetry.ObserveRoot(telemetry.RootOutcome{Op: "bench.op", DurationMicros: int64(100 + i%16)})
+	}
+	per := time.Since(start) / n
+	if per > time.Microsecond {
+		t.Errorf("tail-sampling decision %v per root, want < 1µs", per)
+	}
+}
+
 // TestRecorderOverhead asserts the acceptance bound directly: recording
 // one span through the telemetry indirection must average well under
 // 1 µs, so tracing can stay always-on in the daemons.

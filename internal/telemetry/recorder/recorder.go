@@ -38,6 +38,7 @@ const (
 	DefaultMaxSpansPerTrace = 512
 	DefaultMaxProvPerTrace  = 256
 	DefaultMaxTraceAge      = 10 * time.Minute
+	DefaultSlowlogCapacity  = 128
 )
 
 // Options bounds a Recorder.
@@ -60,6 +61,10 @@ type Options struct {
 	// MaxTraceAge evicts traces not updated for this long. Zero means
 	// DefaultMaxTraceAge.
 	MaxTraceAge time.Duration
+	// SlowlogCapacity bounds the tail-sampled slow-query log ring (see
+	// slowlog.go); oldest pinned entries are overwritten. Zero means
+	// DefaultSlowlogCapacity.
+	SlowlogCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +82,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxTraceAge <= 0 {
 		o.MaxTraceAge = DefaultMaxTraceAge
+	}
+	if o.SlowlogCapacity <= 0 {
+		o.SlowlogCapacity = DefaultSlowlogCapacity
 	}
 	return o
 }
@@ -128,6 +136,16 @@ type Recorder struct {
 	filled bool
 	traces map[string]*trace
 
+	// Tail-sampled slow-query log (see slowlog.go). The sampler keeps the
+	// rolling per-operation p99 thresholds; the slow ring holds pinned
+	// entries under its own lock so pinning never contends with span
+	// recording.
+	sampler    *telemetry.TailSampler
+	slowMu     sync.Mutex
+	slow       []SlowEntry
+	slowHead   int
+	slowFilled bool
+
 	// now is swappable for eviction tests.
 	now func() time.Time
 }
@@ -136,10 +154,12 @@ type Recorder struct {
 func New(opts Options) *Recorder {
 	o := opts.withDefaults()
 	return &Recorder{
-		opts:   o,
-		ring:   make([]telemetry.Span, o.SpanCapacity),
-		traces: make(map[string]*trace),
-		now:    time.Now,
+		opts:    o,
+		ring:    make([]telemetry.Span, o.SpanCapacity),
+		traces:  make(map[string]*trace),
+		sampler: telemetry.NewTailSampler(),
+		slow:    make([]SlowEntry, o.SlowlogCapacity),
+		now:     time.Now,
 	}
 }
 

@@ -1,0 +1,210 @@
+package recorder
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"infosleuth/internal/telemetry"
+)
+
+// The tail-sampled slow-query log. Span recording is always on once a
+// recorder is installed, but whole traces are only *pinned* here when
+// they are worth a human's attention: the root latency beat the
+// operation's rolling p99 estimate (see telemetry.TailSampler), or the
+// operation ended in an error or a partial/degraded result. A pinned
+// entry captures the trace's explain report eagerly, so it survives the
+// trace store's eviction — the slowlog ring is the persistent record,
+// served at /slowlog and dumped by `isquery -slowlog`.
+
+// Slowlog pin reasons.
+const (
+	// ReasonSlow pins a root whose latency exceeded the rolling p99.
+	ReasonSlow = "p99-exceeded"
+	// ReasonError pins a root that failed outright.
+	ReasonError = "error"
+	// ReasonPartial pins a root that returned a degraded/partial result.
+	ReasonPartial = "partial"
+)
+
+var (
+	mSlowRoots = telemetry.Default.CounterVec("infosleuth_slowlog_roots_total",
+		"Root operations observed by the tail sampler, by operation.", "op")
+	mSlowPinned = telemetry.Default.CounterVec("infosleuth_slowlog_pinned_total",
+		"Traces pinned into the slow-query log, by reason.", "reason")
+)
+
+// SlowEntry is one pinned trace in the slow-query log.
+type SlowEntry struct {
+	// TraceID is the pinned conversation.
+	TraceID string `json:"trace_id"`
+	// Op is the root operation that triggered the pin; Reason is why
+	// (ReasonSlow, ReasonError, ReasonPartial).
+	Op     string `json:"op"`
+	Reason string `json:"reason"`
+	// DurationMicros is the root latency; ThresholdMicros the rolling p99
+	// estimate it was compared against (0 when pinned for error/partial
+	// before the estimator warmed up).
+	DurationMicros  int64 `json:"us"`
+	ThresholdMicros int64 `json:"threshold_us,omitempty"`
+	// AtUnixNano is when the root completed.
+	AtUnixNano int64 `json:"at,omitempty"`
+	// Explain is the trace's decision report, captured at pin time so it
+	// outlives the trace store's eviction. Nil when the trace had no
+	// recorded spans (e.g. an untraced error root).
+	Explain *Explain `json:"explain,omitempty"`
+}
+
+// ObserveRoot implements telemetry.RootObserver: every root outcome feeds
+// the per-operation p99 estimator, and outcomes that are slow, failed or
+// degraded pin their trace into the slowlog ring. One trace is pinned at
+// most once — a slow conversation reports a root at several layers (the
+// resource query, the MRQ run, the user submission), and the outermost
+// (longest) one wins.
+func (r *Recorder) ObserveRoot(o telemetry.RootOutcome) {
+	slow, threshold := r.sampler.Observe(o.Op, o.DurationMicros)
+	mSlowRoots.With(o.Op).Inc()
+	var reason string
+	switch {
+	case o.Err:
+		reason = ReasonError
+	case o.Degraded:
+		reason = ReasonPartial
+	case slow:
+		reason = ReasonSlow
+	default:
+		return
+	}
+	if o.TraceID == "" {
+		// Nothing to pin without a conversation; the outcome still moved
+		// the threshold above.
+		return
+	}
+	entry := SlowEntry{
+		TraceID:         o.TraceID,
+		Op:              o.Op,
+		Reason:          reason,
+		DurationMicros:  o.DurationMicros,
+		ThresholdMicros: int64(threshold),
+		AtUnixNano:      r.now().UnixNano(),
+	}
+	entry.Explain, _ = r.Explain(o.TraceID)
+	r.pin(entry)
+}
+
+// pin inserts an entry into the bounded slow ring, replacing an existing
+// entry for the same trace when the new root is at least as long (the
+// outermost root of a conversation arrives last and covers the inner
+// ones).
+func (r *Recorder) pin(e SlowEntry) {
+	r.slowMu.Lock()
+	defer r.slowMu.Unlock()
+	n := r.slowHead
+	if r.slowFilled {
+		n = len(r.slow)
+	}
+	for i := 0; i < n; i++ {
+		if r.slow[i].TraceID != e.TraceID {
+			continue
+		}
+		if e.DurationMicros >= r.slow[i].DurationMicros {
+			r.slow[i] = e
+		}
+		return
+	}
+	mSlowPinned.With(e.Reason).Inc()
+	r.slow[r.slowHead] = e
+	r.slowHead++
+	if r.slowHead == len(r.slow) {
+		r.slowHead = 0
+		r.slowFilled = true
+	}
+}
+
+// Slowlog returns up to limit pinned entries, newest first (limit <= 0
+// means all).
+func (r *Recorder) Slowlog(limit int) []SlowEntry {
+	r.slowMu.Lock()
+	n := r.slowHead
+	start := 0
+	if r.slowFilled {
+		n = len(r.slow)
+		start = r.slowHead
+	}
+	out := make([]SlowEntry, 0, n)
+	// Walk the ring backwards from the most recent write.
+	for i := n - 1; i >= 0; i-- {
+		out = append(out, r.slow[(start+i)%len(r.slow)])
+	}
+	r.slowMu.Unlock()
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// SlowlogHandler serves the slow-query log, meant to be mounted at
+// /slowlog on the metrics endpoint:
+//
+//	/slowlog              JSON array of pinned entries, newest first
+//	/slowlog?limit=N      at most N entries
+//	/slowlog?format=text  the box-drawing text rendering
+func (r *Recorder) SlowlogHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		limit := 0
+		if v := req.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		entries := r.Slowlog(limit)
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, FormatSlowlog(entries))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if entries == nil {
+			entries = []SlowEntry{}
+		}
+		_ = enc.Encode(entries)
+	})
+}
+
+// FormatSlowlog renders pinned entries as text, one block per entry with
+// its explain report indented beneath — the `isquery -slowlog` view.
+func FormatSlowlog(entries []SlowEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slowlog: %d pinned trace(s)\n", len(entries))
+	for i, e := range entries {
+		branch, childPrefix := "├─ ", "│  "
+		if i == len(entries)-1 {
+			branch, childPrefix = "└─ ", "   "
+		}
+		line := fmt.Sprintf("trace %s: %s %dµs", e.TraceID, e.Op, e.DurationMicros)
+		switch e.Reason {
+		case ReasonSlow:
+			line += fmt.Sprintf(" (p99 was %dµs)", e.ThresholdMicros)
+		default:
+			line += " (" + e.Reason + ")"
+		}
+		if e.AtUnixNano != 0 {
+			line += " at " + time.Unix(0, e.AtUnixNano).UTC().Format("15:04:05.000")
+		}
+		b.WriteString(branch + line + "\n")
+		if e.Explain != nil {
+			for _, l := range strings.Split(strings.TrimRight(e.Explain.Format(), "\n"), "\n") {
+				b.WriteString(childPrefix + l + "\n")
+			}
+		}
+	}
+	return b.String()
+}

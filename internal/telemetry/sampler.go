@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the always-on half of tail sampling. Root operations (an
+// MRQ run, a user submission, a broker search, a resource query) report
+// their outcome through ObserveRoot whether or not the conversation was
+// traced; an installed RootObserver (the flight recorder's slowlog, the
+// SLO tracker) decides what to keep. When nothing is installed — every
+// Section 5 experiment, every test that doesn't opt in — ObserveRoot is a
+// single atomic load, and the per-operation p99 tracking in TailSampler
+// is a mutex-guarded handful of float ops (see BenchmarkTailSampleDecision:
+// sub-microsecond, zero allocations).
+
+// RootOutcome is one completed root operation's outcome, as reported to
+// RootObservers. It is passed by value so the untraced hot path allocates
+// nothing.
+type RootOutcome struct {
+	// Op is the operation (an Op* constant: OpMRQRun, OpUserSubmit, ...).
+	Op string
+	// TraceID is the conversation the operation belonged to, "" when
+	// untraced (the outcome still feeds thresholds and SLO windows).
+	TraceID string
+	// DurationMicros is the root latency.
+	DurationMicros int64
+	// Err marks a failed operation; Degraded marks a partial result
+	// (fragments lost with no covering replica).
+	Err      bool
+	Degraded bool
+}
+
+// RootObserver consumes root-operation outcomes. Implementations must be
+// safe for concurrent use and must not block: ObserveRoot is called on
+// query hot paths.
+type RootObserver interface {
+	ObserveRoot(RootOutcome)
+}
+
+// observerBox wraps the interface so atomic.Pointer has one concrete type.
+type observerBox struct{ o RootObserver }
+
+var activeObserver atomic.Pointer[observerBox]
+
+// SetRootObserver installs o as the process-wide root observer and returns
+// the previous one (nil if none). Passing nil uninstalls. Like the span
+// recorder, harnesses that must stay observation-free simply never
+// install one.
+func SetRootObserver(o RootObserver) RootObserver {
+	var next *observerBox
+	if o != nil {
+		next = &observerBox{o: o}
+	}
+	prev := activeObserver.Swap(next)
+	if prev == nil {
+		return nil
+	}
+	return prev.o
+}
+
+// RootObserverActive reports whether a root observer is installed.
+func RootObserverActive() bool {
+	return activeObserver.Load() != nil
+}
+
+// ObserveRoot hands a root outcome to the installed observer; a no-op
+// (one atomic load) when none is installed.
+func ObserveRoot(o RootOutcome) {
+	if box := activeObserver.Load(); box != nil {
+		box.o.ObserveRoot(o)
+	}
+}
+
+// MultiRootObserver fans one outcome out to several observers (the daemon
+// installs the slowlog and the SLO tracker together). Nil entries are
+// skipped.
+type MultiRootObserver []RootObserver
+
+// ObserveRoot implements RootObserver.
+func (m MultiRootObserver) ObserveRoot(o RootOutcome) {
+	for _, ob := range m {
+		if ob != nil {
+			ob.ObserveRoot(o)
+		}
+	}
+}
+
+// TailSampler keeps a rolling p99 latency estimate per operation and
+// flags the observations that exceed it — the retention rule behind the
+// slowlog ("keep a trace only if its root latency beat its operation's
+// recent p99, or it ended partial/degraded"). Decisions on already-seen
+// operations take a sync.Map hit, a mutex, and a few float ops; nothing
+// allocates after an operation's first observation.
+type TailSampler struct {
+	ops sync.Map // op string -> *opSampler
+}
+
+type opSampler struct {
+	mu  sync.Mutex
+	est p99Est
+	// thresholdBits mirrors est.est for lock-free Threshold() reads.
+	thresholdBits atomic.Uint64
+	warm          atomic.Bool
+}
+
+// NewTailSampler returns an empty sampler.
+func NewTailSampler() *TailSampler {
+	return &TailSampler{}
+}
+
+// Observe feeds one root latency and reports whether it should be
+// tail-sampled: the operation's estimator is warm (estWarmup samples) and
+// this latency exceeded the p99 estimate as of before this observation.
+// The returned threshold is that prior estimate in microseconds (0 while
+// cold).
+func (s *TailSampler) Observe(op string, durMicros int64) (slow bool, thresholdMicros float64) {
+	v, ok := s.ops.Load(op)
+	if !ok {
+		v, _ = s.ops.LoadOrStore(op, &opSampler{})
+	}
+	os := v.(*opSampler)
+	os.mu.Lock()
+	warm := os.est.warm()
+	prior := os.est.est
+	next := os.est.observe(float64(durMicros))
+	os.thresholdBits.Store(math.Float64bits(next))
+	if os.est.warm() {
+		os.warm.Store(true)
+	}
+	os.mu.Unlock()
+	if !warm {
+		return false, 0
+	}
+	return float64(durMicros) > prior, prior
+}
+
+// Threshold returns the operation's current p99 estimate in microseconds;
+// ok is false until the operation has warmed up.
+func (s *TailSampler) Threshold(op string) (thresholdMicros float64, ok bool) {
+	v, loaded := s.ops.Load(op)
+	if !loaded {
+		return 0, false
+	}
+	os := v.(*opSampler)
+	if !os.warm.Load() {
+		return 0, false
+	}
+	return math.Float64frombits(os.thresholdBits.Load()), true
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestP99EstConverges(t *testing.T) {
+	// A stream that is 100 µs with 1-in-100 spikes to 10 000 µs: the p99
+	// estimate must settle between the bulk and the spikes, so the spikes
+	// are flagged and the bulk is not.
+	var e p99Est
+	for i := 0; i < 5000; i++ {
+		v := 100.0
+		if i%100 == 99 {
+			v = 10000
+		}
+		e.observe(v)
+	}
+	if !e.warm() {
+		t.Fatal("estimator not warm after 5000 samples")
+	}
+	if e.est <= 100 || e.est >= 10000 {
+		t.Fatalf("p99 estimate %v not between bulk (100) and spikes (10000)", e.est)
+	}
+	if e.q != 0.99 {
+		t.Fatalf("zero-value estimator should default to q=0.99, got %v", e.q)
+	}
+}
+
+func TestP99EstTracksRegimeChange(t *testing.T) {
+	var e p99Est
+	for i := 0; i < 1000; i++ {
+		e.observe(100)
+	}
+	low := e.est
+	// The operation degrades 50x; the threshold must follow.
+	for i := 0; i < 2000; i++ {
+		e.observe(5000)
+	}
+	if e.est <= low {
+		t.Fatalf("estimate did not rise after regime change: %v -> %v", low, e.est)
+	}
+	if e.est < 1000 {
+		t.Fatalf("estimate %v still near old regime after 2000 slow samples", e.est)
+	}
+}
+
+func TestTailSamplerWarmupAndDecision(t *testing.T) {
+	s := NewTailSampler()
+	// Cold: no decisions, whatever the latency.
+	for i := 0; i < estWarmup-1; i++ {
+		if slow, _ := s.Observe("op", 100); slow {
+			t.Fatalf("observation %d flagged slow before warmup", i)
+		}
+	}
+	if _, ok := s.Threshold("op"); ok {
+		t.Fatal("Threshold reported ok before warmup")
+	}
+	// Warm it fully on ~100 µs traffic, then a big outlier must be flagged
+	// against the settled threshold.
+	for i := 0; i < 500; i++ {
+		s.Observe("op", int64(90+i%20))
+	}
+	th, ok := s.Threshold("op")
+	if !ok {
+		t.Fatal("Threshold not ok after 500 observations")
+	}
+	if th < 50 || th > 500 {
+		t.Fatalf("threshold %v implausible for ~100 µs traffic", th)
+	}
+	slow, prior := s.Observe("op", 50000)
+	if !slow {
+		t.Fatal("50 ms outlier not flagged on ~100 µs traffic")
+	}
+	if prior <= 0 {
+		t.Fatalf("flagged observation returned threshold %v", prior)
+	}
+	// Unknown op: never slow.
+	if slow, _ := s.Observe("other", 50000); slow {
+		t.Fatal("first observation of a new op flagged slow")
+	}
+}
+
+func TestTailSamplerConcurrent(t *testing.T) {
+	s := NewTailSampler()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Observe("op", int64(100+i%10))
+				s.Threshold("op")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if th, ok := s.Threshold("op"); !ok || th <= 0 {
+		t.Fatalf("threshold after concurrent observes: %v ok=%v", th, ok)
+	}
+}
+
+type captureObserver struct {
+	mu  sync.Mutex
+	got []RootOutcome
+}
+
+func (c *captureObserver) ObserveRoot(o RootOutcome) {
+	c.mu.Lock()
+	c.got = append(c.got, o)
+	c.mu.Unlock()
+}
+
+func TestRootObserverInstallObserveUninstall(t *testing.T) {
+	if RootObserverActive() {
+		t.Fatal("observer active before install")
+	}
+	ObserveRoot(RootOutcome{Op: "dropped"}) // must not panic
+
+	c := &captureObserver{}
+	prev := SetRootObserver(c)
+	if prev != nil {
+		t.Fatalf("previous observer %v, want nil", prev)
+	}
+	defer SetRootObserver(nil)
+	if !RootObserverActive() {
+		t.Fatal("observer not active after install")
+	}
+	ObserveRoot(RootOutcome{Op: "mrq.run", TraceID: "t1", DurationMicros: 42, Degraded: true})
+	c.mu.Lock()
+	n := len(c.got)
+	c.mu.Unlock()
+	if n != 1 || c.got[0].Op != "mrq.run" || !c.got[0].Degraded {
+		t.Fatalf("captured %+v", c.got)
+	}
+
+	if got := SetRootObserver(nil); got != RootObserver(c) {
+		t.Fatalf("uninstall returned %v, want the installed observer", got)
+	}
+	ObserveRoot(RootOutcome{Op: "dropped"})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.got) != 1 {
+		t.Fatalf("observer still receiving after uninstall: %d outcomes", len(c.got))
+	}
+}
+
+func TestMultiRootObserverSkipsNil(t *testing.T) {
+	a, b := &captureObserver{}, &captureObserver{}
+	m := MultiRootObserver{a, nil, b}
+	m.ObserveRoot(RootOutcome{Op: "x"})
+	if len(a.got) != 1 || len(b.got) != 1 {
+		t.Fatalf("fan-out got %d/%d, want 1/1", len(a.got), len(b.got))
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "x")
+	// Warm the embedded estimator so the exemplar rule switches from
+	// "latest traced" to "p99-class only".
+	for i := 0; i < estWarmup*2; i++ {
+		h.ObserveWithExemplar(0.001, "warm")
+	}
+	snap := h.Snapshot()
+	if snap.ExemplarTraceID != "warm" {
+		t.Fatalf("exemplar %q, want warm-up trace", snap.ExemplarTraceID)
+	}
+	// A p99-class observation replaces the exemplar; a bulk one must not.
+	h.ObserveWithExemplar(1.0, "spike")
+	h.ObserveWithExemplar(0.0001, "bulk")
+	snap = h.Snapshot()
+	if snap.ExemplarTraceID != "spike" {
+		t.Fatalf("exemplar %q, want spike", snap.ExemplarTraceID)
+	}
+	if snap.ExemplarValue != 1.0 {
+		t.Fatalf("exemplar value %v, want 1.0", snap.ExemplarValue)
+	}
+	// Untraced observations never disturb the exemplar.
+	h.Observe(2.0)
+	if got := h.Snapshot().ExemplarTraceID; got != "spike" {
+		t.Fatalf("exemplar %q after untraced observation, want spike", got)
+	}
+}

@@ -82,6 +82,27 @@ func (a *Agent) buildAd(addr string) *ontology.Advertisement {
 // context (telemetry.WithTraceID) makes the whole conversation record
 // spans into the flight recorder; SubmitTraced mints one for you.
 func (a *Agent) Submit(ctx context.Context, sql string) (*sqlparse.Result, error) {
+	if telemetry.TraceIDFrom(ctx) == "" && telemetry.SpanRecorderActive() {
+		// Always-on tail sampling: with a flight recorder installed the
+		// submission is traced under a minted ID, so a slow or failed
+		// query can be pinned into the slowlog after the fact.
+		ctx = telemetry.WithTraceID(ctx, telemetry.NewTraceID())
+	}
+	if !telemetry.RootObserverActive() {
+		return a.submit(ctx, sql)
+	}
+	start := time.Now()
+	res, err := a.submit(ctx, sql)
+	telemetry.ObserveRoot(telemetry.RootOutcome{
+		Op:             telemetry.OpUserSubmit,
+		TraceID:        telemetry.TraceIDFrom(ctx),
+		DurationMicros: time.Since(start).Microseconds(),
+		Err:            err != nil,
+	})
+	return res, err
+}
+
+func (a *Agent) submit(ctx context.Context, sql string) (*sqlparse.Result, error) {
 	q := &ontology.Query{
 		Type:            ontology.TypeQuery,
 		ContentLanguage: ontology.LangSQL2,
