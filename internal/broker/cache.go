@@ -8,28 +8,58 @@ import (
 	"sync"
 
 	"infosleuth/internal/ontology"
+	"infosleuth/internal/telemetry"
 )
 
 // Match caching. A broker serving a steady query stream sees the same
 // handful of service queries over and over (the Section 5 workloads
 // literally replay fixed query streams), yet every arrival used to re-run
 // the full semantic match over the repository. The cache in front of
-// Matcher.Match memoizes ranked results keyed on a canonical
-// serialization of the query, stamped with the repository generation at
-// compute time: any Put/Remove bumps the generation and thereby
-// invalidates every entry at once, with no bookkeeping on the mutation
-// path beyond one atomic increment. Concurrent identical searches — the
-// Flood fan-in case, where one client query arrives at a broker once
-// directly and again via peers — are deduplicated singleflight-style so
-// the match computes once per (query, generation).
+// Matcher.Match memoizes results keyed on a canonical serialization of
+// the query, stamped with the repository generation at compute time.
+//
+// On a single-shard repository (and for engines that cannot match one
+// shard at a time, like the DatalogMatcher) the cache memoizes the whole
+// ranked result under the global generation: any Put/Remove invalidates
+// every entry at once, with no bookkeeping on the mutation path beyond
+// one atomic increment — the original PR 2 design.
+//
+// On a sharded repository fronted by a shard-capable engine the cache
+// instead memoizes one PARTIAL result per (query, shard), stamped with
+// that shard's generation. A mutation bumps only its own shard's
+// generation, so it invalidates only the partials whose candidate set
+// drew from that shard; the next identical query recomputes that one
+// shard's partial and reuses every other shard's, then re-ranks the
+// assembled union through rankMatches — whose deterministic
+// (score desc, name asc) total order keeps the result byte-identical to
+// a flat whole-repository match. Under churn this turns the
+// invalidation cost of a mutation from O(repository) into
+// O(repository/shards), which is where the scale harness's throughput
+// headroom comes from.
+//
+// Concurrent identical computations — the Flood fan-in case, where one
+// client query arrives at a broker once directly and again via peers —
+// are deduplicated singleflight-style per (query, generation) in the
+// whole-result path and per (query, shard, generation) in the sharded
+// path.
 //
 // The cache deliberately memoizes only the matcher's relation (which ads
 // match, in rank order). It does not cache anything per-conversation:
 // traced queries still stamp their own spans, counters still count every
 // arrival, and hop/policy handling runs per request.
 
-// DefaultMatchCacheSize bounds cached distinct queries per broker.
+// DefaultMatchCacheSize bounds cached distinct queries per broker (per
+// shard, on a sharded repository).
 const DefaultMatchCacheSize = 256
+
+// cacheMetrics routes a matchCache's accounting, so the whole-result
+// cache and the per-shard partial caches report into separate metric
+// families.
+type cacheMetrics struct {
+	invalidations *telemetry.Counter
+	evictions     *telemetry.Counter
+	entries       *telemetry.Gauge // nil: resident count not tracked
+}
 
 // matchCacheEntry is one memoized result.
 type matchCacheEntry struct {
@@ -50,6 +80,7 @@ type matchFlight struct {
 // singleflight deduplication. Safe for concurrent use.
 type matchCache struct {
 	cap int
+	met cacheMetrics
 
 	mu      sync.Mutex
 	entries map[string]*list.Element // canonical key -> *matchCacheEntry element
@@ -57,12 +88,13 @@ type matchCache struct {
 	flights map[string]*matchFlight  // "key@gen" -> in-progress computation
 }
 
-func newMatchCache(capacity int) *matchCache {
+func newMatchCache(capacity int, met cacheMetrics) *matchCache {
 	if capacity <= 0 {
 		capacity = DefaultMatchCacheSize
 	}
 	return &matchCache{
 		cap:     capacity,
+		met:     met,
 		entries: make(map[string]*list.Element),
 		lru:     list.New(),
 		flights: make(map[string]*matchFlight),
@@ -83,11 +115,20 @@ func (c *matchCache) lookup(key string, gen uint64) ([]*ontology.Advertisement, 
 	if e.gen != gen {
 		c.lru.Remove(el)
 		delete(c.entries, key)
-		mMatchCacheInvalidations.Inc()
+		c.met.invalidations.Inc()
 		return nil, false
 	}
 	c.lru.MoveToFront(el)
 	return e.matches, true
+}
+
+// peek reports whether the key is memoized at the generation, with no
+// LRU movement, invalidation, or accounting.
+func (c *matchCache) peek(key string, gen uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	return ok && el.Value.(*matchCacheEntry).gen == gen
 }
 
 // store memoizes a result, evicting the least recently used entry past
@@ -108,9 +149,42 @@ func (c *matchCache) store(key string, gen uint64, matches []*ontology.Advertise
 		old := c.lru.Back()
 		c.lru.Remove(old)
 		delete(c.entries, old.Value.(*matchCacheEntry).key)
-		mMatchCacheEvictions.Inc()
+		c.met.evictions.Inc()
 	}
-	mMatchCacheEntries.Set(float64(c.lru.Len()))
+	if c.met.entries != nil {
+		c.met.entries.Set(float64(c.lru.Len()))
+	}
+}
+
+// compute runs fn once per (key, generation) across concurrent callers:
+// the first arrival computes and stores, the rest wait and share the
+// result. shared reports whether this caller piggybacked on another's
+// computation. Keying the flight on the generation keeps a
+// post-invalidation request from riding a pre-invalidation computation.
+func (c *matchCache) compute(key string, gen uint64, fn func() ([]*ontology.Advertisement, error)) (matches []*ontology.Advertisement, shared bool, err error) {
+	fkey := key + "@" + strconv.FormatUint(gen, 10)
+	c.mu.Lock()
+	if f, ok := c.flights[fkey]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.matches, true, f.err
+	}
+	f := &matchFlight{done: make(chan struct{})}
+	c.flights[fkey] = f
+	c.mu.Unlock()
+
+	f.matches, f.err = fn()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.flights, fkey)
+	c.mu.Unlock()
+
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	c.store(key, gen, f.matches)
+	return f.matches, false, nil
 }
 
 // len reports the resident entry count (tests).
@@ -120,20 +194,61 @@ func (c *matchCache) len() int {
 	return c.lru.Len()
 }
 
-// CachedMatcher memoizes an inner Matcher's results in a
-// generation-invalidated LRU. It implements Matcher and is what Broker
+// CachedMatcher memoizes an inner Matcher's results in
+// generation-invalidated LRUs — one whole-result cache on flat
+// repositories, one partial-result cache per shard on sharded ones (see
+// the package comment above). It implements Matcher and is what Broker
 // installs in front of the configured engine unless
 // Config.DisableMatchCache is set.
 type CachedMatcher struct {
 	// Inner is the matching engine computing misses.
-	Inner Matcher
-	cache *matchCache
+	Inner    Matcher
+	capacity int
+
+	// whole is the legacy whole-result cache (single-shard repositories
+	// and engines without per-shard matching).
+	whole *matchCache
+
+	// shards holds the per-shard partial caches, sized lazily to the
+	// repository's shard count on first sharded match.
+	shardMu sync.Mutex
+	shards  []*matchCache
 }
 
 // NewCachedMatcher wraps inner with a match cache holding up to capacity
-// distinct queries (<= 0 means DefaultMatchCacheSize).
+// distinct queries (<= 0 means DefaultMatchCacheSize) — per shard, when
+// the repository is sharded.
 func NewCachedMatcher(inner Matcher, capacity int) *CachedMatcher {
-	return &CachedMatcher{Inner: inner, cache: newMatchCache(capacity)}
+	if capacity <= 0 {
+		capacity = DefaultMatchCacheSize
+	}
+	return &CachedMatcher{
+		Inner:    inner,
+		capacity: capacity,
+		whole: newMatchCache(capacity, cacheMetrics{
+			invalidations: mMatchCacheInvalidations,
+			evictions:     mMatchCacheEvictions,
+			entries:       mMatchCacheEntries,
+		}),
+	}
+}
+
+// cachesFor returns the per-shard caches, (re)built if the repository's
+// shard count changed since the last call (only tests swap repositories
+// under one matcher; a broker's repository shape is fixed at New).
+func (m *CachedMatcher) cachesFor(n int) []*matchCache {
+	m.shardMu.Lock()
+	defer m.shardMu.Unlock()
+	if len(m.shards) != n {
+		m.shards = make([]*matchCache, n)
+		for i := range m.shards {
+			m.shards[i] = newMatchCache(m.capacity, cacheMetrics{
+				invalidations: mShardCacheInvalidations,
+				evictions:     mShardCacheEvictions,
+			})
+		}
+	}
+	return m.shards
 }
 
 // Match implements Matcher. Hits return a fresh slice header over the
@@ -143,71 +258,112 @@ func (m *CachedMatcher) Match(repo *Repository, q *ontology.Query) ([]*ontology.
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	if sm, ok := m.Inner.(shardMatcher); ok && repo.numShards() > 1 {
+		return m.matchSharded(repo, sm, q)
+	}
+	return m.matchWhole(repo, q)
+}
+
+// matchWhole is the PR 2 whole-result path: one cache entry per query,
+// stamped with the global generation.
+func (m *CachedMatcher) matchWhole(repo *Repository, q *ontology.Query) ([]*ontology.Advertisement, error) {
 	key := canonicalQuery(q)
 	// The generation is read before the match runs. If a Put lands in
 	// between, the computed result is stamped with the pre-Put
 	// generation and the next lookup (seeing the bumped generation)
 	// recomputes — conservative, never stale.
 	gen := repo.Generation()
-	if matches, ok := m.cache.lookup(key, gen); ok {
+	if matches, ok := m.whole.lookup(key, gen); ok {
 		mMatchCacheOps.With("hit").Inc()
 		return append([]*ontology.Advertisement(nil), matches...), nil
 	}
 	mMatchCacheOps.With("miss").Inc()
-
-	// Singleflight per (key, generation): the first arrival computes,
-	// concurrent identical arrivals wait and share the result. Keying
-	// the flight on the generation keeps a post-invalidation request
-	// from piggybacking on a pre-invalidation computation.
-	fkey := key + "@" + strconv.FormatUint(gen, 10)
-	m.cache.mu.Lock()
-	if f, ok := m.cache.flights[fkey]; ok {
-		m.cache.mu.Unlock()
-		<-f.done
-		mMatchCacheOps.With("shared").Inc()
-		if f.err != nil {
-			return nil, f.err
-		}
-		return append([]*ontology.Advertisement(nil), f.matches...), nil
-	}
-	f := &matchFlight{done: make(chan struct{})}
-	m.cache.flights[fkey] = f
-	m.cache.mu.Unlock()
-
-	matches, err := m.Inner.Match(repo, q)
-	f.matches, f.err = matches, err
-	close(f.done)
-
-	m.cache.mu.Lock()
-	delete(m.cache.flights, fkey)
-	m.cache.mu.Unlock()
-
+	matches, shared, err := m.whole.compute(key, gen, func() ([]*ontology.Advertisement, error) {
+		return m.Inner.Match(repo, q)
+	})
 	if err != nil {
 		return nil, err
 	}
-	m.cache.store(key, gen, matches)
+	if shared {
+		mMatchCacheOps.With("shared").Inc()
+	}
 	return append([]*ontology.Advertisement(nil), matches...), nil
 }
 
-// Len reports the resident cached query count.
-func (m *CachedMatcher) Len() int { return m.cache.len() }
+// matchSharded assembles the result from per-shard partials: cached
+// shards cost a lookup, invalidated shards recompute only their own
+// candidates, and one final rankMatches over the union restores the
+// deterministic whole-repository order.
+func (m *CachedMatcher) matchSharded(repo *Repository, sm shardMatcher, q *ontology.Query) ([]*ontology.Advertisement, error) {
+	key := canonicalQuery(q)
+	caches := m.cachesFor(repo.numShards())
+	var out []*ontology.Advertisement
+	for i, c := range caches {
+		// Per-shard generation read before the partial computes: same
+		// conservative stamp-then-invalidate rule as the whole path.
+		gen := repo.shardGen(i)
+		if partial, ok := c.lookup(key, gen); ok {
+			mShardCacheOps.With("hit").Inc()
+			out = append(out, partial...)
+			continue
+		}
+		mShardCacheOps.With("miss").Inc()
+		shard := i
+		partial, shared, err := c.compute(key, gen, func() ([]*ontology.Advertisement, error) {
+			return sm.matchShard(repo, shard, q)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if shared {
+			mShardCacheOps.With("shared").Inc()
+		}
+		out = append(out, partial...)
+	}
+	// out is a fresh slice sharing only the immutable ad pointers with
+	// the cached partials, so ranking (and any caller reordering or
+	// truncation) cannot corrupt the cache.
+	rankMatches(sm.world(), out, q)
+	return out, nil
+}
+
+// Len reports the resident cached query count across the whole-result
+// cache and every per-shard cache.
+func (m *CachedMatcher) Len() int {
+	n := m.whole.len()
+	m.shardMu.Lock()
+	shards := m.shards
+	m.shardMu.Unlock()
+	for _, c := range shards {
+		n += c.len()
+	}
+	return n
+}
 
 // Peek reports whether the query is currently memoized at the
 // repository's generation, without serving from the cache: no LRU
-// movement, no invalidation, no hit/miss accounting. Decision provenance
-// uses it to label match events with the cache outcome the subsequent
-// Match call will see.
+// movement, no invalidation, no hit/miss accounting. On a sharded
+// repository a "hit" means every shard's partial is current. Decision
+// provenance uses it to label match events with the cache outcome the
+// subsequent Match call will see.
 func (m *CachedMatcher) Peek(repo *Repository, q *ontology.Query) (hit bool, gen uint64) {
 	gen = repo.Generation()
 	key := canonicalQuery(q)
-	c := m.cache
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		return false, gen
+	if _, ok := m.Inner.(shardMatcher); ok && repo.numShards() > 1 {
+		m.shardMu.Lock()
+		shards := m.shards
+		m.shardMu.Unlock()
+		if len(shards) != repo.numShards() {
+			return false, gen
+		}
+		for i, c := range shards {
+			if !c.peek(key, repo.shardGen(i)) {
+				return false, gen
+			}
+		}
+		return true, gen
 	}
-	return el.Value.(*matchCacheEntry).gen == gen, gen
+	return m.whole.peek(key, gen), gen
 }
 
 // canonicalQuery serializes the match-relevant fields of a query into a

@@ -7,6 +7,7 @@ package broker
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -15,10 +16,65 @@ import (
 	"infosleuth/internal/ontology"
 )
 
+// MaxRepositoryShards caps the shard count a repository may be built
+// with; requests beyond it are clamped. 1024 shards of a few thousand
+// advertisements each covers the million-advertisement target with room
+// to spare.
+const MaxRepositoryShards = 1024
+
+// maxCandidateWorkers bounds the worker pool that gathers candidates
+// across shards in parallel. More workers than cores just adds
+// scheduling churn on a read path that is already lock-free across
+// shards.
+const maxCandidateWorkers = 8
+
+// repoShard is one partition of the repository: its own advertisement
+// map, secondary indexes, lock and generation counter, so a mutation
+// touches exactly one shard and concurrent searches of different shards
+// never contend.
+type repoShard struct {
+	mu  sync.RWMutex
+	ads map[string]*ontology.Advertisement // by lower-cased agent name
+
+	// gen counts this shard's mutations (Put/Remove). The per-shard
+	// match cache stamps partial results with the generation they were
+	// computed at; a bump invalidates only results drawn from this
+	// shard.
+	gen atomic.Uint64
+
+	// Secondary indexes: value → set of agent keys.
+	byType     map[ontology.AgentType]map[string]bool
+	byOntology map[string]map[string]bool
+	byLanguage map[string]map[string]bool
+}
+
+func newRepoShard() *repoShard {
+	return &repoShard{
+		ads:        make(map[string]*ontology.Advertisement),
+		byType:     make(map[ontology.AgentType]map[string]bool),
+		byOntology: make(map[string]map[string]bool),
+		byLanguage: make(map[string]map[string]bool),
+	}
+}
+
 // Repository stores advertisements with secondary indexes on agent type,
 // supported ontology and content language, so matchmaking intersects index
 // hits before running the full semantic match. It is safe for concurrent
 // use.
+//
+// The repository is partitioned into shards addressed by the capability
+// hash of the advertisement — the FNV-1a hash of its lower-cased agent
+// name, the advertisement's stable capability identity. (The ontology
+// region cannot participate in shard addressing because Remove/Get/
+// Contains look advertisements up by name alone; a name→shard directory
+// would reintroduce the global serialization point sharding exists to
+// remove. Region locality instead lives in each shard's byOntology
+// index.) Put/Remove/Get touch exactly one shard; Search gathers
+// candidates from all shards — in parallel through a bounded worker pool
+// when the shard count and GOMAXPROCS warrant it. A single-shard
+// repository (the default, and the Section 5 configuration) behaves
+// exactly like the historical flat repository, with no dispatch
+// overhead.
 //
 // Stored advertisements are immutable snapshots: Put clones its argument
 // once, and nothing mutates an entry afterwards — an update Puts a fresh
@@ -27,29 +83,58 @@ import (
 // what lets the matchmaking hot path skip per-match cloning; the exported
 // Get/All still clone for callers outside the package's control.
 type Repository struct {
-	mu  sync.RWMutex
-	ads map[string]*ontology.Advertisement // by lower-cased agent name
-
-	// gen counts mutations (Put/Remove). The match cache stamps each
-	// entry with the generation it was computed at; a bump invalidates
-	// every cached result without touching the cache itself.
-	gen atomic.Uint64
-
-	// Secondary indexes: value → set of agent keys.
-	byType     map[ontology.AgentType]map[string]bool
-	byOntology map[string]map[string]bool
-	byLanguage map[string]map[string]bool
+	shards []*repoShard
+	mask   uint64 // len(shards) is a power of two; mask = len-1
 
 	// indexed can be disabled to measure the index benefit
 	// (BenchmarkRepositoryIndexes).
 	indexed bool
+
+	// snapshot memo: the sorted snapshot is recomputed only when the
+	// generation moved (the DatalogMatcher and the broker's
+	// self-advertisement summary call snapshot per operation, and used
+	// to pay a full sort every time even when nothing changed).
+	snapMu  sync.Mutex
+	snapGen uint64
+	snap    []*ontology.Advertisement // nil = no memo
 }
 
-// NewRepository returns an empty, indexed repository.
+// NewRepository returns an empty, indexed, single-shard repository — the
+// flat layout every broker used before sharding, still the default.
 func NewRepository() *Repository {
-	r := &Repository{indexed: true}
-	r.reset()
+	return NewShardedRepository(1)
+}
+
+// NewShardedRepository returns an empty, indexed repository partitioned
+// into n shards. n is rounded up to a power of two (for mask dispatch)
+// and clamped to [1, MaxRepositoryShards]; n <= 1 yields the flat
+// single-shard layout.
+func NewShardedRepository(n int) *Repository {
+	n = normalizeShards(n)
+	r := &Repository{
+		shards:  make([]*repoShard, n),
+		mask:    uint64(n - 1),
+		indexed: true,
+	}
+	for i := range r.shards {
+		r.shards[i] = newRepoShard()
+	}
 	return r
+}
+
+// normalizeShards clamps and rounds a requested shard count.
+func normalizeShards(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n > MaxRepositoryShards {
+		n = MaxRepositoryShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // NewUnindexedRepository returns a repository that always scans all
@@ -60,14 +145,41 @@ func NewUnindexedRepository() *Repository {
 	return r
 }
 
-func (r *Repository) reset() {
-	r.ads = make(map[string]*ontology.Advertisement)
-	r.byType = make(map[ontology.AgentType]map[string]bool)
-	r.byOntology = make(map[string]map[string]bool)
-	r.byLanguage = make(map[string]map[string]bool)
-}
+// Shards returns the repository's shard count.
+func (r *Repository) Shards() int { return len(r.shards) }
 
 func adKey(name string) string { return strings.ToLower(name) }
+
+// FNV-1a, inlined so shard dispatch allocates nothing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func shardHash(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// shardFor routes an advertisement key to its owning shard. The
+// single-shard fast path skips hashing entirely.
+func (r *Repository) shardFor(key string) *repoShard {
+	if len(r.shards) == 1 {
+		return r.shards[0]
+	}
+	return r.shards[shardHash(key)&r.mask]
+}
+
+// numShards is the package-internal accessor the match cache sizes its
+// per-shard caches with.
+func (r *Repository) numShards() int { return len(r.shards) }
+
+// shardGen reads one shard's mutation counter.
+func (r *Repository) shardGen(i int) uint64 { return r.shards[i].gen.Load() }
 
 // Put validates and stores an advertisement, replacing any previous one for
 // the same agent (the paper: "when an agent's set of available services
@@ -83,42 +195,57 @@ func (r *Repository) Put(ad *ontology.Advertisement) error {
 	}
 	cp := ad.Clone()
 	key := adKey(cp.Name)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.ads[key]; ok {
-		r.unindexLocked(key)
+	s := r.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.ads[key]; ok {
+		s.unindexLocked(key)
 	}
-	r.ads[key] = cp
-	r.indexLocked(key, cp)
-	r.gen.Add(1)
+	s.ads[key] = cp
+	s.indexLocked(key, cp)
+	s.gen.Add(1)
 	return nil
 }
 
 // Remove deletes an agent's advertisement; it reports whether one existed.
 func (r *Repository) Remove(name string) bool {
 	key := adKey(name)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.ads[key]; !ok {
+	s := r.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.ads[key]; !ok {
 		return false
 	}
-	r.unindexLocked(key)
-	delete(r.ads, key)
-	r.gen.Add(1)
+	s.unindexLocked(key)
+	delete(s.ads, key)
+	s.gen.Add(1)
 	return true
 }
 
-// Generation returns the repository's mutation counter. It increments
-// before Put/Remove return, so any result computed from a generation read
-// before the call cannot be served as current afterwards — the match
-// cache's invalidation signal.
-func (r *Repository) Generation() uint64 { return r.gen.Load() }
+// Generation returns the repository's mutation counter: the sum of the
+// per-shard counters. Each shard's counter increments before Put/Remove
+// return and never decreases, so any result computed from a generation
+// read before a mutation cannot be served as current afterwards — the
+// match cache's invalidation signal. On a single-shard repository this
+// is exactly the historical flat counter.
+func (r *Repository) Generation() uint64 {
+	if len(r.shards) == 1 {
+		return r.shards[0].gen.Load()
+	}
+	var sum uint64
+	for _, s := range r.shards {
+		sum += s.gen.Load()
+	}
+	return sum
+}
 
 // Get returns a copy of an agent's advertisement.
 func (r *Repository) Get(name string) (*ontology.Advertisement, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	ad, ok := r.ads[adKey(name)]
+	key := adKey(name)
+	s := r.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ad, ok := s.ads[key]
 	if !ok {
 		return nil, false
 	}
@@ -127,53 +254,69 @@ func (r *Repository) Get(name string) (*ontology.Advertisement, bool) {
 
 // Contains reports whether the agent is advertised.
 func (r *Repository) Contains(name string) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	_, ok := r.ads[adKey(name)]
+	key := adKey(name)
+	s := r.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.ads[key]
 	return ok
 }
 
 // Len returns the number of stored advertisements.
 func (r *Repository) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.ads)
+	n := 0
+	for _, s := range r.shards {
+		s.mu.RLock()
+		n += len(s.ads)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // LenNonBroker returns the number of stored non-broker advertisements —
 // the size of the space the matchmaker reasons over for service queries
 // (peer-broker entries are routing state, not candidates).
 func (r *Repository) LenNonBroker() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.ads) - len(r.byType[ontology.TypeBroker])
+	n := 0
+	for _, s := range r.shards {
+		s.mu.RLock()
+		n += len(s.ads) - len(s.byType[ontology.TypeBroker])
+		s.mu.RUnlock()
+	}
+	return n
 }
 
-// Names returns the advertised agent names, sorted.
+// Names returns the advertised agent names, sorted. It reads through the
+// memoized snapshot, so repeated calls between mutations pay no sort.
 func (r *Repository) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.ads))
-	for _, ad := range r.ads {
-		out = append(out, ad.Name)
+	ads := r.snapshot()
+	out := make([]string, len(ads))
+	for i, ad := range ads {
+		out[i] = ad.Name
 	}
-	sort.Strings(out)
 	return out
 }
 
 // All returns copies of every advertisement, sorted by name.
 func (r *Repository) All() []*ontology.Advertisement {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*ontology.Advertisement, 0, len(r.ads))
-	for _, ad := range r.ads {
-		out = append(out, ad.Clone())
+	ads := r.snapshot()
+	out := make([]*ontology.Advertisement, len(ads))
+	for i, ad := range ads {
+		out[i] = ad.Clone()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-func (r *Repository) indexLocked(key string, ad *ontology.Advertisement) {
+func (s *repoShard) indexTypeLocked(key string, ad *ontology.Advertisement) {
+	set, ok := s.byType[ad.Type]
+	if !ok {
+		set = make(map[string]bool)
+		s.byType[ad.Type] = set
+	}
+	set[key] = true
+}
+
+func (s *repoShard) indexLocked(key string, ad *ontology.Advertisement) {
 	addTo := func(m map[string]map[string]bool, val string) {
 		val = strings.ToLower(val)
 		set, ok := m[val]
@@ -183,93 +326,228 @@ func (r *Repository) indexLocked(key string, ad *ontology.Advertisement) {
 		}
 		set[key] = true
 	}
-	set, ok := r.byType[ad.Type]
-	if !ok {
-		set = make(map[string]bool)
-		r.byType[ad.Type] = set
-	}
-	set[key] = true
+	s.indexTypeLocked(key, ad)
 	for _, f := range ad.Content {
-		addTo(r.byOntology, f.Ontology)
+		addTo(s.byOntology, f.Ontology)
 	}
 	for _, l := range ad.ContentLanguages {
-		addTo(r.byLanguage, l)
+		addTo(s.byLanguage, l)
 	}
 }
 
-func (r *Repository) unindexLocked(key string) {
-	ad := r.ads[key]
+func (s *repoShard) unindexLocked(key string) {
+	ad := s.ads[key]
 	if ad == nil {
 		return
 	}
-	delete(r.byType[ad.Type], key)
+	delete(s.byType[ad.Type], key)
 	for _, f := range ad.Content {
-		delete(r.byOntology[strings.ToLower(f.Ontology)], key)
+		delete(s.byOntology[strings.ToLower(f.Ontology)], key)
 	}
 	for _, l := range ad.ContentLanguages {
-		delete(r.byLanguage[strings.ToLower(l)], key)
+		delete(s.byLanguage[strings.ToLower(l)], key)
 	}
 }
 
 // candidates returns the advertisement pointers a query could match,
 // narrowed by the secondary indexes when possible. The returned ads are
 // the repository's immutable snapshots: callers must not mutate them.
-// The result order is unspecified — every caller (the matchers) re-ranks
-// with rankMatches, whose name tiebreak restores determinism, so
-// candidates does not pay for a sort of its own.
+// The result order is unspecified — every caller (the matchers, the
+// provenance re-walk) re-orders deterministically, so candidates does
+// not pay for a sort of its own.
+//
+// On a multi-shard repository the per-shard gathers run through a
+// bounded worker pool when enough cores are available; each shard is
+// internally consistent under its own read lock, and no lock is held
+// across shards.
 func (r *Repository) candidates(q *ontology.Query) []*ontology.Advertisement {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if !r.indexed {
-		return r.unsortedLocked()
+	if len(r.shards) == 1 {
+		return r.shards[0].candidates(q, r.indexed)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(r.shards) {
+		workers = len(r.shards)
+	}
+	if workers > maxCandidateWorkers {
+		workers = maxCandidateWorkers
+	}
+	if workers <= 1 {
+		var out []*ontology.Advertisement
+		for _, s := range r.shards {
+			out = append(out, s.candidates(q, r.indexed)...)
+		}
+		return out
+	}
+	mShardParallelGathers.Inc()
+	results := make([][]*ontology.Advertisement, len(r.shards))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(r.shards) {
+					return
+				}
+				results[i] = r.shards[i].candidates(q, r.indexed)
+			}
+		}()
+	}
+	wg.Wait()
+	n := 0
+	for _, part := range results {
+		n += len(part)
+	}
+	out := make([]*ontology.Advertisement, 0, n)
+	for _, part := range results {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// shardCandidates gathers one shard's candidates — the per-shard match
+// cache's recompute unit.
+func (r *Repository) shardCandidates(i int, q *ontology.Query) []*ontology.Advertisement {
+	return r.shards[i].candidates(q, r.indexed)
+}
+
+// candidates narrows one shard's advertisements by its secondary
+// indexes. The output slice is sized by the post-intersection estimate
+// under an independence assumption (|A∩B| ≈ |A|·|B|/N), not by the
+// smallest index set — with several index sets the intersection is
+// usually far smaller than any one of them, and the old
+// len(smallest)-capacity slice wasted most of its backing array.
+func (s *repoShard) candidates(q *ontology.Query, indexed bool) []*ontology.Advertisement {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !indexed {
+		return s.unsortedLocked()
 	}
 	var sets []map[string]bool
 	if q.Type != ontology.TypeAny {
-		sets = append(sets, r.byType[q.Type])
+		sets = append(sets, s.byType[q.Type])
 	}
 	if q.Ontology != "" {
-		sets = append(sets, r.byOntology[strings.ToLower(q.Ontology)])
+		sets = append(sets, s.byOntology[strings.ToLower(q.Ontology)])
 	}
 	if q.ContentLanguage != "" {
-		sets = append(sets, r.byLanguage[strings.ToLower(q.ContentLanguage)])
+		sets = append(sets, s.byLanguage[strings.ToLower(q.ContentLanguage)])
 	}
 	if len(sets) == 0 {
-		return r.unsortedLocked()
-	}
-	// Intersect starting from the smallest set; with a single set there
-	// is nothing to order.
-	if len(sets) > 1 {
-		sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+		return s.unsortedLocked()
 	}
 	smallest := sets[0]
-	out := make([]*ontology.Advertisement, 0, len(smallest))
+	if len(sets) == 1 {
+		out := make([]*ontology.Advertisement, 0, len(smallest))
+		for key := range smallest {
+			out = append(out, s.ads[key])
+		}
+		return out
+	}
+	// Intersect starting from the smallest set.
+	sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+	smallest = sets[0]
+	est := intersectionEstimate(sets, len(s.ads))
+	out := make([]*ontology.Advertisement, 0, est)
+	if len(sets) == 2 {
+		// The common two-index case: one direct membership probe per
+		// key, no inner loop.
+		second := sets[1]
+		for key := range smallest {
+			if second[key] {
+				out = append(out, s.ads[key])
+			}
+		}
+		return out
+	}
+	rest := sets[1:]
 outer:
 	for key := range smallest {
-		for _, s := range sets[1:] {
-			if !s[key] {
+		for _, o := range rest {
+			if !o[key] {
 				continue outer
 			}
 		}
-		out = append(out, r.ads[key])
+		out = append(out, s.ads[key])
 	}
 	return out
+}
+
+// intersectionEstimate sizes the candidate slice for a multi-set
+// intersection: scale the smallest set by each further set's selectivity
+// (independence assumption), floored so tiny estimates don't cause
+// append-growth churn and capped at the smallest set (the true upper
+// bound).
+func intersectionEstimate(sets []map[string]bool, total int) int {
+	est := len(sets[0])
+	if total > 0 {
+		for _, o := range sets[1:] {
+			est = est * len(o) / total
+		}
+	}
+	if est < 8 {
+		est = 8
+	}
+	if est > len(sets[0]) {
+		est = len(sets[0])
+	}
+	return est
 }
 
 // snapshot returns every stored advertisement as shared immutable
 // snapshots, sorted by name. Package-internal: callers must not mutate
-// the ads (the DatalogMatcher's fact-assertion pass, the broker's
-// self-advertisement summary).
+// the ads or the slice (the DatalogMatcher's fact-assertion pass, the
+// broker's self-advertisement summary, Names/All). The sorted slice is
+// memoized per generation: repeated calls between mutations return the
+// same slice without re-collecting or re-sorting.
 func (r *Repository) snapshot() []*ontology.Advertisement {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := r.unsortedLocked()
+	gen := r.Generation()
+	r.snapMu.Lock()
+	if r.snap != nil && r.snapGen == gen {
+		out := r.snap
+		r.snapMu.Unlock()
+		return out
+	}
+	r.snapMu.Unlock()
+
+	// Rebuild under all shard locks (ascending index order, so
+	// concurrent snapshots cannot deadlock): the collected view is a
+	// consistent cut, and the generation it is stamped with is exact.
+	for _, s := range r.shards {
+		s.mu.RLock()
+	}
+	gen = 0
+	n := 0
+	for _, s := range r.shards {
+		gen += s.gen.Load()
+		n += len(s.ads)
+	}
+	out := make([]*ontology.Advertisement, 0, n)
+	for _, s := range r.shards {
+		for _, ad := range s.ads {
+			out = append(out, ad)
+		}
+	}
+	for _, s := range r.shards {
+		s.mu.RUnlock()
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+
+	r.snapMu.Lock()
+	// Another goroutine may have memoized a newer cut meanwhile; keep
+	// whichever is stamped later.
+	if r.snap == nil || gen >= r.snapGen {
+		r.snapGen, r.snap = gen, out
+	}
+	r.snapMu.Unlock()
 	return out
 }
 
-func (r *Repository) unsortedLocked() []*ontology.Advertisement {
-	out := make([]*ontology.Advertisement, 0, len(r.ads))
-	for _, ad := range r.ads {
+func (s *repoShard) unsortedLocked() []*ontology.Advertisement {
+	out := make([]*ontology.Advertisement, 0, len(s.ads))
+	for _, ad := range s.ads {
 		out = append(out, ad)
 	}
 	return out

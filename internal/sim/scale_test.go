@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBuildScaleScheduleDeterministic(t *testing.T) {
+	cfg := ScaleScheduleConfig{
+		Seed: 7, Duration: 50,
+		ChurnPerSec: 2, SearchPerSec: 10,
+		ChurnAgents: 16, QueryBuckets: 8,
+	}
+	a := BuildScaleSchedule(cfg)
+	b := BuildScaleSchedule(cfg)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal configs produced different schedules")
+	}
+}
+
+func TestBuildScaleScheduleInvariants(t *testing.T) {
+	cfg := ScaleScheduleConfig{
+		Seed: 42, Duration: 100,
+		ChurnPerSec: 5, SearchPerSec: 20,
+		ChurnAgents: 8, QueryBuckets: 4,
+	}
+	ops := BuildScaleSchedule(cfg)
+	var churn, search int
+	advertised := make([]bool, cfg.ChurnAgents)
+	last := 0.0
+	for i, op := range ops {
+		if op.At < last || op.At > cfg.Duration {
+			t.Fatalf("op %d at %v out of order or past horizon %v", i, op.At, cfg.Duration)
+		}
+		last = op.At
+		switch op.Kind {
+		case ScalePut:
+			if advertised[op.Index] {
+				t.Fatalf("op %d: Put of already-advertised agent %d", i, op.Index)
+			}
+			advertised[op.Index] = true
+			churn++
+		case ScaleRemove:
+			if !advertised[op.Index] {
+				t.Fatalf("op %d: Remove of unadvertised agent %d", i, op.Index)
+			}
+			advertised[op.Index] = false
+			churn++
+		case ScaleSearch:
+			if op.Index < 0 || op.Index >= cfg.QueryBuckets {
+				t.Fatalf("op %d: search bucket %d out of range", i, op.Index)
+			}
+			search++
+		}
+	}
+	if churn == 0 || search == 0 {
+		t.Fatalf("schedule missing a process: churn=%d search=%d", churn, search)
+	}
+	// The processes run at a 4:1 rate ratio; allow generous slack.
+	if ratio := float64(search) / float64(churn); ratio < 2 || ratio > 8 {
+		t.Errorf("search:churn ratio = %.1f, want ≈4", ratio)
+	}
+}
