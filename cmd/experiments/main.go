@@ -43,6 +43,7 @@ func main() {
 		fleetOut    = flag.String("fleet-out", "FLEET.txt", "output path for the fleet artifact's dashboard + SLO burn table")
 		slowlogOut  = flag.String("slowlog-out", "SLOWLOG.txt", "output path for the fleet artifact's slow-query log")
 		scaleOut    = flag.String("scale-out", "BENCH_scale.json", "output path for the scale-sweep artifact")
+		subsOut     = flag.String("subs-out", "BENCH_subs.json", "output path for the subscription-pipeline sweep artifact")
 	)
 	flag.Parse()
 
@@ -187,6 +188,28 @@ func main() {
 			log.Fatalf("scale: sharded throughput (%.0f/s) below flat (%.0f/s) at %d ads",
 				last.Sharded.ThroughputPerSec, last.Flat.ThroughputPerSec, last.Ads)
 		}
+	}
+	// The subscription sweep measures the CDC pipeline's indexed standing
+	// queries against the evaluate-all baseline (BENCH_subs.json);
+	// explicit-only, like bench. With -quick it doubles as the CI smoke
+	// test: SubBench fails outright when indexed matching cannot beat
+	// evaluate-all, when a stalled subscriber delays a fast one, or when
+	// per-subscription heap exceeds its bound.
+	if want["subbench"] {
+		res, err := experiments.WriteSubBench(*subsOut, experiments.SubBenchOptions{Quick: *quick, Seed: *seed})
+		if err != nil {
+			log.Fatalf("subbench: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *subsOut)
+		for _, pt := range res.Points {
+			fmt.Printf("  %7d subs: %7d indexed evals of %9d evaluate-all (%.2f%%) | reg %6.0f/s | %5.1fµs/change | %4.1f KB/sub | stalled isolated: %v\n",
+				pt.Subs, pt.IndexedEvals, pt.EvalAllEvals, pt.EvalFraction*100,
+				pt.RegisterPerSec, pt.MutationMicrosPerChange, pt.HeapPerSubKB, pt.StalledIsolated)
+		}
+		fmt.Printf("  legacy baseline (%d subs): %d evals in %.2fs synchronous on the mutation path\n",
+			res.Legacy.Subs, res.Legacy.Evals, res.Legacy.StreamSeconds)
+		fmt.Printf("  eval fraction at %d subs: %.2f%% (≤5%% bar: %v)\n",
+			res.Points[len(res.Points)-1].Subs, res.EvalFractionAtMax*100, res.IndexedWithin5Pct)
 	}
 	// The traces artifact exercises this implementation's flight recorder,
 	// so like bench it only runs when asked for explicitly.

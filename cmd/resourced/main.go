@@ -39,6 +39,7 @@ import (
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/relational"
 	"infosleuth/internal/resource"
+	"infosleuth/internal/telemetry"
 	"infosleuth/internal/telemetry/logging"
 	"infosleuth/internal/transport"
 )
@@ -54,7 +55,16 @@ func main() {
 		respTime    = flag.Float64("response-time", 5, "advertised estimated response time (s)")
 		seed        = flag.Int64("seed", 1, "data generation seed")
 		heartbeat   = flag.Duration("heartbeat", 60*time.Second, "broker ping interval (0 disables)")
-		opts        daemon.Options
+
+		subQueueCap = flag.Int("sub-queue-cap", 0,
+			"per-subscriber change-event queue bound (0 = default 64); overflow coalesces to latest")
+		subBatchWindow = flag.Duration("sub-batch-window", 0,
+			"delay before a subscription sender drains its queue, batching change bursts (0 disables)")
+		subLogSize = flag.Int("sub-log-size", 0,
+			"recent-notification ring served at /subs (0 = default 256)")
+		subLegacyNotify = flag.Bool("sub-legacy-notify", false,
+			"use the deprecated synchronous evaluate-all notification path instead of the CDC pipeline")
+		opts daemon.Options
 	)
 	opts.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -75,19 +85,25 @@ func main() {
 		World:                ontology.NewWorld(ontology.Generic(), ontology.Healthcare()),
 		EstimatedResponseSec: *respTime,
 		CallPolicy:           opts.CallPolicy(),
+		SubQueueCap:          *subQueueCap,
+		SubBatchWindow:       *subBatchWindow,
+		SubLogSize:           *subLogSize,
+		LegacyNotify:         *subLegacyNotify,
 	})
 	if err != nil {
 		logging.Fatal(logger, "agent construction failed", "err", err)
 	}
 
 	// Ready means registered: an agent with no connected broker is alive
-	// but cannot be found by queries (Section 4.2).
+	// but cannot be found by queries (Section 4.2). The /subs handler
+	// reports the subscription pipeline (standing queries, queue depths,
+	// recent notifications) next to /metrics.
 	stopTelemetry, err := opts.ServeTelemetry(logger, func() error {
 		if len(a.ConnectedBrokers()) == 0 {
 			return fmt.Errorf("no connected brokers")
 		}
 		return nil
-	})
+	}, telemetry.WithHandler("/subs", a.SubsHandler()))
 	if err != nil {
 		logging.Fatal(logger, "metrics endpoint failed", "err", err)
 	}

@@ -64,7 +64,7 @@ func main() {
 
 	// The standing query: average cost of caesarian stays.
 	standing := "SELECT AVG(cost), COUNT(*) FROM hospital_stay WHERE procedure = 'caesarian'"
-	n, err := mon.Watch(ctx, &infosleuth.Query{
+	handles, err := mon.Watch(ctx, &infosleuth.Query{
 		Type:     infosleuth.TypeResource,
 		Ontology: "healthcare",
 		Classes:  []string{"hospital_stay"},
@@ -72,7 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("monitoring %d resource(s): %s\n", n, standing)
+	fmt.Printf("monitoring %d resource(s): %s\n", len(handles), standing)
 
 	// Baseline from the resource directly.
 	base, err := ra.Run(standing)
@@ -90,6 +90,12 @@ func main() {
 			infosleuth.Str("caesarian"), infosleuth.Num(cost), infosleuth.Num(3),
 		})
 		if err != nil {
+			log.Fatal(err)
+		}
+		// Notifications are asynchronous (per-subscriber senders with
+		// coalescing); wait for each delivery so the example shows one
+		// notification per stay rather than a coalesced batch.
+		if err := ra.FlushNotifications(ctx); err != nil {
 			log.Fatal(err)
 		}
 	}

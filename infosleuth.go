@@ -168,6 +168,11 @@ type (
 	MonitorConfig = monitor.Config
 	// MonitorEvent is one update notification a monitor received.
 	MonitorEvent = monitor.Event
+	// MonitorOption configures a monitor agent beyond its Config.
+	MonitorOption = monitor.Option
+	// WatchHandle is one active standing query at one resource; Cancel
+	// tears it down.
+	WatchHandle = monitor.WatchHandle
 	// OntologyAgent serves domain models to the community (Figure 1's
 	// ontology agent).
 	OntologyAgent = ontagent.Agent
@@ -204,7 +209,9 @@ func NewMRQAgent(cfg MRQConfig) (*MRQAgent, error) { return mrq.New(cfg) }
 func NewUserAgent(cfg UserConfig) (*UserAgent, error) { return useragent.New(cfg) }
 
 // NewMonitorAgent creates a monitor agent.
-func NewMonitorAgent(cfg MonitorConfig) (*MonitorAgent, error) { return monitor.New(cfg) }
+func NewMonitorAgent(cfg MonitorConfig, opts ...MonitorOption) (*MonitorAgent, error) {
+	return monitor.New(cfg, opts...)
+}
 
 // NewOntologyAgent creates an ontology agent.
 func NewOntologyAgent(cfg OntologyAgentConfig) (*OntologyAgent, error) { return ontagent.New(cfg) }

@@ -163,6 +163,12 @@ func (c *Community) AddResource(ctx context.Context, spec ResourceSpec) (*resour
 		EstimatedResponseSec: spec.EstimatedResponseSec,
 		QueryDelayPerRow:     spec.QueryDelayPerRow,
 		CallPolicy:           c.cfg.CallPolicy,
+		// The Section 5 harness runs through communities; pin the legacy
+		// synchronous evaluate-all notification path so the reproduced
+		// artifacts keep their original per-change notification schedule.
+		// The CDC pipeline (indexed matching, batched async fan-out) is
+		// exercised by resources built directly via resource.New.
+		LegacyNotify: true,
 	})
 	if err != nil {
 		return nil, err

@@ -456,16 +456,19 @@ func TestCommunityMonitorAndOntologyAgents(t *testing.T) {
 	}
 	// The monitor finds the resource through the brokers and receives
 	// notifications.
-	n, err := mon.Watch(ctx, &ontology.Query{
+	handles, err := mon.Watch(ctx, &ontology.Query{
 		Type: ontology.TypeResource, Ontology: "generic", Classes: []string{"C2"},
 	}, "SELECT * FROM C2")
-	if err != nil || n != 1 {
-		t.Fatalf("Watch = %d, %v", n, err)
+	if err != nil || len(handles) != 1 {
+		t.Fatalf("Watch = %d, %v", len(handles), err)
 	}
 	err = ra.InsertRow(ctx, "C2", relational.Row{
 		relational.Str("C2-zz"), relational.Num(1), relational.Num(2), relational.Num(3), relational.Num(4),
 	})
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.FlushNotifications(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if len(mon.Events()) != 1 {

@@ -141,7 +141,10 @@ func (o *Options) CallPolicy() *resilience.Policy {
 // every root operation is observed, and the slow/failed/degraded ones pin
 // their traces into the slowlog. Without -metrics-addr none of this is
 // active — the Section 5 experiments run with zero observers installed.
-func (o *Options) ServeTelemetry(logger *slog.Logger, ready func() error) (func(), error) {
+//
+// extra mounts daemon-specific handlers on the same endpoint (resourced
+// adds its subscription pipeline report at /subs).
+func (o *Options) ServeTelemetry(logger *slog.Logger, ready func() error, extra ...telemetry.ServeOption) (func(), error) {
 	if o.MetricsAddr == "" {
 		return func() {}, nil
 	}
@@ -176,6 +179,7 @@ func (o *Options) ServeTelemetry(logger *slog.Logger, ready func() error) (func(
 	if o.Pprof {
 		opts = append(opts, telemetry.WithPprof())
 	}
+	opts = append(opts, extra...)
 	srv, err := telemetry.Serve(o.MetricsAddr, telemetry.Default, opts...)
 	if err != nil {
 		return nil, err

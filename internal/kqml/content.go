@@ -35,6 +35,39 @@ type UpdateContent struct {
 	SQL string `json:"sql"`
 	// Result is the query's new answer.
 	Result SQLResult `json:"result"`
+	// Seq is the resource's change-stream sequence number for the newest
+	// event this notification covers; a subscriber can order and
+	// deduplicate updates by it. Zero on the legacy evaluate-all path.
+	Seq uint64 `json:"seq,omitempty"`
+	// Coalesced counts change events folded into this notification under
+	// load (the bounded queues coalesce to latest rather than block).
+	Coalesced int `json:"coalesced,omitempty"`
+}
+
+// UpdateAck is a subscriber's typed acknowledgement of an update
+// notification. It replaces the historical tell + SorryContent{Reason:
+// "noted"} ack, which forced resources to parse a refusal payload to learn
+// the update landed.
+type UpdateAck struct {
+	// SubscriptionID echoes the subscription that fired.
+	SubscriptionID string `json:"subscription_id"`
+	// Seq echoes the update's sequence number, when present.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// UnsubscribeContent cancels a standing query by subscription ID. It
+// replaces the historical abuse of unadvertise + SorryContent{Reason: id};
+// resources accept the legacy form for one release (see
+// resource.Agent's unadvertise handling) before it is removed.
+type UnsubscribeContent struct {
+	// ID is the subscription to cancel, as returned in SubscribeAck.
+	ID string `json:"id"`
+}
+
+// UnsubscribeAck confirms a cancellation.
+type UnsubscribeAck struct {
+	// ID echoes the cancelled subscription.
+	ID string `json:"id"`
 }
 
 // RecruitContent asks a broker to find the best provider for the embedded

@@ -41,6 +41,9 @@ const (
 	Error Performative = "error"
 	// Subscribe asks for notifications about matching changes.
 	Subscribe Performative = "subscribe"
+	// Unsubscribe cancels a standing query by subscription ID (content:
+	// UnsubscribeContent).
+	Unsubscribe Performative = "unsubscribe"
 	// Update carries changed data to a subscriber.
 	Update Performative = "update"
 	// Recruit asks a broker to deliver the embedded request to the best

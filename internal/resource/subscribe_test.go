@@ -2,17 +2,26 @@ package resource
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"infosleuth/internal/kqml"
 	"infosleuth/internal/ontology"
 	"infosleuth/internal/relational"
+	"infosleuth/internal/sqlparse"
 	"infosleuth/internal/transport"
 )
 
-// collector is a bare listener that records update notifications.
+// collector is a bare listener that records update notifications; updates
+// arrive on subscription sender goroutines, so access is locked.
 type collector struct {
-	addr    string
+	addr string
+
+	mu      sync.Mutex
 	updates []kqml.UpdateContent
 }
 
@@ -22,9 +31,11 @@ func newCollector(t *testing.T, tr transport.Transport) *collector {
 	l, err := tr.Listen("", func(msg *kqml.Message) *kqml.Message {
 		var uc kqml.UpdateContent
 		if err := msg.DecodeContent(&uc); err == nil {
+			c.mu.Lock()
 			c.updates = append(c.updates, uc)
+			c.mu.Unlock()
 		}
-		return kqml.New(kqml.Tell, "collector", &kqml.SorryContent{Reason: "noted"})
+		return kqml.New(kqml.Tell, "collector", &kqml.UpdateAck{SubscriptionID: uc.SubscriptionID, Seq: uc.Seq})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -32,6 +43,12 @@ func newCollector(t *testing.T, tr transport.Transport) *collector {
 	t.Cleanup(func() { l.Close() })
 	c.addr = l.Addr()
 	return c
+}
+
+func (c *collector) list() []kqml.UpdateContent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]kqml.UpdateContent(nil), c.updates...)
 }
 
 func subscribe(t *testing.T, tr transport.Transport, ra *Agent, subAddr, sql string) kqml.SubscribeAck {
@@ -55,6 +72,15 @@ func subscribe(t *testing.T, tr transport.Transport, ra *Agent, subAddr, sql str
 	return ack
 }
 
+func flushSubs(t *testing.T, ra *Agent) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ra.FlushNotifications(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
 func TestSubscribeBaselineAndNotify(t *testing.T) {
 	ctx := context.Background()
 	ra, tr := newResource(t)
@@ -68,21 +94,27 @@ func TestSubscribeBaselineAndNotify(t *testing.T) {
 		t.Fatal("missing subscription id")
 	}
 
-	// A change notifies the collector with the new result.
+	// A change notifies the collector with the new result (delivery is
+	// asynchronous on the subscription's sender goroutine).
 	err := ra.InsertRow(ctx, "C2", relational.Row{
 		relational.Str("C2-x"), relational.Num(1), relational.Num(2), relational.Num(3), relational.Num(4),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(col.updates) != 1 {
-		t.Fatalf("updates = %d", len(col.updates))
+	flushSubs(t, ra)
+	updates := col.list()
+	if len(updates) != 1 {
+		t.Fatalf("updates = %d", len(updates))
 	}
-	if col.updates[0].SubscriptionID != ack.ID || len(col.updates[0].Result.Rows) != 21 {
-		t.Errorf("update = %+v", col.updates[0])
+	if updates[0].SubscriptionID != ack.ID || len(updates[0].Result.Rows) != 21 {
+		t.Errorf("update = %+v", updates[0])
+	}
+	if updates[0].Seq == 0 {
+		t.Error("update missing change-stream sequence number")
 	}
 
-	// Cancel via unadvertise with the subscription id.
+	// Cancel via the legacy form: unadvertise with the subscription id.
 	cancel := kqml.New(kqml.Unadvertise, "collector", &kqml.SorryContent{Reason: ack.ID})
 	reply, err := tr.Call(ctx, ra.Addr(), cancel)
 	if err != nil {
@@ -101,25 +133,305 @@ func TestSubscribeBaselineAndNotify(t *testing.T) {
 	}
 }
 
+func TestUnsubscribePerformative(t *testing.T) {
+	ctx := context.Background()
+	ra, tr := newResource(t)
+	col := newCollector(t, tr)
+	ack := subscribe(t, tr, ra, col.addr, "SELECT * FROM C2")
+
+	// Unknown id: sorry, and the live subscription survives.
+	reply, err := tr.Call(ctx, ra.Addr(), kqml.New(kqml.Unsubscribe, "collector", &kqml.UnsubscribeContent{ID: "no-such-sub"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Sorry || kqml.ReasonOf(reply) != kqml.SorryReasonUnknownSubscription {
+		t.Fatalf("unknown id = %s: %s", reply.Performative, kqml.ReasonOf(reply))
+	}
+	if len(ra.Subscriptions()) != 1 {
+		t.Fatalf("subscriptions = %d after unknown-id cancel", len(ra.Subscriptions()))
+	}
+
+	// Missing id: malformed.
+	reply, err = tr.Call(ctx, ra.Addr(), kqml.New(kqml.Unsubscribe, "collector", &kqml.UnsubscribeContent{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Performative != kqml.Error {
+		t.Fatalf("empty id = %s", reply.Performative)
+	}
+
+	// Present id: typed ack, subscription gone, updates stop.
+	reply, err = tr.Call(ctx, ra.Addr(), kqml.New(kqml.Unsubscribe, "collector", &kqml.UnsubscribeContent{ID: ack.ID}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uack kqml.UnsubscribeAck
+	if reply.Performative != kqml.Tell || reply.DecodeContent(&uack) != nil || uack.ID != ack.ID {
+		t.Fatalf("cancel reply = %s %s", reply.Performative, string(reply.Content))
+	}
+	if len(ra.Subscriptions()) != 0 {
+		t.Error("subscription not removed")
+	}
+	if err := ra.InsertRow(ctx, "C2", relational.Row{
+		relational.Str("C2-x"), relational.Num(1), relational.Num(2), relational.Num(3), relational.Num(4),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	flushSubs(t, ra)
+	if n := len(col.list()); n != 0 {
+		t.Errorf("updates after unsubscribe = %d", n)
+	}
+}
+
+func TestConcurrentUnsubscribeDuringNotify(t *testing.T) {
+	ctx := context.Background()
+	ra, tr := newResource(t)
+	col := newCollector(t, tr)
+	const subs = 16
+	ids := make([]string, subs)
+	for i := range ids {
+		ids[i] = subscribe(t, tr, ra, col.addr, "SELECT * FROM C2").ID
+	}
+
+	// Race mutations against cancellations: every insert fans out to
+	// whatever subscriptions still exist while another goroutine tears
+	// them down through the typed wire form.
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < subs; i++ {
+			msg := kqml.New(kqml.Unsubscribe, "collector", &kqml.UnsubscribeContent{ID: ids[i]})
+			if _, err := tr.Call(ctx, ra.Addr(), msg); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 10; i++ {
+		err := ra.InsertRow(ctx, "C2", relational.Row{
+			relational.Str(fmt.Sprintf("C2-r%d", i)), relational.Num(float64(i)),
+			relational.Num(2), relational.Num(3), relational.Num(4),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	flushSubs(t, ra)
+	if n := len(ra.Subscriptions()); n != 0 {
+		t.Errorf("subscriptions left = %d", n)
+	}
+}
+
 func TestNotifyChangedSkipsDeadSubscriber(t *testing.T) {
 	ctx := context.Background()
 	ra, tr := newResource(t)
 	col := newCollector(t, tr)
 	subscribe(t, tr, ra, col.addr, "SELECT * FROM C2")
 	// A second subscription whose endpoint never listens: it counts as
-	// registered, but its notification delivery fails silently.
+	// registered, but its notification delivery fails — now visibly, on
+	// the notify-errors counter.
 	subscribe(t, tr, ra, "inproc://gone", "SELECT id FROM C2")
 	if len(ra.Subscriptions()) != 2 {
 		t.Fatalf("subscriptions = %d", len(ra.Subscriptions()))
 	}
+	errsBefore := mNotifyErrors.Value()
 	err := ra.InsertRow(ctx, "C2", relational.Row{
 		relational.Str("C2-y"), relational.Num(1), relational.Num(2), relational.Num(3), relational.Num(4),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(col.updates) != 1 {
-		t.Errorf("live subscriber updates = %d, want 1", len(col.updates))
+	flushSubs(t, ra)
+	if n := len(col.list()); n != 1 {
+		t.Errorf("live subscriber updates = %d, want 1", n)
+	}
+	if d := mNotifyErrors.Value() - errsBefore; d != 1 {
+		t.Errorf("notify errors delta = %d, want 1", d)
+	}
+}
+
+func TestIndexedRegionSkipsDisjointSubscriptions(t *testing.T) {
+	ctx := context.Background()
+	ra, tr := newResource(t)
+	col := newCollector(t, tr)
+	subscribe(t, tr, ra, col.addr, "SELECT * FROM C2 WHERE a BETWEEN 0 AND 10")
+	subscribe(t, tr, ra, col.addr, "SELECT * FROM C2 WHERE a BETWEEN 900 AND 910")
+
+	// A row with a=5 overlaps the first region only: one enqueue, one
+	// skip, and no re-evaluation for the disjoint subscription.
+	row := relational.Row{
+		relational.Str("C2-hot"), relational.Num(5), relational.Num(2), relational.Num(3), relational.Num(4),
+	}
+	if _, ok := ra.DB().Table("C2"); !ok {
+		t.Fatal("no C2 table")
+	}
+	tbl, _ := ra.DB().Table("C2")
+	if err := tbl.Insert(row); err != nil {
+		t.Fatal(err)
+	}
+	matched, skipped := ra.NotifyChange(ctx, Change{Class: "C2", Rows: []relational.Row{row}})
+	if matched != 1 || skipped != 1 {
+		t.Fatalf("matched=%d skipped=%d, want 1/1", matched, skipped)
+	}
+	flushSubs(t, ra)
+	updates := col.list()
+	if len(updates) != 1 {
+		t.Fatalf("updates = %d, want 1 (disjoint region must not fire)", len(updates))
+	}
+
+	// A change with unknown extent re-evaluates everything.
+	matched, skipped = ra.NotifyChange(ctx, Change{Class: "C2"})
+	if matched != 2 || skipped != 0 {
+		t.Fatalf("whole-class change matched=%d skipped=%d, want 2/0", matched, skipped)
+	}
+	flushSubs(t, ra)
+}
+
+func TestUnionStandingQueryFallsBackToEvaluateAll(t *testing.T) {
+	ra, tr := newResource(t)
+	col := newCollector(t, tr)
+	subscribe(t, tr, ra, col.addr,
+		"SELECT id FROM C2 WHERE a BETWEEN 0 AND 1 UNION SELECT id FROM C2 WHERE a BETWEEN 900 AND 901")
+	// WhereConstraints conjoins UNION branches, which would wrongly
+	// narrow the region; the subscription must land in the evaluate-all
+	// tier and see every change.
+	matched, skipped := ra.NotifyChange(context.Background(),
+		Change{Class: "C2", Rows: []relational.Row{{
+			relational.Str("C2-u"), relational.Num(500), relational.Num(0), relational.Num(0), relational.Num(0),
+		}}})
+	if matched != 1 || skipped != 0 {
+		t.Fatalf("matched=%d skipped=%d, want 1/0 (fallback tier sees all)", matched, skipped)
+	}
+	flushSubs(t, ra)
+}
+
+func TestStalledSubscriberDoesNotDelayOthers(t *testing.T) {
+	ctx := context.Background()
+	ra, tr := newResource(t)
+	fast := newCollector(t, tr)
+
+	// A subscriber that parks on every update until released.
+	gate := make(chan struct{})
+	l, err := tr.Listen("", func(msg *kqml.Message) *kqml.Message {
+		<-gate
+		return kqml.New(kqml.Tell, "stalled", &kqml.UpdateAck{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	defer close(gate)
+
+	subscribe(t, tr, ra, l.Addr(), "SELECT * FROM C2")
+	subscribe(t, tr, ra, fast.addr, "SELECT * FROM C2")
+
+	start := time.Now()
+	if err := ra.InsertRow(ctx, "C2", relational.Row{
+		relational.Str("C2-s"), relational.Num(1), relational.Num(2), relational.Num(3), relational.Num(4),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(fast.list()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := len(fast.list()); n != 1 {
+		t.Fatalf("fast subscriber updates = %d while peer stalled", n)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("fast subscriber delayed %s behind a stalled peer", elapsed)
+	}
+}
+
+func TestResultHashIgnoresRowOrder(t *testing.T) {
+	r1 := relational.Row{relational.Str("x"), relational.Num(1)}
+	r2 := relational.Row{relational.Str("y"), relational.Num(2)}
+	a := &sqlparse.Result{Columns: []string{"id", "a"}, Rows: []relational.Row{r1, r2}}
+	b := &sqlparse.Result{Columns: []string{"id", "a"}, Rows: []relational.Row{r2, r1}}
+	if resultHash(a) != resultHash(b) {
+		t.Error("permuted rows hash differently: spurious notifications on reordered scans")
+	}
+	c := &sqlparse.Result{Columns: []string{"id", "a"}, Rows: []relational.Row{r1, r1}}
+	if resultHash(a) == resultHash(c) {
+		t.Error("distinct multisets collide")
+	}
+	// The commutative combination must not cancel values across rows: two
+	// swapped cell pairs is a different result.
+	d := &sqlparse.Result{Columns: []string{"id", "a"}, Rows: []relational.Row{
+		{relational.Str("x"), relational.Num(2)}, {relational.Str("y"), relational.Num(1)},
+	}}
+	if resultHash(a) == resultHash(d) {
+		t.Error("cross-row cell swap collides")
+	}
+	if resultHash(nil) != "" {
+		t.Error("nil result hash")
+	}
+}
+
+func TestSubsHandlerReportsPipeline(t *testing.T) {
+	ctx := context.Background()
+	ra, tr := newResource(t)
+	col := newCollector(t, tr)
+	ack := subscribe(t, tr, ra, col.addr, "SELECT * FROM C2 WHERE a >= 0")
+	if err := ra.InsertRow(ctx, "C2", relational.Row{
+		relational.Str("C2-h"), relational.Num(1), relational.Num(2), relational.Num(3), relational.Num(4),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	flushSubs(t, ra)
+
+	rec := httptest.NewRecorder()
+	ra.SubsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/subs", nil))
+	var report struct {
+		Agent         string `json:"agent"`
+		Subscriptions []struct {
+			ID      string   `json:"id"`
+			Indexed bool     `json:"indexed"`
+			Classes []string `json:"classes"`
+			Evals   uint64   `json:"evals"`
+			Updates uint64   `json:"updates"`
+		} `json:"subscriptions"`
+		Recent []struct {
+			SubscriptionID string `json:"subscription_id"`
+			Changed        bool   `json:"changed"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &report); err != nil {
+		t.Fatalf("bad /subs JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(report.Subscriptions) != 1 || report.Subscriptions[0].ID != ack.ID {
+		t.Fatalf("report subs = %+v", report.Subscriptions)
+	}
+	s := report.Subscriptions[0]
+	if !s.Indexed || len(s.Classes) != 1 || s.Classes[0] != "c2" || s.Evals != 1 || s.Updates != 1 {
+		t.Errorf("sub row = %+v", s)
+	}
+	if len(report.Recent) != 1 || report.Recent[0].SubscriptionID != ack.ID || !report.Recent[0].Changed {
+		t.Errorf("recent = %+v", report.Recent)
+	}
+}
+
+func TestLegacyNotifyPathStillSynchronous(t *testing.T) {
+	ctx := context.Background()
+	ra, tr := newResource(t, func(c *Config) { c.LegacyNotify = true })
+	col := newCollector(t, tr)
+	subscribe(t, tr, ra, col.addr, "SELECT * FROM C2")
+	err := ra.InsertRow(ctx, "C2", relational.Row{
+		relational.Str("C2-l"), relational.Num(1), relational.Num(2), relational.Num(3), relational.Num(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No flush: the legacy evaluate-all path delivers before InsertRow
+	// returns, exactly as the Section 5 harness expects.
+	if n := len(col.list()); n != 1 {
+		t.Fatalf("legacy updates = %d, want 1 synchronously", n)
+	}
+	if col.list()[0].Seq != 0 {
+		t.Error("legacy path must not stamp change-stream sequence numbers")
 	}
 }
 
@@ -230,5 +542,48 @@ func TestSubclassRewriteDirect(t *testing.T) {
 	t.Cleanup(func() { raNoWorld.Stop() })
 	if _, err := raNoWorld.Run("SELECT * FROM C2"); err == nil {
 		t.Error("superclass query without a world should fail")
+	}
+}
+
+// TestSuperclassStandingQueryIndexedUnderSubclass pins the subclass
+// indexing rule: a standing query over a superclass must be indexed under
+// the served subclass name, because changes are published there.
+func TestSuperclassStandingQueryIndexedUnderSubclass(t *testing.T) {
+	tr := transport.NewInProc()
+	db := relational.NewDatabase()
+	tbl, err := db.Create(relational.Schema{
+		Name: "C2a",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.TypeString},
+			{Name: "a", Type: relational.TypeNumber},
+		},
+		Key: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustInsert(relational.Row{relational.Str("r0"), relational.Num(0)})
+	ra, err := New(Config{
+		Name: "SubRA", Transport: tr, DB: db,
+		Fragment: ontology.Fragment{Ontology: "generic", Classes: []string{"C2a"}},
+		World:    ontology.NewWorld(ontology.Generic()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ra.Stop() })
+	col := newCollector(t, tr)
+	subscribe(t, tr, ra, col.addr, "SELECT * FROM C2")
+
+	row := relational.Row{relational.Str("r1"), relational.Num(1)}
+	if err := ra.InsertRow(context.Background(), "C2a", row); err != nil {
+		t.Fatal(err)
+	}
+	flushSubs(t, ra)
+	if n := len(col.list()); n != 1 {
+		t.Fatalf("superclass standing query updates = %d, want 1", n)
 	}
 }
